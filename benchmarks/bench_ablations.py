@@ -1,0 +1,112 @@
+"""Ablation benchmarks: sparsity sweep, dataflow, attention, simulator.
+
+Run: pytest benchmarks/bench_ablations.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.codec import decoder_graph
+from repro.eval import (
+    attention_ablation,
+    dataflow_ablation,
+    fast_algorithm_ablation,
+    render_sparsity_sweep,
+    sparsity_sweep,
+)
+from repro.hw import NVCAConfig, simulate_graph
+
+
+def test_sparsity_sweep(benchmark):
+    """Quality vs hardware cost across rho (the design-space ablation)."""
+    points = benchmark.pedantic(
+        sparsity_sweep,
+        kwargs={"rhos": (0.0, 0.25, 0.5, 0.75)},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + render_sparsity_sweep(points))
+    # Quality decreases (weakly) with sparsity; hardware cost shrinks.
+    assert points[0].psnr_db >= points[-1].psnr_db - 0.2
+    assert points[0].gate_count_m > points[-1].gate_count_m
+    # At the paper's rho = 0.5, quality loss vs dense is tiny.
+    rho50 = next(p for p in points if p.rho == 0.5)
+    assert points[0].psnr_db - rho50.psnr_db < 0.5
+
+
+def test_dataflow_ablation(benchmark):
+    result = benchmark(dataflow_ablation)
+    print(
+        f"\nchaining: {result['baseline_gb']:.3f} GB -> "
+        f"{result['chained_gb']:.3f} GB (-{result['reduction']:.1%}); "
+        f"DRAM energy {result['baseline_dram_mj']:.1f} -> "
+        f"{result['chained_dram_mj']:.1f} mJ/frame"
+    )
+    assert result["reduction"] > 0.3
+
+
+def test_fast_algorithm_ablation(benchmark):
+    result = benchmark(fast_algorithm_ablation)
+    print(
+        f"\nfast reduction {result['fast_reduction']:.2f}x, "
+        f"sparse reduction {result['sparse_reduction']:.2f}x"
+    )
+    assert result["sparse_reduction"] == pytest.approx(4.5, abs=0.2)
+
+
+def test_attention_ablation(benchmark):
+    result = benchmark.pedantic(attention_ablation, rounds=1, iterations=1)
+    print(
+        f"\nSwin-AM workload: {result['swin_am_total_gmacs']:.1f} GMACs "
+        f"(attention proper: {result['swinatten_gmacs']:.1f}); "
+        f"measured PSNR with/without: {result['psnr_with_attention']:.2f} / "
+        f"{result['psnr_without_attention']:.2f} dB"
+    )
+    # Untrained Swin-AM is near-identity by design: effect bounded.
+    assert abs(
+        result["psnr_with_attention"] - result["psnr_without_attention"]
+    ) < 0.5
+
+
+def test_simulator_vs_analytical(benchmark):
+    """The paper's simulator-vs-RTL cross-check, inverted."""
+    graph = decoder_graph(1080, 1920, 36)
+    result = benchmark.pedantic(
+        simulate_graph, args=(graph, NVCAConfig()), rounds=1, iterations=1
+    )
+    print(
+        f"\nsimulated {result.cycles} vs analytical "
+        f"{result.analytical_cycles} cycles (mismatch {result.mismatch:.2%})"
+    )
+    assert result.mismatch < 0.05
+
+
+def test_tile_size_exploration(benchmark):
+    """Why F(2x2,3x3)? Bigger tiles multiply less but break the A12
+    datapath (extension ablation)."""
+    from repro.eval import tile_size_exploration
+
+    results = benchmark(tile_size_exploration)
+    print("\ntile         mu^2  speedup  A12 SNR (dB)")
+    for r in results:
+        print(f"{r['tile']:12s} {r['mu2']:4d}  {r['speedup']:6.2f}  {r['fxp_snr_db']:8.1f}")
+    f23 = next(r for r in results if r["m"] == 2)
+    assert f23["fxp_snr_db"] > 40.0
+
+
+def test_resolution_sweep(benchmark):
+    """540p -> 4K scaling of the fixed silicon (extension ablation)."""
+    from repro.eval import render_table, resolution_sweep
+
+    results = benchmark(resolution_sweep)
+    rows = [
+        [r["resolution"], r["gmacs"], r["fps"], r["frame_ms"], r["dram_gb"]]
+        for r in results
+    ]
+    print(
+        "\n"
+        + render_table(
+            ["resolution", "GMACs", "FPS", "ms/frame", "DRAM GB"], rows
+        )
+    )
+    by_res = {r["resolution"]: r for r in results}
+    assert by_res["1920x1080"]["fps"] > 24.0

@@ -1,0 +1,44 @@
+"""Design-space exploration benchmark (extension beyond the paper).
+
+Sweeps the SCU array geometry and sparsity provisioning through the
+full performance/energy/area stack, printing the frontier a designer
+would use to justify the paper's Pif=Pof=12, rho=50% operating point.
+
+Run: pytest benchmarks/bench_dse.py --benchmark-only -s
+"""
+
+from repro.codec import decoder_graph
+from repro.eval import render_table
+from repro.hw import pareto_front, sweep_array_geometry, sweep_sparsity
+
+_GRAPH = decoder_graph(1080, 1920, 36)
+
+
+def _render(points):
+    headers = ["config", "FPS", "GOPS", "power (W)", "gates (M)", "GOPS/W"]
+    rows = [
+        [p.label, p.fps, p.sustained_gops, p.chip_power_w, p.gate_count_m, p.energy_efficiency]
+        for p in points
+    ]
+    return render_table(headers, rows)
+
+
+def test_geometry_sweep(benchmark):
+    points = benchmark(sweep_array_geometry, _GRAPH)
+    print("\n" + _render(points))
+    front = pareto_front(points, maximize=("fps", "energy_efficiency"))
+    print("pareto (fps x GOPS/W):", [p.label for p in front])
+    paper_point = next(p for p in points if p.label == "12x12")
+    assert paper_point.fps > 24.0
+
+
+def test_sparsity_sweep_hw(benchmark):
+    points = benchmark(sweep_sparsity, _GRAPH)
+    print("\n" + _render(points))
+    dense = next(p for p in points if p.rho == 0.0)
+    sparse = next(p for p in points if p.rho == 0.5)
+    # The design argument for rho=50%: same frame rate (DCC-bound),
+    # ~40% less power, ~40% fewer gates.
+    assert abs(sparse.fps - dense.fps) / dense.fps < 0.05
+    assert sparse.chip_power_w < 0.75 * dense.chip_power_w
+    assert sparse.gate_count_m < 0.75 * dense.gate_count_m

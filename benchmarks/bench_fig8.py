@@ -1,0 +1,56 @@
+"""Benchmark + regeneration of Fig. 8 (RD curves, four panels).
+
+Run: pytest benchmarks/bench_fig8.py --benchmark-only -s
+"""
+
+from repro.eval import generate_fig8, measured_rd_curve
+
+
+def test_fig8_calibrated_panels(benchmark):
+    """All four panels from the calibrated RD models."""
+    panels = benchmark(generate_fig8)
+    for panel in panels:
+        print("\n" + panel.render())
+        assert panel.best_method_at_low_rate() == "ctvc-fp"
+
+
+def test_fig8_measured_overlay(benchmark):
+    """Measured RD curve of the real classical codec on the UVG
+    stand-in (the slow, honest overlay)."""
+    curve = benchmark.pedantic(
+        measured_rd_curve,
+        kwargs={
+            "codec": "classical",
+            "dataset": "uvg-sim",
+            "metric": "psnr",
+            "qps": (4.0, 16.0, 64.0),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print("\nmeasured classical codec on uvg-sim:")
+    for point in curve.points:
+        print(f"  bpp={point.bpp:.3f} PSNR={point.quality:.2f} dB")
+    assert curve.validate_monotone()
+    assert len(curve) == 3
+
+
+def test_fig8_measured_ctvc(benchmark):
+    """Measured RD curve of the real CTVC pipeline (structured init)."""
+    curve = benchmark.pedantic(
+        measured_rd_curve,
+        kwargs={
+            "codec": "ctvc",
+            "dataset": "uvg-sim",
+            "metric": "psnr",
+            "qps": (2.0, 8.0, 32.0),
+            "channels": 12,
+            "frames": 3,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print("\nmeasured CTVC pipeline on uvg-sim:")
+    for point in curve.points:
+        print(f"  bpp={point.bpp:.3f} PSNR={point.quality:.2f} dB")
+    assert curve.validate_monotone()

@@ -1,0 +1,16 @@
+"""Benchmark + regeneration of Fig. 9(a) (decoding speed comparison).
+
+Run: pytest benchmarks/bench_fig9a.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.eval import generate_fig9a
+
+
+def test_fig9a(benchmark):
+    """1080p decode time: NVCA (model-derived) vs literature decoders."""
+    result = benchmark(generate_fig9a)
+    print("\n" + result.render())
+    assert result.nvca_fps == pytest.approx(25.0, rel=0.05)
+    assert result.speedup_vs_dcvc == pytest.approx(22.7, rel=0.06)

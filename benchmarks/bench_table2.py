@@ -1,0 +1,24 @@
+"""Benchmark + regeneration of Table II (accelerator comparison).
+
+Run: pytest benchmarks/bench_table2.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.eval import PAPER_NVCA_COLUMN, generate_table2
+
+
+def test_table2(benchmark):
+    """Regenerate Table II; the NVCA column comes from the hardware
+    models end to end (schedule -> power -> gates)."""
+    result = benchmark(generate_table2)
+    print("\n" + result.render())
+    print("\nheadline ratios (paper: 2.4x GPU, 11.1x CPU, 8.7x [25], 2.2x eff):")
+    for name, value in result.ratios.items():
+        print(f"  {name:26s} {value:8.2f}x")
+    paper = PAPER_NVCA_COLUMN
+    assert result.nvca.throughput_gops == pytest.approx(
+        paper["throughput_gops"], rel=0.05
+    )
+    assert result.nvca.power_w == pytest.approx(paper["power_w"], rel=0.05)
+    assert result.performance.fps == pytest.approx(paper["fps_1080p"], rel=0.05)

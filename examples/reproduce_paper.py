@@ -1,0 +1,42 @@
+"""Regenerate every table and figure of the paper in one run.
+
+Fast mode (default) uses the calibrated RD models for Table I / Fig. 8
+and finishes in seconds; pass ``--full`` to also run the measured
+pipeline experiments (FXP/sparse deltas, measured RD overlays, the
+sparsity sweep) — a few minutes on a laptop CPU.
+
+Run:  python examples/reproduce_paper.py [--full] [-o report.txt]
+"""
+
+import argparse
+import sys
+
+from repro.eval import main as eval_main
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="also run the measured-pipeline experiments (slow)",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="write the report to a file as well as stdout",
+    )
+    args = parser.parse_args(argv)
+
+    report = eval_main(fast=not args.full)
+    print(report)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+        print(f"\n[report written to {args.output}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""NVCA: a reproduction of "A Computationally Efficient Neural Video
+Compression Accelerator Based on a Sparse CNN-Transformer Hybrid
+Network" (Zhang, Mao, Shi, Wang - DATE 2024).
+
+Package map
+-----------
+``repro.core``     the paper's algorithmic contribution: Winograd/FTA
+                   fast transforms, importance-weighted transform-domain
+                   pruning, united sparse execution, co-design driver.
+``repro.nn``       NumPy DNN substrate (conv/deconv/deformable/Swin
+                   attention/quantization).
+``repro.codec``    CTVC-Net codec, entropy coding, bitstreams, the
+                   classical baseline, calibrated literature RD models.
+``repro.hw``       NVCA accelerator model: SFTC/DCC, chaining dataflow,
+                   performance/energy/area, pipeline simulator.
+``repro.metrics``  PSNR, MS-SSIM, Bjontegaard deltas.
+``repro.video``    synthetic corpora and raw-video utilities.
+``repro.eval``     regenerates every table and figure.
+
+Quick start
+-----------
+>>> import repro
+>>> net = repro.CTVCNet(repro.CTVCConfig(channels=12, qstep=8.0))
+>>> # frames: list of (3, H, W) arrays in [0, 255]
+>>> stream = net.encode_sequence(frames)
+>>> decoded = net.decode_sequence(stream)
+"""
+
+from .codec import CTVCConfig, CTVCNet, ClassicalCodec, ClassicalCodecConfig
+from .core import NVCACodesign, SparseStrategy
+from .hw import NVCAConfig
+from .metrics import bd_rate, ms_ssim, psnr
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CTVCConfig",
+    "CTVCNet",
+    "ClassicalCodec",
+    "ClassicalCodecConfig",
+    "NVCACodesign",
+    "NVCAConfig",
+    "SparseStrategy",
+    "bd_rate",
+    "ms_ssim",
+    "psnr",
+    "__version__",
+]

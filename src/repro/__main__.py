@@ -1,0 +1,119 @@
+"""Command-line entry point: ``python -m repro``.
+
+Subcommands:
+
+* ``reproduce``  — regenerate every table and figure (the default).
+* ``encode``     — encode a synthetic clip with CTVC-Net or the
+                   classical codec and report rate/quality.
+* ``hardware``   — print the NVCA performance/energy/area summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_reproduce(args) -> int:
+    from repro.eval import main as eval_main
+
+    report = eval_main(fast=not args.full)
+    print(report)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    return 0
+
+
+def _cmd_encode(args) -> int:
+    from repro.codec import (
+        ClassicalCodec,
+        ClassicalCodecConfig,
+        CTVCConfig,
+        CTVCNet,
+        SequenceBitstream,
+    )
+    from repro.metrics import psnr
+    from repro.video import SceneConfig, generate_sequence
+
+    frames = generate_sequence(
+        SceneConfig(height=args.height, width=args.width, frames=args.frames)
+    )
+    if args.codec == "ctvc":
+        net = CTVCNet(CTVCConfig(channels=args.channels, qstep=args.qp))
+        stream = net.encode_sequence(frames)
+        decoded = net.decode_sequence(SequenceBitstream.parse(stream.serialize()))
+    else:
+        codec = ClassicalCodec(ClassicalCodecConfig(qp=args.qp))
+        stream = codec.encode_sequence(frames)
+        decoded = codec.decode_sequence(SequenceBitstream.parse(stream.serialize()))
+    bpp = stream.bits_per_pixel(args.height, args.width)
+    quality = float(np.mean([psnr(a, b) for a, b in zip(frames, decoded)]))
+    print(
+        f"{args.codec}: {len(frames)} frames @ {args.width}x{args.height}, "
+        f"{bpp:.3f} bpp, {quality:.2f} dB PSNR"
+    )
+    return 0
+
+
+def _cmd_hardware(args) -> int:
+    from repro.codec import decoder_graph
+    from repro.hw import (
+        NVCAConfig,
+        analyze_graph,
+        area_report,
+        compare_traffic,
+        energy_report,
+    )
+
+    config = NVCAConfig()
+    graph = decoder_graph(args.height, args.width, config.channels)
+    perf = analyze_graph(graph, config)
+    traffic = compare_traffic(graph, config)
+    energy = energy_report(perf.schedule, traffic, config=config)
+    area = area_report(config)
+    print(perf)
+    print(energy)
+    print(f"gates: {area.total_mgates:.2f} M, SRAM: {config.on_chip_kbytes():.0f} KB")
+    print(
+        f"chaining: {traffic.baseline_total / 1e9:.3f} -> "
+        f"{traffic.chained_total / 1e9:.3f} GB/frame "
+        f"(-{traffic.overall_reduction:.1%})"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command")
+
+    rep = sub.add_parser("reproduce", help="regenerate all tables and figures")
+    rep.add_argument("--full", action="store_true", help="include measured runs")
+    rep.add_argument("-o", "--output", default=None)
+
+    enc = sub.add_parser("encode", help="encode a synthetic clip")
+    enc.add_argument("--codec", choices=("ctvc", "classical"), default="ctvc")
+    enc.add_argument("--height", type=int, default=64)
+    enc.add_argument("--width", type=int, default=96)
+    enc.add_argument("--frames", type=int, default=4)
+    enc.add_argument("--channels", type=int, default=12)
+    enc.add_argument("--qp", type=float, default=8.0)
+
+    hw = sub.add_parser("hardware", help="NVCA model summary")
+    hw.add_argument("--height", type=int, default=1080)
+    hw.add_argument("--width", type=int, default=1920)
+
+    args = parser.parse_args(argv)
+    if args.command in (None, "reproduce"):
+        if args.command is None:
+            args = parser.parse_args(["reproduce"])
+        return _cmd_reproduce(args)
+    if args.command == "encode":
+        return _cmd_encode(args)
+    return _cmd_hardware(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,83 @@
+"""CTVC-Net and the NVC pipeline: modules, entropy coding, bitstreams,
+the classical baseline codec, calibrated literature RD models, and the
+decoder layer graph consumed by the hardware model."""
+
+from .bitstream import (
+    FramePacket,
+    SequenceBitstream,
+    as_f32,
+    f16_bits,
+    f16_from_bits,
+    f32_bits,
+    f32_from_bits,
+)
+from .classical import ClassicalCodec, ClassicalCodecConfig, zigzag_indices
+from .ctvc import CTVCConfig, CTVCNet
+from .entropy import (
+    ArithmeticDecoder,
+    ArithmeticEncoder,
+    LaplacianModel,
+    SymbolModel,
+    decode_symbols,
+    encode_symbols,
+    estimate_bits,
+)
+from .layergraph import analysis_layers, decoder_graph, encoder_graph, synthesis_layers
+from .modules import (
+    CompressionAE,
+    DeformableCompensation,
+    FeatureExtraction,
+    FrameReconstruction,
+    MotionEstimation,
+    block_match,
+    dense_motion_field,
+)
+from .rd_models import (
+    DATASETS,
+    LITERATURE_BDBR,
+    METHODS,
+    all_method_curves,
+    anchor_curve,
+    model_curve,
+)
+from .swin_am import SwinAM
+
+__all__ = [
+    "ArithmeticDecoder",
+    "ArithmeticEncoder",
+    "CTVCConfig",
+    "CTVCNet",
+    "ClassicalCodec",
+    "ClassicalCodecConfig",
+    "CompressionAE",
+    "DATASETS",
+    "DeformableCompensation",
+    "FeatureExtraction",
+    "FramePacket",
+    "FrameReconstruction",
+    "LITERATURE_BDBR",
+    "LaplacianModel",
+    "METHODS",
+    "MotionEstimation",
+    "SequenceBitstream",
+    "SwinAM",
+    "SymbolModel",
+    "all_method_curves",
+    "analysis_layers",
+    "anchor_curve",
+    "as_f32",
+    "block_match",
+    "decode_symbols",
+    "decoder_graph",
+    "dense_motion_field",
+    "encode_symbols",
+    "encoder_graph",
+    "estimate_bits",
+    "f16_bits",
+    "f16_from_bits",
+    "f32_bits",
+    "f32_from_bits",
+    "model_curve",
+    "synthesis_layers",
+    "zigzag_indices",
+]

@@ -1,0 +1,167 @@
+"""Bitstream container: what travels from encoder to decoder.
+
+"HD video ... is typically stored on cloud servers as encoded
+bitstreams" (Section I) — the decoder-side accelerator consumes exactly
+this.  The container is deliberately simple and fully self-describing:
+
+    magic 'NVCA' | version u16 | header-length u32 | header JSON |
+    repeat per frame:  meta-length u32 | meta JSON | chunks...
+
+Every chunk is a named byte payload (an arithmetic-coded stream or raw
+side information).  All rate numbers in the evaluation harness are
+``len(serialize())*8`` — real bits, headers included.
+
+Floating-point side information (e.g. Laplacian scales) must be passed
+through :func:`as_f32` before use on the *encoder* side too, so encoder
+and decoder derive bit-identical probability models.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "FramePacket",
+    "SequenceBitstream",
+    "as_f32",
+    "f32_bits",
+    "f32_from_bits",
+    "f16_bits",
+    "f16_from_bits",
+]
+
+_MAGIC = b"NVCA"
+_VERSION = 1
+
+
+def as_f32(value: float) -> float:
+    """Quantize a float to IEEE-754 single precision (side-info width)."""
+    return float(np.float32(value))
+
+
+def f32_bits(value: float) -> int:
+    """Pack a float into its 32-bit pattern (compact exact side info)."""
+    return int(np.float32(value).view(np.uint32))
+
+
+def f32_from_bits(bits: int) -> float:
+    """Inverse of :func:`f32_bits`."""
+    return float(np.uint32(bits).view(np.float32))
+
+
+def f16_bits(value: float) -> int:
+    """Pack a float into a 16-bit half-precision pattern.
+
+    Used for probability-model scales, where half precision is plenty —
+    both sides of the channel just have to use the *same* value.
+    """
+    return int(np.float16(value).view(np.uint16))
+
+
+def f16_from_bits(bits: int) -> float:
+    """Inverse of :func:`f16_bits`."""
+    return float(np.uint16(bits).view(np.float16))
+
+
+@dataclass
+class FramePacket:
+    """One coded frame: metadata plus named binary chunks."""
+
+    frame_type: str  # "I" or "P"
+    meta: dict = field(default_factory=dict)
+    chunks: dict[str, bytes] = field(default_factory=dict)
+
+    def add_chunk(self, name: str, payload: bytes) -> None:
+        if name in self.chunks:
+            raise ValueError(f"duplicate chunk {name!r}")
+        self.chunks[name] = payload
+
+    def num_bits(self) -> int:
+        """Payload bits of this packet (chunks only, no container)."""
+        return 8 * sum(len(c) for c in self.chunks.values())
+
+    def _meta_blob(self) -> bytes:
+        # Single-character keys: this JSON rides in the bitstream and
+        # counts against the measured rate.
+        record = {
+            "t": self.frame_type,
+            "m": self.meta,
+            "n": list(self.chunks),
+            "z": [len(self.chunks[k]) for k in self.chunks],
+        }
+        return json.dumps(record, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+    def serialize(self) -> bytes:
+        blob = self._meta_blob()
+        out = bytearray(struct.pack("<I", len(blob)))
+        out.extend(blob)
+        for name in self.chunks:
+            out.extend(self.chunks[name])
+        return bytes(out)
+
+    @classmethod
+    def parse(cls, buffer: bytes, offset: int) -> tuple["FramePacket", int]:
+        (meta_len,) = struct.unpack_from("<I", buffer, offset)
+        offset += 4
+        record = json.loads(buffer[offset : offset + meta_len].decode("utf-8"))
+        offset += meta_len
+        packet = cls(frame_type=record["t"], meta=record["m"])
+        for name, size in zip(record["n"], record["z"]):
+            packet.chunks[name] = bytes(buffer[offset : offset + size])
+            offset += size
+        return packet, offset
+
+
+@dataclass
+class SequenceBitstream:
+    """A full coded sequence: header plus per-frame packets."""
+
+    header: dict = field(default_factory=dict)
+    packets: list[FramePacket] = field(default_factory=list)
+
+    def add_packet(self, packet: FramePacket) -> None:
+        self.packets.append(packet)
+
+    def num_bits(self) -> int:
+        """Total bits of the serialized stream (container included)."""
+        return 8 * len(self.serialize())
+
+    def bits_per_pixel(self, height: int, width: int) -> float:
+        frames = max(len(self.packets), 1)
+        return self.num_bits() / (frames * height * width)
+
+    def serialize(self) -> bytes:
+        header_blob = json.dumps(
+            {"header": self.header, "num_frames": len(self.packets)},
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode("utf-8")
+        out = bytearray()
+        out.extend(_MAGIC)
+        out.extend(struct.pack("<H", _VERSION))
+        out.extend(struct.pack("<I", len(header_blob)))
+        out.extend(header_blob)
+        for packet in self.packets:
+            out.extend(packet.serialize())
+        return bytes(out)
+
+    @classmethod
+    def parse(cls, buffer: bytes) -> "SequenceBitstream":
+        if buffer[:4] != _MAGIC:
+            raise ValueError("not an NVCA bitstream (bad magic)")
+        (version,) = struct.unpack_from("<H", buffer, 4)
+        if version != _VERSION:
+            raise ValueError(f"unsupported bitstream version {version}")
+        (header_len,) = struct.unpack_from("<I", buffer, 6)
+        offset = 10
+        record = json.loads(buffer[offset : offset + header_len].decode("utf-8"))
+        offset += header_len
+        stream = cls(header=record["header"])
+        for _ in range(record["num_frames"]):
+            packet, offset = FramePacket.parse(buffer, offset)
+            stream.add_packet(packet)
+        return stream

@@ -1,0 +1,421 @@
+"""Classical hybrid block-DCT video codec (the H.26x stand-in).
+
+A complete, measured conventional codec: I-frames are 8x8 block-DCT
+transform coded in YCbCr 4:2:0; P-frames use block-matching motion
+compensation plus DCT-coded residuals; everything is entropy coded with
+the arithmetic coder under per-band Laplacian models and packed into a
+real bitstream.  The decoder reconstructs bit-exactly what the
+encoder's closed loop reconstructed.
+
+Three roles in the reproduction (DESIGN.md §2):
+
+* the measured "conventional codec" reference point in RD experiments
+  (standing in for the H.264/H.265 binaries we cannot run offline);
+* the intra coder for CTVC-Net's I-frames — mirroring DVC/FVC, which
+  use H.265-intra for the first frame of every GOP;
+* a workload generator for decode-time comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.fft import dctn, idctn
+
+from repro.video.yuv import rgb_to_ycbcr, subsample_420, upsample_420, ycbcr_to_rgb
+
+from .bitstream import FramePacket, SequenceBitstream, f16_bits, f16_from_bits
+from .entropy import (
+    ArithmeticDecoder,
+    ArithmeticEncoder,
+    LaplacianModel,
+    SymbolModel,
+)
+from .modules import block_match, dense_motion_field
+
+__all__ = ["ClassicalCodecConfig", "ClassicalCodec", "zigzag_indices"]
+
+_BLOCK = 8
+#: Zigzag frequency bands sharing one Laplacian scale each:
+#: DC, low AC, mid AC, high AC.
+_BANDS = ((0, 1), (1, 6), (6, 21), (21, 64))
+
+
+def zigzag_indices(size: int = _BLOCK) -> np.ndarray:
+    """Flat indices of an (size x size) block in JPEG zigzag order."""
+    order = sorted(
+        range(size * size),
+        key=lambda idx: (
+            idx // size + idx % size,
+            (idx // size if (idx // size + idx % size) % 2 else idx % size),
+        ),
+    )
+    return np.array(order, dtype=np.int64)
+
+
+_ZIGZAG = zigzag_indices(_BLOCK)
+
+
+@dataclass(frozen=True)
+class ClassicalCodecConfig:
+    """Operating parameters of the classical codec."""
+
+    qp: float = 8.0  # quantization step for luma DCT coefficients
+    chroma_qp_scale: float = 1.6
+    block_size: int = 8  # motion block size (luma pixels)
+    search_range: int = 8
+    gop: int = 8  # I-frame interval
+    support: int = 255  # symbol support for coefficient coding
+    #: refine integer motion to half-pel precision (bilinear reference
+    #: interpolation), as H.264-class codecs do.
+    half_pel: bool = False
+
+
+def _pad_to_blocks(plane: np.ndarray) -> np.ndarray:
+    h, w = plane.shape
+    ph = (-h) % _BLOCK
+    pw = (-w) % _BLOCK
+    if ph or pw:
+        plane = np.pad(plane, ((0, ph), (0, pw)), mode="edge")
+    return plane
+
+
+def _blockify(plane: np.ndarray) -> np.ndarray:
+    """(H, W) -> (nblocks, 8, 8) raster order."""
+    h, w = plane.shape
+    nby, nbx = h // _BLOCK, w // _BLOCK
+    return (
+        plane.reshape(nby, _BLOCK, nbx, _BLOCK)
+        .transpose(0, 2, 1, 3)
+        .reshape(nby * nbx, _BLOCK, _BLOCK)
+    )
+
+
+def _unblockify(blocks: np.ndarray, h: int, w: int) -> np.ndarray:
+    nby, nbx = h // _BLOCK, w // _BLOCK
+    return (
+        blocks.reshape(nby, nbx, _BLOCK, _BLOCK)
+        .transpose(0, 2, 1, 3)
+        .reshape(h, w)
+    )
+
+
+def _band_scales(coeffs: np.ndarray) -> list[int]:
+    """Laplacian MLE scale per zigzag band, as f32 bit patterns
+    (compact, exact side info — encoder and decoder build identical
+    probability models from it)."""
+    scales = []
+    for lo, hi in _BANDS:
+        band = coeffs[:, lo:hi]
+        scales.append(f16_bits(LaplacianModel.fit_scale(band)))
+    return scales
+
+
+def _band_models(scale_bits: list[int], support: int) -> list[LaplacianModel]:
+    return [LaplacianModel(max(f16_from_bits(s), 1e-3), support) for s in scale_bits]
+
+
+class _PlaneCoder:
+    """Transform coding of one plane (intra) or one residual plane.
+
+    The symbol support adapts to the actual coefficient range and is
+    carried as side information, so small quantization steps never clip
+    DC coefficients.
+    """
+
+    def __init__(self, qstep: float, support: int):
+        self.qstep = qstep
+        self.max_support = support
+
+    def encode(self, plane: np.ndarray) -> tuple[bytes, dict, np.ndarray]:
+        """Returns (payload, side-info meta, reconstructed plane)."""
+        h, w = plane.shape
+        padded = _pad_to_blocks(plane)
+        blocks = _blockify(padded)
+        coeffs = dctn(blocks, axes=(1, 2), norm="ortho")
+        flat = coeffs.reshape(len(blocks), 64)[:, _ZIGZAG]
+        raw = np.round(flat / self.qstep)
+        support = int(np.clip(np.max(np.abs(raw)), 16, 4 * self.max_support))
+        quantized = np.clip(raw, -support, support).astype(np.int64)
+
+        scales = _band_scales(quantized)
+        models = _band_models(scales, support)
+        encoder = ArithmeticEncoder()
+        for block_syms in quantized:
+            for (lo, hi), model in zip(_BANDS, models):
+                for value in block_syms[lo:hi]:
+                    encoder.encode(model.symbol_of(int(value)), model.model)
+        payload = encoder.finish()
+
+        recon = self._reconstruct(quantized, padded.shape)
+        meta = {"s": scales, "u": support}
+        return payload, meta, recon[:h, :w]
+
+    def decode(self, payload: bytes, meta: dict, h: int, w: int) -> np.ndarray:
+        ph = h + ((-h) % _BLOCK)
+        pw = w + ((-w) % _BLOCK)
+        nblocks = (ph // _BLOCK) * (pw // _BLOCK)
+        models = _band_models(meta["s"], meta["u"])
+        decoder = ArithmeticDecoder(payload)
+        quantized = np.empty((nblocks, 64), dtype=np.int64)
+        for b in range(nblocks):
+            for (lo, hi), model in zip(_BANDS, models):
+                for pos in range(lo, hi):
+                    quantized[b, pos] = model.value_of(decoder.decode(model.model))
+        return self._reconstruct(quantized, (ph, pw))[:h, :w]
+
+    def _reconstruct(self, quantized: np.ndarray, shape: tuple[int, int]):
+        flat = np.zeros_like(quantized, dtype=np.float64)
+        flat[:, _ZIGZAG] = quantized * self.qstep
+        blocks = idctn(flat.reshape(-1, _BLOCK, _BLOCK), axes=(1, 2), norm="ortho")
+        return _unblockify(blocks, *shape)
+
+
+class ClassicalCodec:
+    """Hybrid block codec: I/P GOP structure, 4:2:0, closed loop."""
+
+    def __init__(self, config: ClassicalCodecConfig | None = None):
+        self.config = config or ClassicalCodecConfig()
+
+    # -- plane helpers --------------------------------------------------
+    def _planes(self, frame: np.ndarray):
+        """RGB (3, H, W) -> (Y, Cb, Cr) with 4:2:0 chroma."""
+        return subsample_420(rgb_to_ycbcr(frame))
+
+    def _frame_from_planes(self, y, cb, cr) -> np.ndarray:
+        return np.clip(ycbcr_to_rgb(upsample_420(y, cb, cr)), 0.0, 255.0)
+
+    def _plane_coders(self):
+        cfg = self.config
+        luma = _PlaneCoder(cfg.qp, cfg.support)
+        chroma = _PlaneCoder(cfg.qp * cfg.chroma_qp_scale, cfg.support)
+        return luma, chroma
+
+    # -- intra ----------------------------------------------------------
+    def encode_intra(self, frame: np.ndarray) -> tuple[FramePacket, np.ndarray]:
+        """Code one I-frame; returns (packet, reconstruction)."""
+        y, cb, cr = self._planes(frame)
+        luma_coder, chroma_coder = self._plane_coders()
+        packet = FramePacket(frame_type="I")
+        recon_planes = []
+        metas = []
+        for name, plane, coder in (
+            ("y", y - 128.0, luma_coder),
+            ("cb", cb - 128.0, chroma_coder),
+            ("cr", cr - 128.0, chroma_coder),
+        ):
+            payload, side, recon = coder.encode(plane)
+            packet.add_chunk(name, payload)
+            metas.append({"p": name, "sd": side, "hw": list(plane.shape)})
+            recon_planes.append(recon + 128.0)
+        packet.meta["P"] = metas
+        recon = self._frame_from_planes(*recon_planes)
+        return packet, recon
+
+    def decode_intra(self, packet: FramePacket) -> np.ndarray:
+        luma_coder, chroma_coder = self._plane_coders()
+        planes = []
+        for meta in packet.meta["P"]:
+            coder = luma_coder if meta["p"] == "y" else chroma_coder
+            h, w = meta["hw"]
+            plane = coder.decode(packet.chunks[meta["p"]], meta["sd"], h, w)
+            planes.append(plane + 128.0)
+        return self._frame_from_planes(*planes)
+
+    # -- inter ----------------------------------------------------------
+    @property
+    def _mv_max_abs(self) -> int:
+        """Largest motion magnitude in coded units (half-pel units when
+        half-pel refinement is on)."""
+        cfg = self.config
+        return 2 * cfg.search_range + 1 if cfg.half_pel else cfg.search_range
+
+    def _encode_motion(self, mv: np.ndarray) -> tuple[bytes, dict]:
+        max_abs = self._mv_max_abs
+        model = SymbolModel(np.ones(2 * max_abs + 1, dtype=np.int64))
+        encoder = ArithmeticEncoder()
+        for value in mv.ravel():
+            encoder.encode(int(value) + max_abs, model)
+        return encoder.finish(), {"mvs": list(mv.shape), "hp": int(self.config.half_pel)}
+
+    def _decode_motion(self, payload: bytes, meta: dict) -> np.ndarray:
+        max_abs = self._mv_max_abs
+        model = SymbolModel(np.ones(2 * max_abs + 1, dtype=np.int64))
+        decoder = ArithmeticDecoder(payload)
+        shape = tuple(meta["mvs"])
+        count = int(np.prod(shape))
+        flat = np.array(
+            [decoder.decode(model) - max_abs for _ in range(count)],
+            dtype=np.int64,
+        )
+        return flat.reshape(shape)
+
+    def _predict_plane(
+        self, ref: np.ndarray, mv: np.ndarray, h: int, w: int, chroma: bool
+    ) -> np.ndarray:
+        """Motion-compensated prediction of one plane from coded MVs."""
+        cfg = self.config
+        if cfg.half_pel:
+            block = cfg.block_size // (2 if chroma else 1)
+            dense = dense_motion_field(mv, h, w, block).astype(np.float64)
+            if chroma:
+                dense *= 0.5  # luma half-pel -> chroma quarter-pel
+            return self._warp_half(ref, dense)
+        scale = 2 if chroma else 1
+        dense = dense_motion_field(mv // scale, h, w, cfg.block_size // scale)
+        return self._warp(ref, dense)
+
+    @staticmethod
+    def _warp(plane: np.ndarray, dense_mv: np.ndarray) -> np.ndarray:
+        """Integer motion-compensated prediction with edge clamping."""
+        h, w = plane.shape
+        ys = np.clip(np.arange(h)[:, None] + dense_mv[0], 0, h - 1).astype(int)
+        xs = np.clip(np.arange(w)[None, :] + dense_mv[1], 0, w - 1).astype(int)
+        return plane[ys, xs]
+
+    @staticmethod
+    def _warp_half(plane: np.ndarray, dense_mv_half: np.ndarray) -> np.ndarray:
+        """Half-pel motion compensation: ``dense_mv_half`` is in
+        half-pixel units; fractional positions bilinearly interpolate."""
+        h, w = plane.shape
+        ys = np.clip(np.arange(h)[:, None] + dense_mv_half[0] / 2.0, 0, h - 1)
+        xs = np.clip(np.arange(w)[None, :] + dense_mv_half[1] / 2.0, 0, w - 1)
+        y0 = np.floor(ys).astype(int)
+        x0 = np.floor(xs).astype(int)
+        y1 = np.minimum(y0 + 1, h - 1)
+        x1 = np.minimum(x0 + 1, w - 1)
+        fy = ys - y0
+        fx = xs - x0
+        return (
+            plane[y0, x0] * (1 - fy) * (1 - fx)
+            + plane[y0, x1] * (1 - fy) * fx
+            + plane[y1, x0] * fy * (1 - fx)
+            + plane[y1, x1] * fy * fx
+        )
+
+    def _refine_half_pel(
+        self, cur: np.ndarray, ref: np.ndarray, int_mv: np.ndarray
+    ) -> np.ndarray:
+        """Half-pel refinement around the integer block-match result.
+
+        For each of the 9 sub-pel candidates the whole plane is warped
+        once (integer mv + candidate), then per-block SADs pick the
+        best offset.  Returns motion in half-pel units.
+        """
+        cfg = self.config
+        bs = cfg.block_size
+        h, w = cur.shape
+        nby, nbx = int_mv.shape[1], int_mv.shape[2]
+        hc, wc = nby * bs, nbx * bs
+        base_half = 2 * int_mv
+        best = np.full((nby, nbx), np.inf)
+        best_mv = base_half.copy()
+        dense_base = dense_motion_field(base_half, h, w, bs)
+        for sub_y in (-1, 0, 1):
+            for sub_x in (-1, 0, 1):
+                candidate = dense_base.copy()
+                candidate[0] += sub_y
+                candidate[1] += sub_x
+                predicted = self._warp_half(ref, candidate)
+                diff = np.abs(cur[:hc, :wc] - predicted[:hc, :wc])
+                sad = diff.reshape(nby, bs, nbx, bs).sum(axis=(1, 3))
+                better = sad < best
+                best = np.where(better, sad, best)
+                best_mv[0] = np.where(better, base_half[0] + sub_y, best_mv[0])
+                best_mv[1] = np.where(better, base_half[1] + sub_x, best_mv[1])
+        return best_mv
+
+    def encode_inter(
+        self, frame: np.ndarray, reference: np.ndarray
+    ) -> tuple[FramePacket, np.ndarray]:
+        """Code one P-frame against the decoded reference."""
+        cfg = self.config
+        y, cb, cr = self._planes(frame)
+        ry, rcb, rcr = self._planes(reference)
+        mv = block_match(y, ry, cfg.block_size, cfg.search_range)
+        if cfg.half_pel:
+            mv = self._refine_half_pel(y, ry, mv)
+        packet = FramePacket(frame_type="P")
+        mv_payload, mv_meta = self._encode_motion(mv)
+        packet.add_chunk("mv", mv_payload)
+        packet.meta.update(mv_meta)
+
+        luma_coder, chroma_coder = self._plane_coders()
+        recon_planes = []
+        metas = []
+        for name, plane, ref, coder, chroma in (
+            ("y", y, ry, luma_coder, False),
+            ("cb", cb, rcb, chroma_coder, True),
+            ("cr", cr, rcr, chroma_coder, True),
+        ):
+            h, w = plane.shape
+            prediction = self._predict_plane(ref, mv, h, w, chroma)
+            payload, side, residual_recon = coder.encode(plane - prediction)
+            packet.add_chunk(name, payload)
+            metas.append({"p": name, "sd": side, "hw": [h, w]})
+            recon_planes.append(
+                np.clip(prediction + residual_recon, 0.0, 255.0)
+            )
+        packet.meta["P"] = metas
+        recon = self._frame_from_planes(*recon_planes)
+        return packet, recon
+
+    def decode_inter(self, packet: FramePacket, reference: np.ndarray) -> np.ndarray:
+        if bool(packet.meta.get("hp", 0)) != self.config.half_pel:
+            raise ValueError(
+                "bitstream motion precision does not match codec config"
+            )
+        ry, rcb, rcr = self._planes(reference)
+        mv = self._decode_motion(packet.chunks["mv"], packet.meta)
+        luma_coder, chroma_coder = self._plane_coders()
+        planes = []
+        for meta, ref, coder, chroma in zip(
+            packet.meta["P"],
+            (ry, rcb, rcr),
+            (luma_coder, chroma_coder, chroma_coder),
+            (False, True, True),
+        ):
+            h, w = meta["hw"]
+            prediction = self._predict_plane(ref, mv, h, w, chroma)
+            residual = coder.decode(
+                packet.chunks[meta["p"]], meta["sd"], h, w
+            )
+            planes.append(np.clip(prediction + residual, 0.0, 255.0))
+        return self._frame_from_planes(*planes)
+
+    # -- sequence --------------------------------------------------------
+    def encode_sequence(self, frames: list[np.ndarray]) -> SequenceBitstream:
+        if not frames:
+            raise ValueError("no frames to encode")
+        _, h, w = frames[0].shape
+        stream = SequenceBitstream(
+            header={
+                "codec": "classical-dct",
+                "height": h,
+                "width": w,
+                "qp": self.config.qp,
+                "gop": self.config.gop,
+            }
+        )
+        reference: np.ndarray | None = None
+        for index, frame in enumerate(frames):
+            if index % self.config.gop == 0 or reference is None:
+                packet, reference = self.encode_intra(frame)
+            else:
+                packet, reference = self.encode_inter(frame, reference)
+            stream.add_packet(packet)
+        return stream
+
+    def decode_sequence(self, stream: SequenceBitstream) -> list[np.ndarray]:
+        frames: list[np.ndarray] = []
+        reference: np.ndarray | None = None
+        for packet in stream.packets:
+            if packet.frame_type == "I":
+                reference = self.decode_intra(packet)
+            else:
+                if reference is None:
+                    raise ValueError("P-frame before any I-frame")
+                reference = self.decode_inter(packet, reference)
+            frames.append(reference)
+        return frames

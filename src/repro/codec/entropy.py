@@ -1,0 +1,255 @@
+"""Entropy coding: binary arithmetic coder + discretized priors.
+
+The NVC literature the paper builds on (DVC, FVC, DCVC) quantizes
+auto-encoder latents and entropy-codes them under a factorized prior.
+This module provides the real thing — no estimated-bits shortcuts:
+
+* :class:`ArithmeticEncoder` / :class:`ArithmeticDecoder` — the
+  classic CACM'87 integer arithmetic coder (32-bit registers, pending
+  bit handling).  Exact round-trip is property-tested.
+* :class:`SymbolModel` — static cumulative-frequency tables.
+* :class:`LaplacianModel` — a discretized zero-mean Laplacian over a
+  symmetric integer support, the standard factorized latent prior; its
+  scale is the only side information a decoder needs.
+
+Rates reported anywhere in the evaluation harness come from actual
+encoded byte counts, with ``estimate_bits`` (ideal Shannon cost)
+available to cross-check coder efficiency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "ArithmeticEncoder",
+    "ArithmeticDecoder",
+    "SymbolModel",
+    "LaplacianModel",
+    "encode_symbols",
+    "decode_symbols",
+    "estimate_bits",
+]
+
+_PRECISION = 32
+_WHOLE = 1 << _PRECISION
+_HALF = _WHOLE >> 1
+_QUARTER = _WHOLE >> 2
+_MAX_TOTAL = 1 << 16  # keeps span * total within 64-bit headroom
+
+
+class SymbolModel:
+    """Static frequency table over an alphabet of n symbols.
+
+    Frequencies are positive integers; cumulative sums drive both the
+    encoder and decoder.  ``total`` must stay below 2**16 so the
+    arithmetic coder's renormalization cannot underflow.
+    """
+
+    def __init__(self, frequencies: np.ndarray):
+        freqs = np.asarray(frequencies, dtype=np.int64)
+        if freqs.ndim != 1 or freqs.size < 1:
+            raise ValueError("frequencies must be a 1-D non-empty array")
+        if np.any(freqs <= 0):
+            raise ValueError("all frequencies must be positive")
+        if int(freqs.sum()) >= _MAX_TOTAL:
+            # Rescale, preserving positivity.
+            scale = (_MAX_TOTAL - freqs.size - 1) / float(freqs.sum())
+            freqs = np.maximum(1, (freqs * scale).astype(np.int64))
+        self.freqs = freqs
+        self.cum = np.concatenate([[0], np.cumsum(freqs)])
+        self.total = int(self.cum[-1])
+
+    @property
+    def num_symbols(self) -> int:
+        return int(self.freqs.size)
+
+    def interval(self, symbol: int) -> tuple[int, int]:
+        return int(self.cum[symbol]), int(self.cum[symbol + 1])
+
+    def probabilities(self) -> np.ndarray:
+        return self.freqs / self.total
+
+    @classmethod
+    def from_pmf(cls, pmf: np.ndarray, precision_total: int = 1 << 14) -> "SymbolModel":
+        """Quantize a probability mass function to integer frequencies."""
+        pmf = np.asarray(pmf, dtype=np.float64)
+        if np.any(pmf < 0) or pmf.sum() <= 0:
+            raise ValueError("pmf must be non-negative with positive mass")
+        freqs = np.maximum(1, np.round(pmf / pmf.sum() * precision_total)).astype(
+            np.int64
+        )
+        return cls(freqs)
+
+
+class ArithmeticEncoder:
+    """Integer arithmetic encoder (Witten-Neal-Cleary construction)."""
+
+    def __init__(self):
+        self._low = 0
+        self._high = _WHOLE - 1
+        self._pending = 0
+        self._bits: list[int] = []
+        self._finished = False
+
+    def _emit(self, bit: int) -> None:
+        self._bits.append(bit)
+        inverse = 1 - bit
+        for _ in range(self._pending):
+            self._bits.append(inverse)
+        self._pending = 0
+
+    def encode(self, symbol: int, model: SymbolModel) -> None:
+        if self._finished:
+            raise RuntimeError("encoder already finished")
+        lo, hi = model.interval(symbol)
+        span = self._high - self._low + 1
+        self._high = self._low + span * hi // model.total - 1
+        self._low = self._low + span * lo // model.total
+        while True:
+            if self._high < _HALF:
+                self._emit(0)
+            elif self._low >= _HALF:
+                self._emit(1)
+                self._low -= _HALF
+                self._high -= _HALF
+            elif self._low >= _QUARTER and self._high < 3 * _QUARTER:
+                self._pending += 1
+                self._low -= _QUARTER
+                self._high -= _QUARTER
+            else:
+                break
+            self._low <<= 1
+            self._high = (self._high << 1) | 1
+
+    def finish(self) -> bytes:
+        """Flush and return the encoded payload."""
+        if not self._finished:
+            self._pending += 1
+            self._emit(0 if self._low < _QUARTER else 1)
+            self._finished = True
+        bits = self._bits
+        padded = bits + [0] * ((-len(bits)) % 8)
+        out = bytearray()
+        for i in range(0, len(padded), 8):
+            byte = 0
+            for bit in padded[i : i + 8]:
+                byte = (byte << 1) | bit
+            out.append(byte)
+        return bytes(out)
+
+
+class ArithmeticDecoder:
+    """Mirror of :class:`ArithmeticEncoder` over a byte payload."""
+
+    def __init__(self, data: bytes):
+        self._bits = []
+        for byte in data:
+            for shift in range(7, -1, -1):
+                self._bits.append((byte >> shift) & 1)
+        self._pos = 0
+        self._low = 0
+        self._high = _WHOLE - 1
+        self._value = 0
+        for _ in range(_PRECISION):
+            self._value = (self._value << 1) | self._next_bit()
+
+    def _next_bit(self) -> int:
+        if self._pos < len(self._bits):
+            bit = self._bits[self._pos]
+            self._pos += 1
+            return bit
+        return 0  # zero-padding past the payload is part of the scheme
+
+    def decode(self, model: SymbolModel) -> int:
+        span = self._high - self._low + 1
+        scaled = ((self._value - self._low + 1) * model.total - 1) // span
+        symbol = int(np.searchsorted(model.cum, scaled, side="right") - 1)
+        lo, hi = model.interval(symbol)
+        self._high = self._low + span * hi // model.total - 1
+        self._low = self._low + span * lo // model.total
+        while True:
+            if self._high < _HALF:
+                pass
+            elif self._low >= _HALF:
+                self._low -= _HALF
+                self._high -= _HALF
+                self._value -= _HALF
+            elif self._low >= _QUARTER and self._high < 3 * _QUARTER:
+                self._low -= _QUARTER
+                self._high -= _QUARTER
+                self._value -= _QUARTER
+            else:
+                break
+            self._low <<= 1
+            self._high = (self._high << 1) | 1
+            self._value = (self._value << 1) | self._next_bit()
+        return symbol
+
+
+class LaplacianModel:
+    """Discretized zero-mean Laplacian over integers [-support, support].
+
+    ``p(q) = integral over [q - 0.5, q + 0.5]`` of the Laplace density
+    with scale ``b``, with tails folded into the extreme symbols — the
+    factorized prior used for quantized latents.  Values outside the
+    support are clipped by the caller before encoding.
+    """
+
+    def __init__(self, scale: float, support: int):
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        if support < 1:
+            raise ValueError("support must be >= 1")
+        self.scale = float(scale)
+        self.support = int(support)
+        q = np.arange(-support, support + 1, dtype=np.float64)
+        upper = self._cdf(q + 0.5)
+        lower = self._cdf(q - 0.5)
+        pmf = upper - lower
+        pmf[0] += self._cdf(-support - 0.5)
+        pmf[-1] += 1.0 - self._cdf(support + 0.5)
+        self.pmf = pmf / pmf.sum()
+        self.model = SymbolModel.from_pmf(self.pmf)
+
+    def _cdf(self, x: np.ndarray) -> np.ndarray:
+        # Exponents clipped: exp(-746) underflows to 0.0 exactly, which
+        # is the correct tail limit, so clipping loses nothing.
+        z = np.clip(np.asarray(x, dtype=np.float64) / self.scale, -745.0, 745.0)
+        return np.where(
+            z < 0,
+            0.5 * np.exp(np.minimum(z, 0.0)),
+            1.0 - 0.5 * np.exp(np.minimum(-z, 0.0)),
+        )
+
+    def symbol_of(self, value: int) -> int:
+        return int(np.clip(value, -self.support, self.support)) + self.support
+
+    def value_of(self, symbol: int) -> int:
+        return symbol - self.support
+
+    @staticmethod
+    def fit_scale(values: np.ndarray) -> float:
+        """Laplacian MLE: scale = mean absolute value (floored)."""
+        return max(float(np.mean(np.abs(values))), 1e-3)
+
+
+def encode_symbols(symbols: np.ndarray, model: SymbolModel) -> bytes:
+    """Encode an integer symbol array under one static model."""
+    encoder = ArithmeticEncoder()
+    for symbol in np.asarray(symbols, dtype=np.int64).ravel():
+        encoder.encode(int(symbol), model)
+    return encoder.finish()
+
+
+def decode_symbols(data: bytes, count: int, model: SymbolModel) -> np.ndarray:
+    """Decode ``count`` symbols; exact inverse of :func:`encode_symbols`."""
+    decoder = ArithmeticDecoder(data)
+    return np.array([decoder.decode(model) for _ in range(count)], dtype=np.int64)
+
+
+def estimate_bits(symbols: np.ndarray, model: SymbolModel) -> float:
+    """Ideal Shannon cost of a symbol stream under the model, in bits."""
+    probs = model.probabilities()
+    syms = np.asarray(symbols, dtype=np.int64).ravel()
+    return float(np.sum(-np.log2(probs[syms])))

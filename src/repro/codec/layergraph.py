@@ -1,0 +1,308 @@
+"""Decoder layer-graph extraction (the workload the NVCA accelerates).
+
+Builds :class:`repro.core.layerspec.LayerGraph` records for CTVC-Net's
+*decoder* — the red dashed box of Fig. 1 — using the paper's literal
+Fig. 2 topology (Conv(N,3,1) + MaxPool feature extraction, three
+ResBlocks per stack, DeConv(N,4,2) synthesis stages, DfConv(N,3,1,G=2))
+at a concrete frame size, e.g. 1080p.  The five modules here are
+exactly the five bars of Fig. 9(b):
+
+    feature_extraction, motion_synthesis, deformable_compensation,
+    residual_synthesis, frame_reconstruction
+
+``encoder_graph`` additionally models the encoder-side analysis
+transforms (with Swin-AM attention workload) for completeness — the
+accelerator itself only runs the decoder.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.layerspec import LayerGraph, LayerSpec
+
+__all__ = ["decoder_graph", "encoder_graph", "synthesis_layers", "analysis_layers"]
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def _conv(name, module, cin, cout, k, s, h, w, groups=1) -> LayerSpec:
+    oh = _ceil_div(h, s)
+    ow = _ceil_div(w, s)
+    return LayerSpec(
+        name=name,
+        module=module,
+        kind="conv",
+        in_channels=cin,
+        out_channels=cout,
+        kernel=k,
+        stride=s,
+        in_h=h,
+        in_w=w,
+        out_h=oh,
+        out_w=ow,
+        groups=groups,
+    )
+
+
+def _deconv(name, module, cin, cout, k, s, h, w) -> LayerSpec:
+    return LayerSpec(
+        name=name,
+        module=module,
+        kind="deconv",
+        in_channels=cin,
+        out_channels=cout,
+        kernel=k,
+        stride=s,
+        in_h=h,
+        in_w=w,
+        out_h=h * s,
+        out_w=w * s,
+    )
+
+
+def _resblock(name, module, channels, h, w) -> list[LayerSpec]:
+    return [
+        _conv(f"{name}.conv1", module, channels, channels, 3, 1, h, w),
+        _conv(f"{name}.conv2", module, channels, channels, 3, 1, h, w),
+    ]
+
+
+def synthesis_layers(
+    module: str,
+    n: int,
+    latent_h: int,
+    latent_w: int,
+    num_stages: int = 3,
+    first_chain_id: int = -1,
+) -> list[LayerSpec]:
+    """Fig. 2(e) synthesis: (ResBlock(N,3), DeConv(N,4,2)) x 3.
+
+    Each stage is exactly the paper's heterogeneous chain — two Convs
+    followed by a DeConv — and is tagged as one when ``first_chain_id``
+    is non-negative.
+    """
+    layers: list[LayerSpec] = []
+    h, w = latent_h, latent_w
+    for stage in range(num_stages):
+        chain = first_chain_id + stage if first_chain_id >= 0 else -1
+        stage_layers = _resblock(f"{module}.res{stage}", module, n, h, w)
+        stage_layers.append(
+            _deconv(f"{module}.deconv{stage}", module, n, n, 4, 2, h, w)
+        )
+        layers.extend(
+            dataclasses.replace(layer, chain_id=chain) for layer in stage_layers
+        )
+        h, w = h * 2, w * 2
+    return layers
+
+
+def _attention(name, module, channels, window, h, w) -> LayerSpec:
+    """SwinAtten workload: 4 CxC projections + windowed QK^T/AV."""
+    hp = h + ((-h) % window)
+    wp = w + ((-w) % window)
+    tokens = hp * wp
+    t = window * window
+    macs = 4 * tokens * channels * channels + 2 * tokens * t * channels
+    return LayerSpec(
+        name=name,
+        module=module,
+        kind="attention",
+        in_channels=channels,
+        out_channels=channels,
+        kernel=window,
+        stride=1,
+        in_h=h,
+        in_w=w,
+        out_h=h,
+        out_w=w,
+        extra_macs=int(macs),
+    )
+
+
+def _swin_am(name, module, channels, window, h, w) -> list[LayerSpec]:
+    """Swin-AM (Fig. 3): SwinAtten + 2 ResBlocks + 1x1 conv (branch 1)
+    and 3 ResBlocks (branch 2)."""
+    layers = [_attention(f"{name}.attn", module, channels, window, h, w)]
+    for index in range(2):
+        layers.extend(_resblock(f"{name}.b1res{index}", module, channels, h, w))
+    layers.append(_conv(f"{name}.mask", module, channels, channels, 1, 1, h, w))
+    for index in range(3):
+        layers.extend(_resblock(f"{name}.b2res{index}", module, channels, h, w))
+    return layers
+
+
+def analysis_layers(
+    module: str, n: int, h2: int, w2: int, window: int = 3
+) -> list[LayerSpec]:
+    """Fig. 2(e) analysis at feature-grid input (h2, w2)."""
+    c2 = 2 * n
+    layers: list[LayerSpec] = []
+    layers.append(_conv(f"{module}.conv1", module, n, c2, 3, 2, h2, w2))
+    h4, w4 = _ceil_div(h2, 2), _ceil_div(w2, 2)
+    for index in range(3):
+        layers.extend(_resblock(f"{module}.res{index}", module, c2, h4, w4))
+    layers.append(_conv(f"{module}.conv2", module, c2, c2, 3, 2, h4, w4))
+    h8, w8 = _ceil_div(h4, 2), _ceil_div(w4, 2)
+    layers.extend(_swin_am(f"{module}.swinam0", module, c2, window, h8, w8))
+    layers.append(_conv(f"{module}.conv3", module, c2, c2, 3, 2, h8, w8))
+    h16, w16 = _ceil_div(h8, 2), _ceil_div(w8, 2)
+    layers.extend(_swin_am(f"{module}.swinam1", module, c2, window, h16, w16))
+    layers.append(_conv(f"{module}.latent", module, c2, n, 3, 1, h16, w16))
+    return layers
+
+
+def decoder_graph(
+    height: int = 1080,
+    width: int = 1920,
+    n: int = 36,
+    num_resblocks: int = 3,
+) -> LayerGraph:
+    """The CTVC-Net decoder at a given frame size (paper topology).
+
+    Module order follows the decode dataflow: the reference frame's
+    features are extracted, motion and residual latents are synthesized,
+    compensation predicts, and the frame is reconstructed.
+    """
+    graph = LayerGraph(name=f"ctvc-decoder-{width}x{height}-n{n}")
+    h2, w2 = _ceil_div(height, 2), _ceil_div(width, 2)
+    h16, w16 = _ceil_div(height, 16), _ceil_div(width, 16)
+    next_chain = 0
+
+    def take_chain() -> int:
+        nonlocal next_chain
+        chain = next_chain
+        next_chain += 1
+        return chain
+
+    # 1. Feature extraction on the decoded reference frame (Fig. 2(a)).
+    # The MaxPool streams in the head conv's chain; each ResBlock is a
+    # two-Conv chain (its skip input stays resident in the bank window).
+    head_chain = take_chain()
+    graph.add(
+        dataclasses.replace(
+            _conv("fe.head", "feature_extraction", 3, n, 3, 1, height, width),
+            chain_id=head_chain,
+        )
+    )
+    graph.add(
+        LayerSpec(
+            name="fe.pool",
+            module="feature_extraction",
+            kind="pool",
+            in_channels=n,
+            out_channels=n,
+            kernel=2,
+            stride=2,
+            in_h=height,
+            in_w=width,
+            out_h=h2,
+            out_w=w2,
+            chain_id=head_chain,
+        )
+    )
+    for index in range(num_resblocks):
+        chain = take_chain()
+        for layer in _resblock(f"fe.res{index}", "feature_extraction", n, h2, w2):
+            graph.add(dataclasses.replace(layer, chain_id=chain))
+
+    # 2. Motion synthesis transform (Fig. 2(e) right): each stage is the
+    # paper's canonical Conv-Conv-DeConv chain.
+    for layer in synthesis_layers(
+        "motion_synthesis", n, h16, w16, first_chain_id=next_chain
+    ):
+        graph.add(layer)
+    next_chain += 3
+
+    # 3. Deformable compensation (Fig. 2(d)).  The DCC is an island:
+    # its gather defeats row chaining, so the offset conv's output and
+    # the DfConv's input/output cross external memory.
+    graph.add(_conv("dc.offset", "deformable_compensation", n, 36, 3, 1, h2, w2))
+    graph.add(
+        LayerSpec(
+            name="dc.dfconv",
+            module="deformable_compensation",
+            kind="dfconv",
+            in_channels=n,
+            out_channels=n,
+            kernel=3,
+            stride=1,
+            in_h=h2,
+            in_w=w2,
+            out_h=h2,
+            out_w=w2,
+            groups=1,  # offset groups share the full channel MACs
+        )
+    )
+    refine_chain = take_chain()
+    graph.add(
+        dataclasses.replace(
+            _conv("dc.refine1", "deformable_compensation", n, n, 3, 1, h2, w2),
+            chain_id=refine_chain,
+        )
+    )
+    graph.add(
+        dataclasses.replace(
+            _conv("dc.refine2", "deformable_compensation", n, n, 3, 1, h2, w2),
+            chain_id=refine_chain,
+        )
+    )
+
+    # 4. Residual synthesis transform.
+    for layer in synthesis_layers(
+        "residual_synthesis", n, h16, w16, first_chain_id=next_chain
+    ):
+        graph.add(layer)
+    next_chain += 3
+
+    # 5. Frame reconstruction (Fig. 2(b)): the final ResBlock chains
+    # with the output DeConv (two Convs followed by a DeConv).
+    last_chain = -1
+    for index in range(num_resblocks):
+        last_chain = take_chain()
+        for layer in _resblock(f"fr.res{index}", "frame_reconstruction", n, h2, w2):
+            graph.add(dataclasses.replace(layer, chain_id=last_chain))
+    graph.add(
+        dataclasses.replace(
+            _deconv("fr.up", "frame_reconstruction", n, 3, 4, 2, h2, w2),
+            chain_id=last_chain,
+        )
+    )
+
+    return graph
+
+
+def encoder_graph(
+    height: int = 1080,
+    width: int = 1920,
+    n: int = 36,
+    num_resblocks: int = 3,
+    window: int = 3,
+) -> LayerGraph:
+    """Encoder-side additions: motion estimation + analysis transforms.
+
+    (The encoder also runs everything in :func:`decoder_graph` for its
+    closed loop; callers combine the two as needed.)
+    """
+    graph = LayerGraph(name=f"ctvc-encoder-{width}x{height}-n{n}")
+    h2, w2 = _ceil_div(height, 2), _ceil_div(width, 2)
+
+    # Feature extraction of the current frame.
+    graph.add(_conv("fe_cur.head", "feature_extraction", 3, n, 3, 1, height, width))
+    for index in range(num_resblocks):
+        for layer in _resblock(f"fe_cur.res{index}", "feature_extraction", n, h2, w2):
+            graph.add(layer)
+
+    # Motion estimation (Fig. 2(c)).
+    graph.add(_conv("me.conv_in", "motion_estimation", 2 * n, 2 * n, 3, 1, h2, w2))
+    graph.add(_conv("me.conv_mid", "motion_estimation", 2 * n, n, 3, 1, h2, w2))
+    graph.add(_conv("me.conv_out", "motion_estimation", n, n, 3, 1, h2, w2))
+
+    # Motion + residual analysis transforms.
+    for layer in analysis_layers("motion_analysis", n, h2, w2, window):
+        graph.add(layer)
+    for layer in analysis_layers("residual_analysis", n, h2, w2, window):
+        graph.add(layer)
+    return graph

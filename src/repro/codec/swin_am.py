@@ -1,0 +1,82 @@
+"""Swin-Transformer-based Attention Module (Swin-AM), Fig. 3.
+
+Three branches over the input feature x:
+
+* Branch 3 — the residual (identity) connection;
+* Branch 2 — stacked ResBlocks producing intermediate features;
+* Branch 1 — SwinAtten followed by ResBlocks, a 1x1 convolution and a
+  sigmoid, producing a window-based spatial-channel attention mask.
+
+Output: ``x + mask ⊙ branch2(x)`` — the mask gates how much refined
+feature is injected, which is how the module "guides adaptive bit
+allocations".  Consecutive Swin-AMs alternate the attention shift
+(Shf = 0 and Shf = R - 1) to bridge cross-window connections.
+
+Structured initialization: the 1x1 convolution's bias starts strongly
+negative so the mask opens near zero and the whole module is
+near-identity — an untrained Swin-AM must not corrupt the codec
+(DESIGN.md §2); training would learn to open it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Conv2d, Module, ModuleList, ResBlock, Sigmoid, SwinAttention
+
+__all__ = ["SwinAM"]
+
+
+class SwinAM(Module):
+    """The paper's Swin-AM attention block.
+
+    Parameters mirror Fig. 3: ``channels`` (2N inside the compression
+    auto-encoders), window size R, shift Shf, and head count P.
+    """
+
+    def __init__(
+        self,
+        channels: int,
+        window: int = 3,
+        shift: int = 0,
+        heads: int = 4,
+        branch1_resblocks: int = 2,
+        branch2_resblocks: int = 3,
+        mask_bias: float = -4.0,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.channels = channels
+        self.window = window
+        self.shift = shift
+        self.attention = SwinAttention(
+            channels, window=window, shift=shift, heads=heads, rng=rng
+        )
+        self.branch1_blocks = ModuleList(
+            [ResBlock(channels, 3, rng=rng) for _ in range(branch1_resblocks)]
+        )
+        self.mask_conv = Conv2d(channels, channels, 1, rng=rng)
+        # Structured init: small weights keep the sigmoid logit pinned
+        # near ``mask_bias`` whatever the feature magnitudes, so the
+        # mask opens gently instead of saturating at random locations.
+        self.mask_conv.weight.data *= 0.01
+        self.mask_conv.bias.data[:] = mask_bias
+        self.sigmoid = Sigmoid()
+        self.branch2_blocks = ModuleList(
+            [ResBlock(channels, 3, rng=rng) for _ in range(branch2_resblocks)]
+        )
+
+    def attention_mask(self, x: np.ndarray) -> np.ndarray:
+        """Branch 1: the window-based spatial-channel attention mask."""
+        features = self.attention(x)
+        for block in self.branch1_blocks:
+            features = block(features)
+        return self.sigmoid(self.mask_conv(features))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        mask = self.attention_mask(x)
+        features = x
+        for block in self.branch2_blocks:
+            features = block(features)
+        return x + mask * features

@@ -1,0 +1,56 @@
+"""Importance factor matrix Q for transform-domain pruning (Eq. 6-7).
+
+Each transform-domain weight ``E[i, j]`` of ``E = G W G^T`` contributes
+to every output pixel through the inverse transform ``A^T ( · ) A`` and
+interacts with the input through ``B^T X B``.  Pruning on magnitude
+alone ignores those propagation gains, so the paper scales magnitudes
+with
+
+    Q[i, j] = sqrt( sum_{c,d,q,v} H[c,d,i,j,q,v]^2 ),
+    H[c,d,i,j,q,v] = A[i,c] * A[j,d] * B[q,i] * B[v,j]
+
+(indices: c,d over the m output positions, q,v over the p input
+positions, i,j over the mu transform positions).  Because H factorizes,
+Q also has the closed form
+
+    Q[i, j] = (||A[i,:]|| * ||B[:,i]||) * (||A[j,:]|| * ||B[:,j]||)
+
+— a rank-one matrix.  Both forms are implemented; the test suite checks
+they agree, and the closed form is what production code uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .transforms import TransformSpec
+
+__all__ = ["importance_tensor_h", "importance_matrix", "importance_matrix_naive"]
+
+
+def importance_tensor_h(spec: TransformSpec) -> np.ndarray:
+    """The full H tensor of Eq. (7), shape (m, m, mu, mu, p, p).
+
+    Exponential in nothing but still large; intended for tests and
+    inspection, not the hot path.
+    """
+    a = spec.a  # (mu, m)
+    b = spec.b  # (p, mu)
+    return np.einsum("ic,jd,qi,vj->cdijqv", a, a, b, b)
+
+
+def importance_matrix_naive(spec: TransformSpec) -> np.ndarray:
+    """Q via the literal Eq. (6) sum over the H tensor."""
+    h = importance_tensor_h(spec)
+    return np.sqrt(np.einsum("cdijqv->ij", h**2))
+
+
+def importance_matrix(spec: TransformSpec) -> np.ndarray:
+    """Q via the closed-form factorization (fast path).
+
+    ``q_i = ||A[i, :]||_2 * ||B[:, i]||_2`` and ``Q = q q^T``.
+    """
+    a_row_norms = np.linalg.norm(spec.a, axis=1)  # (mu,)
+    b_col_norms = np.linalg.norm(spec.b, axis=0)  # (mu,)
+    q = a_row_norms * b_col_norms
+    return np.outer(q, q)

@@ -1,0 +1,138 @@
+"""Layer-level intermediate representation shared by codec and hardware.
+
+The accelerator model does not execute pixels; it consumes a *layer
+graph* — an ordered list of :class:`LayerSpec` records describing every
+operation of the CTVC-Net decoder with concrete shapes (e.g. at 1080p).
+``repro.codec.layergraph`` produces these from network modules, and
+``repro.hw`` maps them onto the SFTC/DCC, counts cycles and DRAM
+traffic, and detects the Conv-Conv-DeConv chains the heterogeneous
+layer chaining dataflow fuses (Fig. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["LayerSpec", "LayerGraph"]
+
+#: Operation kinds understood by the hardware mapper.
+KINDS = ("conv", "deconv", "dfconv", "attention", "pool", "eltwise")
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """One operation of the decoder with concrete shapes.
+
+    ``module`` names the paper-level decoder module this layer belongs
+    to (one of the five bars of Fig. 9(b)): "feature_extraction",
+    "motion_synthesis", "deformable_compensation", "residual_synthesis",
+    "frame_reconstruction".
+    """
+
+    name: str
+    module: str
+    kind: str
+    in_channels: int
+    out_channels: int
+    kernel: int
+    stride: int
+    in_h: int
+    in_w: int
+    out_h: int
+    out_w: int
+    groups: int = 1
+    #: Extra multiply count for ops the MAC formula below cannot model
+    #: (window attention projections); see SwinAttention.attention_macs.
+    extra_macs: int = 0
+    #: Heterogeneous-layer-chaining group (Fig. 7): layers sharing a
+    #: non-negative chain_id stream intermediates through the Input
+    #: Buffer; -1 means unchained.  The paper's chains are "two Convs
+    #: followed by a DeConv" — a ResBlock plus an optional synthesis
+    #: deconvolution.
+    chain_id: int = -1
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown kind {self.kind!r}")
+
+    # -- workload accounting -------------------------------------------
+    def macs(self) -> int:
+        """Multiply-accumulate count of a direct implementation."""
+        if self.kind == "attention":
+            return self.extra_macs
+        if self.kind in ("pool", "eltwise"):
+            return 0
+        if self.kind == "deconv":
+            taps = -(-self.kernel // self.stride)
+            per_out = self.in_channels * taps * taps
+        else:  # conv, dfconv
+            per_out = self.in_channels * self.kernel * self.kernel
+        return self.out_h * self.out_w * self.out_channels * per_out // self.groups
+
+    def ops(self) -> int:
+        """Operations (2 per MAC), the unit of the paper's GOPS figures."""
+        return 2 * self.macs()
+
+    def input_elements(self) -> int:
+        return self.in_channels * self.in_h * self.in_w
+
+    def output_elements(self) -> int:
+        return self.out_channels * self.out_h * self.out_w
+
+    def weight_elements(self) -> int:
+        if self.kind in ("pool", "eltwise"):
+            return 0
+        if self.kind == "attention":
+            # Four C x C projections of SwinAtten.
+            return 4 * self.in_channels * self.in_channels
+        return (
+            self.out_channels
+            * self.in_channels
+            * self.kernel
+            * self.kernel
+            // self.groups
+        )
+
+    @property
+    def fast_supported(self) -> bool:
+        """Does the SFTC's fast-algorithm path cover this layer?"""
+        if self.kind == "conv" and self.kernel == 3 and self.stride == 1:
+            return True
+        if self.kind == "deconv" and self.kernel == 4 and self.stride == 2:
+            return True
+        return False
+
+
+@dataclass
+class LayerGraph:
+    """An ordered sequence of LayerSpecs with per-module grouping."""
+
+    name: str
+    layers: list[LayerSpec] = field(default_factory=list)
+
+    def add(self, layer: LayerSpec) -> "LayerGraph":
+        self.layers.append(layer)
+        return self
+
+    def modules(self) -> list[str]:
+        """Distinct module names in first-appearance order."""
+        seen: list[str] = []
+        for layer in self.layers:
+            if layer.module not in seen:
+                seen.append(layer.module)
+        return seen
+
+    def by_module(self, module: str) -> list[LayerSpec]:
+        return [layer for layer in self.layers if layer.module == module]
+
+    def total_macs(self) -> int:
+        return sum(layer.macs() for layer in self.layers)
+
+    def total_ops(self) -> int:
+        return sum(layer.ops() for layer in self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __iter__(self):
+        return iter(self.layers)

@@ -1,0 +1,113 @@
+"""Compressed sparse storage of transform-domain weights.
+
+Mirrors the accelerator's on-chip layout: the Weight Buffer stores only
+non-zero transform-domain weights and the Index Buffer stores their
+positions inside each mu x mu patch (Section IV-A).  Each SCU's
+"non-zero element selector" uses the indices to gather matching inputs
+for the Hadamard products, so the representation here is exactly what
+the hardware model meters.
+
+Balanced pruning gives every (oc, ic) patch the same non-zero count —
+the shape the united SCU array wants (a fixed ``64*rho`` multiplier
+budget); global-threshold pruning produces ragged patches stored in a
+CSR-like layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .pruning import PrunedKernel
+
+__all__ = ["CompressedKernel", "compress_kernel"]
+
+
+@dataclass
+class CompressedKernel:
+    """CSR-like compression of a pruned transform-domain kernel.
+
+    ``values``/``indices`` are flat over all patches in (oc, ic) order;
+    ``patch_ptr`` has ``OC*IC + 1`` entries delimiting each patch's
+    slice.  ``indices`` address the flattened mu*mu patch.
+    """
+
+    out_channels: int
+    in_channels: int
+    mu: int
+    values: np.ndarray
+    indices: np.ndarray
+    patch_ptr: np.ndarray
+    weight_bits: int = 16
+
+    @property
+    def num_nonzeros(self) -> int:
+        return int(self.values.size)
+
+    @property
+    def index_bits(self) -> int:
+        """Bits needed to address one position inside a mu x mu patch."""
+        return max(1, int(np.ceil(np.log2(self.mu * self.mu))))
+
+    @property
+    def is_balanced(self) -> bool:
+        counts = np.diff(self.patch_ptr)
+        return bool(counts.size == 0 or np.all(counts == counts[0]))
+
+    def nonzeros_per_patch(self) -> np.ndarray:
+        return np.diff(self.patch_ptr).reshape(self.out_channels, self.in_channels)
+
+    def weight_buffer_bits(self) -> int:
+        """Weight Buffer footprint in bits."""
+        return self.num_nonzeros * self.weight_bits
+
+    def index_buffer_bits(self) -> int:
+        """Index Buffer footprint in bits."""
+        return self.num_nonzeros * self.index_bits
+
+    def patch(self, oc: int, ic: int) -> tuple[np.ndarray, np.ndarray]:
+        """(values, indices) for one (oc, ic) patch."""
+        flat = oc * self.in_channels + ic
+        lo, hi = self.patch_ptr[flat], self.patch_ptr[flat + 1]
+        return self.values[lo:hi], self.indices[lo:hi]
+
+    def to_dense(self) -> np.ndarray:
+        """Reconstruct the dense (OC, IC, mu, mu) masked weights."""
+        dense = np.zeros(
+            (self.out_channels, self.in_channels, self.mu * self.mu)
+        )
+        for oc in range(self.out_channels):
+            for ic in range(self.in_channels):
+                vals, idx = self.patch(oc, ic)
+                dense[oc, ic, idx] = vals
+        return dense.reshape(
+            self.out_channels, self.in_channels, self.mu, self.mu
+        )
+
+
+def compress_kernel(pruned: PrunedKernel, weight_bits: int = 16) -> CompressedKernel:
+    """Pack a :class:`PrunedKernel` into Weight/Index-buffer form."""
+    oc, ic, mu, _ = pruned.values.shape
+    flat_vals = pruned.values.reshape(oc * ic, mu * mu)
+    flat_mask = pruned.mask.reshape(oc * ic, mu * mu) > 0.5
+
+    values: list[np.ndarray] = []
+    indices: list[np.ndarray] = []
+    ptr = np.zeros(oc * ic + 1, dtype=np.int64)
+    for patch_id in range(oc * ic):
+        nz = np.flatnonzero(flat_mask[patch_id])
+        values.append(flat_vals[patch_id, nz])
+        indices.append(nz)
+        ptr[patch_id + 1] = ptr[patch_id] + nz.size
+    return CompressedKernel(
+        out_channels=oc,
+        in_channels=ic,
+        mu=mu,
+        values=np.concatenate(values) if values else np.empty(0),
+        indices=np.concatenate(indices).astype(np.int64)
+        if indices
+        else np.empty(0, dtype=np.int64),
+        patch_ptr=ptr,
+        weight_bits=weight_bits,
+    )

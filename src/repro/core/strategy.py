@@ -1,0 +1,159 @@
+"""Network-wide application of the fast-algorithm-based sparse strategy.
+
+``SparseStrategy`` walks any :class:`repro.nn.layers.Module` tree,
+prunes every SFTC-supported layer (3x3 stride-1 convolutions via
+F(2x2,3x3); 4x4 stride-2 deconvolutions via T3(6x6,4x4)) in the
+transform domain at the configured sparsity, compresses the survivors
+into the Weight/Index-buffer format, and installs sparse fast executors
+on the layers — after which the network transparently runs Eq. (9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .ops import SparseExecutor, spec_for_layer
+from .pruning import PrunedKernel, prune_transform_weights
+from .sparse import CompressedKernel, compress_kernel
+
+__all__ = ["LayerSparsityInfo", "SparsityReport", "SparseStrategy"]
+
+
+@dataclass
+class LayerSparsityInfo:
+    """Pruning outcome for one layer."""
+
+    name: str
+    kind: str
+    weight_shape: tuple[int, ...]
+    rho_requested: float
+    rho_achieved: float
+    transform_weights_total: int
+    transform_weights_nonzero: int
+    weight_buffer_bits: int
+    index_buffer_bits: int
+
+
+@dataclass
+class SparsityReport:
+    """Aggregate outcome of pruning a whole network."""
+
+    rho: float
+    mode: str
+    layers: list[LayerSparsityInfo] = field(default_factory=list)
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    @property
+    def overall_sparsity(self) -> float:
+        total = sum(info.transform_weights_total for info in self.layers)
+        nonzero = sum(info.transform_weights_nonzero for info in self.layers)
+        return 1.0 - nonzero / total if total else 0.0
+
+    @property
+    def total_weight_buffer_bits(self) -> int:
+        return sum(info.weight_buffer_bits for info in self.layers)
+
+    @property
+    def total_index_buffer_bits(self) -> int:
+        return sum(info.index_buffer_bits for info in self.layers)
+
+    def __str__(self) -> str:
+        return (
+            f"SparsityReport(rho={self.rho:.2f}, {self.num_layers} layers, "
+            f"overall sparsity {self.overall_sparsity:.1%}, weight buffer "
+            f"{self.total_weight_buffer_bits / 8 / 1024:.1f} KiB, index buffer "
+            f"{self.total_index_buffer_bits / 8 / 1024:.1f} KiB)"
+        )
+
+
+class SparseStrategy:
+    """Applies transform-domain pruning + fast execution to a network.
+
+    Parameters
+    ----------
+    rho:
+        target sparsity (the paper operates at 0.5).
+    mode:
+        "balanced" (fixed non-zeros per mu x mu patch — hardware
+        friendly, the default) or "global" (one threshold per layer,
+        the literal Eq. 8).
+    weight_bits:
+        storage width of non-zero weights in the Weight Buffer.
+    """
+
+    def __init__(self, rho: float = 0.5, mode: str = "balanced", weight_bits: int = 16):
+        if not 0.0 <= rho < 1.0:
+            raise ValueError(f"rho must be in [0, 1), got {rho}")
+        self.rho = rho
+        self.mode = mode
+        self.weight_bits = weight_bits
+
+    def prunable_layers(self, model) -> list[tuple[str, object]]:
+        """Layers the SFTC fast path covers, as (qualified name, layer)."""
+        return [
+            (name, module)
+            for name, module in model.named_modules()
+            if spec_for_layer(module) is not None
+        ]
+
+    def prune_network(self, model) -> SparsityReport:
+        """Prune in place; installs sparse executors; returns a report."""
+        report = SparsityReport(rho=self.rho, mode=self.mode)
+        for name, layer in self.prunable_layers(model):
+            pruned = prune_transform_weights(
+                layer.weight.data, spec_for_layer(layer), self.rho, self.mode
+            )
+            compressed = compress_kernel(pruned, self.weight_bits)
+            layer.compute_backend = SparseExecutor(pruned)
+            layer.pruned_kernel = pruned
+            layer.compressed_kernel = compressed
+            total = int(np.prod(pruned.values.shape))
+            report.layers.append(
+                LayerSparsityInfo(
+                    name=name,
+                    kind=layer.op_kind,
+                    weight_shape=tuple(layer.weight.data.shape),
+                    rho_requested=self.rho,
+                    rho_achieved=pruned.achieved_sparsity,
+                    transform_weights_total=total,
+                    transform_weights_nonzero=compressed.num_nonzeros,
+                    weight_buffer_bits=compressed.weight_buffer_bits(),
+                    index_buffer_bits=compressed.index_buffer_bits(),
+                )
+            )
+        return report
+
+    @staticmethod
+    def restore_dense(model) -> int:
+        """Remove sparse executors; returns how many layers were reset."""
+        count = 0
+        for _, module in model.named_modules():
+            if getattr(module, "compute_backend", None) is not None:
+                module.compute_backend = None
+                count += 1
+        return count
+
+
+def pruned_kernels(model) -> dict[str, PrunedKernel]:
+    """Collect the PrunedKernel of every pruned layer by qualified name."""
+    out: dict[str, PrunedKernel] = {}
+    for name, module in model.named_modules():
+        kernel = getattr(module, "pruned_kernel", None)
+        if kernel is not None:
+            out[name] = kernel
+    return out
+
+
+def compressed_kernels(model) -> dict[str, CompressedKernel]:
+    """Collect the CompressedKernel of every pruned layer."""
+    out: dict[str, CompressedKernel] = {}
+    for name, module in model.named_modules():
+        kernel = getattr(module, "compressed_kernel", None)
+        if kernel is not None:
+            out[name] = kernel
+    return out

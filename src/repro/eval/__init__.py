@@ -1,0 +1,58 @@
+"""Experiment harness: regenerates every table and figure of the paper."""
+
+from .ablations import (
+    SparsityPoint,
+    attention_ablation,
+    dataflow_ablation,
+    fast_algorithm_ablation,
+    render_sparsity_sweep,
+    sparsity_sweep,
+    tile_size_exploration,
+    resolution_sweep,
+    gop_size_ablation,
+)
+from .fig8 import Fig8Panel, generate_fig8, measured_rd_curve
+from .fig9 import (
+    LITERATURE_DECODE_MS,
+    PAPER_FIG9B_REDUCTIONS,
+    Fig9aResult,
+    Fig9bResult,
+    generate_fig9a,
+    generate_fig9b,
+)
+from .runner import main, run_all
+from .table1 import Table1Result, generate_table1, measured_variant_deltas
+from .table2 import PAPER_NVCA_COLUMN, Table2Result, generate_table2
+from .tables import render_bars, render_series, render_table
+
+__all__ = [
+    "Fig8Panel",
+    "Fig9aResult",
+    "Fig9bResult",
+    "LITERATURE_DECODE_MS",
+    "PAPER_FIG9B_REDUCTIONS",
+    "PAPER_NVCA_COLUMN",
+    "SparsityPoint",
+    "Table1Result",
+    "Table2Result",
+    "attention_ablation",
+    "dataflow_ablation",
+    "fast_algorithm_ablation",
+    "generate_fig8",
+    "generate_fig9a",
+    "generate_fig9b",
+    "generate_table1",
+    "generate_table2",
+    "main",
+    "measured_rd_curve",
+    "measured_variant_deltas",
+    "render_bars",
+    "render_series",
+    "render_sparsity_sweep",
+    "render_table",
+    "run_all",
+    "sparsity_sweep",
+    "tile_size_exploration",
+    "resolution_sweep",
+    "gop_size_ablation",
+]

@@ -1,0 +1,71 @@
+"""One-shot driver: regenerate every table and figure of the paper.
+
+``run_all`` collects the artifacts; ``main`` prints them.  ``fast=True``
+(the default) uses the calibrated Table I mode and skips the measured
+RD overlays, finishing in seconds; ``fast=False`` additionally runs the
+real pipeline measurements (minutes on a laptop-class CPU).
+"""
+
+from __future__ import annotations
+
+from .ablations import (
+    dataflow_ablation,
+    fast_algorithm_ablation,
+    render_sparsity_sweep,
+    sparsity_sweep,
+)
+from .fig8 import generate_fig8
+from .fig9 import generate_fig9a, generate_fig9b
+from .table1 import generate_table1
+from .table2 import generate_table2
+
+__all__ = ["run_all", "main"]
+
+
+def run_all(fast: bool = True) -> dict:
+    """Regenerate all experiments; returns {artifact name: result}."""
+    results = {
+        "table1": generate_table1(mode="calibrated" if fast else "hybrid"),
+        "table2": generate_table2(),
+        "fig8": generate_fig8(include_measured=not fast),
+        "fig9a": generate_fig9a(),
+        "fig9b": generate_fig9b(),
+        "fast_algorithm": fast_algorithm_ablation(),
+        "dataflow": dataflow_ablation(),
+    }
+    if not fast:
+        results["sparsity_sweep"] = sparsity_sweep()
+    return results
+
+
+def main(fast: bool = True) -> str:
+    """Render every artifact to one text report."""
+    results = run_all(fast=fast)
+    sections = [
+        results["table1"].render(),
+        results["table2"].render(),
+    ]
+    for panel in results["fig8"]:
+        sections.append(panel.render())
+    sections.append(results["fig9a"].render())
+    sections.append(results["fig9b"].render())
+    fast_alg = results["fast_algorithm"]
+    sections.append(
+        "Fast-algorithm ablation: direct/fast = "
+        f"{fast_alg['fast_reduction']:.2f}x, direct/sparse = "
+        f"{fast_alg['sparse_reduction']:.2f}x"
+    )
+    flow = results["dataflow"]
+    sections.append(
+        "Dataflow ablation: "
+        f"{flow['baseline_gb']:.3f} GB -> {flow['chained_gb']:.3f} GB "
+        f"(-{flow['reduction']:.1%}), DRAM energy "
+        f"{flow['baseline_dram_mj']:.1f} mJ -> {flow['chained_dram_mj']:.1f} mJ"
+    )
+    if "sparsity_sweep" in results:
+        sections.append(render_sparsity_sweep(results["sparsity_sweep"]))
+    return "\n\n".join(sections)
+
+
+if __name__ == "__main__":
+    print(main())

@@ -1,0 +1,117 @@
+"""Table II — comparison with other pixel-processing accelerators.
+
+The CPU / GPU / [25] / Alchemist columns are published constants
+(:mod:`repro.hw.platforms`); the NVCA column is produced end-to-end by
+this repository's models: the decoder layer graph at 1080p is scheduled
+on the SFTC/DCC (throughput, FPS), the activity counts are rolled into
+power, and the architecture config into gates and SRAM.  The paper's
+headline ratios (2.4x / 11.1x throughput, 799.7x / 1783.9x / 2.2x
+energy efficiency) are recomputed from those model outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.codec.layergraph import decoder_graph
+from repro.hw.arch import NVCAConfig
+from repro.hw.area import area_report
+from repro.hw.dataflow import compare_traffic
+from repro.hw.energy import energy_report
+from repro.hw.perf import PerformanceReport, analyze_graph
+from repro.hw.platforms import (
+    ALCHEMIST,
+    CPU_I9_9900X,
+    GPU_RTX3090,
+    REFERENCE_PLATFORMS,
+    SHAO_TCAS22,
+    PlatformSpec,
+    nvca_spec,
+)
+
+from .tables import render_table
+
+__all__ = ["Table2Result", "generate_table2", "PAPER_NVCA_COLUMN"]
+
+#: The paper's NVCA column, for paper-vs-measured reporting.
+PAPER_NVCA_COLUMN = {
+    "technology_nm": 28,
+    "frequency_mhz": 400.0,
+    "precision": "FXP 12-16",
+    "gate_count_m": 5.01,
+    "on_chip_kb": 373.0,
+    "power_w": 0.76,
+    "throughput_gops": 3525.0,
+    "energy_efficiency": 4638.2,
+    "fps_1080p": 25.0,
+}
+
+
+@dataclass
+class Table2Result:
+    """Regenerated Table II with the model-derived NVCA column."""
+
+    nvca: PlatformSpec
+    performance: PerformanceReport
+    references: tuple[PlatformSpec, ...] = REFERENCE_PLATFORMS
+    ratios: dict[str, float] = field(default_factory=dict)
+
+    def render(self) -> str:
+        platforms = list(self.references) + [self.nvca]
+        headers = ["Attribute"] + [p.name for p in platforms]
+        rows = [
+            ["Year"] + [p.year for p in platforms],
+            ["Task"] + [p.task for p in platforms],
+            ["Benchmark"] + [p.benchmark for p in platforms],
+            ["Technology (nm)"] + [p.technology_nm for p in platforms],
+            ["Frequency (MHz)"] + [p.frequency_mhz for p in platforms],
+            ["Precision (A-W)"] + [p.precision for p in platforms],
+            ["Gate Count (M)"]
+            + [p.gate_count_m if p.gate_count_m is not None else "-" for p in platforms],
+            ["On-Chip Memory (KB)"]
+            + [p.on_chip_kb if p.on_chip_kb is not None else "-" for p in platforms],
+            ["Power (W)"] + [p.power_w for p in platforms],
+            ["Throughput (GOPS)"] + [p.throughput_gops for p in platforms],
+            ["Energy Eff. (GOPS/W)"] + [p.energy_efficiency for p in platforms],
+        ]
+        return render_table(headers, rows, title="Table II — accelerator comparison")
+
+
+def generate_table2(
+    height: int = 1080,
+    width: int = 1920,
+    config: NVCAConfig | None = None,
+) -> Table2Result:
+    """Regenerate Table II from the hardware models at 1080p."""
+    config = config or NVCAConfig()
+    graph = decoder_graph(height, width, config.channels)
+    performance = analyze_graph(graph, config)
+    traffic = compare_traffic(graph, config)
+    energy = energy_report(performance.schedule, traffic, config=config)
+    area = area_report(config)
+
+    nvca = nvca_spec(
+        sustained_gops=performance.sustained_gops,
+        chip_power_w=energy.chip_power_w,
+        gate_count_m=area.total_mgates,
+        on_chip_kb=config.on_chip_kbytes(),
+        frequency_mhz=config.frequency_mhz,
+    )
+    result = Table2Result(nvca=nvca, performance=performance)
+    result.ratios = {
+        # Paper: "2.4x higher throughput and 799.7x better energy
+        # efficiency than the GPU".
+        "throughput_vs_gpu": nvca.throughput_gops / GPU_RTX3090.throughput_gops,
+        "efficiency_vs_gpu": nvca.energy_efficiency / GPU_RTX3090.energy_efficiency,
+        # "11.1x higher throughput and 1783.9x better energy efficiency
+        # than the CPU".
+        "throughput_vs_cpu": nvca.throughput_gops / CPU_I9_9900X.throughput_gops,
+        "efficiency_vs_cpu": nvca.energy_efficiency / CPU_I9_9900X.energy_efficiency,
+        # "up to 8.7x higher throughput and 2.2x better energy
+        # efficiency" over [25]/[26].
+        "throughput_vs_shao": nvca.throughput_gops / SHAO_TCAS22.throughput_gops,
+        "efficiency_vs_shao": nvca.energy_efficiency / SHAO_TCAS22.energy_efficiency,
+        "throughput_vs_alchemist": nvca.throughput_gops / ALCHEMIST.throughput_gops,
+        "efficiency_vs_alchemist": nvca.energy_efficiency / ALCHEMIST.energy_efficiency,
+    }
+    return result

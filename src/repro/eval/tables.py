@@ -1,0 +1,68 @@
+"""Plain-text table and chart rendering for the evaluation harness.
+
+No plotting dependencies are available offline, so figures render as
+aligned text tables and simple ASCII charts — enough to eyeball the
+shapes the paper's figures show (who wins, by how much, where the
+crossovers are).
+"""
+
+from __future__ import annotations
+
+__all__ = ["render_table", "render_bars", "render_series"]
+
+
+def render_table(
+    headers: list[str], rows: list[list], title: str = "", precision: int = 2
+) -> str:
+    """Render rows as an aligned monospace table."""
+
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.{precision}f}"
+        return str(value)
+
+    str_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[col]), *(len(r[col]) for r in str_rows)) if str_rows else len(headers[col])
+        for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_bars(
+    labels: list[str], values: list[float], title: str = "", width: int = 50, unit: str = ""
+) -> str:
+    """Horizontal ASCII bar chart (used for Fig. 9 style comparisons)."""
+    peak = max(values) if values else 1.0
+    label_w = max(len(l) for l in labels) if labels else 0
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(round(width * value / peak))) if peak > 0 else ""
+        lines.append(f"{label.ljust(label_w)} | {bar} {value:.3g}{unit}")
+    return "\n".join(lines)
+
+
+def render_series(
+    series: dict[str, list[tuple[float, float]]],
+    title: str = "",
+    x_label: str = "bpp",
+    y_label: str = "quality",
+    precision: int = 3,
+) -> str:
+    """Render named (x, y) series as a compact table (Fig. 8 style)."""
+    lines = [title] if title else []
+    lines.append(f"{'series':14s} " + f"({x_label}, {y_label}) points")
+    for name, points in series.items():
+        formatted = "  ".join(
+            f"({x:.{precision}f}, {y:.{precision}f})" for x, y in points
+        )
+        lines.append(f"{name:14s} {formatted}")
+    return "\n".join(lines)

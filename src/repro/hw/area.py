@@ -1,0 +1,84 @@
+"""Gate-count / area model (Table II: 5.01 M gates, 373 KB SRAM).
+
+A component-level roll-up in NAND2-equivalent gates at 28 nm, the way
+Design Compiler reports are summarized.  Unit gate counts are standard
+synthesis figures: a 12x16 fixed-point multiplier is ~700 gates, a
+16-bit adder ~90, plus per-SCU index/selector logic, the PreU/PostU
+1-D transform datapaths, the DCC MAC array with its scatter/gather
+front end, and global control/DMA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .arch import NVCAConfig
+
+__all__ = ["GateUnits", "AreaReport", "area_report"]
+
+
+@dataclass(frozen=True)
+class GateUnits:
+    """NAND2-equivalent gate counts of datapath primitives."""
+
+    mult_12x16: int = 700
+    adder_16b: int = 90
+    scu_selector: int = 2600  # non-zero element selector + index decode
+    preu_1d: int = 320  # 1D transform datapath (adds/shifts + regs)
+    postu_1d: int = 380
+    psum_regfile_per_scu: int = 500
+    dcc_mac: int = 620
+    dcc_gather_per_lane: int = 1200
+    control_dma: int = 400_000  # global controller, DMA, SoC interface
+
+
+@dataclass
+class AreaReport:
+    """Component gate counts and totals."""
+
+    components: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_gates(self) -> float:
+        return sum(self.components.values())
+
+    @property
+    def total_mgates(self) -> float:
+        return self.total_gates / 1e6
+
+    def __str__(self) -> str:
+        lines = [f"AreaReport({self.total_mgates:.2f} M gates)"]
+        for name, gates in sorted(self.components.items()):
+            lines.append(f"  {name:22s} {gates / 1e6:6.3f} M")
+        return "\n".join(lines)
+
+
+def area_report(config: NVCAConfig | None = None, units: GateUnits | None = None) -> AreaReport:
+    """Roll up the NVCA gate count from the architecture config."""
+    config = config or NVCAConfig()
+    units = units or GateUnits()
+    report = AreaReport()
+
+    scus = config.num_scus
+    report.components["scu_multipliers"] = (
+        scus * config.multipliers_per_scu * units.mult_12x16
+    )
+    report.components["scu_selectors"] = scus * units.scu_selector
+    report.components["adder_trees"] = (
+        # One reduction tree per SCU column: pif-1 adders per lane.
+        config.pof * (config.pif - 1) * config.multipliers_per_scu * units.adder_16b / 8
+    )
+    report.components["psum_regfiles"] = scus * units.psum_regfile_per_scu
+    report.components["preu_array"] = (
+        config.pif * config.preu_1d_units * units.preu_1d
+    )
+    report.components["postu_array"] = (
+        config.pof * config.postu_1d_units * units.postu_1d
+    )
+    gather_lanes = config.dcc_macs_per_cycle // 9  # 9 taps per lane
+    report.components["dcc"] = (
+        config.dcc_macs_per_cycle * units.dcc_mac
+        + gather_lanes * units.dcc_gather_per_lane
+    )
+    report.components["control_dma"] = units.control_dma
+    return report

@@ -1,0 +1,147 @@
+"""On-chip SRAM buffer models (Fig. 4: Weight/Index/Input/Output).
+
+Two jobs:
+
+* :class:`BufferModel` — capacity and access accounting for one SRAM:
+  the scheduler and energy model meter reads/writes through it, and it
+  raises on capacity violations (a mis-sized tiling is a bug, not a
+  warning).
+* :func:`validate_chain_capacity` / :func:`required_chain_rows` — the
+  feasibility check behind the heterogeneous chaining dataflow: a
+  Conv-Conv-DeConv chain needs a 10-row window (Fig. 7(a): A:10 + B:8
+  + C:5 rows are *live* across the three maps, but bank rotation keeps
+  the resident set at 10 single-row banks), and a row of a 1080p
+  feature map only fits the Input Buffer when processed in vertical
+  stripes — this module computes the stripe width the configuration
+  supports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.layerspec import LayerSpec
+
+from .arch import BufferSpec, NVCAConfig
+
+__all__ = [
+    "BufferModel",
+    "BufferOverflowError",
+    "required_chain_rows",
+    "max_stripe_width",
+    "validate_chain_capacity",
+]
+
+
+class BufferOverflowError(RuntimeError):
+    """An allocation exceeded a buffer's physical capacity."""
+
+
+@dataclass
+class BufferModel:
+    """Capacity + access bookkeeping for one on-chip SRAM."""
+
+    spec: BufferSpec
+    allocated_bits: int = 0
+    reads: int = 0
+    writes: int = 0
+    peak_bits: int = 0
+    _allocations: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def capacity_bits(self) -> int:
+        return self.spec.bits
+
+    @property
+    def free_bits(self) -> int:
+        return self.capacity_bits - self.allocated_bits
+
+    def allocate(self, name: str, bits: int) -> None:
+        """Reserve space; raises :class:`BufferOverflowError` when the
+        buffer cannot hold it."""
+        if bits < 0:
+            raise ValueError("allocation size must be non-negative")
+        if name in self._allocations:
+            raise ValueError(f"allocation {name!r} already exists")
+        if bits > self.free_bits:
+            raise BufferOverflowError(
+                f"{self.spec.name} buffer: {name!r} needs {bits} bits, "
+                f"only {self.free_bits} of {self.capacity_bits} free"
+            )
+        self._allocations[name] = bits
+        self.allocated_bits += bits
+        self.peak_bits = max(self.peak_bits, self.allocated_bits)
+
+    def release(self, name: str) -> None:
+        bits = self._allocations.pop(name)
+        self.allocated_bits -= bits
+
+    def read(self, bits: int) -> None:
+        self.reads += -(-bits // self.spec.word_bits)
+
+    def write(self, bits: int) -> None:
+        self.writes += -(-bits // self.spec.word_bits)
+
+    def access_energy_j(self, pj_per_word: float) -> float:
+        return (self.reads + self.writes) * pj_per_word * 1e-12
+
+    def utilization(self) -> float:
+        return self.peak_bits / self.capacity_bits if self.capacity_bits else 0.0
+
+
+def required_chain_rows(chain: list[LayerSpec]) -> int:
+    """Live row-window of a chain, in single-row banks (Fig. 7(a)).
+
+    Walking backwards from the chain's output: a fast deconvolution
+    tile consumes 5 input rows; each stride-1 3x3 convolution widens
+    the window by 2 (its 2-row tile needs 4 rows; producing k rows of
+    its output needs k+2 of its input).  The chain input's window is
+    the bank count the Input Buffer must rotate — 10 for the paper's
+    Conv-Conv-DeConv chain.
+    """
+    kernel_layers = [l for l in chain if l.kind in ("conv", "deconv")]
+    if not kernel_layers:
+        return 0
+    last = kernel_layers[-1]
+    window = 5 if last.kind == "deconv" else 4
+    for layer in reversed(kernel_layers[:-1]):
+        if layer.kind != "conv":
+            raise ValueError("chains are stride-1 convs + optional trailing deconv")
+        # The producer emits rows at F(2x2,3x3) tile granularity (two
+        # at a time), so the demanded window rounds up to even before
+        # the conv's own (kernel-1)-row halo is added.  This is why
+        # Fig. 7(a) reads C:5 -> B:8 -> A:10 rather than 5 -> 7 -> 9.
+        window = -(-window // 2) * 2
+        window += layer.kernel - 1
+        window = -(-window // 2) * 2
+    return window
+
+
+def max_stripe_width(
+    chain: list[LayerSpec], config: NVCAConfig | None = None
+) -> int:
+    """Widest vertical stripe whose chain row-window fits the Input
+    Buffer.  One bank holds one row of ``stripe x channels``
+    activations; the window needs ``required_chain_rows`` banks'
+    worth of rows resident simultaneously."""
+    config = config or NVCAConfig()
+    rows = required_chain_rows(chain)
+    if rows == 0:
+        return 0
+    channels = max(l.in_channels for l in chain if l.kind in ("conv", "deconv"))
+    bits_per_pixel = channels * config.activation_bits
+    return int(config.input_buffer.bits // (rows * bits_per_pixel))
+
+
+def validate_chain_capacity(
+    chain: list[LayerSpec], config: NVCAConfig | None = None
+) -> bool:
+    """Can this chain run at the configured stripe width?
+
+    True when the chain's live row-window, at ``config.stripe_width``
+    pixels per row, fits the Input Buffer — the condition under which
+    the traffic model's chained accounting is physically realizable.
+    """
+    config = config or NVCAConfig()
+    width = max_stripe_width(chain, config)
+    return width >= config.stripe_width

@@ -1,0 +1,362 @@
+"""Heterogeneous layer chaining dataflow (Section IV-B-2, Fig. 7).
+
+Two models live here:
+
+* :func:`compare_traffic` — off-chip (DRAM) traffic of the decoder
+  under the baseline layer-by-layer dataflow versus the chaining
+  dataflow, per decoder module: the reproduction of Fig. 9(b).
+  Chained layers (``LayerSpec.chain_id``) stream intermediates through
+  the Input Buffer, so only the chain's first input and last output
+  cross external memory.  The DCC is an island — DfConv's data-
+  dependent gather defeats row chaining and amplifies reference
+  fetches.
+
+* :class:`InputBufferScheduler` — the bank-level runtime schedule of
+  Fig. 7(b): rows of the chain's feature maps (A -> conv -> B -> conv
+  -> C -> deconv -> D) rotate through the 10 single-row banks, a bank
+  being overwritten only once every future consumer of its row has
+  fired.  The scheduler records the full trace and checks the liveness
+  invariant, and its counters quantify how many DRAM row transfers the
+  chain elides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.layerspec import LayerGraph, LayerSpec
+
+from .arch import NVCAConfig
+
+__all__ = [
+    "ModuleTraffic",
+    "TrafficReport",
+    "compare_traffic",
+    "ChainLayer",
+    "ScheduleStep",
+    "InputBufferScheduler",
+]
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9(b): off-chip traffic accounting
+# ---------------------------------------------------------------------------
+
+
+def _weight_traffic_bytes(layer: LayerSpec, config: NVCAConfig) -> float:
+    """DRAM bytes to load one layer's weights (compressed when the
+    fast-sparse path applies: non-zero transform weights + indices)."""
+    elements = layer.weight_elements()
+    if elements == 0:
+        return 0.0
+    if layer.fast_supported:
+        density = 1.0 - config.rho
+        # Transform-domain expansion: k*k spatial taps become mu*mu
+        # transform positions (16 for F23 from 9; 64 for T3 from 16).
+        expansion = (16.0 / 9.0) if layer.kind == "conv" else (64.0 / 16.0)
+        index_bits = 4 if layer.kind == "conv" else 6
+        stored = elements * expansion * density
+        return stored * (config.weight_bits + index_bits) / 8.0
+    return elements * config.weight_bytes
+
+
+def _activation_bytes(elements: int, config: NVCAConfig) -> float:
+    return elements * config.activation_bytes
+
+
+def _layer_baseline_traffic(layer: LayerSpec, config: NVCAConfig) -> float:
+    """Layer-by-layer dataflow: inputs from DRAM, outputs to DRAM."""
+    if layer.kind in ("pool", "eltwise"):
+        return 0.0  # streams through the producing layer's pipeline
+    weights = _weight_traffic_bytes(layer, config)
+    if layer.kind == "dfconv":
+        amp = config.dfconv_gather_amplification
+        reference = _activation_bytes(layer.input_elements(), config) * amp
+        offsets = _activation_bytes(
+            2 * 2 * layer.kernel * layer.kernel * layer.out_h * layer.out_w, config
+        )
+        out = _activation_bytes(layer.output_elements(), config)
+        return reference + offsets + out + weights
+    inp = _activation_bytes(layer.input_elements(), config)
+    out = _activation_bytes(layer.output_elements(), config)
+    return inp + out + weights
+
+
+def _chain_traffic(chain: list[LayerSpec], config: NVCAConfig) -> float:
+    """Chained dataflow: one input read, one output write, all weights."""
+    kernel_layers = [l for l in chain if l.kind not in ("pool", "eltwise")]
+    if not kernel_layers:
+        return 0.0
+    weights = sum(_weight_traffic_bytes(l, config) for l in kernel_layers)
+    inp = _activation_bytes(chain[0].input_elements(), config)
+    out = _activation_bytes(chain[-1].output_elements(), config)
+    return inp + out + weights
+
+
+@dataclass(frozen=True)
+class ModuleTraffic:
+    """Off-chip traffic of one decoder module under both dataflows."""
+
+    module: str
+    baseline_bytes: float
+    chained_bytes: float
+
+    @property
+    def reduction(self) -> float:
+        """Fractional traffic saved by chaining (the Fig. 9(b) labels)."""
+        if self.baseline_bytes == 0:
+            return 0.0
+        return 1.0 - self.chained_bytes / self.baseline_bytes
+
+
+@dataclass
+class TrafficReport:
+    """Fig. 9(b): per-module and overall DRAM traffic comparison."""
+
+    graph_name: str
+    modules: list[ModuleTraffic] = field(default_factory=list)
+
+    @property
+    def baseline_total(self) -> float:
+        return sum(m.baseline_bytes for m in self.modules)
+
+    @property
+    def chained_total(self) -> float:
+        return sum(m.chained_bytes for m in self.modules)
+
+    @property
+    def overall_reduction(self) -> float:
+        if self.baseline_total == 0:
+            return 0.0
+        return 1.0 - self.chained_total / self.baseline_total
+
+    def by_module(self, module: str) -> ModuleTraffic:
+        for entry in self.modules:
+            if entry.module == module:
+                return entry
+        raise KeyError(module)
+
+    def __str__(self) -> str:
+        return (
+            f"TrafficReport({self.graph_name}: "
+            f"{self.baseline_total / 1e9:.3f} GB -> "
+            f"{self.chained_total / 1e9:.3f} GB, "
+            f"-{self.overall_reduction:.1%})"
+        )
+
+
+def compare_traffic(graph: LayerGraph, config: NVCAConfig | None = None) -> TrafficReport:
+    """Baseline versus chaining DRAM traffic for a decoder graph."""
+    config = config or NVCAConfig()
+    report = TrafficReport(graph_name=graph.name)
+    for module in graph.modules():
+        layers = graph.by_module(module)
+        baseline = sum(_layer_baseline_traffic(l, config) for l in layers)
+
+        chained = 0.0
+        chains: dict[int, list[LayerSpec]] = {}
+        for layer in layers:
+            if layer.chain_id >= 0:
+                chains.setdefault(layer.chain_id, []).append(layer)
+            else:
+                chained += _layer_baseline_traffic(layer, config)
+        for chain in chains.values():
+            chained += _chain_traffic(chain, config)
+
+        report.modules.append(
+            ModuleTraffic(
+                module=module, baseline_bytes=baseline, chained_bytes=chained
+            )
+        )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7(b): Input Buffer bank scheduling
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChainLayer:
+    """One stage of a heterogeneous chain for the bank scheduler.
+
+    ``rows_per_step`` — rows this stage emits per firing (the fast
+    algorithm's output tile height: 2 for F(2x2,3x3), 6 for T3);
+    ``window`` — input rows one firing consumes (4 for the conv tile,
+    5 for the deconv tile); ``step`` — how far the input window
+    advances between firings (2 for the conv, 3 for the deconv).
+    """
+
+    name: str
+    rows_per_step: int
+    window: int
+    step: int
+
+    @classmethod
+    def conv3x3(cls, name: str) -> "ChainLayer":
+        return cls(name=name, rows_per_step=2, window=4, step=2)
+
+    @classmethod
+    def deconv4x4_s2(cls, name: str) -> "ChainLayer":
+        return cls(name=name, rows_per_step=6, window=5, step=3)
+
+
+@dataclass
+class ScheduleStep:
+    """One time step of the Fig. 7(b) schedule."""
+
+    index: int
+    fired_layer: str
+    #: rows written this step as (feature_map, row_index, bank)
+    writes: list[tuple[str, int, int]] = field(default_factory=list)
+
+
+class InputBufferScheduler:
+    """Bank-level simulation of one heterogeneous chain (Fig. 7(b)).
+
+    Feature maps are named like the figure: "A" is the chain input
+    (rows fetched from DRAM), intermediate maps take successive
+    letters, and the final stage's output streams to the Output Buffer
+    without occupying banks.
+
+    The scheduler fires the deepest ready stage first (consuming
+    buffered rows as soon as possible frees banks earliest), fetches
+    chain-input rows on demand, and only ever overwrites banks whose
+    row has no remaining consumer — the liveness invariant
+    ``assert_no_live_overwrite`` that the test suite checks.
+    """
+
+    def __init__(self, layers: list[ChainLayer], num_banks: int = 10):
+        if not layers:
+            raise ValueError("chain needs at least one layer")
+        self.layers = layers
+        self.num_banks = num_banks
+        #: feature-map names: input "A", then one per layer.
+        self.map_names = [chr(ord("A") + i) for i in range(len(layers) + 1)]
+        self._reset()
+
+    def _reset(self) -> None:
+        self.banks: list[tuple[str, int] | None] = [None] * self.num_banks
+        #: rows produced so far per feature map.
+        self.produced = {name: 0 for name in self.map_names}
+        #: firings completed per layer.
+        self.firings = [0] * len(self.layers)
+        self.steps: list[ScheduleStep] = []
+        self.dram_row_fetches = 0
+        self.onchip_rows_reused = 0
+        self.live_overwrites = 0
+
+    # -- liveness -------------------------------------------------------
+    def _row_is_live(self, map_name: str, row: int) -> bool:
+        """A row is live while some future firing of its consumer needs
+        it: firing f of the consumer reads source rows
+        [f*step, f*step + window), and firings only move forward, so a
+        row below the next window base is dead."""
+        level = self.map_names.index(map_name)
+        if level == len(self.layers):
+            return False  # final output never buffered
+        consumer = self.layers[level]
+        return row >= self.firings[level] * consumer.step
+
+    def _find_bank(self, map_name: str, row: int) -> int:
+        """Paper policy: home bank = row % num_banks, else any dead bank."""
+        home = row % self.num_banks
+        candidates = [home] + [
+            b for b in range(self.num_banks) if b != home
+        ]
+        for bank in candidates:
+            occupant = self.banks[bank]
+            if occupant is None or not self._row_is_live(*occupant):
+                if occupant is not None and self._row_is_live(*occupant):
+                    self.live_overwrites += 1
+                return bank
+        # No dead bank: forced overwrite (flagged as a violation).
+        self.live_overwrites += 1
+        return home
+
+    def _buffered_rows(self, map_name: str) -> set[int]:
+        return {
+            occupant[1]
+            for occupant in self.banks
+            if occupant is not None and occupant[0] == map_name
+        }
+
+    # -- execution ---------------------------------------------------------
+    def _fire(self, level: int, step_record: ScheduleStep) -> None:
+        layer = self.layers[level]
+        out_map = self.map_names[level + 1]
+        firing = self.firings[level]
+        self.firings[level] += 1
+        if level + 1 == len(self.layers):
+            # Final stage streams to the Output Buffer.
+            self.produced[out_map] += layer.rows_per_step
+            step_record.fired_layer = layer.name
+            return
+        for offset in range(layer.rows_per_step):
+            row = firing * layer.rows_per_step + offset
+            bank = self._find_bank(out_map, row)
+            self.banks[bank] = (out_map, row)
+            self.produced[out_map] = max(self.produced[out_map], row + 1)
+            step_record.writes.append((out_map, row, bank))
+            self.onchip_rows_reused += 1
+        step_record.fired_layer = layer.name
+
+    def _fetch_input_rows(self, count: int, step_record: ScheduleStep) -> None:
+        for _ in range(count):
+            row = self.produced["A"]
+            bank = self._find_bank("A", row)
+            self.banks[bank] = ("A", row)
+            self.produced["A"] = row + 1
+            self.dram_row_fetches += 1
+            step_record.writes.append(("A", row, bank))
+
+    def run(self, output_row_groups: int) -> list[ScheduleStep]:
+        """Schedule until the final stage has fired ``output_row_groups``
+        times; returns the step trace."""
+        self._reset()
+        final = len(self.layers) - 1
+        guard = 0
+        while self.firings[final] < output_row_groups:
+            guard += 1
+            if guard > 100000:
+                raise RuntimeError("scheduler failed to make progress")
+            record = ScheduleStep(index=len(self.steps), fired_layer="")
+            # Fire the deepest ready stage.
+            fired = False
+            for level in range(final, -1, -1):
+                source = self.map_names[level]
+                layer = self.layers[level]
+                firing = self.firings[level]
+                needed = range(
+                    firing * layer.step, firing * layer.step + layer.window
+                )
+                buffered = self._buffered_rows(source)
+                if all(row in buffered for row in needed):
+                    self._fire(level, record)
+                    fired = True
+                    break
+            if not fired:
+                # Stage 0 starved: fetch the next chain-input row.
+                self._fetch_input_rows(1, record)
+                record.fired_layer = "fetch"
+            self.steps.append(record)
+        return self.steps
+
+    # -- reporting -------------------------------------------------------------
+    def assert_no_live_overwrite(self) -> bool:
+        return self.live_overwrites == 0
+
+    def bank_occupancy(self) -> list[str]:
+        return [
+            "-" if occupant is None else f"{occupant[0]}{occupant[1]}"
+            for occupant in self.banks
+        ]
+
+    def summary(self) -> dict:
+        return {
+            "steps": len(self.steps),
+            "dram_row_fetches": self.dram_row_fetches,
+            "onchip_rows_reused": self.onchip_rows_reused,
+            "live_overwrites": self.live_overwrites,
+            "final_rows": self.produced[self.map_names[-1]],
+        }

@@ -1,0 +1,59 @@
+"""Deformable Convolution Core (DCC) performance model (Section IV-A).
+
+DfConvs defeat the transform-domain fast path — their per-pixel offsets
+make the input gather data-dependent — so the NVCA routes them to a
+dedicated core (designed "like [14]", Zhang et al.'s deformable-CNN
+accelerator): a scatter/gather front end feeding a MAC array.  The
+model charges the MAC array at a configurable utilization that absorbs
+bilinear-interpolation overhead and gather bank conflicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.layerspec import LayerSpec
+
+from .arch import NVCAConfig
+
+__all__ = ["DCCLayerCost", "dcc_layer_cost"]
+
+
+@dataclass(frozen=True)
+class DCCLayerCost:
+    """Cycle/operation accounting for one DfConv on the DCC."""
+
+    layer_name: str
+    macs: int
+    #: bilinear interpolation multiplies (4 taps per gathered sample)
+    interpolation_mults: int
+    cycles: int
+
+    def effective_ops(self) -> int:
+        return 2 * self.macs
+
+
+def dcc_layer_cost(layer: LayerSpec, config: NVCAConfig) -> DCCLayerCost:
+    """Cycle count of one deformable convolution on the DCC."""
+    if layer.kind != "dfconv":
+        raise ValueError(f"DCC only executes dfconv layers, got {layer.kind!r}")
+    macs = layer.macs()
+    # Each gathered input sample needs 4-tap bilinear interpolation;
+    # samples = out pixels * kernel taps * input channels (per group).
+    samples = (
+        layer.out_h
+        * layer.out_w
+        * layer.kernel
+        * layer.kernel
+        * layer.in_channels
+        // layer.groups
+    )
+    interpolation = 4 * samples
+    effective_rate = config.dcc_macs_per_cycle * config.dcc_utilization
+    cycles = int(round(macs / effective_rate)) + config.pipeline_depth
+    return DCCLayerCost(
+        layer_name=layer.name,
+        macs=macs,
+        interpolation_mults=interpolation,
+        cycles=cycles,
+    )

@@ -1,0 +1,120 @@
+"""Design-space exploration over the NVCA architecture.
+
+The paper picks one operating point (Pif = Pof = 12, rho = 50%,
+400 MHz).  This module sweeps the axes around it and reports the
+quality/cost frontier — the analysis a designer would run to justify
+that choice: SCU array geometry (Pif x Pof), sparsity, and clock
+frequency, each evaluated through the same performance / energy / area
+models that reproduce Table II.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from repro.core.layerspec import LayerGraph
+
+from .arch import NVCAConfig
+from .area import area_report
+from .dataflow import compare_traffic
+from .energy import energy_report
+from .perf import analyze_graph
+
+__all__ = ["DesignPoint", "sweep_array_geometry", "sweep_sparsity", "pareto_front"]
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated configuration."""
+
+    label: str
+    pif: int
+    pof: int
+    rho: float
+    frequency_mhz: float
+    fps: float
+    sustained_gops: float
+    chip_power_w: float
+    gate_count_m: float
+    energy_efficiency: float
+
+    @property
+    def area_efficiency(self) -> float:
+        """GOPS per million gates."""
+        return self.sustained_gops / self.gate_count_m
+
+
+def _evaluate(graph: LayerGraph, config: NVCAConfig, label: str) -> DesignPoint:
+    performance = analyze_graph(graph, config)
+    traffic = compare_traffic(graph, config)
+    energy = energy_report(performance.schedule, traffic, config=config)
+    area = area_report(config)
+    return DesignPoint(
+        label=label,
+        pif=config.pif,
+        pof=config.pof,
+        rho=config.rho,
+        frequency_mhz=config.frequency_mhz,
+        fps=performance.fps,
+        sustained_gops=performance.sustained_gops,
+        chip_power_w=energy.chip_power_w,
+        gate_count_m=area.total_mgates,
+        energy_efficiency=energy.energy_efficiency_gops_per_w(
+            performance.sustained_gops
+        ),
+    )
+
+
+def sweep_array_geometry(
+    graph: LayerGraph,
+    geometries: tuple[tuple[int, int], ...] = ((6, 6), (12, 6), (12, 12), (18, 12), (18, 18)),
+    base: NVCAConfig | None = None,
+) -> list[DesignPoint]:
+    """Sweep the SCU array's channel unrolling (Pif x Pof)."""
+    base = base or NVCAConfig()
+    points = []
+    for pif, pof in geometries:
+        config = dataclasses.replace(base, pif=pif, pof=pof)
+        points.append(_evaluate(graph, config, f"{pif}x{pof}"))
+    return points
+
+
+def sweep_sparsity(
+    graph: LayerGraph,
+    rhos: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75),
+    base: NVCAConfig | None = None,
+) -> list[DesignPoint]:
+    """Sweep the pruning level the SCUs are provisioned for."""
+    base = base or NVCAConfig()
+    return [
+        _evaluate(graph, dataclasses.replace(base, rho=rho), f"rho={rho:.2f}")
+        for rho in rhos
+    ]
+
+
+def pareto_front(
+    points: list[DesignPoint],
+    maximize: tuple[str, ...] = ("fps", "energy_efficiency"),
+) -> list[DesignPoint]:
+    """Non-dominated subset under the given maximization objectives."""
+    front = []
+    for candidate in points:
+        dominated = False
+        for other in points:
+            if other is candidate:
+                continue
+            better_or_equal = all(
+                getattr(other, axis) >= getattr(candidate, axis)
+                for axis in maximize
+            )
+            strictly_better = any(
+                getattr(other, axis) > getattr(candidate, axis)
+                for axis in maximize
+            )
+            if better_or_equal and strictly_better:
+                dominated = True
+                break
+        if not dominated:
+            front.append(candidate)
+    return front

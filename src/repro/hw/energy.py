@@ -1,0 +1,158 @@
+"""Energy/power roll-up (TSMC 28 nm HPC+ calibration).
+
+The paper's Table II power figure (0.76 W at 400 MHz) comes from
+synthesis-derived unit energies multiplied by activity counts; this
+module reproduces that methodology.  Unit energies are calibrated 28 nm
+values (fixed-point multiplier/adder energies from the usual Horowitz
+ISSCC'14 tables, SRAM/DRAM per-byte costs for the buffer geometry);
+``control_overhead`` covers clock tree, registers, and control not
+captured by the datapath counts.
+
+DRAM energy is accounted separately from chip power, as in the paper
+(Table II lists chip power; Fig. 9(b) motivates chaining by off-chip
+*traffic*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .arch import NVCAConfig
+from .dataflow import TrafficReport
+from .scheduler import GraphSchedule
+
+__all__ = ["EnergyUnits", "EnergyReport", "energy_report"]
+
+
+@dataclass(frozen=True)
+class EnergyUnits:
+    """Unit energies in picojoules (28 nm, 0.9 V)."""
+
+    mult_12x16_pj: float = 0.45  # SCU multiplier incl. operand regs
+    add_pj: float = 0.10  # transform / adder-tree add
+    dcc_mac_pj: float = 0.70  # DCC MAC incl. gather logic
+    interp_mult_pj: float = 0.30  # bilinear interpolation multiply
+    sram_byte_pj: float = 1.00  # on-chip buffer access per byte
+    dram_byte_pj: float = 30.0  # LPDDR4-class external access
+    static_power_w: float = 0.055  # leakage + always-on control
+    control_overhead: float = 1.28  # clock tree / pipeline registers
+
+    @classmethod
+    def scaled(cls, technology_nm: int) -> "EnergyUnits":
+        """First-order technology scaling of the dynamic unit energies
+        relative to the 28 nm calibration point (energy ~ feature size)."""
+        factor = technology_nm / 28.0
+        base = cls()
+        return cls(
+            mult_12x16_pj=base.mult_12x16_pj * factor,
+            add_pj=base.add_pj * factor,
+            dcc_mac_pj=base.dcc_mac_pj * factor,
+            interp_mult_pj=base.interp_mult_pj * factor,
+            sram_byte_pj=base.sram_byte_pj * factor,
+            dram_byte_pj=base.dram_byte_pj,  # off-chip: node-independent
+            static_power_w=base.static_power_w * factor,
+            control_overhead=base.control_overhead,
+        )
+
+
+#: Transform adds per 2-D tile (PreU B^T X B + PostU A^T U A stages):
+#: F(2x2,3x3) tiles pass 8 four-wide 1-D transforms each way; the
+#: deconvolution tiles are larger.
+_TRANSFORM_ADDS = {"fast-conv": 96, "fast-deconv": 280, "direct": 0}
+
+
+@dataclass
+class EnergyReport:
+    """Per-frame energy breakdown and resulting power."""
+
+    graph_name: str
+    frame_time_s: float
+    mult_energy_j: float
+    add_energy_j: float
+    dcc_energy_j: float
+    sram_energy_j: float
+    dram_energy_j: float
+    static_energy_j: float
+
+    @property
+    def chip_energy_j(self) -> float:
+        """On-chip energy (what the paper's 0.76 W covers)."""
+        return (
+            self.mult_energy_j
+            + self.add_energy_j
+            + self.dcc_energy_j
+            + self.sram_energy_j
+            + self.static_energy_j
+        )
+
+    @property
+    def chip_power_w(self) -> float:
+        return self.chip_energy_j / self.frame_time_s
+
+    @property
+    def system_energy_j(self) -> float:
+        return self.chip_energy_j + self.dram_energy_j
+
+    def energy_efficiency_gops_per_w(self, sustained_gops: float) -> float:
+        return sustained_gops / self.chip_power_w
+
+    def __str__(self) -> str:
+        return (
+            f"EnergyReport({self.graph_name}: {self.chip_power_w:.2f} W chip, "
+            f"{self.chip_energy_j * 1e3:.1f} mJ/frame on-chip + "
+            f"{self.dram_energy_j * 1e3:.1f} mJ/frame DRAM)"
+        )
+
+
+def energy_report(
+    schedule: GraphSchedule,
+    traffic: TrafficReport,
+    units: EnergyUnits | None = None,
+    config: NVCAConfig | None = None,
+) -> EnergyReport:
+    """Roll activity counts up into per-frame energy and chip power."""
+    config = config or schedule.config
+    units = units or EnergyUnits.scaled(config.technology_nm)
+    frame_time = max(
+        sum(entry.cycles for entry in schedule.layers) / config.clock_hz, 1e-12
+    )
+
+    mult_j = 0.0
+    add_j = 0.0
+    dcc_j = 0.0
+    sram_bytes = 0.0
+    for entry in schedule.layers:
+        layer = entry.layer
+        if entry.core == "sftc" and entry.cost is not None:
+            mult_j += entry.cost.sparse_mults * units.mult_12x16_pj * 1e-12
+            adds_per_tile = _TRANSFORM_ADDS.get(entry.cost.mode, 0)
+            tile_transforms = entry.cost.spatial_tiles * (
+                layer.in_channels + layer.out_channels
+            )
+            add_j += tile_transforms * adds_per_tile * units.add_pj * 1e-12
+            # Adder-tree reduction over input channels.
+            add_j += entry.cost.sparse_mults * units.add_pj * 1e-12
+        elif entry.core == "dcc" and entry.cost is not None:
+            dcc_j += entry.cost.macs * units.dcc_mac_pj * 1e-12
+            dcc_j += (
+                entry.cost.interpolation_mults * units.interp_mult_pj * 1e-12
+            )
+        # On-chip buffer traffic: each activation element is written
+        # once and read ~kernel-reuse times from SRAM regardless of
+        # dataflow (chaining changes *DRAM* traffic, not SRAM traffic).
+        if layer.kind not in ("pool", "eltwise"):
+            elements = layer.input_elements() + layer.output_elements()
+            sram_bytes += 2.0 * elements * config.activation_bytes
+
+    dram_bytes = traffic.chained_total
+    overhead = units.control_overhead
+    return EnergyReport(
+        graph_name=schedule.graph.name,
+        frame_time_s=frame_time,
+        mult_energy_j=mult_j * overhead,
+        add_energy_j=add_j * overhead,
+        dcc_energy_j=dcc_j * overhead,
+        sram_energy_j=sram_bytes * units.sram_byte_pj * 1e-12 * overhead,
+        dram_energy_j=dram_bytes * units.dram_byte_pj * 1e-12,
+        static_energy_j=units.static_power_w * frame_time,
+    )

@@ -1,0 +1,117 @@
+"""Maps a decoder layer graph onto the NVCA cores.
+
+Every :class:`repro.core.layerspec.LayerSpec` is assigned to a core:
+conv/deconv (and encoder-side attention, via the direct fallback) run
+on the SFTC; dfconv runs on the DCC; pooling and element-wise ops are
+folded into the streaming pipeline at zero marginal cycles.  Cores
+process the graph in dependency order, so the frame latency is the sum
+of per-layer occupancies — the conservative (non-overlapped) schedule
+the paper's serialized module dataflow implies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.layerspec import LayerGraph, LayerSpec
+
+from .arch import NVCAConfig
+from .dcc import DCCLayerCost, dcc_layer_cost
+from .sftc import SFTCLayerCost, sftc_layer_cost
+
+__all__ = ["LayerSchedule", "GraphSchedule", "schedule_graph"]
+
+
+@dataclass(frozen=True)
+class LayerSchedule:
+    """One layer's placement and cost."""
+
+    layer: LayerSpec
+    core: str  # "sftc", "dcc", or "stream"
+    cycles: int
+    cost: SFTCLayerCost | DCCLayerCost | None
+
+
+@dataclass
+class GraphSchedule:
+    """The full mapping of a graph onto the accelerator."""
+
+    graph: LayerGraph
+    config: NVCAConfig
+    layers: list[LayerSchedule] = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(entry.cycles for entry in self.layers)
+
+    def core_cycles(self, core: str) -> int:
+        return sum(entry.cycles for entry in self.layers if entry.core == core)
+
+    def module_cycles(self, module: str) -> int:
+        return sum(
+            entry.cycles for entry in self.layers if entry.layer.module == module
+        )
+
+    def sftc_sparse_mults(self) -> int:
+        return sum(
+            entry.cost.sparse_mults
+            for entry in self.layers
+            if entry.core == "sftc" and entry.cost is not None
+        )
+
+    def sftc_provisioned_mult_cycles(self) -> int:
+        return sum(
+            entry.cost.provisioned_mult_cycles
+            for entry in self.layers
+            if entry.core == "sftc" and entry.cost is not None
+        )
+
+    def direct_macs(self) -> int:
+        return self.graph.total_macs()
+
+    def by_core(self, core: str) -> list[LayerSchedule]:
+        return [entry for entry in self.layers if entry.core == core]
+
+
+def _attention_as_direct(layer: LayerSpec, config: NVCAConfig) -> SFTCLayerCost:
+    """Attention layers (encoder-side) run as direct GEMMs on the SCU
+    multipliers."""
+    macs = layer.macs()
+    cycles = -(-macs // config.total_multipliers) + config.pipeline_depth
+    return SFTCLayerCost(
+        layer_name=layer.name,
+        mode="direct",
+        spatial_tiles=0,
+        slots=0,
+        cycles=cycles,
+        sparse_mults=macs,
+        fast_mults=macs,
+        direct_macs=macs,
+        provisioned_mult_cycles=cycles * config.total_multipliers,
+    )
+
+
+def schedule_graph(graph: LayerGraph, config: NVCAConfig) -> GraphSchedule:
+    """Assign every layer to a core and compute its cycle cost."""
+    schedule = GraphSchedule(graph=graph, config=config)
+    for layer in graph:
+        if layer.kind in ("conv", "deconv"):
+            cost = sftc_layer_cost(layer, config)
+            schedule.layers.append(
+                LayerSchedule(layer=layer, core="sftc", cycles=cost.cycles, cost=cost)
+            )
+        elif layer.kind == "dfconv":
+            cost = dcc_layer_cost(layer, config)
+            schedule.layers.append(
+                LayerSchedule(layer=layer, core="dcc", cycles=cost.cycles, cost=cost)
+            )
+        elif layer.kind == "attention":
+            cost = _attention_as_direct(layer, config)
+            schedule.layers.append(
+                LayerSchedule(layer=layer, core="sftc", cycles=cost.cycles, cost=cost)
+            )
+        else:  # pool / eltwise stream through
+            schedule.layers.append(
+                LayerSchedule(layer=layer, core="stream", cycles=0, cost=None)
+            )
+    return schedule

@@ -1,0 +1,139 @@
+"""Sparse Fast Transform Core (SFTC) performance model (Section IV-B).
+
+The SFTC executes sparse fast convolutions and deconvolutions through a
+three-stage pipeline: the PreU array maps input tiles to the transform
+domain (B^T X B), the united SCU array gathers non-zero transform
+weights by index and performs the Hadamard products with input-channel
+reduction, and the PostU array applies the inverse transform (A^T U A).
+
+Cycle model
+-----------
+Spatial tiles are issued as *slots*: one T3(6x6, 4x4) deconvolution tile
+or ``conv_tiles_per_slot`` (= 4) F(2x2, 3x3) convolution tiles occupy
+one slot (both are 64 dense products, 64*rho after pruning — exactly
+one SCU-cycle).  The SCU array unrolls Pif input channels by Pof output
+channels, so a layer costs
+
+    cycles = slots * ceil(Cin / Pif) * ceil(Cout / Pof) + pipeline fill
+
+Layers outside the fast path (strided convolutions, 1x1) fall back to
+direct MAC execution on the same multipliers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.layerspec import LayerSpec
+from repro.core.transforms import PAPER_F23, PAPER_T3_64
+
+from .arch import NVCAConfig
+
+__all__ = ["SFTCLayerCost", "sftc_layer_cost"]
+
+
+@dataclass(frozen=True)
+class SFTCLayerCost:
+    """Cycle/operation accounting for one layer on the SFTC."""
+
+    layer_name: str
+    mode: str  # "fast-conv", "fast-deconv", or "direct"
+    spatial_tiles: int
+    slots: int
+    cycles: int
+    #: transform-domain multiplications actually performed (sparse)
+    sparse_mults: int
+    #: multiplications a dense fast algorithm would perform
+    fast_mults: int
+    #: MACs of a direct dense implementation (the workload's size)
+    direct_macs: int
+    #: multiplier-cycles provisioned while this layer occupied the core
+    provisioned_mult_cycles: int = 0
+
+    @property
+    def utilization(self) -> float:
+        """Useful sparse multiplies over provisioned multiplier-cycles."""
+        if self.provisioned_mult_cycles == 0:
+            return 0.0
+        return self.sparse_mults / self.provisioned_mult_cycles
+
+    def effective_ops(self) -> int:
+        """Dense-equivalent operations delivered (2 ops per MAC)."""
+        return 2 * self.direct_macs
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def _pass_prefetch_cycles(layer: LayerSpec, config: NVCAConfig) -> int:
+    """DMA cycles to load one (Pif x Pof) block of compressed weights
+    (non-zero values + indices) — see also repro.hw.simulator."""
+    density = 1.0 - config.rho
+    if layer.kind == "conv":
+        positions, index_bits = 16, 4
+    else:
+        positions, index_bits = 64, 6
+    per_pair = positions * density * (config.weight_bits + index_bits) / 8.0
+    block_bytes = per_pair * config.pif * config.pof
+    return int(block_bytes / config.dram_bytes_per_cycle)
+
+
+def sftc_layer_cost(layer: LayerSpec, config: NVCAConfig) -> SFTCLayerCost:
+    """Cycle count of one conv/deconv layer on the SFTC."""
+    if layer.kind not in ("conv", "deconv"):
+        raise ValueError(f"SFTC does not execute {layer.kind!r} layers")
+    density = 1.0 - config.rho
+    direct_macs = layer.macs()
+
+    if layer.fast_supported:
+        spec = PAPER_F23 if layer.kind == "conv" else PAPER_T3_64
+        tiles = _ceil_div(layer.out_h, spec.m) * _ceil_div(layer.out_w, spec.m)
+        if layer.kind == "conv":
+            slots = _ceil_div(tiles, config.conv_tiles_per_slot)
+            mode = "fast-conv"
+        else:
+            slots = tiles
+            mode = "fast-deconv"
+        passes = _ceil_div(layer.in_channels, config.pif) * _ceil_div(
+            layer.out_channels, config.pof
+        )
+        # Weight blocks are double buffered: the first block preloads
+        # during the previous layer's tail, and each later block's
+        # prefetch overlaps the previous block's compute, so a
+        # DMA-bound pass costs max(slots, prefetch) cycles.
+        prefetch = _pass_prefetch_cycles(layer, config)
+        cycles = slots + (passes - 1) * max(slots, prefetch) + config.pipeline_depth
+        provisioned = cycles * config.total_multipliers
+        fast_mults = (
+            tiles
+            * spec.multiplications_per_tile
+            * layer.in_channels
+            * layer.out_channels
+        )
+        sparse_mults = int(round(fast_mults * density))
+        return SFTCLayerCost(
+            layer_name=layer.name,
+            mode=mode,
+            spatial_tiles=tiles,
+            slots=slots,
+            cycles=cycles,
+            sparse_mults=sparse_mults,
+            fast_mults=fast_mults,
+            direct_macs=direct_macs,
+            provisioned_mult_cycles=provisioned,
+        )
+
+    # Direct fallback: dense MACs spread over all multipliers.
+    cycles = _ceil_div(direct_macs, config.total_multipliers) + config.pipeline_depth
+    return SFTCLayerCost(
+        layer_name=layer.name,
+        mode="direct",
+        spatial_tiles=0,
+        slots=0,
+        cycles=cycles,
+        sparse_mults=direct_macs,
+        fast_mults=direct_macs,
+        direct_macs=direct_macs,
+        provisioned_mult_cycles=cycles * config.total_multipliers,
+    )

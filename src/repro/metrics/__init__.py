@@ -1,0 +1,17 @@
+"""Quality metrics and rate-distortion analysis (PSNR, MS-SSIM, BD-rate)."""
+
+from .bd import bd_quality, bd_rate
+from .quality import MS_SSIM_WEIGHTS, ms_ssim, mse, psnr, ssim
+from .rd import RDCurve, RDPoint
+
+__all__ = [
+    "MS_SSIM_WEIGHTS",
+    "RDCurve",
+    "RDPoint",
+    "bd_quality",
+    "bd_rate",
+    "ms_ssim",
+    "mse",
+    "psnr",
+    "ssim",
+]

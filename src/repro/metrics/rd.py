@@ -1,0 +1,83 @@
+"""Rate-distortion containers used across the evaluation harness.
+
+The paper reports results as rate-distortion (RD) curves — quality
+(PSNR dB or MS-SSIM) against rate (bits per pixel, "bpp") — and as
+Bjøntegaard deltas between curves (Table I).  This module provides the
+small value types those computations share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RDPoint", "RDCurve"]
+
+
+@dataclass(frozen=True)
+class RDPoint:
+    """One operating point of a codec: rate in bpp, quality in the
+    metric's natural unit (dB for PSNR; 0..1 for MS-SSIM)."""
+
+    bpp: float
+    quality: float
+
+    def __post_init__(self) -> None:
+        if self.bpp <= 0.0:
+            raise ValueError(f"bpp must be positive, got {self.bpp}")
+
+
+@dataclass
+class RDCurve:
+    """A named RD curve: a set of operating points for one codec/config.
+
+    Points are kept sorted by increasing rate.  ``metric`` records what
+    the quality axis means ("psnr" or "ms-ssim"); Bjøntegaard math needs
+    this to convert MS-SSIM to a dB-like scale.
+    """
+
+    name: str
+    points: list[RDPoint] = field(default_factory=list)
+    metric: str = "psnr"
+    dataset: str = ""
+
+    def add(self, bpp: float, quality: float) -> "RDCurve":
+        self.points.append(RDPoint(bpp, quality))
+        self.points.sort(key=lambda p: p.bpp)
+        return self
+
+    @property
+    def rates(self) -> np.ndarray:
+        return np.array([p.bpp for p in self.points], dtype=np.float64)
+
+    @property
+    def qualities(self) -> np.ndarray:
+        return np.array([p.quality for p in self.points], dtype=np.float64)
+
+    def quality_axis_db(self) -> np.ndarray:
+        """Quality values mapped to a dB-like axis.
+
+        PSNR is already in dB.  MS-SSIM values q in (0, 1) are mapped to
+        ``-10 * log10(1 - q)``, the standard convention in the NVC
+        literature (used e.g. by DVC/FVC/DCVC when reporting MS-SSIM
+        BD-rate), so that Bjøntegaard integration is well conditioned.
+        """
+        q = self.qualities
+        if self.metric == "psnr":
+            return q
+        if self.metric == "ms-ssim":
+            clipped = np.clip(q, 0.0, 1.0 - 1e-9)
+            return -10.0 * np.log10(1.0 - clipped)
+        raise ValueError(f"unknown metric {self.metric!r}")
+
+    def validate_monotone(self) -> bool:
+        """True when quality is non-decreasing with rate (sane codec)."""
+        q = self.qualities
+        return bool(np.all(np.diff(q) >= -1e-9))
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)

@@ -1,0 +1,230 @@
+"""Functional tensor operations for the NumPy DNN substrate.
+
+These are the inference-grade primitives every network module in
+``repro.codec`` is built from.  Conventions:
+
+* activations are float64 arrays shaped ``(C, H, W)`` (no batch axis —
+  the codec processes one frame at a time, as the paper's decoder does);
+* convolution weights are ``(C_out, C_in, kH, kW)``;
+* transposed-convolution weights are also ``(C_out, C_in, kH, kW)``
+  where ``C_out`` is the number of *produced* channels (the layer-level
+  view), internally mapped onto the scatter formulation.
+
+Direct convolution uses an im2col/GEMM formulation; correctness is
+pinned against ``scipy.signal`` in the test suite, and the fast
+Winograd/FTA kernels in :mod:`repro.core` are in turn pinned against
+these implementations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "pad2d",
+    "im2col",
+    "conv2d",
+    "conv_transpose2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "relu",
+    "leaky_relu",
+    "sigmoid",
+    "softmax",
+    "bilinear_sample",
+    "conv_output_size",
+    "deconv_output_size",
+]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution along one axis."""
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def deconv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a transposed convolution along one axis."""
+    return (size - 1) * stride - 2 * padding + kernel
+
+
+def pad2d(x: np.ndarray, padding: int | tuple[int, int]) -> np.ndarray:
+    """Zero-pad the two trailing (spatial) axes of a (C, H, W) tensor."""
+    if isinstance(padding, int):
+        ph = pw = padding
+    else:
+        ph, pw = padding
+    if ph == 0 and pw == 0:
+        return x
+    return np.pad(x, ((0, 0), (ph, ph), (pw, pw)))
+
+
+def im2col(
+    x: np.ndarray, kernel: tuple[int, int], stride: int = 1
+) -> np.ndarray:
+    """Unfold sliding windows into a (C*kH*kW, L) matrix.
+
+    ``x`` is (C, H, W) already padded; L = H_out * W_out.  Built with
+    stride tricks, so no data is copied until the final reshape.
+    Returns ``(cols, (H_out, W_out))``.
+    """
+    c, h, w = x.shape
+    kh, kw = kernel
+    ho = (h - kh) // stride + 1
+    wo = (w - kw) // stride + 1
+    sc, sh, sw = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(c, kh, kw, ho, wo),
+        strides=(sc, sh, sw, sh * stride, sw * stride),
+        writeable=False,
+    )
+    return windows.reshape(c * kh * kw, ho * wo), (ho, wo)
+
+
+def conv2d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """2-D cross-correlation (the deep-learning "convolution").
+
+    Shapes: x (C_in, H, W), weight (C_out, C_in, kH, kW) -> (C_out, H_out,
+    W_out).
+    """
+    c_out, c_in, kh, kw = weight.shape
+    if x.shape[0] != c_in:
+        raise ValueError(f"input has {x.shape[0]} channels, weight expects {c_in}")
+    padded = pad2d(x, padding)
+    cols, (ho, wo) = im2col(padded, (kh, kw), stride)
+    out = weight.reshape(c_out, -1) @ cols
+    out = out.reshape(c_out, ho, wo)
+    if bias is not None:
+        out += bias[:, None, None]
+    return out
+
+
+def conv_transpose2d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """2-D transposed convolution (deconvolution).
+
+    Shapes: x (C_in, H, W), weight (C_out, C_in, kH, kW) -> (C_out,
+    (H-1)*s - 2p + kH, ...).  Implemented as scatter-add of weighted
+    kernel stamps, the textbook adjoint of :func:`conv2d`.
+    """
+    c_out, c_in, kh, kw = weight.shape
+    if x.shape[0] != c_in:
+        raise ValueError(f"input has {x.shape[0]} channels, weight expects {c_in}")
+    _, h, w = x.shape
+    full_h = (h - 1) * stride + kh
+    full_w = (w - 1) * stride + kw
+    # GEMM formulation: cols = W^T X, then col2im scatter.
+    x_mat = x.reshape(c_in, -1)  # (C_in, H*W)
+    w_mat = weight.reshape(c_out, c_in, kh * kw)
+    # stamps: (C_out, kH*kW, H*W)
+    stamps = np.einsum("oik,il->okl", w_mat, x_mat)
+    out = np.zeros((c_out, full_h, full_w))
+    stamps = stamps.reshape(c_out, kh, kw, h, w)
+    for dy in range(kh):
+        for dx in range(kw):
+            out[
+                :,
+                dy : dy + (h - 1) * stride + 1 : stride,
+                dx : dx + (w - 1) * stride + 1 : stride,
+            ] += stamps[:, dy, dx]
+    if padding:
+        out = out[:, padding : full_h - padding, padding : full_w - padding]
+    if bias is not None:
+        out += bias[:, None, None]
+    return out
+
+
+def max_pool2d(x: np.ndarray, kernel: int = 2, stride: int | None = None) -> np.ndarray:
+    """Max pooling over (C, H, W); trailing rows/cols that do not fill a
+    window are dropped (floor semantics)."""
+    stride = stride or kernel
+    c, h, w = x.shape
+    ho = (h - kernel) // stride + 1
+    wo = (w - kernel) // stride + 1
+    sc, sh, sw = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(c, ho, wo, kernel, kernel),
+        strides=(sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    return windows.max(axis=(3, 4))
+
+
+def avg_pool2d(x: np.ndarray, kernel: int = 2, stride: int | None = None) -> np.ndarray:
+    """Average pooling with the same window semantics as max_pool2d."""
+    stride = stride or kernel
+    c, h, w = x.shape
+    ho = (h - kernel) // stride + 1
+    wo = (w - kernel) // stride + 1
+    sc, sh, sw = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(c, ho, wo, kernel, kernel),
+        strides=(sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    return windows.mean(axis=(3, 4))
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def leaky_relu(x: np.ndarray, slope: float = 0.1) -> np.ndarray:
+    return np.where(x >= 0.0, x, slope * x)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    # Numerically stable split over sign.
+    out = np.empty_like(x, dtype=np.float64)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    expx = np.exp(x[~pos])
+    out[~pos] = expx / (1.0 + expx)
+    return out
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    shifted = x - x.max(axis=axis, keepdims=True)
+    expd = np.exp(shifted)
+    return expd / expd.sum(axis=axis, keepdims=True)
+
+
+def bilinear_sample(x: np.ndarray, ys: np.ndarray, xs: np.ndarray) -> np.ndarray:
+    """Sample (C, H, W) at fractional coordinates with border clamping.
+
+    ``ys``/``xs`` share an arbitrary shape S; the result is (C, *S).
+    This is the sampling kernel of the deformable convolution (DfConv)
+    in the paper's deformable compensation module.
+    """
+    c, h, w = x.shape
+    ys = np.clip(ys, 0.0, h - 1.0)
+    xs = np.clip(xs, 0.0, w - 1.0)
+    y0 = np.floor(ys).astype(int)
+    x0 = np.floor(xs).astype(int)
+    y1 = np.minimum(y0 + 1, h - 1)
+    x1 = np.minimum(x0 + 1, w - 1)
+    fy = ys - y0
+    fx = xs - x0
+    tl = x[:, y0, x0]
+    tr = x[:, y0, x1]
+    bl = x[:, y1, x0]
+    br = x[:, y1, x1]
+    return (
+        tl * (1 - fy) * (1 - fx)
+        + tr * (1 - fy) * fx
+        + bl * fy * (1 - fx)
+        + br * fy * fx
+    )

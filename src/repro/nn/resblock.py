@@ -1,0 +1,44 @@
+"""Residual block, Fig. 2(f) of the paper.
+
+``ResBlock(N, k)``: ReLU -> Conv(N, k, 1) -> ReLU -> Conv(N, k, 1) with
+an identity skip connection.  The two stacked stride-1 convolutions are
+exactly what the heterogeneous layer chaining dataflow (Fig. 7) treats
+as the "two Convs" prefix of a Conv-Conv-DeConv chain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .layers import Conv2d, Module
+
+__all__ = ["ResBlock"]
+
+
+class ResBlock(Module):
+    """Pre-activation residual block with two same-channel convolutions."""
+
+    def __init__(
+        self,
+        channels: int,
+        kernel_size: int = 3,
+        rng: np.random.Generator | None = None,
+        residual_scale: float = 0.1,
+    ):
+        super().__init__()
+        self.channels = channels
+        self.kernel_size = kernel_size
+        #: Scaling of the residual branch.  Untrained He-initialized
+        #: branches would otherwise inject O(1) noise; a small scale
+        #: keeps the block near-identity so the structured-initialization
+        #: codec remains functional (DESIGN.md §2) while every
+        #: convolution still executes (and is pruned/accelerated).
+        self.residual_scale = residual_scale
+        self.conv1 = Conv2d(channels, channels, kernel_size, stride=1, rng=rng)
+        self.conv2 = Conv2d(channels, channels, kernel_size, stride=1, rng=rng)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        branch = self.conv1(F.relu(x))
+        branch = self.conv2(F.relu(branch))
+        return x + self.residual_scale * branch

@@ -1,0 +1,28 @@
+"""Synthetic video sources and raw-video utilities."""
+
+from .datasets import DATASETS, DatasetSpec, dataset_names, load_dataset
+from .synthetic import SceneConfig, VideoGenerator, generate_sequence
+from .yuv import (
+    read_yuv420,
+    rgb_to_ycbcr,
+    subsample_420,
+    upsample_420,
+    write_yuv420,
+    ycbcr_to_rgb,
+)
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "SceneConfig",
+    "VideoGenerator",
+    "dataset_names",
+    "generate_sequence",
+    "load_dataset",
+    "read_yuv420",
+    "rgb_to_ycbcr",
+    "subsample_420",
+    "upsample_420",
+    "write_yuv420",
+    "ycbcr_to_rgb",
+]

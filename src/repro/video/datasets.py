@@ -1,0 +1,111 @@
+"""Dataset registry: synthetic stand-ins for the paper's test corpora.
+
+Section V-A evaluates on HEVC Class B (1080p, mixed content), UVG
+(4K/1080p nature footage, slow-to-medium motion, heavy texture), and
+MCL-JCV (1080p, diverse consumer clips, frequent fast motion).  Each
+registry entry below fixes SceneConfig statistics that mirror the
+corpus character, at a reduced working resolution so CPU-only runs
+finish quickly; the full-HD geometry is used analytically by the
+hardware model (``repro.hw``), not by pixel-level encoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .synthetic import SceneConfig, VideoGenerator
+
+__all__ = ["DatasetSpec", "DATASETS", "load_dataset", "dataset_names"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A named synthetic corpus: several sequences sharing statistics."""
+
+    name: str
+    description: str
+    base_config: SceneConfig
+    num_sequences: int = 3
+
+    def sequences(self) -> list[list]:
+        """Render all sequences (list of frame lists), deterministically."""
+        rendered = []
+        for index in range(self.num_sequences):
+            config = replace(self.base_config, seed=self.base_config.seed + index)
+            rendered.append(VideoGenerator(config).render())
+        return rendered
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    "uvg-sim": DatasetSpec(
+        name="uvg-sim",
+        description=(
+            "UVG stand-in: heavy natural texture, smooth global pan, "
+            "few slow objects (nature footage character)"
+        ),
+        base_config=SceneConfig(
+            height=128,
+            width=192,
+            frames=8,
+            texture_octaves=5,
+            texture_contrast=0.7,
+            pan_velocity=(0.4, 1.0),
+            num_objects=2,
+            object_speed=1.2,
+            grain_sigma=0.8,
+            seed=1000,
+        ),
+    ),
+    "hevcb-sim": DatasetSpec(
+        name="hevcb-sim",
+        description=(
+            "HEVC Class B stand-in: mixed texture, medium pan and object "
+            "motion (broadcast 1080p character)"
+        ),
+        base_config=SceneConfig(
+            height=128,
+            width=192,
+            frames=8,
+            texture_octaves=4,
+            texture_contrast=0.6,
+            pan_velocity=(0.8, 1.4),
+            num_objects=3,
+            object_speed=2.2,
+            grain_sigma=1.0,
+            seed=2000,
+        ),
+    ),
+    "mcljcv-sim": DatasetSpec(
+        name="mcljcv-sim",
+        description=(
+            "MCL-JCV stand-in: diverse consumer content, fast local "
+            "motion, stronger grain"
+        ),
+        base_config=SceneConfig(
+            height=128,
+            width=192,
+            frames=8,
+            texture_octaves=4,
+            texture_contrast=0.55,
+            pan_velocity=(1.2, 2.0),
+            num_objects=4,
+            object_speed=3.2,
+            grain_sigma=1.4,
+            seed=3000,
+        ),
+    ),
+}
+
+
+def dataset_names() -> list[str]:
+    return sorted(DATASETS)
+
+
+def load_dataset(name: str) -> DatasetSpec:
+    """Look up a dataset spec by name; raises KeyError with choices."""
+    try:
+        return DATASETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {', '.join(dataset_names())}"
+        ) from None

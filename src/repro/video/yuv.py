@@ -1,0 +1,130 @@
+"""Color-space conversion and raw YUV frame I/O.
+
+HD video reaching the paper's decoder is "RGB or YUV format ... encoded
+bitstreams" (Section I).  This module provides BT.601 full-range
+RGB<->YCbCr conversion, 4:2:0 chroma subsampling, and raw planar .yuv
+file I/O so synthetic sequences can be stored and replayed exactly like
+the public corpora the paper uses.
+
+Frames are float64 in [0, 255] with shape (3, H, W) channel-first,
+matching the rest of the code base.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = [
+    "rgb_to_ycbcr",
+    "ycbcr_to_rgb",
+    "subsample_420",
+    "upsample_420",
+    "write_yuv420",
+    "read_yuv420",
+]
+
+# BT.601 full-range matrix (the JPEG/JFIF convention).
+_RGB_TO_YCBCR = np.array(
+    [
+        [0.299, 0.587, 0.114],
+        [-0.168736, -0.331264, 0.5],
+        [0.5, -0.418688, -0.081312],
+    ]
+)
+_YCBCR_TO_RGB = np.linalg.inv(_RGB_TO_YCBCR)
+
+
+def rgb_to_ycbcr(rgb: np.ndarray) -> np.ndarray:
+    """Convert a (3, H, W) RGB frame in [0, 255] to YCbCr in [0, 255]."""
+    rgb = np.asarray(rgb, dtype=np.float64)
+    if rgb.ndim != 3 or rgb.shape[0] != 3:
+        raise ValueError(f"expected (3, H, W), got {rgb.shape}")
+    flat = rgb.reshape(3, -1)
+    ycc = _RGB_TO_YCBCR @ flat
+    ycc[1:] += 128.0
+    return ycc.reshape(rgb.shape)
+
+
+def ycbcr_to_rgb(ycc: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`rgb_to_ycbcr`; output clipped to [0, 255]."""
+    ycc = np.asarray(ycc, dtype=np.float64)
+    if ycc.ndim != 3 or ycc.shape[0] != 3:
+        raise ValueError(f"expected (3, H, W), got {ycc.shape}")
+    shifted = ycc.reshape(3, -1).copy()
+    shifted[1:] -= 128.0
+    rgb = _YCBCR_TO_RGB @ shifted
+    return np.clip(rgb.reshape(ycc.shape), 0.0, 255.0)
+
+
+def subsample_420(ycc: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Split a YCbCr frame into (Y, Cb, Cr) planes with 4:2:0 chroma.
+
+    Chroma is box-filtered 2x2 then decimated; H and W must be even.
+    """
+    _, h, w = ycc.shape
+    if h % 2 or w % 2:
+        raise ValueError(f"4:2:0 needs even dimensions, got {h}x{w}")
+    y = ycc[0]
+    chroma = []
+    for c in (1, 2):
+        plane = ycc[c]
+        pooled = 0.25 * (
+            plane[0::2, 0::2]
+            + plane[1::2, 0::2]
+            + plane[0::2, 1::2]
+            + plane[1::2, 1::2]
+        )
+        chroma.append(pooled)
+    return y, chroma[0], chroma[1]
+
+
+def upsample_420(y: np.ndarray, cb: np.ndarray, cr: np.ndarray) -> np.ndarray:
+    """Rebuild a (3, H, W) YCbCr frame from 4:2:0 planes (nearest)."""
+    h, w = y.shape
+    out = np.empty((3, h, w), dtype=np.float64)
+    out[0] = y
+    for idx, plane in ((1, cb), (2, cr)):
+        out[idx] = np.repeat(np.repeat(plane, 2, axis=0), 2, axis=1)[:h, :w]
+    return out
+
+
+def write_yuv420(path: str, frames: list[np.ndarray]) -> int:
+    """Write RGB frames to a raw planar YUV 4:2:0 8-bit file.
+
+    Returns the number of bytes written.
+    """
+    total = 0
+    with open(path, "wb") as handle:
+        for frame in frames:
+            y, cb, cr = subsample_420(rgb_to_ycbcr(frame))
+            for plane in (y, cb, cr):
+                data = np.clip(np.round(plane), 0, 255).astype(np.uint8).tobytes()
+                handle.write(data)
+                total += len(data)
+    return total
+
+
+def read_yuv420(path: str, height: int, width: int) -> list[np.ndarray]:
+    """Read all frames of a raw planar YUV 4:2:0 8-bit file as RGB."""
+    if height % 2 or width % 2:
+        raise ValueError("4:2:0 needs even dimensions")
+    frame_bytes = height * width + 2 * (height // 2) * (width // 2)
+    size = os.path.getsize(path)
+    if size % frame_bytes:
+        raise ValueError(
+            f"file size {size} is not a multiple of frame size {frame_bytes}"
+        )
+    frames = []
+    with open(path, "rb") as handle:
+        for _ in range(size // frame_bytes):
+            raw = np.frombuffer(handle.read(frame_bytes), dtype=np.uint8)
+            y = raw[: height * width].reshape(height, width).astype(np.float64)
+            offset = height * width
+            quarter = (height // 2) * (width // 2)
+            cb = raw[offset : offset + quarter].reshape(height // 2, width // 2)
+            cr = raw[offset + quarter :].reshape(height // 2, width // 2)
+            ycc = upsample_420(y, cb.astype(np.float64), cr.astype(np.float64))
+            frames.append(ycbcr_to_rgb(ycc))
+    return frames

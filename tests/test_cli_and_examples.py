@@ -1,0 +1,85 @@
+"""Smoke tests for the CLI and the example scripts."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def run_cli(*args, timeout=300):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        cwd=REPO,
+    )
+
+
+class TestCLI:
+    def test_hardware_summary(self):
+        result = run_cli("hardware")
+        assert result.returncode == 0
+        assert "FPS" in result.stdout
+        assert "gates" in result.stdout
+
+    def test_encode_classical(self):
+        result = run_cli(
+            "encode", "--codec", "classical", "--frames", "2", "--qp", "16"
+        )
+        assert result.returncode == 0
+        assert "bpp" in result.stdout
+        assert "PSNR" in result.stdout
+
+    def test_encode_ctvc(self):
+        result = run_cli(
+            "encode", "--codec", "ctvc", "--frames", "2", "--channels", "8"
+        )
+        assert result.returncode == 0
+        assert "ctvc" in result.stdout
+
+    def test_reproduce_fast(self, tmp_path):
+        out = tmp_path / "report.txt"
+        result = run_cli("reproduce", "-o", str(out))
+        assert result.returncode == 0
+        assert "Table I" in result.stdout
+        assert "Table II" in result.stdout
+        assert out.exists()
+        assert "Fig. 9(a)" in out.read_text()
+
+
+class TestExamples:
+    @pytest.mark.parametrize(
+        "script",
+        ["quickstart.py", "sparse_codesign.py", "hardware_walkthrough.py"],
+    )
+    def test_example_runs(self, script):
+        result = subprocess.run(
+            [sys.executable, str(REPO / "examples" / script)],
+            capture_output=True,
+            text=True,
+            timeout=560,
+            cwd=REPO,
+        )
+        assert result.returncode == 0, result.stderr[-2000:]
+        assert result.stdout  # produced a report
+
+    def test_reproduce_paper_fast(self, tmp_path):
+        out = tmp_path / "paper.txt"
+        result = subprocess.run(
+            [
+                sys.executable,
+                str(REPO / "examples" / "reproduce_paper.py"),
+                "-o",
+                str(out),
+            ],
+            capture_output=True,
+            text=True,
+            timeout=300,
+            cwd=REPO,
+        )
+        assert result.returncode == 0, result.stderr[-2000:]
+        assert "BDBR" in out.read_text()

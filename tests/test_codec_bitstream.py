@@ -1,0 +1,107 @@
+"""Tests for the bitstream container."""
+
+import numpy as np
+import pytest
+
+from repro.codec import (
+    FramePacket,
+    SequenceBitstream,
+    as_f32,
+    f16_bits,
+    f16_from_bits,
+    f32_bits,
+    f32_from_bits,
+)
+
+
+class TestFloatSideInfo:
+    def test_f32_roundtrip(self):
+        for value in (0.0, 1.5, -3.25, 1e-3, 12345.678):
+            assert f32_from_bits(f32_bits(value)) == pytest.approx(
+                np.float32(value), rel=0
+            )
+
+    def test_f16_roundtrip(self):
+        for value in (0.0, 1.5, -3.25, 0.001, 100.0):
+            assert f16_from_bits(f16_bits(value)) == pytest.approx(
+                float(np.float16(value)), rel=0
+            )
+
+    def test_f16_bits_compact(self):
+        assert 0 <= f16_bits(8.0) < 1 << 16
+
+    def test_as_f32(self):
+        value = 1 / 3
+        assert as_f32(value) == float(np.float32(value))
+
+
+class TestFramePacket:
+    def test_chunk_roundtrip(self):
+        packet = FramePacket(frame_type="P", meta={"x": 1})
+        packet.add_chunk("motion", b"\x01\x02\x03")
+        packet.add_chunk("residual", b"\xff" * 10)
+        blob = packet.serialize()
+        parsed, offset = FramePacket.parse(blob, 0)
+        assert offset == len(blob)
+        assert parsed.frame_type == "P"
+        assert parsed.meta == {"x": 1}
+        assert parsed.chunks["motion"] == b"\x01\x02\x03"
+        assert parsed.chunks["residual"] == b"\xff" * 10
+
+    def test_duplicate_chunk_rejected(self):
+        packet = FramePacket(frame_type="I")
+        packet.add_chunk("y", b"a")
+        with pytest.raises(ValueError):
+            packet.add_chunk("y", b"b")
+
+    def test_num_bits(self):
+        packet = FramePacket(frame_type="I")
+        packet.add_chunk("y", b"abc")
+        assert packet.num_bits() == 24
+
+    def test_empty_packet(self):
+        packet = FramePacket(frame_type="I")
+        parsed, _ = FramePacket.parse(packet.serialize(), 0)
+        assert parsed.chunks == {}
+
+
+class TestSequenceBitstream:
+    def make_stream(self):
+        stream = SequenceBitstream(header={"codec": "test", "height": 64})
+        for index in range(3):
+            packet = FramePacket(
+                frame_type="I" if index == 0 else "P", meta={"i": index}
+            )
+            packet.add_chunk("data", bytes([index]) * (index + 1))
+            stream.add_packet(packet)
+        return stream
+
+    def test_roundtrip(self):
+        stream = self.make_stream()
+        parsed = SequenceBitstream.parse(stream.serialize())
+        assert parsed.header == stream.header
+        assert len(parsed.packets) == 3
+        assert parsed.packets[0].frame_type == "I"
+        assert parsed.packets[2].chunks["data"] == b"\x02\x02\x02"
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            SequenceBitstream.parse(b"XXXX" + b"\x00" * 20)
+
+    def test_bad_version_rejected(self):
+        blob = bytearray(self.make_stream().serialize())
+        blob[4] = 99
+        with pytest.raises(ValueError):
+            SequenceBitstream.parse(bytes(blob))
+
+    def test_num_bits_counts_everything(self):
+        stream = self.make_stream()
+        assert stream.num_bits() == 8 * len(stream.serialize())
+
+    def test_bits_per_pixel(self):
+        stream = self.make_stream()
+        bpp = stream.bits_per_pixel(64, 96)
+        assert bpp == pytest.approx(stream.num_bits() / (3 * 64 * 96))
+
+    def test_serialization_deterministic(self):
+        assert self.make_stream().serialize() == self.make_stream().serialize()

@@ -1,0 +1,180 @@
+"""Tests for the arithmetic coder and probability models."""
+
+import numpy as np
+import pytest
+
+from repro.codec import (
+    ArithmeticDecoder,
+    ArithmeticEncoder,
+    LaplacianModel,
+    SymbolModel,
+    decode_symbols,
+    encode_symbols,
+    estimate_bits,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(71)
+
+
+class TestSymbolModel:
+    def test_basic_intervals(self):
+        model = SymbolModel(np.array([1, 2, 3]))
+        assert model.total == 6
+        assert model.interval(0) == (0, 1)
+        assert model.interval(1) == (1, 3)
+        assert model.interval(2) == (3, 6)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            SymbolModel(np.array([1, 0, 2]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SymbolModel(np.array([]))
+
+    def test_large_totals_rescaled(self):
+        model = SymbolModel(np.full(10, 10**9))
+        assert model.total < 1 << 16
+        assert np.all(model.freqs > 0)
+
+    def test_from_pmf(self):
+        model = SymbolModel.from_pmf(np.array([0.5, 0.25, 0.25]))
+        probs = model.probabilities()
+        assert probs[0] == pytest.approx(0.5, abs=0.01)
+
+    def test_from_pmf_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SymbolModel.from_pmf(np.array([0.5, -0.1]))
+
+    def test_pmf_zero_gets_nonzero_freq(self):
+        model = SymbolModel.from_pmf(np.array([1.0, 0.0, 0.0]))
+        assert np.all(model.freqs > 0)  # decodability guarantee
+
+
+class TestArithmeticCoder:
+    def test_roundtrip_uniform(self, rng):
+        model = SymbolModel(np.ones(16, dtype=np.int64))
+        symbols = rng.integers(0, 16, size=2000)
+        data = encode_symbols(symbols, model)
+        assert np.array_equal(decode_symbols(data, len(symbols), model), symbols)
+
+    def test_roundtrip_skewed(self, rng):
+        model = SymbolModel(np.array([1000, 10, 5, 2, 1]))
+        symbols = rng.choice(5, size=3000, p=model.probabilities())
+        data = encode_symbols(symbols, model)
+        assert np.array_equal(decode_symbols(data, len(symbols), model), symbols)
+
+    def test_compression_near_entropy(self, rng):
+        model = SymbolModel(np.array([100, 50, 25, 12, 6, 3, 2, 1]))
+        symbols = rng.choice(8, size=8000, p=model.probabilities())
+        data = encode_symbols(symbols, model)
+        ideal = estimate_bits(symbols, model)
+        actual = 8 * len(data)
+        assert actual >= ideal - 8  # cannot beat entropy
+        assert actual <= ideal * 1.01 + 64  # within 1% + slack
+
+    def test_skewed_beats_uniform_coding(self, rng):
+        model = SymbolModel(np.array([1000, 1, 1, 1]))
+        symbols = np.zeros(5000, dtype=np.int64)
+        data = encode_symbols(symbols, model)
+        assert 8 * len(data) < 0.05 * len(symbols) * 2  # << 2 bits/sym
+
+    def test_single_symbol_stream(self):
+        model = SymbolModel(np.array([3, 1]))
+        data = encode_symbols(np.array([0]), model)
+        assert decode_symbols(data, 1, model)[0] == 0
+
+    def test_empty_stream(self):
+        model = SymbolModel(np.array([1, 1]))
+        encoder = ArithmeticEncoder()
+        data = encoder.finish()
+        assert isinstance(data, bytes)
+
+    def test_encoder_finish_idempotent_guard(self):
+        encoder = ArithmeticEncoder()
+        model = SymbolModel(np.array([1, 1]))
+        encoder.encode(0, model)
+        encoder.finish()
+        with pytest.raises(RuntimeError):
+            encoder.encode(1, model)
+
+    def test_decoder_streaming_interface(self, rng):
+        model = SymbolModel(np.array([5, 3, 2]))
+        symbols = rng.choice(3, size=100, p=model.probabilities())
+        data = encode_symbols(symbols, model)
+        decoder = ArithmeticDecoder(data)
+        out = [decoder.decode(model) for _ in range(100)]
+        assert np.array_equal(out, symbols)
+
+    def test_two_models_interleaved(self, rng):
+        """Streams may switch models mid-sequence (the codecs do)."""
+        model_a = SymbolModel(np.array([10, 1]))
+        model_b = SymbolModel(np.array([1, 1, 1, 1]))
+        encoder = ArithmeticEncoder()
+        syms_a = rng.integers(0, 2, 50)
+        syms_b = rng.integers(0, 4, 50)
+        for a, b in zip(syms_a, syms_b):
+            encoder.encode(int(a), model_a)
+            encoder.encode(int(b), model_b)
+        decoder = ArithmeticDecoder(encoder.finish())
+        for a, b in zip(syms_a, syms_b):
+            assert decoder.decode(model_a) == a
+            assert decoder.decode(model_b) == b
+
+
+class TestLaplacianModel:
+    def test_pmf_sums_to_one(self):
+        model = LaplacianModel(scale=2.0, support=16)
+        assert model.pmf.sum() == pytest.approx(1.0)
+
+    def test_pmf_symmetric_and_peaked(self):
+        model = LaplacianModel(scale=3.0, support=8)
+        assert np.allclose(model.pmf, model.pmf[::-1])
+        assert np.argmax(model.pmf) == 8  # zero symbol
+
+    def test_symbol_value_roundtrip(self):
+        model = LaplacianModel(scale=1.0, support=4)
+        for value in range(-4, 5):
+            assert model.value_of(model.symbol_of(value)) == value
+
+    def test_out_of_range_clipped(self):
+        model = LaplacianModel(scale=1.0, support=4)
+        assert model.value_of(model.symbol_of(100)) == 4
+
+    def test_smaller_scale_more_peaked(self):
+        narrow = LaplacianModel(scale=0.5, support=8)
+        wide = LaplacianModel(scale=4.0, support=8)
+        assert narrow.pmf[8] > wide.pmf[8]
+
+    def test_fit_scale(self, rng):
+        samples = rng.laplace(0, 3.0, 20000)
+        assert LaplacianModel.fit_scale(samples) == pytest.approx(3.0, rel=0.05)
+
+    def test_fit_scale_floor(self):
+        assert LaplacianModel.fit_scale(np.zeros(10)) >= 1e-3
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LaplacianModel(scale=0.0, support=4)
+        with pytest.raises(ValueError):
+            LaplacianModel(scale=1.0, support=0)
+
+    def test_extreme_scale_no_overflow(self):
+        """Tiny scales must not overflow exp (regression for the
+        classical codec's near-empty bands)."""
+        model = LaplacianModel(scale=1e-3, support=255)
+        assert np.isfinite(model.pmf).all()
+
+    def test_coding_laplacian_data(self, rng):
+        model = LaplacianModel(scale=2.0, support=32)
+        values = np.clip(np.round(rng.laplace(0, 2.0, 4000)), -32, 32).astype(int)
+        symbols = np.array([model.symbol_of(v) for v in values])
+        data = encode_symbols(symbols, model.model)
+        decoded = decode_symbols(data, len(symbols), model.model)
+        recovered = np.array([model.value_of(s) for s in decoded])
+        assert np.array_equal(recovered, values)
+        # Laplacian-coded rate must beat the uniform 6-bit bound.
+        assert 8 * len(data) < len(values) * 6

@@ -1,0 +1,210 @@
+"""Tests for the decoder/encoder layer graphs (paper Fig. 2 topology)."""
+
+import pytest
+
+from repro.codec import decoder_graph, encoder_graph
+from repro.core import LayerSpec
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return decoder_graph(1080, 1920, 36)
+
+
+class TestDecoderGraph:
+    def test_five_modules_in_order(self, graph):
+        assert graph.modules() == [
+            "feature_extraction",
+            "motion_synthesis",
+            "deformable_compensation",
+            "residual_synthesis",
+            "frame_reconstruction",
+        ]
+
+    def test_feature_grid_resolutions(self, graph):
+        fe_layers = graph.by_module("feature_extraction")
+        assert fe_layers[0].in_h == 1080 and fe_layers[0].in_w == 1920
+        assert fe_layers[-1].out_h == 540 and fe_layers[-1].out_w == 960
+
+    def test_synthesis_upsamples_8x(self, graph):
+        synth = graph.by_module("motion_synthesis")
+        assert synth[0].in_h == 68  # ceil(1080/16)
+        assert synth[-1].out_h == 544
+        deconvs = [l for l in synth if l.kind == "deconv"]
+        assert len(deconvs) == 3
+        assert all(l.kernel == 4 and l.stride == 2 for l in deconvs)
+
+    def test_dfconv_present_once(self, graph):
+        dfconvs = [l for l in graph if l.kind == "dfconv"]
+        assert len(dfconvs) == 1
+        assert dfconvs[0].module == "deformable_compensation"
+
+    def test_frame_reconstruction_outputs_pixels(self, graph):
+        fr = graph.by_module("frame_reconstruction")
+        assert fr[-1].kind == "deconv"
+        assert fr[-1].out_channels == 3
+        assert fr[-1].out_h == 1080 and fr[-1].out_w == 1920
+
+    def test_total_macs_magnitude(self, graph):
+        """~115 GMACs/frame at 1080p for N=36 — the workload scale the
+        paper's 25 FPS / 3525 GOPS operating point implies."""
+        gmacs = graph.total_macs() / 1e9
+        assert 90 < gmacs < 140
+
+    def test_every_conv_is_fast_supported(self, graph):
+        """The decoder was designed so the SFTC fast path covers all
+        conv/deconv layers (3x3 s1 convs, 4x4 s2 deconvs)."""
+        for layer in graph:
+            if layer.kind in ("conv", "deconv"):
+                assert layer.fast_supported, layer.name
+
+    def test_chains_are_at_most_conv_conv_deconv(self, graph):
+        chains = {}
+        for layer in graph:
+            if layer.chain_id >= 0:
+                chains.setdefault(layer.chain_id, []).append(layer)
+        assert chains
+        for members in chains.values():
+            kernel_layers = [l for l in members if l.kind in ("conv", "deconv")]
+            assert len(kernel_layers) <= 3
+            deconvs = [l for l in kernel_layers if l.kind == "deconv"]
+            assert len(deconvs) <= 1
+            if deconvs:
+                assert kernel_layers[-1].kind == "deconv"
+
+    def test_dfconv_unchained(self, graph):
+        dfconv = next(l for l in graph if l.kind == "dfconv")
+        assert dfconv.chain_id == -1
+
+    def test_synthesis_stages_are_paper_chains(self, graph):
+        """Each synthesis stage = ResBlock + DeConv sharing a chain."""
+        synth = [
+            l
+            for l in graph.by_module("motion_synthesis")
+            if l.kind in ("conv", "deconv")
+        ]
+        by_chain = {}
+        for layer in synth:
+            by_chain.setdefault(layer.chain_id, []).append(layer.kind)
+        assert sorted(by_chain.values()) == [["conv", "conv", "deconv"]] * 3
+
+    def test_scales_with_resolution(self):
+        small = decoder_graph(270, 480, 36)
+        assert small.total_macs() < graph_macs_1080() / 10
+
+
+def graph_macs_1080():
+    return decoder_graph(1080, 1920, 36).total_macs()
+
+
+class TestEncoderGraph:
+    def test_has_motion_estimation_and_analyses(self):
+        graph = encoder_graph(1080, 1920, 36)
+        modules = graph.modules()
+        assert "motion_estimation" in modules
+        assert "motion_analysis" in modules
+        assert "residual_analysis" in modules
+
+    def test_attention_workload_present(self):
+        graph = encoder_graph(1080, 1920, 36)
+        attention = [l for l in graph if l.kind == "attention"]
+        assert len(attention) == 4  # 2 Swin-AMs per analysis transform
+        assert all(l.macs() > 0 for l in attention)
+
+    def test_analysis_downsamples_to_latent(self):
+        graph = encoder_graph(1080, 1920, 36)
+        latent = [l for l in graph if l.name.endswith(".latent")]
+        assert len(latent) == 2
+        assert latent[0].out_h == 68 and latent[0].out_w == 120
+        assert latent[0].out_channels == 36
+
+
+class TestLayerSpec:
+    def test_conv_macs_formula(self):
+        layer = LayerSpec(
+            name="x",
+            module="m",
+            kind="conv",
+            in_channels=4,
+            out_channels=8,
+            kernel=3,
+            stride=1,
+            in_h=16,
+            in_w=16,
+            out_h=16,
+            out_w=16,
+        )
+        assert layer.macs() == 16 * 16 * 8 * 4 * 9
+        assert layer.ops() == 2 * layer.macs()
+
+    def test_deconv_macs_use_subkernel_taps(self):
+        layer = LayerSpec(
+            name="x",
+            module="m",
+            kind="deconv",
+            in_channels=4,
+            out_channels=4,
+            kernel=4,
+            stride=2,
+            in_h=8,
+            in_w=8,
+            out_h=16,
+            out_w=16,
+        )
+        # ceil(4/2)^2 = 4 taps per output element.
+        assert layer.macs() == 16 * 16 * 4 * 4 * 4
+
+    def test_pool_has_no_macs(self):
+        layer = LayerSpec(
+            name="p",
+            module="m",
+            kind="pool",
+            in_channels=4,
+            out_channels=4,
+            kernel=2,
+            stride=2,
+            in_h=8,
+            in_w=8,
+            out_h=4,
+            out_w=4,
+        )
+        assert layer.macs() == 0
+        assert layer.weight_elements() == 0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            LayerSpec(
+                name="x",
+                module="m",
+                kind="fft",
+                in_channels=1,
+                out_channels=1,
+                kernel=1,
+                stride=1,
+                in_h=1,
+                in_w=1,
+                out_h=1,
+                out_w=1,
+            )
+
+    def test_fast_supported_rules(self):
+        def make(kind, kernel, stride):
+            return LayerSpec(
+                name="x",
+                module="m",
+                kind=kind,
+                in_channels=1,
+                out_channels=1,
+                kernel=kernel,
+                stride=stride,
+                in_h=8,
+                in_w=8,
+                out_h=8,
+                out_w=8,
+            )
+
+        assert make("conv", 3, 1).fast_supported
+        assert make("deconv", 4, 2).fast_supported
+        assert not make("conv", 3, 2).fast_supported
+        assert not make("conv", 1, 1).fast_supported
+        assert not make("dfconv", 3, 1).fast_supported

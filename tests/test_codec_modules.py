@@ -1,0 +1,252 @@
+"""Tests for the CTVC-Net pipeline modules (Fig. 2) and Swin-AM."""
+
+import numpy as np
+import pytest
+
+from repro.codec import (
+    CompressionAE,
+    DeformableCompensation,
+    FeatureExtraction,
+    FrameReconstruction,
+    MotionEstimation,
+    SwinAM,
+    block_match,
+    dense_motion_field,
+)
+from repro.metrics import psnr
+from repro.video import SceneConfig, generate_sequence
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(81)
+
+
+@pytest.fixture(scope="module")
+def frames():
+    return generate_sequence(SceneConfig(height=64, width=96, frames=3, seed=7))
+
+
+class TestFeatureExtraction:
+    def test_structured_shapes(self, rng, frames):
+        fe = FeatureExtraction(12, rng=rng)
+        features = fe(frames[0])
+        assert features.shape == (12, 32, 48)
+
+    def test_paper_mode_shapes(self, rng, frames):
+        fe = FeatureExtraction(12, mode="paper", rng=rng)
+        assert fe(frames[0]).shape == (12, 32, 48)
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            FeatureExtraction(12, mode="magic")
+
+    def test_roundtrip_quality(self, frames):
+        """Structured FE -> FR must be a high-quality autoencoder — the
+        codec's quality ceiling (DESIGN.md §2)."""
+        fe = FeatureExtraction(16, rng=np.random.default_rng(1))
+        fr = FrameReconstruction(16, rng=np.random.default_rng(2))
+        recon = np.clip(fr(fe(frames[0])), 0, 255)
+        assert psnr(frames[0], recon) > 35.0
+
+    def test_roundtrip_quality_paper_n(self, frames):
+        fe = FeatureExtraction(36, rng=np.random.default_rng(1))
+        fr = FrameReconstruction(36, rng=np.random.default_rng(2))
+        recon = np.clip(fr(fe(frames[0])), 0, 255)
+        assert psnr(frames[0], recon) > 36.0
+
+
+class TestBlockMatching:
+    def test_exact_integer_shift_recovered(self, rng):
+        ref = rng.uniform(0, 255, (48, 64))
+        # current = reference shifted by (dy=2, dx=-3): cur[p] = ref[p + mv]
+        cur = np.roll(ref, (-2, 3), axis=(0, 1))
+        mv = block_match(cur, ref, block_size=8, search_range=4)
+        interior = mv[:, 1:-1, 1:-1]
+        assert np.all(interior[0] == 2)
+        assert np.all(interior[1] == -3)
+
+    def test_zero_motion_on_identical(self, rng):
+        plane = rng.uniform(0, 255, (32, 32))
+        mv = block_match(plane, plane, 8, 4)
+        assert np.all(mv == 0)
+
+    def test_range_respected(self, rng):
+        mv = block_match(
+            rng.uniform(0, 255, (32, 32)), rng.uniform(0, 255, (32, 32)), 8, 3
+        )
+        assert np.abs(mv).max() <= 3
+
+    def test_plane_too_small(self, rng):
+        with pytest.raises(ValueError):
+            block_match(rng.uniform(0, 255, (4, 4)), rng.uniform(0, 255, (4, 4)), 8)
+
+    def test_dense_field_expansion(self):
+        mv = np.zeros((2, 2, 3), dtype=np.int64)
+        mv[0, 1, 2] = 5
+        dense = dense_motion_field(mv, 16, 24, 8)
+        assert dense.shape == (2, 16, 24)
+        assert dense[0, 12, 20] == 5
+        assert dense[0, 0, 0] == 0
+
+    def test_dense_field_pads_ragged_edges(self):
+        mv = np.ones((2, 2, 2), dtype=np.int64)
+        dense = dense_motion_field(mv, 20, 20, 8)
+        assert dense.shape == (2, 20, 20)
+        assert dense[0, 19, 19] == 1
+
+
+class TestMotionEstimation:
+    def test_estimate_embeds_motion(self, rng):
+        me = MotionEstimation(8, rng=rng)
+        ref = rng.uniform(0, 255, (32, 48))
+        cur = np.roll(ref, (-1, -2), axis=(0, 1))
+        feature, mv = me.estimate(cur, ref)
+        assert feature.shape == (8, 32, 48)
+        assert np.all(feature[2:] == 0.0)  # only channels 0,1 carry motion
+        assert np.all(feature[0][8:-8, 8:-8] == 1)
+        assert np.all(feature[1][8:-8, 8:-8] == 2)
+        assert mv.shape == (2, 4, 6)
+
+    def test_neural_stack_runs(self, rng):
+        me = MotionEstimation(8, rng=rng)
+        f1 = rng.standard_normal((8, 16, 16))
+        f0 = rng.standard_normal((8, 16, 16))
+        assert me(f1, f0).shape == (8, 16, 16)
+
+
+class TestDeformableCompensation:
+    def test_integer_warp(self, rng):
+        dc = DeformableCompensation(8, rng=rng)
+        features = rng.standard_normal((8, 24, 24))
+        motion = np.zeros((8, 24, 24))
+        motion[0] = 2.0  # dy
+        motion[1] = 1.0  # dx
+        pred = dc(motion, features)
+        expected = np.roll(features, (-2, -1), axis=(1, 2))
+        interior = (slice(None), slice(3, -3), slice(3, -3))
+        rel = np.linalg.norm(pred[interior] - expected[interior]) / np.linalg.norm(
+            expected[interior]
+        )
+        assert rel < 0.1  # warp + small refinement residual
+
+    def test_zero_motion_near_identity(self, rng):
+        dc = DeformableCompensation(8, rng=rng)
+        features = rng.standard_normal((8, 16, 16))
+        pred = dc(np.zeros((8, 16, 16)), features)
+        rel = np.linalg.norm(pred - features) / np.linalg.norm(features)
+        assert rel < 0.1
+
+    def test_subpixel_motion_interpolates(self, rng):
+        dc = DeformableCompensation(4, rng=rng)
+        features = rng.standard_normal((4, 16, 16))
+        motion = np.zeros((4, 16, 16))
+        motion[1] = 0.5
+        pred = dc(motion, features)
+        avg = 0.5 * (features + np.roll(features, -1, axis=2))
+        interior = (slice(None), slice(2, -2), slice(2, -2))
+        rel = np.linalg.norm(pred[interior] - avg[interior]) / np.linalg.norm(
+            avg[interior]
+        )
+        assert rel < 0.12
+
+    def test_prediction_reduces_residual(self, frames):
+        """End-to-end: motion compensation must beat frame copying."""
+        fe = FeatureExtraction(12, rng=np.random.default_rng(1))
+        me = MotionEstimation(12, rng=np.random.default_rng(2))
+        dc = DeformableCompensation(12, rng=np.random.default_rng(3))
+
+        def half_luma(frame):
+            y = 0.299 * frame[0] + 0.587 * frame[1] + 0.114 * frame[2]
+            return 0.25 * (
+                y[0::2, 0::2] + y[1::2, 0::2] + y[0::2, 1::2] + y[1::2, 1::2]
+            )
+
+        f_prev, f_cur = fe(frames[0]), fe(frames[1])
+        motion, _ = me.estimate(half_luma(frames[1]), half_luma(frames[0]))
+        pred = dc(motion, f_prev)
+        assert np.mean((f_cur - pred) ** 2) < np.mean((f_cur - f_prev) ** 2)
+
+
+class TestCompressionAE:
+    def test_latent_geometry(self, rng):
+        ae = CompressionAE(8, rng=rng)
+        x = rng.standard_normal((8, 32, 48))
+        latent = ae.analyze(x)
+        assert latent.shape == (8, 4, 6)
+        assert ae.synthesize(latent).shape == x.shape
+
+    def test_smooth_fields_reconstruct(self, rng):
+        """Motion-like (piecewise constant) inputs must survive the AE
+        round trip — that is what makes decoded motion usable."""
+        ae = CompressionAE(8, rng=rng)
+        ae.calibrate()
+        field = np.zeros((8, 32, 48))
+        field[0] = 2.0
+        field[1] = -1.5
+        recon = ae(field)
+        rel = np.linalg.norm(recon - field) / np.linalg.norm(field)
+        assert rel < 0.45  # leakage from near-identity blocks bounded
+        # The channels the codec actually consumes (the embedded dy/dx)
+        # reconstruct nearly perfectly once the per-frame gain applies.
+        gain = float(np.sum(field[:2] * recon[:2]) / np.sum(recon[:2] ** 2))
+        motion_rel = np.linalg.norm(gain * recon[:2] - field[:2]) / np.linalg.norm(
+            field[:2]
+        )
+        assert motion_rel < 0.05
+
+    def test_calibration_idempotent(self, rng):
+        ae = CompressionAE(8, rng=rng)
+        ae.calibrate()
+        weights = ae.syn_deconvs[2].weight.data.copy()
+        ae.calibrate()
+        assert np.array_equal(weights, ae.syn_deconvs[2].weight.data)
+
+    def test_calibration_improves_roundtrip(self, rng):
+        field = np.repeat(
+            np.repeat(rng.standard_normal((8, 4, 6)), 8, axis=1), 8, axis=2
+        )
+        raw = CompressionAE(8, rng=np.random.default_rng(5))
+        calibrated = CompressionAE(8, rng=np.random.default_rng(5))
+        calibrated.calibrate()
+        err_raw = np.linalg.norm(raw(field) - field)
+        err_cal = np.linalg.norm(calibrated(field) - field)
+        # Calibration fits gains on its own reference field; on an
+        # independent field it must be at least competitive (and it
+        # rescues badly-scaled stacks by orders of magnitude).
+        assert err_cal <= err_raw * 1.15
+        # Sanity: the calibrated AE must not amplify (the low-pass
+        # pyramid can only lose broadband energy, not add it).
+        assert err_cal / np.linalg.norm(field) < 1.05
+
+
+class TestSwinAM:
+    def test_shape_preserved(self, rng):
+        am = SwinAM(8, window=3, shift=0, heads=2, rng=rng)
+        x = rng.standard_normal((8, 12, 12))
+        assert am(x).shape == x.shape
+
+    def test_near_identity_at_init(self, rng):
+        """The mask bias keeps the untrained module transparent."""
+        am = SwinAM(8, window=3, shift=2, heads=2, rng=rng)
+        x = rng.standard_normal((8, 12, 12))
+        rel = np.linalg.norm(am(x) - x) / np.linalg.norm(x)
+        assert rel < 0.1
+
+    def test_mask_in_unit_interval(self, rng):
+        am = SwinAM(8, rng=rng)
+        mask = am.attention_mask(rng.standard_normal((8, 9, 9)))
+        assert mask.min() >= 0.0
+        assert mask.max() <= 1.0
+
+    def test_open_mask_changes_output(self, rng):
+        am = SwinAM(8, mask_bias=4.0, rng=rng)  # mask ~ 1: branch 2 on
+        x = rng.standard_normal((8, 12, 12))
+        rel = np.linalg.norm(am(x) - x) / np.linalg.norm(x)
+        assert rel > 0.2
+
+    def test_alternating_shifts_configured(self, rng):
+        a = SwinAM(8, window=3, shift=0, rng=rng)
+        b = SwinAM(8, window=3, shift=2, rng=rng)
+        assert a.attention.shift == 0
+        assert b.attention.shift == 2

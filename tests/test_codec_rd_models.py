@@ -1,0 +1,108 @@
+"""Tests for the calibrated literature RD models."""
+
+import numpy as np
+import pytest
+
+from repro.codec import (
+    DATASETS,
+    LITERATURE_BDBR,
+    METHODS,
+    all_method_curves,
+    anchor_curve,
+    model_curve,
+)
+from repro.metrics import bd_rate
+
+
+class TestAnchorCurve:
+    def test_monotone_and_in_range(self):
+        for dataset in DATASETS:
+            for metric in ("psnr", "ms-ssim"):
+                curve = anchor_curve(dataset, metric)
+                assert curve.validate_monotone()
+                assert curve.rates.min() > 0
+
+    def test_psnr_axis_ranges_match_fig8(self):
+        curve = anchor_curve("uvg", "psnr")
+        assert curve.qualities.min() == pytest.approx(34.0)
+        assert curve.qualities.max() == pytest.approx(39.5)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            anchor_curve("kodak", "psnr")
+
+    def test_dataset_name_normalization(self):
+        a = anchor_curve("uvg-sim", "psnr")
+        b = anchor_curve("uvg", "psnr")
+        assert np.array_equal(a.rates, b.rates)
+
+
+class TestModelCurves:
+    def test_all_combinations_exist(self):
+        assert len(LITERATURE_BDBR) == len(METHODS) * len(DATASETS) * 2
+
+    def test_table1_values_recovered(self):
+        """Running the real Bjøntegaard machinery over the calibrated
+        curves must land within ~2% (tilt-induced) of Table I."""
+        for metric in ("psnr", "ms-ssim"):
+            for dataset in DATASETS:
+                curves = all_method_curves(dataset, metric)
+                anchor = curves["h265"]
+                for method in METHODS:
+                    computed = bd_rate(anchor, curves[method])
+                    expected = LITERATURE_BDBR[(method, dataset, metric)]
+                    assert computed == pytest.approx(expected, abs=2.0), (
+                        method,
+                        dataset,
+                        metric,
+                    )
+
+    def test_h265_is_anchor(self):
+        curves = all_method_curves("uvg", "psnr")
+        assert bd_rate(curves["h265"], curves["h265"]) == pytest.approx(0.0)
+
+    def test_paper_ordering_uvg_psnr(self):
+        """Who wins: CTVC-FP < DCVC < FVC < ... < H.264 (more negative
+        BDBR = better)."""
+        curves = all_method_curves("uvg", "psnr")
+        anchor = curves["h265"]
+        scores = {m: bd_rate(anchor, curves[m]) for m in METHODS}
+        assert (
+            scores["ctvc-fp"]
+            < scores["dcvc"]
+            < scores["fvc"]
+            < scores["lu-eccv20"]
+            < scores["h265"]
+            < scores["dvc"]
+            < scores["h264"]
+        )
+
+    def test_sparse_between_fp_and_dcvc_on_uvg(self):
+        """The paper's narrative: even sparse CTVC still beats DCVC on
+        UVG PSNR."""
+        curves = all_method_curves("uvg", "psnr")
+        anchor = curves["h265"]
+        assert (
+            bd_rate(anchor, curves["ctvc-fp"])
+            < bd_rate(anchor, curves["ctvc-sparse"])
+            < bd_rate(anchor, curves["dcvc"])
+        )
+
+    def test_fp_fxp_sparse_ordering_everywhere(self):
+        for metric in ("psnr", "ms-ssim"):
+            for dataset in DATASETS:
+                curves = all_method_curves(dataset, metric)
+                anchor = curves["h265"]
+                fp = bd_rate(anchor, curves["ctvc-fp"])
+                fxp = bd_rate(anchor, curves["ctvc-fxp"])
+                sparse = bd_rate(anchor, curves["ctvc-sparse"])
+                assert fp < fxp < sparse
+
+    def test_unknown_method(self):
+        with pytest.raises(KeyError):
+            model_curve("av1", "uvg", "psnr")
+
+    def test_curves_stay_monotone(self):
+        for dataset in DATASETS:
+            for method in METHODS:
+                assert model_curve(method, dataset, "psnr").validate_monotone()

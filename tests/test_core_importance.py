@@ -1,0 +1,69 @@
+"""Tests for the importance factor matrix Q (Eq. 6-7)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PAPER_F23,
+    PAPER_T3_64,
+    cook_toom_conv,
+    importance_matrix,
+    importance_matrix_naive,
+    importance_tensor_h,
+)
+
+
+class TestHTensor:
+    def test_shape(self):
+        h = importance_tensor_h(PAPER_F23)
+        spec = PAPER_F23
+        assert h.shape == (spec.m, spec.m, spec.mu, spec.mu, spec.p, spec.p)
+
+    def test_deconv_shape(self):
+        h = importance_tensor_h(PAPER_T3_64)
+        spec = PAPER_T3_64
+        assert h.shape == (spec.m, spec.m, spec.mu, spec.mu, spec.p, spec.p)
+
+    def test_factorization(self):
+        """H[c,d,i,j,q,v] = A[i,c] A[j,d] B[q,i] B[v,j] exactly."""
+        spec = PAPER_F23
+        h = importance_tensor_h(spec)
+        a, b = spec.a, spec.b
+        for c in range(spec.m):
+            for i in range(spec.mu):
+                for q in range(spec.p):
+                    assert h[c, c, i, i, q, q] == pytest.approx(
+                        a[i, c] * a[i, c] * b[q, i] * b[q, i]
+                    )
+
+
+class TestImportanceMatrix:
+    @pytest.mark.parametrize("spec", [PAPER_F23, PAPER_T3_64, cook_toom_conv(3, 3)])
+    def test_closed_form_matches_naive(self, spec):
+        assert np.allclose(importance_matrix(spec), importance_matrix_naive(spec))
+
+    def test_symmetric(self):
+        q = importance_matrix(PAPER_T3_64)
+        assert np.allclose(q, q.T)
+
+    def test_rank_one(self):
+        q = importance_matrix(PAPER_F23)
+        singular = np.linalg.svd(q, compute_uv=False)
+        assert singular[1] < 1e-12 * singular[0]
+
+    def test_nonnegative(self):
+        assert (importance_matrix(PAPER_F23) >= 0).all()
+        assert (importance_matrix(PAPER_T3_64) >= 0).all()
+
+    def test_nonuniform(self):
+        """Q must actually discriminate positions — otherwise importance
+        scaling would be a no-op and Eq. (6) pointless."""
+        q = importance_matrix(PAPER_F23)
+        assert q.max() / q.min() > 1.5
+
+    def test_f23_center_positions_heavier(self):
+        """For F(2,3) the interior transform rows combine more output
+        and input taps, so their importance exceeds the corners'."""
+        q = importance_matrix(PAPER_F23)
+        assert q[1, 1] > q[0, 0]
+        assert q[1, 1] > q[3, 3]

@@ -1,0 +1,109 @@
+"""Tests for transform-domain pruning (Eq. 8-9)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PAPER_F23,
+    PAPER_T3_64,
+    prune_transform_weights,
+    sparsity_of_mask,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(31)
+
+
+class TestBalancedPruning:
+    @pytest.mark.parametrize("rho", [0.0, 0.25, 0.5, 0.75])
+    def test_exact_sparsity(self, rng, rho):
+        w = rng.standard_normal((6, 5, 3, 3))
+        pruned = prune_transform_weights(w, PAPER_F23, rho=rho, mode="balanced")
+        keep = round((1 - rho) * 16)
+        assert np.all(pruned.nonzeros_per_patch() == keep)
+        assert pruned.achieved_sparsity == pytest.approx(1 - keep / 16)
+
+    def test_deconv_sparsity(self, rng):
+        w = rng.standard_normal((4, 3, 4, 4))
+        pruned = prune_transform_weights(w, PAPER_T3_64, rho=0.5, mode="balanced")
+        assert np.all(pruned.nonzeros_per_patch() == 32)
+        assert pruned.achieved_sparsity == pytest.approx(0.5)
+
+    def test_mask_is_binary(self, rng):
+        w = rng.standard_normal((2, 2, 3, 3))
+        pruned = prune_transform_weights(w, PAPER_F23, rho=0.5)
+        assert set(np.unique(pruned.mask)) <= {0.0, 1.0}
+
+    def test_values_respect_mask(self, rng):
+        w = rng.standard_normal((2, 2, 3, 3))
+        pruned = prune_transform_weights(w, PAPER_F23, rho=0.5)
+        assert np.all(pruned.values[pruned.mask == 0] == 0.0)
+        transformed = PAPER_F23.transform_kernel_2d(w)
+        kept = pruned.mask == 1
+        assert np.allclose(pruned.values[kept], transformed[kept])
+
+    def test_keeps_highest_scores(self, rng):
+        """Within each patch the survivors are exactly the top Q^2 E^2."""
+        from repro.core import importance_matrix
+
+        w = rng.standard_normal((1, 1, 3, 3))
+        pruned = prune_transform_weights(w, PAPER_F23, rho=0.5)
+        e = PAPER_F23.transform_kernel_2d(w)[0, 0]
+        q = importance_matrix(PAPER_F23)
+        scores = (q**2 * e**2).ravel()
+        kept = pruned.mask[0, 0].ravel() > 0
+        assert scores[kept].min() >= scores[~kept].max() - 1e-12
+
+
+class TestGlobalPruning:
+    @pytest.mark.parametrize("rho", [0.25, 0.5, 0.75])
+    def test_exact_overall_sparsity(self, rng, rho):
+        w = rng.standard_normal((8, 7, 3, 3))
+        pruned = prune_transform_weights(w, PAPER_F23, rho=rho, mode="global")
+        assert pruned.achieved_sparsity == pytest.approx(rho, abs=1e-9)
+
+    def test_threshold_recorded(self, rng):
+        w = rng.standard_normal((4, 4, 3, 3))
+        pruned = prune_transform_weights(w, PAPER_F23, rho=0.5, mode="global")
+        assert np.isfinite(pruned.threshold)
+
+    def test_threshold_semantics(self, rng):
+        """Eq. (8): kept entries score above zeta, pruned at or below."""
+        from repro.core import importance_matrix
+
+        w = rng.standard_normal((3, 3, 3, 3))
+        pruned = prune_transform_weights(w, PAPER_F23, rho=0.5, mode="global")
+        q = importance_matrix(PAPER_F23)
+        scores = (q**2) * (PAPER_F23.transform_kernel_2d(w) ** 2)
+        assert scores[pruned.mask > 0].min() >= pruned.threshold
+        assert scores[pruned.mask == 0].max() <= pruned.threshold
+
+    def test_rho_zero_keeps_all(self, rng):
+        w = rng.standard_normal((2, 2, 3, 3))
+        pruned = prune_transform_weights(w, PAPER_F23, rho=0.0, mode="global")
+        assert pruned.achieved_sparsity == 0.0
+
+
+class TestValidation:
+    def test_bad_rho(self, rng):
+        w = rng.standard_normal((2, 2, 3, 3))
+        with pytest.raises(ValueError):
+            prune_transform_weights(w, PAPER_F23, rho=1.0)
+        with pytest.raises(ValueError):
+            prune_transform_weights(w, PAPER_F23, rho=-0.1)
+
+    def test_bad_mode(self, rng):
+        w = rng.standard_normal((2, 2, 3, 3))
+        with pytest.raises(ValueError):
+            prune_transform_weights(w, PAPER_F23, rho=0.5, mode="magnitude")
+
+    def test_kernel_size_mismatch(self, rng):
+        w = rng.standard_normal((2, 2, 5, 5))
+        with pytest.raises(ValueError):
+            prune_transform_weights(w, PAPER_F23, rho=0.5)
+
+    def test_sparsity_of_mask(self):
+        mask = np.array([1.0, 0.0, 0.0, 1.0])
+        assert sparsity_of_mask(mask) == pytest.approx(0.5)

@@ -1,0 +1,84 @@
+"""Tests for the compressed Weight/Index buffer representation."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PAPER_F23,
+    PAPER_T3_64,
+    compress_kernel,
+    prune_transform_weights,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(41)
+
+
+class TestCompressedKernel:
+    def test_roundtrip_balanced(self, rng):
+        w = rng.standard_normal((5, 4, 3, 3))
+        pruned = prune_transform_weights(w, PAPER_F23, rho=0.5)
+        packed = compress_kernel(pruned)
+        assert np.allclose(packed.to_dense(), pruned.values)
+
+    def test_roundtrip_global(self, rng):
+        w = rng.standard_normal((5, 4, 4, 4))
+        pruned = prune_transform_weights(w, PAPER_T3_64, rho=0.6, mode="global")
+        packed = compress_kernel(pruned)
+        assert np.allclose(packed.to_dense(), pruned.values)
+
+    def test_balanced_flag(self, rng):
+        w = rng.standard_normal((3, 3, 3, 3))
+        balanced = compress_kernel(prune_transform_weights(w, PAPER_F23, rho=0.5))
+        assert balanced.is_balanced
+
+    def test_nonzero_count_matches_mask(self, rng):
+        w = rng.standard_normal((4, 2, 3, 3))
+        pruned = prune_transform_weights(w, PAPER_F23, rho=0.25)
+        packed = compress_kernel(pruned)
+        assert packed.num_nonzeros == int(pruned.mask.sum())
+
+    def test_index_bits(self, rng):
+        w_conv = rng.standard_normal((2, 2, 3, 3))
+        w_deconv = rng.standard_normal((2, 2, 4, 4))
+        conv_packed = compress_kernel(prune_transform_weights(w_conv, PAPER_F23, 0.5))
+        deconv_packed = compress_kernel(
+            prune_transform_weights(w_deconv, PAPER_T3_64, 0.5)
+        )
+        # 16 positions -> 4 bits; 64 positions -> 6 bits.
+        assert conv_packed.index_bits == 4
+        assert deconv_packed.index_bits == 6
+
+    def test_buffer_footprints(self, rng):
+        w = rng.standard_normal((4, 4, 3, 3))
+        packed = compress_kernel(prune_transform_weights(w, PAPER_F23, 0.5), 16)
+        nnz = 4 * 4 * 8  # 8 survivors per patch at rho=0.5
+        assert packed.num_nonzeros == nnz
+        assert packed.weight_buffer_bits() == nnz * 16
+        assert packed.index_buffer_bits() == nnz * 4
+
+    def test_patch_accessor(self, rng):
+        w = rng.standard_normal((3, 2, 3, 3))
+        pruned = prune_transform_weights(w, PAPER_F23, rho=0.5)
+        packed = compress_kernel(pruned)
+        vals, idx = packed.patch(1, 1)
+        dense_patch = pruned.values[1, 1].ravel()
+        assert np.allclose(dense_patch[idx], vals)
+        assert np.count_nonzero(dense_patch) == len(vals)
+
+    def test_indices_sorted_within_patch(self, rng):
+        """The hardware index buffer streams positions in order."""
+        w = rng.standard_normal((2, 2, 3, 3))
+        packed = compress_kernel(prune_transform_weights(w, PAPER_F23, 0.5))
+        for oc in range(2):
+            for ic in range(2):
+                _, idx = packed.patch(oc, ic)
+                assert np.all(np.diff(idx) > 0)
+
+    def test_sparsity_halves_weight_buffer(self, rng):
+        w = rng.standard_normal((4, 4, 3, 3))
+        dense = compress_kernel(prune_transform_weights(w, PAPER_F23, 0.0))
+        half = compress_kernel(prune_transform_weights(w, PAPER_F23, 0.5))
+        assert half.weight_buffer_bits() == dense.weight_buffer_bits() // 2

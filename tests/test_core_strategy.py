@@ -1,0 +1,95 @@
+"""Tests for network-wide sparse strategy application."""
+
+import numpy as np
+import pytest
+
+from repro.core import SparseStrategy, compressed_kernels, pruned_kernels
+from repro.nn import Conv2d, ConvTranspose2d, ReLU, ResBlock, Sequential
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(61)
+
+
+def small_network(rng):
+    return Sequential(
+        Conv2d(3, 8, 3, rng=rng),  # prunable (F23)
+        ReLU(),
+        ResBlock(8, rng=rng),  # two prunable convs
+        Conv2d(8, 8, 3, stride=2, rng=rng),  # NOT prunable (stride 2)
+        ConvTranspose2d(8, 4, 4, stride=2, rng=rng),  # prunable (T3)
+    )
+
+
+class TestSparseStrategy:
+    def test_identifies_prunable_layers(self, rng):
+        model = small_network(rng)
+        strategy = SparseStrategy(rho=0.5)
+        names = [name for name, _ in strategy.prunable_layers(model)]
+        assert len(names) == 4
+        assert "layer3" not in names  # the stride-2 conv
+
+    def test_prune_network_report(self, rng):
+        model = small_network(rng)
+        report = SparseStrategy(rho=0.5).prune_network(model)
+        assert report.num_layers == 4
+        assert report.overall_sparsity == pytest.approx(0.5)
+        assert report.total_weight_buffer_bits > 0
+        assert report.total_index_buffer_bits > 0
+        assert "rho=0.50" in str(report)
+
+    def test_backends_installed_and_functional(self, rng):
+        model = small_network(rng)
+        x = rng.standard_normal((3, 16, 16))
+        dense_out = model(x)
+        SparseStrategy(rho=0.0).prune_network(model)
+        sparse_out = model(x)
+        # rho=0 sparse execution is mathematically identical.
+        assert np.abs(sparse_out - dense_out).max() < 1e-9
+
+    def test_rho50_approximates(self, rng):
+        model = small_network(rng)
+        x = rng.standard_normal((3, 16, 16))
+        dense_out = model(x)
+        SparseStrategy(rho=0.5).prune_network(model)
+        sparse_out = model(x)
+        rel = np.linalg.norm(sparse_out - dense_out) / np.linalg.norm(dense_out)
+        # On a random He-initialized network pruning error compounds
+        # through depth; bounded distortion is all we ask here.  The
+        # paper-level accuracy claim (sparse ~ dense) is validated on
+        # the structured-initialization codec in test_codec_ctvc.
+        assert 0.0 < rel < 1.0
+
+    def test_restore_dense(self, rng):
+        model = small_network(rng)
+        x = rng.standard_normal((3, 16, 16))
+        dense_out = model(x)
+        SparseStrategy(rho=0.5).prune_network(model)
+        count = SparseStrategy.restore_dense(model)
+        assert count == 4
+        assert np.abs(model(x) - dense_out).max() < 1e-12
+
+    def test_kernel_collections(self, rng):
+        model = small_network(rng)
+        SparseStrategy(rho=0.5).prune_network(model)
+        pruned = pruned_kernels(model)
+        packed = compressed_kernels(model)
+        assert set(pruned) == set(packed)
+        assert len(pruned) == 4
+
+    def test_invalid_rho(self):
+        with pytest.raises(ValueError):
+            SparseStrategy(rho=1.5)
+
+    def test_global_mode(self, rng):
+        model = small_network(rng)
+        report = SparseStrategy(rho=0.5, mode="global").prune_network(model)
+        assert report.overall_sparsity == pytest.approx(0.5, abs=0.01)
+
+    def test_higher_sparsity_smaller_buffers(self, rng):
+        model_a = small_network(np.random.default_rng(1))
+        model_b = small_network(np.random.default_rng(1))
+        r25 = SparseStrategy(rho=0.25).prune_network(model_a)
+        r75 = SparseStrategy(rho=0.75).prune_network(model_b)
+        assert r75.total_weight_buffer_bits < r25.total_weight_buffer_bits

@@ -1,0 +1,156 @@
+"""Tests for the fast-algorithm transform matrices (Eq. 1-5)."""
+
+import numpy as np
+import pytest
+from scipy.signal import correlate2d
+
+from repro.core import PAPER_F23, PAPER_T3_64, cook_toom_conv, fta_deconv
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(21)
+
+
+def direct_deconv_full_1d(x, g, stride):
+    n = (len(x) - 1) * stride + len(g)
+    y = np.zeros(n)
+    for i, xi in enumerate(x):
+        y[i * stride : i * stride + len(g)] += xi * g
+    return y
+
+
+def direct_deconv_full_2d(x, w, stride):
+    p = x.shape[0]
+    k = w.shape[0]
+    n = (p - 1) * stride + k
+    y = np.zeros((n, n))
+    for i in range(p):
+        for j in range(p):
+            y[i * stride : i * stride + k, j * stride : j * stride + k] += x[i, j] * w
+    return y
+
+
+class TestPaperMatrices:
+    """The exact constants of Eq. (2)-(5)."""
+
+    def test_f23_geometry(self):
+        assert (PAPER_F23.m, PAPER_F23.k, PAPER_F23.p, PAPER_F23.mu) == (2, 3, 4, 4)
+        assert PAPER_F23.stride == 1
+
+    def test_t3_geometry(self):
+        # p = ceil((k + r*s - 1)/s) = 5; mu = k + (r-1)*s = 8 (Sec. III-B).
+        spec = PAPER_T3_64
+        assert (spec.m, spec.k, spec.p, spec.mu) == (6, 4, 5, 8)
+        assert spec.stride == 2
+
+    def test_f23_multiplication_claim(self):
+        """'a 3x3 Conv producing a 2x2 output patch requires 16
+        multiplications, whereas a standard Conv needs 36'."""
+        assert PAPER_F23.multiplications_per_tile == 16
+        assert PAPER_F23.direct_multiplications_per_tile() == 36
+        assert PAPER_F23.speedup == pytest.approx(2.25)
+
+    def test_t3_multiplication_claim(self):
+        """T3(6x6, 4x4) 'involves 64 multiplications' (vs 144 direct)."""
+        assert PAPER_T3_64.multiplications_per_tile == 64
+        assert PAPER_T3_64.direct_multiplications_per_tile() == 144
+        assert PAPER_T3_64.speedup == pytest.approx(2.25)
+
+    def test_f23_1d_equals_direct(self, rng):
+        x = rng.standard_normal(4)
+        g = rng.standard_normal(3)
+        ref = np.array([np.dot(g, x[j : j + 3]) for j in range(2)])
+        assert np.abs(PAPER_F23.apply_1d(x, g) - ref).max() < 1e-12
+
+    def test_f23_2d_equals_direct(self, rng):
+        x = rng.standard_normal((4, 4))
+        w = rng.standard_normal((3, 3))
+        ref = correlate2d(x, w, mode="valid")
+        assert np.abs(PAPER_F23.apply_2d(x, w) - ref).max() < 1e-12
+
+    def test_t3_1d_equals_direct(self, rng):
+        spec = PAPER_T3_64
+        x = rng.standard_normal(spec.p)
+        g = rng.standard_normal(spec.k)
+        full = direct_deconv_full_1d(x, g, spec.stride)
+        ref = full[spec.output_offset : spec.output_offset + spec.m]
+        assert np.abs(spec.apply_1d(x, g) - ref).max() < 1e-12
+
+    def test_t3_2d_equals_direct(self, rng):
+        spec = PAPER_T3_64
+        x = rng.standard_normal((spec.p, spec.p))
+        w = rng.standard_normal((spec.k, spec.k))
+        full = direct_deconv_full_2d(x, w, spec.stride)
+        o = spec.output_offset
+        ref = full[o : o + spec.m, o : o + spec.m]
+        assert np.abs(spec.apply_2d(x, w) - ref).max() < 1e-12
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            PAPER_F23.__class__(
+                kind="conv",
+                m=2,
+                k=3,
+                p=4,
+                mu=4,
+                stride=1,
+                a=np.zeros((3, 3)),
+                b=PAPER_F23.b,
+                g=PAPER_F23.g,
+            )
+
+
+class TestCookToom:
+    @pytest.mark.parametrize("m,k", [(2, 3), (3, 3), (4, 3), (2, 5), (3, 2), (6, 3)])
+    def test_conv_property(self, rng, m, k):
+        spec = cook_toom_conv(m, k)
+        assert spec.p == m + k - 1
+        x = rng.standard_normal(spec.p)
+        g = rng.standard_normal(k)
+        ref = np.array([np.dot(g, x[j : j + k]) for j in range(m)])
+        assert np.abs(spec.apply_1d(x, g) - ref).max() < 1e-8
+
+    def test_too_large_raises(self):
+        with pytest.raises(ValueError):
+            cook_toom_conv(16, 16)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            cook_toom_conv(0, 3)
+
+
+class TestFTAGeneric:
+    @pytest.mark.parametrize(
+        "r,s,k", [(3, 2, 4), (2, 2, 4), (1, 2, 4), (3, 3, 6), (2, 2, 2), (4, 2, 4), (2, 3, 3)]
+    )
+    def test_deconv_property(self, rng, r, s, k):
+        spec = fta_deconv(r, s, k)
+        assert spec.m == r * s
+        x = rng.standard_normal(spec.p)
+        g = rng.standard_normal(k)
+        full = direct_deconv_full_1d(x, g, s)
+        ref = full[spec.output_offset : spec.output_offset + spec.m]
+        assert np.abs(spec.apply_1d(x, g) - ref).max() < 1e-8
+
+    def test_paper_geometry_formulas(self):
+        """p = ceil((k + r*s - 1)/s) and mu = k + (r-1)*s (Sec. III-B)."""
+        for r, s, k in [(3, 2, 4), (2, 2, 4), (4, 2, 4), (3, 3, 6)]:
+            spec = fta_deconv(r, s, k)
+            assert spec.p == -(-(k + r * s - 1) // s)
+            assert spec.mu == k + (r - 1) * s
+
+    def test_kernel_smaller_than_stride_rejected(self):
+        with pytest.raises(ValueError):
+            fta_deconv(2, 3, 2)
+
+    def test_generic_matches_paper_t3_behaviour(self, rng):
+        """Generated T3(6x6,4x4) must compute the same function as the
+        paper's published matrices (the matrices themselves may differ
+        by diagonal scaling)."""
+        generated = fta_deconv(3, 2, 4)
+        x = rng.standard_normal(5)
+        g = rng.standard_normal(4)
+        assert np.abs(
+            generated.apply_1d(x, g) - PAPER_T3_64.apply_1d(x, g)
+        ).max() < 1e-10

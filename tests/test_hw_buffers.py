@@ -1,0 +1,130 @@
+"""Tests for the on-chip buffer models and chain-capacity checks."""
+
+import pytest
+
+from repro.codec import decoder_graph
+from repro.hw import (
+    BufferModel,
+    BufferOverflowError,
+    BufferSpec,
+    NVCAConfig,
+    max_stripe_width,
+    required_chain_rows,
+    validate_chain_capacity,
+)
+
+
+@pytest.fixture
+def small_buffer():
+    return BufferModel(BufferSpec("test", kbytes=1.0, banks=2, word_bits=64))
+
+
+def decoder_chains():
+    graph = decoder_graph(1080, 1920, 36)
+    chains: dict[int, list] = {}
+    for layer in graph:
+        if layer.chain_id >= 0:
+            chains.setdefault(layer.chain_id, []).append(layer)
+    return chains
+
+
+class TestBufferModel:
+    def test_capacity_bits(self, small_buffer):
+        assert small_buffer.capacity_bits == 8192
+
+    def test_allocate_release(self, small_buffer):
+        small_buffer.allocate("tile", 4096)
+        assert small_buffer.free_bits == 4096
+        small_buffer.release("tile")
+        assert small_buffer.free_bits == 8192
+        assert small_buffer.peak_bits == 4096
+
+    def test_overflow_raises(self, small_buffer):
+        with pytest.raises(BufferOverflowError):
+            small_buffer.allocate("huge", 10000)
+
+    def test_fragmented_overflow(self, small_buffer):
+        small_buffer.allocate("a", 5000)
+        with pytest.raises(BufferOverflowError):
+            small_buffer.allocate("b", 5000)
+
+    def test_duplicate_name_rejected(self, small_buffer):
+        small_buffer.allocate("a", 10)
+        with pytest.raises(ValueError):
+            small_buffer.allocate("a", 10)
+
+    def test_negative_allocation_rejected(self, small_buffer):
+        with pytest.raises(ValueError):
+            small_buffer.allocate("neg", -1)
+
+    def test_access_counting_rounds_to_words(self, small_buffer):
+        small_buffer.read(65)  # 64-bit words -> 2 accesses
+        small_buffer.write(64)
+        assert small_buffer.reads == 2
+        assert small_buffer.writes == 1
+
+    def test_access_energy(self, small_buffer):
+        small_buffer.read(64)
+        small_buffer.write(64)
+        assert small_buffer.access_energy_j(5.0) == pytest.approx(10e-12)
+
+    def test_utilization(self, small_buffer):
+        small_buffer.allocate("half", 4096)
+        assert small_buffer.utilization() == pytest.approx(0.5)
+
+
+class TestChainCapacity:
+    def test_fig7a_row_requirements(self):
+        """Fig. 7(a): the Conv-Conv-DeConv chain holds a 10-row window
+        (A:10 via B:8 via C:5, at 2-row conv tile granularity)."""
+        chains = decoder_chains()
+        synthesis = next(
+            c
+            for c in chains.values()
+            if [l.kind for l in c] == ["conv", "conv", "deconv"]
+        )
+        assert required_chain_rows(synthesis) == 10
+
+    def test_resblock_chain_rows(self):
+        chains = decoder_chains()
+        resblock = next(
+            c for c in chains.values() if [l.kind for l in c] == ["conv", "conv"]
+        )
+        assert required_chain_rows(resblock) == 6
+
+    def test_empty_chain(self):
+        assert required_chain_rows([]) == 0
+
+    def test_every_decoder_chain_fits_the_input_buffer(self):
+        """The configuration's stripe width must be feasible for every
+        chain the traffic model assumes — otherwise Fig. 9(b)'s chained
+        numbers would not be physically realizable."""
+        config = NVCAConfig()
+        for chain in decoder_chains().values():
+            assert validate_chain_capacity(chain, config), chain[0].name
+
+    def test_stripe_width_shrinks_with_deeper_chains(self):
+        chains = decoder_chains()
+        synthesis = next(
+            c
+            for c in chains.values()
+            if [l.kind for l in c] == ["conv", "conv", "deconv"]
+        )
+        resblock = next(
+            c for c in chains.values() if [l.kind for l in c] == ["conv", "conv"]
+        )
+        assert max_stripe_width(synthesis) < max_stripe_width(resblock)
+
+    def test_tiny_buffer_rejects_chains(self):
+        import dataclasses
+
+        config = dataclasses.replace(
+            NVCAConfig(), input_buffer=BufferSpec("input", 4.0, banks=10)
+        )
+        chains = decoder_chains()
+        synthesis = next(
+            c
+            for c in chains.values()
+            if [l.kind for l in c] == ["conv", "conv", "deconv"]
+        )
+        assert not validate_chain_capacity(synthesis, config)

@@ -1,0 +1,157 @@
+"""Tests for the heterogeneous layer chaining dataflow (Fig. 7 / 9(b))."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codec import decoder_graph
+from repro.hw import (
+    ChainLayer,
+    InputBufferScheduler,
+    NVCAConfig,
+    compare_traffic,
+)
+
+
+@pytest.fixture(scope="module")
+def traffic():
+    return compare_traffic(decoder_graph(1080, 1920, 36), NVCAConfig())
+
+
+class TestTrafficComparison:
+    def test_five_modules(self, traffic):
+        assert [m.module for m in traffic.modules] == [
+            "feature_extraction",
+            "motion_synthesis",
+            "deformable_compensation",
+            "residual_synthesis",
+            "frame_reconstruction",
+        ]
+
+    def test_chaining_never_increases_traffic(self, traffic):
+        for module in traffic.modules:
+            assert module.chained_bytes <= module.baseline_bytes
+
+    def test_synthesis_reduction_matches_paper(self, traffic):
+        """The (Conv, Conv, DeConv) chain accounting gives the paper's
+        44.4% for the synthesis transforms almost exactly."""
+        for name in ("motion_synthesis", "residual_synthesis"):
+            assert traffic.by_module(name).reduction == pytest.approx(0.444, abs=0.02)
+
+    def test_compensation_reduction_smallest(self, traffic):
+        """The DCC island: smallest reduction of all modules (paper
+        22.2%, ours ~20%)."""
+        dc = traffic.by_module("deformable_compensation")
+        assert dc.reduction == pytest.approx(0.22, abs=0.04)
+        for module in traffic.modules:
+            if module.module != "deformable_compensation":
+                assert module.reduction > dc.reduction
+
+    def test_frame_reconstruction_reduction_largest(self, traffic):
+        """Paper: FR shows the biggest saving (75%)."""
+        fr = traffic.by_module("frame_reconstruction")
+        for module in traffic.modules:
+            if module.module != "frame_reconstruction":
+                assert fr.reduction >= module.reduction
+
+    def test_overall_reduction_near_paper(self, traffic):
+        """Paper: 40.7% overall; the model lands in the same band."""
+        assert 0.35 <= traffic.overall_reduction <= 0.55
+
+    def test_unknown_module_raises(self, traffic):
+        with pytest.raises(KeyError):
+            traffic.by_module("entropy")
+
+    def test_str_rendering(self, traffic):
+        assert "GB" in str(traffic)
+
+
+def canonical_chain():
+    return [
+        ChainLayer.conv3x3("conv1"),
+        ChainLayer.conv3x3("conv2"),
+        ChainLayer.deconv4x4_s2("deconv"),
+    ]
+
+
+class TestInputBufferScheduler:
+    def test_fig7_row_requirements(self):
+        """Fig. 7(a): 6 output rows need C:5, B:8, A:10 rows.
+
+        One deconv firing needs 5 C-rows; producing C rows 0-4 takes 3
+        conv firings covering B rows 0-7 (window 4, step 2, 3 firings
+        -> reads rows 0..5 plus lookahead to 7 for row 6 coverage...),
+        which in turn need A rows 0-9.  The scheduler's DRAM fetch
+        count for the first deconv firing is exactly 10.
+        """
+        scheduler = InputBufferScheduler(canonical_chain(), num_banks=10)
+        scheduler.run(output_row_groups=1)
+        summary = scheduler.summary()
+        assert summary["final_rows"] == 6
+        assert summary["dram_row_fetches"] == 10
+
+    def test_liveness_invariant(self):
+        scheduler = InputBufferScheduler(canonical_chain(), num_banks=10)
+        scheduler.run(output_row_groups=4)
+        assert scheduler.assert_no_live_overwrite()
+
+    def test_ten_banks_suffice_for_paper_chain(self):
+        """The paper's Input Buffer has exactly 10 banks for the
+        Conv-Conv-DeConv chain."""
+        scheduler = InputBufferScheduler(canonical_chain(), num_banks=10)
+        scheduler.run(output_row_groups=5)
+        assert scheduler.live_overwrites == 0
+
+    def test_intermediates_never_fetched(self):
+        """Only chain-input (A) rows come from DRAM; B and C rows are
+        produced and consumed on chip — the point of chaining."""
+        scheduler = InputBufferScheduler(canonical_chain(), num_banks=10)
+        steps = scheduler.run(output_row_groups=3)
+        fetched_maps = {
+            name
+            for step in steps
+            if step.fired_layer == "fetch"
+            for name, _, _ in step.writes
+        }
+        assert fetched_maps == {"A"}
+        assert scheduler.onchip_rows_reused > 0
+
+    def test_input_advance_rate(self):
+        """Steady state: each 6-row output group consumes 3 new input
+        rows per conv stage cascade (~6 rows of A per group after the
+        pipeline fills)."""
+        scheduler = InputBufferScheduler(canonical_chain(), num_banks=10)
+        scheduler.run(output_row_groups=1)
+        first = scheduler.dram_row_fetches
+        scheduler.run(output_row_groups=4)
+        total = scheduler.dram_row_fetches
+        # One 6-row output group consumes 3 new chain-input rows in
+        # steady state (2 rows per conv firing cascade, 1.5 firings).
+        assert (total - first) / 3 == pytest.approx(3.0, abs=1.0)
+
+    def test_conv_only_chain(self):
+        scheduler = InputBufferScheduler(
+            [ChainLayer.conv3x3("c1"), ChainLayer.conv3x3("c2")], num_banks=8
+        )
+        scheduler.run(output_row_groups=4)
+        assert scheduler.assert_no_live_overwrite()
+        assert scheduler.summary()["final_rows"] == 8
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            InputBufferScheduler([], num_banks=10)
+
+    def test_bank_occupancy_snapshot(self):
+        scheduler = InputBufferScheduler(canonical_chain(), num_banks=10)
+        scheduler.run(output_row_groups=1)
+        occupancy = scheduler.bank_occupancy()
+        assert len(occupancy) == 10
+
+    @settings(max_examples=20, deadline=None)
+    @given(groups=st.integers(min_value=1, max_value=8), banks=st.integers(min_value=10, max_value=16))
+    def test_liveness_property(self, groups, banks):
+        """For any run length and bank count >= 10, no live row is ever
+        overwritten (the Fig. 7(b) correctness property)."""
+        scheduler = InputBufferScheduler(canonical_chain(), num_banks=banks)
+        scheduler.run(output_row_groups=groups)
+        assert scheduler.live_overwrites == 0

@@ -1,0 +1,85 @@
+"""Tests for the design-space exploration sweeps."""
+
+import pytest
+
+from repro.codec import decoder_graph
+from repro.hw import (
+    DesignPoint,
+    pareto_front,
+    sweep_array_geometry,
+    sweep_sparsity,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return decoder_graph(540, 960, 36)  # quarter-HD keeps sweeps fast
+
+
+class TestGeometrySweep:
+    def test_bigger_arrays_faster(self, graph):
+        points = sweep_array_geometry(graph, ((6, 6), (12, 12), (18, 18)))
+        assert points[0].fps < points[1].fps < points[2].fps
+
+    def test_bigger_arrays_cost_more(self, graph):
+        points = sweep_array_geometry(graph, ((6, 6), (12, 12), (18, 18)))
+        assert points[0].gate_count_m < points[2].gate_count_m
+        assert points[0].chip_power_w < points[2].chip_power_w
+
+    def test_labels(self, graph):
+        points = sweep_array_geometry(graph, ((12, 12),))
+        assert points[0].label == "12x12"
+        assert points[0].pif == points[0].pof == 12
+
+
+class TestSparsitySweep:
+    def test_sparsity_trades_area_for_nothing_at_dcc_bound(self, graph):
+        """At the paper's operating point the DCC bounds the frame
+        rate, so sparsity buys power/area at ~equal FPS — the design
+        argument for rho = 50%."""
+        points = sweep_sparsity(graph, (0.0, 0.5))
+        dense, sparse = points
+        assert sparse.fps == pytest.approx(dense.fps, rel=0.05)
+        assert sparse.chip_power_w < dense.chip_power_w
+        assert sparse.gate_count_m < dense.gate_count_m
+
+    def test_monotone_cost_in_density(self, graph):
+        points = sweep_sparsity(graph, (0.0, 0.25, 0.5, 0.75))
+        gates = [p.gate_count_m for p in points]
+        assert gates == sorted(gates, reverse=True)
+
+
+class TestParetoFront:
+    def make(self, label, fps, eff):
+        return DesignPoint(
+            label=label,
+            pif=1,
+            pof=1,
+            rho=0.5,
+            frequency_mhz=400,
+            fps=fps,
+            sustained_gops=0.0,
+            chip_power_w=1.0,
+            gate_count_m=1.0,
+            energy_efficiency=eff,
+        )
+
+    def test_dominated_points_removed(self):
+        a = self.make("a", fps=10, eff=100)
+        b = self.make("b", fps=20, eff=200)  # dominates a
+        c = self.make("c", fps=30, eff=50)  # trade-off with b
+        front = pareto_front([a, b, c])
+        assert {p.label for p in front} == {"b", "c"}
+
+    def test_all_nondominated_kept(self):
+        a = self.make("a", fps=10, eff=300)
+        b = self.make("b", fps=20, eff=200)
+        c = self.make("c", fps=30, eff=100)
+        assert len(pareto_front([a, b, c])) == 3
+
+    def test_area_efficiency_property(self):
+        point = self.make("x", fps=1, eff=1)
+        point = DesignPoint(
+            **{**point.__dict__, "sustained_gops": 500.0, "gate_count_m": 5.0}
+        )
+        assert point.area_efficiency == pytest.approx(100.0)

@@ -1,0 +1,192 @@
+"""Tests for scheduling, performance, energy, area, and platforms."""
+
+import dataclasses
+
+import pytest
+
+from repro.codec import decoder_graph
+from repro.hw import (
+    ALCHEMIST,
+    CPU_I9_9900X,
+    GPU_RTX3090,
+    NVCAConfig,
+    SHAO_TCAS22,
+    analyze_graph,
+    area_report,
+    compare_traffic,
+    energy_report,
+    nvca_spec,
+    scale_platform,
+    schedule_graph,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return decoder_graph(1080, 1920, 36)
+
+
+@pytest.fixture(scope="module")
+def performance(graph):
+    return analyze_graph(graph, NVCAConfig())
+
+
+@pytest.fixture(scope="module")
+def energy(graph, performance):
+    traffic = compare_traffic(graph, NVCAConfig())
+    return energy_report(performance.schedule, traffic)
+
+
+class TestScheduler:
+    def test_core_assignment(self, graph):
+        schedule = schedule_graph(graph, NVCAConfig())
+        cores = {entry.layer.kind: entry.core for entry in schedule.layers}
+        assert cores["conv"] == "sftc"
+        assert cores["deconv"] == "sftc"
+        assert cores["dfconv"] == "dcc"
+        assert cores["pool"] == "stream"
+
+    def test_total_is_sum_of_cores(self, graph):
+        schedule = schedule_graph(graph, NVCAConfig())
+        assert schedule.total_cycles == schedule.core_cycles(
+            "sftc"
+        ) + schedule.core_cycles("dcc") + schedule.core_cycles("stream")
+
+    def test_module_cycles_cover_total(self, graph):
+        schedule = schedule_graph(graph, NVCAConfig())
+        per_module = sum(
+            schedule.module_cycles(m) for m in graph.modules()
+        )
+        assert per_module == schedule.total_cycles
+
+
+class TestPerformance:
+    def test_paper_frame_rate(self, performance):
+        """Paper: 'NVCA achieves a frame rate of 25 FPS' at 1080p."""
+        assert performance.fps == pytest.approx(25.0, rel=0.05)
+
+    def test_paper_throughput(self, performance):
+        """Paper Table II: 3525 GOPS (ours within 5%)."""
+        assert performance.sustained_gops == pytest.approx(3525.0, rel=0.05)
+
+    def test_throughput_below_peak(self, performance):
+        assert performance.sustained_gops < NVCAConfig().peak_gops
+
+    def test_equivalent_gops_exceeds_sustained(self, performance):
+        """Fast algorithm + sparsity deliver more dense-equivalent work
+        than physical multiplications."""
+        assert performance.equivalent_gops > performance.sustained_gops
+
+    def test_utilization_high(self, performance):
+        assert 0.85 < performance.sftc_utilization <= 1.0
+
+    def test_dcc_dominates_frame_time(self, performance):
+        """The gather-bound DfConv is the bottleneck module."""
+        assert performance.dcc_cycles > performance.sftc_cycles
+
+    def test_module_times_positive(self, performance):
+        for module in performance.per_module_cycles:
+            assert performance.module_time_ms(module) >= 0
+
+    def test_rho_override(self, graph):
+        dense = analyze_graph(graph, NVCAConfig(), rho=0.0)
+        assert dense.config.rho == 0.0
+        # Dense hardware provisions 64 multipliers/SCU.
+        assert dense.config.multipliers_per_scu == 64
+
+
+class TestEnergy:
+    def test_paper_power(self, energy):
+        """Paper Table II: 0.76 W chip power."""
+        assert energy.chip_power_w == pytest.approx(0.76, rel=0.05)
+
+    def test_energy_efficiency_near_paper(self, energy, performance):
+        """Paper: 4638.2 GOPS/W (ours within 7%)."""
+        eff = energy.energy_efficiency_gops_per_w(performance.sustained_gops)
+        assert eff == pytest.approx(4638.2, rel=0.07)
+
+    def test_breakdown_sums(self, energy):
+        total = (
+            energy.mult_energy_j
+            + energy.add_energy_j
+            + energy.dcc_energy_j
+            + energy.sram_energy_j
+            + energy.static_energy_j
+        )
+        assert energy.chip_energy_j == pytest.approx(total)
+
+    def test_dram_energy_separate(self, energy):
+        assert energy.system_energy_j > energy.chip_energy_j
+
+    def test_chaining_saves_dram_energy(self, graph, performance):
+        traffic = compare_traffic(graph, NVCAConfig())
+        chained = energy_report(performance.schedule, traffic)
+        # Fake a baseline by swapping totals.
+        baseline_bytes = traffic.baseline_total
+        assert chained.dram_energy_j < baseline_bytes * 30e-12
+
+
+class TestArea:
+    def test_paper_gate_count(self):
+        """Paper Table II: 5.01 M gates (ours within 3%)."""
+        assert area_report(NVCAConfig()).total_mgates == pytest.approx(5.01, rel=0.03)
+
+    def test_multipliers_dominate(self):
+        report = area_report(NVCAConfig())
+        assert report.components["scu_multipliers"] == max(report.components.values())
+
+    def test_rho_scales_multiplier_area(self):
+        dense = area_report(dataclasses.replace(NVCAConfig(), rho=0.0))
+        sparse = area_report(NVCAConfig())
+        assert dense.components["scu_multipliers"] == pytest.approx(
+            2 * sparse.components["scu_multipliers"]
+        )
+
+    def test_render(self):
+        assert "M gates" in str(area_report(NVCAConfig()))
+
+
+class TestPlatforms:
+    def test_reference_constants_match_paper(self):
+        assert CPU_I9_9900X.throughput_gops == 317.0
+        assert GPU_RTX3090.power_w == 257.1
+        assert SHAO_TCAS22.energy_efficiency == pytest.approx(2121.05, abs=0.1)
+        assert ALCHEMIST.energy_efficiency == pytest.approx(2524.24, abs=0.1)
+
+    def test_paper_speedup_ratios(self, performance, energy):
+        """The headline claims: 2.4x/11.1x throughput, 799.7x/1783.9x
+        energy efficiency vs GPU/CPU, and up to 8.7x / 2.2x vs ASICs."""
+        nvca = nvca_spec(
+            performance.sustained_gops,
+            energy.chip_power_w,
+            area_report(NVCAConfig()).total_mgates,
+            NVCAConfig().on_chip_kbytes(),
+        )
+        assert nvca.throughput_gops / GPU_RTX3090.throughput_gops == pytest.approx(
+            2.4, abs=0.2
+        )
+        assert nvca.throughput_gops / CPU_I9_9900X.throughput_gops == pytest.approx(
+            11.1, rel=0.06
+        )
+        assert nvca.energy_efficiency / GPU_RTX3090.energy_efficiency == pytest.approx(
+            799.7, rel=0.08
+        )
+        assert nvca.energy_efficiency / CPU_I9_9900X.energy_efficiency == pytest.approx(
+            1783.9, rel=0.08
+        )
+        assert nvca.throughput_gops / SHAO_TCAS22.throughput_gops == pytest.approx(
+            8.7, rel=0.06
+        )
+        assert nvca.energy_efficiency / SHAO_TCAS22.energy_efficiency == pytest.approx(
+            2.2, rel=0.1
+        )
+
+    def test_technology_scaling(self):
+        scaled = scale_platform(ALCHEMIST, 28)
+        assert scaled.technology_nm == 28
+        assert scaled.frequency_mhz > ALCHEMIST.frequency_mhz
+        assert scaled.power_w < ALCHEMIST.power_w
+        assert scaled.scaled_from_nm == 65
+
+    def test_scaling_same_node_noop(self):
+        assert scale_platform(SHAO_TCAS22, 28) is SHAO_TCAS22

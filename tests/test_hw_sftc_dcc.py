@@ -1,0 +1,123 @@
+"""Tests for the NVCA config, SFTC and DCC cycle models."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import LayerSpec
+from repro.hw import NVCAConfig, dcc_layer_cost, sftc_layer_cost
+
+
+def conv_layer(cin=36, cout=36, h=64, w=64, kernel=3, stride=1, kind="conv"):
+    return LayerSpec(
+        name="test",
+        module="m",
+        kind=kind,
+        in_channels=cin,
+        out_channels=cout,
+        kernel=kernel,
+        stride=stride,
+        in_h=h,
+        in_w=w,
+        out_h=h * (stride if kind == "deconv" else 1) // (stride if kind == "conv" else 1),
+        out_w=w * (stride if kind == "deconv" else 1) // (stride if kind == "conv" else 1),
+    )
+
+
+class TestNVCAConfig:
+    def test_paper_operating_point(self):
+        cfg = NVCAConfig()
+        assert cfg.channels == 36
+        assert cfg.pif == cfg.pof == 12
+        assert cfg.num_scus == 144
+        # "Each SCU incorporates 64*rho multipliers" at rho = 50%.
+        assert cfg.multipliers_per_scu == 32
+        assert cfg.total_multipliers == 4608
+
+    def test_peak_gops(self):
+        """4608 multipliers x 2 ops x 400 MHz = 3686 GOPS peak — just
+        above the paper's 3525 GOPS sustained."""
+        assert NVCAConfig().peak_gops == pytest.approx(3686.4)
+
+    def test_on_chip_budget_matches_paper(self):
+        assert NVCAConfig().on_chip_kbytes() == pytest.approx(373.0)
+
+    def test_rho_validation(self):
+        with pytest.raises(ValueError):
+            NVCAConfig(rho=1.0)
+
+    def test_rho_scales_multipliers(self):
+        assert dataclasses.replace(NVCAConfig(), rho=0.75).multipliers_per_scu == 16
+        assert dataclasses.replace(NVCAConfig(), rho=0.0).multipliers_per_scu == 64
+
+
+class TestSFTCCost:
+    def test_fast_conv_mode(self):
+        cost = sftc_layer_cost(conv_layer(), NVCAConfig())
+        assert cost.mode == "fast-conv"
+        # 64x64 output in 2x2 tiles = 1024 tiles, 4 per slot = 256 slots,
+        # ceil(36/12)^2 = 9 passes.
+        assert cost.spatial_tiles == 1024
+        assert cost.slots == 256
+        assert cost.cycles == 256 * 9 + NVCAConfig().pipeline_depth
+
+    def test_fast_deconv_mode(self):
+        layer = conv_layer(kind="deconv", kernel=4, stride=2, h=32, w=32)
+        cost = sftc_layer_cost(layer, NVCAConfig())
+        assert cost.mode == "fast-deconv"
+        # 64x64 output in 6x6 tiles: ceil(64/6)=11 per axis.
+        assert cost.spatial_tiles == 121
+        assert cost.slots == 121
+
+    def test_sparse_mults_half_of_fast(self):
+        cost = sftc_layer_cost(conv_layer(), NVCAConfig())
+        assert cost.sparse_mults == pytest.approx(cost.fast_mults * 0.5)
+
+    def test_fast_beats_direct_mults(self):
+        cost = sftc_layer_cost(conv_layer(), NVCAConfig())
+        # F(2,3): 36 -> 16 multiplications per tile (2.25x).
+        assert cost.direct_macs / cost.fast_mults == pytest.approx(2.25, rel=0.01)
+
+    def test_direct_fallback_for_strided_conv(self):
+        layer = conv_layer(kernel=3, stride=2, h=64, w=64)
+        cost = sftc_layer_cost(layer, NVCAConfig())
+        assert cost.mode == "direct"
+        assert cost.cycles >= layer.macs() // NVCAConfig().total_multipliers
+
+    def test_utilization_bounded(self):
+        for layer in (conv_layer(), conv_layer(cout=3), conv_layer(cin=3)):
+            cost = sftc_layer_cost(layer, NVCAConfig())
+            assert 0.0 < cost.utilization <= 1.0
+
+    def test_channel_remainder_hurts_utilization(self):
+        full = sftc_layer_cost(conv_layer(cout=36), NVCAConfig())
+        ragged = sftc_layer_cost(conv_layer(cout=3), NVCAConfig())
+        assert ragged.utilization < full.utilization
+
+    def test_rejects_dfconv(self):
+        layer = conv_layer(kind="dfconv")
+        with pytest.raises(ValueError):
+            sftc_layer_cost(layer, NVCAConfig())
+
+    def test_effective_ops(self):
+        cost = sftc_layer_cost(conv_layer(), NVCAConfig())
+        assert cost.effective_ops() == 2 * cost.direct_macs
+
+
+class TestDCCCost:
+    def test_basic_cost(self):
+        layer = conv_layer(kind="dfconv")
+        cost = dcc_layer_cost(layer, NVCAConfig())
+        assert cost.macs == layer.macs()
+        assert cost.cycles > 0
+        assert cost.interpolation_mults == 4 * 64 * 64 * 9 * 36
+
+    def test_rejects_conv(self):
+        with pytest.raises(ValueError):
+            dcc_layer_cost(conv_layer(), NVCAConfig())
+
+    def test_utilization_slows_dcc(self):
+        layer = conv_layer(kind="dfconv")
+        fast = dcc_layer_cost(layer, dataclasses.replace(NVCAConfig(), dcc_utilization=1.0))
+        slow = dcc_layer_cost(layer, dataclasses.replace(NVCAConfig(), dcc_utilization=0.5))
+        assert slow.cycles > fast.cycles

@@ -1,0 +1,93 @@
+"""Tests for the event-driven SFTC pipeline simulator."""
+
+import dataclasses
+
+import pytest
+
+from repro.codec import decoder_graph
+from repro.core import LayerSpec
+from repro.hw import NVCAConfig, simulate_graph, simulate_layer
+
+
+def conv_layer(cin=36, cout=36, h=64, w=64):
+    return LayerSpec(
+        name="conv",
+        module="m",
+        kind="conv",
+        in_channels=cin,
+        out_channels=cout,
+        kernel=3,
+        stride=1,
+        in_h=h,
+        in_w=w,
+        out_h=h,
+        out_w=w,
+    )
+
+
+def deconv_layer(cin=36, cout=36, h=32, w=32):
+    return LayerSpec(
+        name="deconv",
+        module="m",
+        kind="deconv",
+        in_channels=cin,
+        out_channels=cout,
+        kernel=4,
+        stride=2,
+        in_h=h,
+        in_w=w,
+        out_h=2 * h,
+        out_w=2 * w,
+    )
+
+
+class TestSimulateLayer:
+    def test_conv_close_to_analytical(self):
+        result = simulate_layer(conv_layer(), NVCAConfig())
+        assert result.mismatch < 0.05
+
+    def test_deconv_close_to_analytical(self):
+        result = simulate_layer(deconv_layer(), NVCAConfig())
+        assert result.mismatch < 0.05
+
+    def test_small_layer_constant_overhead_only(self):
+        """Tiny layers are dominated by pipeline-fill constants; the
+        models must agree to within those constants (absolute bound)."""
+        result = simulate_layer(conv_layer(cin=12, cout=12, h=16, w=16), NVCAConfig())
+        assert abs(result.cycles - result.analytical_cycles) <= 2 * NVCAConfig().pipeline_depth
+
+    def test_cycles_at_least_work(self):
+        """Simulation can never beat one work item per cycle."""
+        layer = conv_layer()
+        result = simulate_layer(layer, NVCAConfig())
+        slots = (64 // 2) * (64 // 2) // 4
+        passes = 9
+        assert result.cycles >= slots * passes
+
+    def test_weight_dma_stalls_when_bandwidth_starved(self):
+        config = dataclasses.replace(NVCAConfig(), dram_bytes_per_cycle=0.25)
+        starved = simulate_layer(conv_layer(h=16, w=16), config)
+        healthy = simulate_layer(conv_layer(h=16, w=16), NVCAConfig())
+        assert starved.stall_cycles > healthy.stall_cycles
+        assert starved.cycles > healthy.cycles
+
+    def test_direct_layer_passthrough(self):
+        layer = dataclasses.replace(conv_layer(), stride=2, out_h=32, out_w=32)
+        result = simulate_layer(layer, NVCAConfig())
+        assert result.cycles == result.analytical_cycles
+
+
+class TestSimulateGraph:
+    def test_decoder_graph_agreement(self):
+        """The paper's methodology inverted: the analytical model must
+        agree with the detailed simulator within 5% on the full decoder
+        (they 'verify the simulator against RTL implementation')."""
+        graph = decoder_graph(1080, 1920, 36)
+        result = simulate_graph(graph, NVCAConfig())
+        assert result.mismatch < 0.05
+
+    def test_only_sftc_layers_counted(self):
+        graph = decoder_graph(270, 480, 36)
+        result = simulate_graph(graph, NVCAConfig())
+        assert result.cycles > 0
+        # DfConv is on the DCC, pools stream: neither simulated here.

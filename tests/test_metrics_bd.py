@@ -1,0 +1,129 @@
+"""Tests for RD curves and Bjøntegaard delta metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import RDCurve, RDPoint, bd_quality, bd_rate
+
+
+def make_curve(name, rates, qualities, metric="psnr"):
+    curve = RDCurve(name=name, metric=metric)
+    for r, q in zip(rates, qualities):
+        curve.add(r, q)
+    return curve
+
+
+class TestRDCurve:
+    def test_points_sorted_by_rate(self):
+        curve = RDCurve("x").add(0.3, 36.0).add(0.1, 32.0).add(0.2, 34.0)
+        assert list(curve.rates) == [0.1, 0.2, 0.3]
+
+    def test_nonpositive_bpp_rejected(self):
+        with pytest.raises(ValueError):
+            RDPoint(0.0, 30.0)
+
+    def test_monotone_check(self):
+        good = make_curve("g", [0.1, 0.2, 0.3], [30, 33, 35])
+        bad = make_curve("b", [0.1, 0.2, 0.3], [30, 29, 35])
+        assert good.validate_monotone()
+        assert not bad.validate_monotone()
+
+    def test_msssim_db_mapping(self):
+        curve = make_curve("m", [0.1], [0.99], metric="ms-ssim")
+        assert curve.quality_axis_db()[0] == pytest.approx(20.0, abs=1e-9)
+
+    def test_unknown_metric_raises(self):
+        curve = make_curve("m", [0.1, 0.2], [1.0, 2.0], metric="vmaf")
+        with pytest.raises(ValueError):
+            curve.quality_axis_db()
+
+
+class TestBDRate:
+    def test_identical_curves_zero(self):
+        rates = [0.1, 0.2, 0.4, 0.8]
+        quals = [32.0, 35.0, 38.0, 41.0]
+        a = make_curve("a", rates, quals)
+        b = make_curve("b", rates, quals)
+        assert bd_rate(a, b) == pytest.approx(0.0, abs=1e-9)
+        assert bd_rate(a, b, method="pchip") == pytest.approx(0.0, abs=1e-9)
+
+    def test_half_rate_is_minus_fifty_percent(self):
+        # Same qualities at exactly half the bits => BD-rate = -50 %.
+        rates = np.array([0.1, 0.2, 0.4, 0.8])
+        quals = [32.0, 35.0, 38.0, 41.0]
+        anchor = make_curve("anchor", rates, quals)
+        test = make_curve("test", rates / 2, quals)
+        assert bd_rate(anchor, test) == pytest.approx(-50.0, abs=1e-6)
+        assert bd_rate(anchor, test, method="pchip") == pytest.approx(-50.0, abs=1e-6)
+
+    def test_double_rate_is_plus_hundred_percent(self):
+        rates = np.array([0.1, 0.2, 0.4, 0.8])
+        quals = [32.0, 35.0, 38.0, 41.0]
+        anchor = make_curve("anchor", rates, quals)
+        test = make_curve("test", rates * 2, quals)
+        assert bd_rate(anchor, test) == pytest.approx(100.0, abs=1e-6)
+
+    def test_sign_convention_better_codec_negative(self):
+        # The better codec reaches each quality with fewer bits.
+        anchor = make_curve("h265", [0.1, 0.2, 0.4, 0.8], [32, 35, 38, 41])
+        better = make_curve("ours", [0.08, 0.15, 0.3, 0.6], [32, 35, 38, 41])
+        assert bd_rate(anchor, better) < 0
+
+    def test_msssim_metric_supported(self):
+        anchor = make_curve(
+            "a", [0.1, 0.2, 0.4], [0.95, 0.97, 0.985], metric="ms-ssim"
+        )
+        test = make_curve(
+            "t", [0.05, 0.1, 0.2], [0.95, 0.97, 0.985], metric="ms-ssim"
+        )
+        assert bd_rate(anchor, test) == pytest.approx(-50.0, abs=1e-6)
+
+    def test_metric_mismatch_raises(self):
+        a = make_curve("a", [0.1, 0.2, 0.3], [30, 33, 35])
+        b = make_curve("b", [0.1, 0.2, 0.3], [0.9, 0.95, 0.97], metric="ms-ssim")
+        with pytest.raises(ValueError):
+            bd_rate(a, b)
+
+    def test_no_overlap_raises(self):
+        a = make_curve("a", [0.1, 0.2], [30, 31])
+        b = make_curve("b", [0.1, 0.2], [40, 41])
+        with pytest.raises(ValueError):
+            bd_rate(a, b)
+
+    def test_needs_two_points(self):
+        a = make_curve("a", [0.1], [30])
+        b = make_curve("b", [0.1, 0.2], [30, 31])
+        with pytest.raises(ValueError):
+            bd_rate(a, b)
+
+    def test_unknown_method_raises(self):
+        a = make_curve("a", [0.1, 0.2, 0.4], [30, 33, 35])
+        b = make_curve("b", [0.1, 0.2, 0.4], [30, 33, 35])
+        with pytest.raises(ValueError):
+            bd_rate(a, b, method="spline9000")
+
+    def test_cubic_and_pchip_agree_on_smooth_curves(self):
+        anchor = make_curve("a", [0.1, 0.2, 0.4, 0.8], [32.0, 35.0, 38.0, 41.0])
+        test = make_curve("t", [0.09, 0.17, 0.33, 0.64], [32.5, 35.4, 38.3, 41.2])
+        cubic = bd_rate(anchor, test, method="cubic")
+        pchip = bd_rate(anchor, test, method="pchip")
+        assert cubic == pytest.approx(pchip, abs=3.0)
+
+
+class TestBDQuality:
+    def test_identical_curves_zero(self):
+        a = make_curve("a", [0.1, 0.2, 0.4, 0.8], [32, 35, 38, 41])
+        b = make_curve("b", [0.1, 0.2, 0.4, 0.8], [32, 35, 38, 41])
+        assert bd_quality(a, b) == pytest.approx(0.0, abs=1e-9)
+
+    def test_uniform_gain(self):
+        rates = [0.1, 0.2, 0.4, 0.8]
+        a = make_curve("a", rates, [32.0, 35.0, 38.0, 41.0])
+        b = make_curve("b", rates, [33.0, 36.0, 39.0, 42.0])
+        assert bd_quality(a, b) == pytest.approx(1.0, abs=1e-6)
+        assert bd_quality(a, b, method="pchip") == pytest.approx(1.0, abs=1e-6)
+
+    def test_better_codec_positive(self):
+        anchor = make_curve("h265", [0.1, 0.2, 0.4, 0.8], [32, 35, 38, 41])
+        better = make_curve("ours", [0.1, 0.2, 0.4, 0.8], [33.1, 36.0, 38.9, 41.8])
+        assert bd_quality(anchor, better) > 0

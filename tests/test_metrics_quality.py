@@ -1,0 +1,109 @@
+"""Tests for PSNR / SSIM / MS-SSIM."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import MS_SSIM_WEIGHTS, ms_ssim, mse, psnr, ssim
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestMSE:
+    def test_identical_is_zero(self, rng):
+        img = rng.uniform(0, 255, (3, 32, 32))
+        assert mse(img, img) == 0.0
+
+    def test_known_value(self):
+        a = np.zeros((4, 4))
+        b = np.full((4, 4), 2.0)
+        assert mse(a, b) == pytest.approx(4.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros((4, 4)), np.zeros((4, 5)))
+
+
+class TestPSNR:
+    def test_identical_is_inf(self, rng):
+        img = rng.uniform(0, 255, (16, 16))
+        assert psnr(img, img) == float("inf")
+
+    def test_known_value(self):
+        # MSE = 1 at data range 255 -> PSNR = 20*log10(255) ~ 48.13 dB.
+        a = np.zeros((8, 8))
+        b = np.ones((8, 8))
+        assert psnr(a, b) == pytest.approx(48.1308, abs=1e-3)
+
+    def test_monotone_in_noise(self, rng):
+        img = rng.uniform(0, 255, (32, 32))
+        noisy_small = img + rng.normal(0, 1, img.shape)
+        noisy_large = img + rng.normal(0, 8, img.shape)
+        assert psnr(img, noisy_small) > psnr(img, noisy_large)
+
+    def test_data_range_scaling(self, rng):
+        img = rng.uniform(0, 1, (16, 16))
+        noisy = np.clip(img + 0.01, 0, 1)
+        # Same relative error at range 1.0.
+        value = psnr(img, noisy, data_range=1.0)
+        assert 30.0 < value < 50.0
+
+    def test_multichannel(self, rng):
+        img = rng.uniform(0, 255, (3, 16, 16))
+        assert psnr(img, img + 1.0) == pytest.approx(48.1308, abs=1e-3)
+
+
+class TestSSIM:
+    def test_identical_is_one(self, rng):
+        img = rng.uniform(0, 255, (32, 32))
+        assert ssim(img, img) == pytest.approx(1.0)
+
+    def test_bounded(self, rng):
+        a = rng.uniform(0, 255, (32, 32))
+        b = rng.uniform(0, 255, (32, 32))
+        assert -1.0 <= ssim(a, b) <= 1.0
+
+    def test_noise_degrades(self, rng):
+        img = rng.uniform(0, 255, (48, 48))
+        light = np.clip(img + rng.normal(0, 2, img.shape), 0, 255)
+        heavy = np.clip(img + rng.normal(0, 25, img.shape), 0, 255)
+        assert ssim(img, light) > ssim(img, heavy)
+
+    def test_constant_shift_high_similarity(self, rng):
+        # SSIM is robust to small luminance shifts relative to MSE.
+        img = rng.uniform(80, 170, (32, 32))
+        assert ssim(img, img + 2.0) > 0.9
+
+
+class TestMSSSIM:
+    def test_weights_sum_to_one(self):
+        assert MS_SSIM_WEIGHTS.sum() == pytest.approx(1.0, abs=1e-3)
+
+    def test_identical_is_one(self, rng):
+        img = rng.uniform(0, 255, (3, 192, 192))
+        assert ms_ssim(img, img) == pytest.approx(1.0, abs=1e-6)
+
+    def test_noise_degrades(self, rng):
+        img = rng.uniform(0, 255, (192, 192))
+        light = np.clip(img + rng.normal(0, 3, img.shape), 0, 255)
+        heavy = np.clip(img + rng.normal(0, 30, img.shape), 0, 255)
+        assert ms_ssim(img, light) > ms_ssim(img, heavy)
+
+    def test_small_image_truncates_scales(self, rng):
+        # 32x32 cannot support 5 scales with an 11-tap window; the
+        # metric must still return a sane value rather than fail.
+        img = rng.uniform(0, 255, (32, 32))
+        value = ms_ssim(img, np.clip(img + rng.normal(0, 5, img.shape), 0, 255))
+        assert 0.0 < value <= 1.0
+
+    def test_multichannel_matches_mean_of_planes(self, rng):
+        img = rng.uniform(0, 255, (3, 96, 96))
+        noisy = np.clip(img + rng.normal(0, 4, img.shape), 0, 255)
+        per_plane = [ms_ssim(img[c], noisy[c]) for c in range(3)]
+        assert ms_ssim(img, noisy) == pytest.approx(np.mean(per_plane), abs=1e-9)
+
+    def test_channel_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            ms_ssim(rng.uniform(0, 255, (3, 64, 64)), rng.uniform(0, 255, (64, 64)))

@@ -1,0 +1,103 @@
+"""Tests for shifted-window attention (SwinAtten)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SwinAttention, window_merge, window_partition
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(3)
+
+
+class TestWindowPartition:
+    def test_roundtrip_exact_multiple(self, rng):
+        x = rng.standard_normal((4, 9, 12))
+        tokens, padded = window_partition(x, 3)
+        assert tokens.shape == (12, 9, 4)
+        back = window_merge(tokens, 3, padded, (9, 12))
+        assert np.array_equal(back, x)
+
+    def test_roundtrip_with_padding(self, rng):
+        x = rng.standard_normal((2, 7, 10))
+        tokens, padded = window_partition(x, 3)
+        assert padded == (9, 12)
+        back = window_merge(tokens, 3, padded, (7, 10))
+        assert np.array_equal(back, x)
+
+    def test_window_contents(self):
+        x = np.arange(16, dtype=float).reshape(1, 4, 4)
+        tokens, _ = window_partition(x, 2)
+        assert np.array_equal(tokens[0, :, 0], [0, 1, 4, 5])
+        assert np.array_equal(tokens[1, :, 0], [2, 3, 6, 7])
+
+
+class TestSwinAttention:
+    def test_shape_preserved(self, rng):
+        attn = SwinAttention(8, window=3, shift=0, heads=2, rng=rng)
+        x = rng.standard_normal((8, 12, 12))
+        assert attn(x).shape == x.shape
+
+    def test_shape_preserved_nonmultiple(self, rng):
+        attn = SwinAttention(8, window=3, shift=2, heads=4, rng=rng)
+        x = rng.standard_normal((8, 10, 11))
+        assert attn(x).shape == x.shape
+
+    def test_channel_head_divisibility_enforced(self):
+        with pytest.raises(ValueError):
+            SwinAttention(6, window=3, heads=4)
+
+    def test_shift_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            SwinAttention(8, window=3, shift=3)
+
+    def test_wrong_channels_raises(self, rng):
+        attn = SwinAttention(8, rng=rng)
+        with pytest.raises(ValueError):
+            attn(rng.standard_normal((4, 9, 9)))
+
+    def test_locality_without_shift(self, rng):
+        """A perturbation inside one window must not leak to others."""
+        attn = SwinAttention(4, window=3, shift=0, heads=2, rng=rng)
+        x = rng.standard_normal((4, 9, 9))
+        base = attn(x)
+        bumped = x.copy()
+        bumped[:, 0, 0] += 10.0  # inside window (0, 0)
+        delta = np.abs(attn(bumped) - base).sum(axis=0)
+        assert delta[:3, :3].sum() > 1e-6
+        assert np.abs(delta[3:, :]).max() < 1e-12
+        assert np.abs(delta[:3, 3:]).max() < 1e-12
+
+    def test_shift_bridges_windows(self, rng):
+        """With a cyclic shift the same perturbation crosses the
+        unshifted window boundary — the cross-window connection the
+        paper's consecutive Swin-AMs rely on."""
+        attn = SwinAttention(4, window=3, shift=2, heads=2, rng=rng)
+        x = rng.standard_normal((4, 9, 9))
+        base = attn(x)
+        bumped = x.copy()
+        bumped[:, 2, 2] += 10.0
+        delta = np.abs(attn(bumped) - base).sum(axis=0)
+        assert delta[3:6, :3].sum() + delta[:3, 3:6].sum() > 1e-9
+
+    def test_permutation_equivariance_within_window(self, rng):
+        """Attention treats tokens as a set (absent position bias =0 at
+        init): permuting tokens inside each window permutes outputs."""
+        attn = SwinAttention(4, window=2, shift=0, heads=2, rng=rng)
+        x = rng.standard_normal((4, 2, 2))
+        out = attn(x)
+        # Swap the two columns: a permutation of the single window.
+        xs = x[:, :, ::-1].copy()
+        outs = attn(xs)
+        assert np.allclose(outs, out[:, :, ::-1], atol=1e-10)
+
+    def test_macs_accounting_positive(self, rng):
+        attn = SwinAttention(8, window=3, heads=2, rng=rng)
+        assert attn.attention_macs(12, 12) > 0
+        assert attn.attention_macs(24, 24) > attn.attention_macs(12, 12)
+
+    def test_parameters_registered(self):
+        attn = SwinAttention(8, window=3, heads=2)
+        names = {name for name, _ in attn.named_parameters()}
+        assert names == {"w_q", "w_k", "w_v", "w_o", "position_bias"}

@@ -1,0 +1,168 @@
+"""Tests for the functional tensor ops against scipy references."""
+
+import numpy as np
+import pytest
+from scipy import signal
+
+from repro.nn import functional as F
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+def conv2d_reference(x, w, bias, stride, padding):
+    """Independent conv implementation via scipy.signal.correlate2d."""
+    c_out, c_in, kh, kw = w.shape
+    xp = np.pad(x, ((0, 0), (padding, padding), (padding, padding)))
+    ho = (xp.shape[1] - kh) // stride + 1
+    wo = (xp.shape[2] - kw) // stride + 1
+    out = np.zeros((c_out, ho, wo))
+    for o in range(c_out):
+        acc = np.zeros((xp.shape[1] - kh + 1, xp.shape[2] - kw + 1))
+        for i in range(c_in):
+            acc += signal.correlate2d(xp[i], w[o, i], mode="valid")
+        out[o] = acc[::stride, ::stride]
+        if bias is not None:
+            out[o] += bias[o]
+    return out
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1), (2, 0)])
+    def test_matches_scipy(self, rng, stride, padding):
+        x = rng.standard_normal((3, 12, 14))
+        w = rng.standard_normal((5, 3, 3, 3))
+        b = rng.standard_normal(5)
+        ours = F.conv2d(x, w, b, stride, padding)
+        ref = conv2d_reference(x, w, b, stride, padding)
+        assert ours.shape == ref.shape
+        assert np.abs(ours - ref).max() < 1e-10
+
+    def test_1x1_conv_is_channel_mix(self, rng):
+        x = rng.standard_normal((4, 6, 6))
+        w = rng.standard_normal((2, 4, 1, 1))
+        out = F.conv2d(x, w, None, 1, 0)
+        ref = np.einsum("oi,ihw->ohw", w[:, :, 0, 0], x)
+        assert np.abs(out - ref).max() < 1e-12
+
+    def test_channel_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            F.conv2d(rng.standard_normal((2, 8, 8)), rng.standard_normal((4, 3, 3, 3)))
+
+    def test_output_size_helper(self):
+        assert F.conv_output_size(16, 3, 1, 1) == 16
+        assert F.conv_output_size(16, 3, 2, 1) == 8
+        assert F.conv_output_size(16, 4, 2, 1) == 8
+
+
+class TestConvTranspose2d:
+    def test_adjoint_property(self, rng):
+        """<conv(x), y> == <x, conv_transpose(y)> — the defining identity.
+
+        Size chosen so the strided conv tiles exactly ((H + 2p - k)
+        divisible by s), making the transposed conv restore H."""
+        x = rng.standard_normal((3, 11, 11))
+        w = rng.standard_normal((5, 3, 3, 3))
+        y_shape_out = F.conv2d(x, w, None, 2, 1)
+        y = rng.standard_normal(y_shape_out.shape)
+        lhs = float(np.sum(F.conv2d(x, w, None, 2, 1) * y))
+        # conv_transpose goes from 5 channels back to 3: weight (3, 5, 3, 3)
+        wt = np.transpose(w, (1, 0, 2, 3))
+        rhs = float(np.sum(x * F.conv_transpose2d(y, wt, None, 2, 1)))
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    @pytest.mark.parametrize("stride,padding,k", [(2, 1, 4), (2, 0, 4), (1, 1, 3), (2, 1, 2)])
+    def test_shapes(self, rng, stride, padding, k):
+        x = rng.standard_normal((3, 7, 9))
+        w = rng.standard_normal((4, 3, k, k))
+        out = F.conv_transpose2d(x, w, None, stride, padding)
+        eh = (7 - 1) * stride - 2 * padding + k
+        ew = (9 - 1) * stride - 2 * padding + k
+        assert out.shape == (4, eh, ew)
+
+    def test_single_pixel_stamps_kernel(self, rng):
+        x = np.zeros((1, 3, 3))
+        x[0, 1, 1] = 2.0
+        w = rng.standard_normal((1, 1, 4, 4))
+        out = F.conv_transpose2d(x, w, None, 2, 0)
+        assert np.abs(out[0, 2:6, 2:6] - 2.0 * w[0, 0]).max() < 1e-12
+
+    def test_bias_added(self, rng):
+        x = rng.standard_normal((2, 4, 4))
+        w = rng.standard_normal((3, 2, 4, 4))
+        b = np.array([1.0, -2.0, 3.0])
+        out = F.conv_transpose2d(x, w, b, 2, 1)
+        out_nob = F.conv_transpose2d(x, w, None, 2, 1)
+        assert np.allclose(out - out_nob, b[:, None, None])
+
+
+class TestPooling:
+    def test_max_pool(self):
+        x = np.arange(16, dtype=float).reshape(1, 4, 4)
+        out = F.max_pool2d(x, 2)
+        assert out.shape == (1, 2, 2)
+        assert np.array_equal(out[0], [[5, 7], [13, 15]])
+
+    def test_avg_pool(self):
+        x = np.arange(16, dtype=float).reshape(1, 4, 4)
+        out = F.avg_pool2d(x, 2)
+        assert np.array_equal(out[0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_odd_trailing_dropped(self):
+        x = np.zeros((1, 5, 5))
+        assert F.max_pool2d(x, 2).shape == (1, 2, 2)
+
+
+class TestActivations:
+    def test_relu(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        assert np.array_equal(F.relu(x), [0.0, 0.0, 2.0])
+
+    def test_leaky_relu(self):
+        x = np.array([-10.0, 10.0])
+        assert np.array_equal(F.leaky_relu(x, 0.1), [-1.0, 10.0])
+
+    def test_sigmoid_range_and_symmetry(self, rng):
+        # Moderate magnitudes: strictly inside (0, 1).
+        x = rng.standard_normal(100) * 5
+        s = F.sigmoid(x)
+        assert np.all((s > 0) & (s < 1))
+        assert np.allclose(F.sigmoid(-x), 1 - s, atol=1e-12)
+        # Extreme magnitudes may saturate to exactly 0/1 in float64 but
+        # must stay within [0, 1].
+        hard = F.sigmoid(rng.standard_normal(100) * 50)
+        assert np.all((hard >= 0) & (hard <= 1))
+
+    def test_sigmoid_extremes_stable(self):
+        assert F.sigmoid(np.array([1000.0]))[0] == pytest.approx(1.0)
+        assert F.sigmoid(np.array([-1000.0]))[0] == pytest.approx(0.0)
+
+    def test_softmax_sums_to_one(self, rng):
+        x = rng.standard_normal((4, 7))
+        s = F.softmax(x, axis=-1)
+        assert np.allclose(s.sum(axis=-1), 1.0)
+
+    def test_softmax_shift_invariant(self, rng):
+        x = rng.standard_normal(9)
+        assert np.allclose(F.softmax(x), F.softmax(x + 1000.0))
+
+
+class TestBilinearSample:
+    def test_integer_coords_exact(self, rng):
+        x = rng.standard_normal((2, 6, 6))
+        ys, xs = np.meshgrid(np.arange(6.0), np.arange(6.0), indexing="ij")
+        out = F.bilinear_sample(x, ys, xs)
+        assert np.abs(out - x).max() < 1e-12
+
+    def test_halfway_interpolation(self):
+        x = np.zeros((1, 2, 2))
+        x[0] = [[0.0, 2.0], [4.0, 6.0]]
+        out = F.bilinear_sample(x, np.array([[0.5]]), np.array([[0.5]]))
+        assert out[0, 0, 0] == pytest.approx(3.0)
+
+    def test_border_clamp(self):
+        x = np.ones((1, 4, 4)) * 5.0
+        out = F.bilinear_sample(x, np.array([[-3.0]]), np.array([[99.0]]))
+        assert out[0, 0, 0] == pytest.approx(5.0)

@@ -1,0 +1,164 @@
+"""Tests for the module system and layer classes."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Conv2d,
+    ConvTranspose2d,
+    Identity,
+    MaxPool2d,
+    Module,
+    ModuleList,
+    Parameter,
+    ReLU,
+    ResBlock,
+    Sequential,
+    Sigmoid,
+)
+from repro.nn import functional as F
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2)
+
+
+class TestModuleSystem:
+    def test_parameter_registration(self):
+        conv = Conv2d(3, 8, 3)
+        names = [name for name, _ in conv.named_parameters()]
+        assert names == ["weight", "bias"]
+
+    def test_nested_parameter_names(self):
+        model = Sequential(Conv2d(3, 4, 3), ReLU(), Conv2d(4, 4, 3, bias=False))
+        names = [name for name, _ in model.named_parameters()]
+        assert "layer0.weight" in names
+        assert "layer0.bias" in names
+        assert "layer2.weight" in names
+        assert "layer2.bias" not in names
+
+    def test_named_modules_traversal(self):
+        block = ResBlock(4)
+        names = [name for name, _ in block.named_modules()]
+        assert "" in names
+        assert "conv1" in names and "conv2" in names
+
+    def test_num_parameters(self):
+        conv = Conv2d(2, 3, 3)
+        assert conv.num_parameters() == 3 * 2 * 9 + 3
+
+    def test_module_list(self):
+        ml = ModuleList([Identity(), ReLU()])
+        assert len(ml) == 2
+        ml.append(Sigmoid())
+        assert len(ml) == 3
+        assert isinstance(ml[2], Sigmoid)
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module().forward()
+
+
+class TestConvLayers:
+    def test_conv_same_padding_default(self, rng):
+        conv = Conv2d(3, 6, 3, rng=rng)
+        out = conv(rng.standard_normal((3, 10, 12)))
+        assert out.shape == (6, 10, 12)
+
+    def test_conv_stride2(self, rng):
+        conv = Conv2d(3, 6, 3, stride=2, rng=rng)
+        out = conv(rng.standard_normal((3, 10, 12)))
+        assert out.shape == (6, 5, 6)
+
+    def test_output_shape_helper_matches(self, rng):
+        conv = Conv2d(3, 6, 3, stride=2, rng=rng)
+        x = rng.standard_normal((3, 11, 13))
+        assert conv(x).shape == conv.output_shape(x.shape)
+
+    def test_deconv_doubles_resolution(self, rng):
+        deconv = ConvTranspose2d(4, 2, 4, stride=2, rng=rng)
+        out = deconv(rng.standard_normal((4, 8, 8)))
+        assert out.shape == (2, 16, 16)
+
+    def test_deconv_output_shape_helper(self, rng):
+        deconv = ConvTranspose2d(4, 2, 4, stride=2, rng=rng)
+        x = rng.standard_normal((4, 7, 9))
+        assert deconv(x).shape == deconv.output_shape(x.shape)
+
+    def test_compute_backend_hook(self, rng):
+        conv = Conv2d(3, 3, 3, rng=rng)
+        calls = []
+
+        def backend(layer, x):
+            calls.append(layer)
+            return F.conv2d(x, layer.weight.data, layer.bias.data, 1, 1)
+
+        conv.compute_backend = backend
+        x = rng.standard_normal((3, 8, 8))
+        out = conv(x)
+        assert calls == [conv]
+        conv.compute_backend = None
+        assert np.allclose(out, conv(x))
+
+    def test_kernel_seed_reproducible(self):
+        a = Conv2d(3, 4, 3, rng=np.random.default_rng(9))
+        b = Conv2d(3, 4, 3, rng=np.random.default_rng(9))
+        assert np.array_equal(a.weight.data, b.weight.data)
+
+    def test_op_kind_markers(self):
+        assert Conv2d(1, 1, 3).op_kind == "conv"
+        assert ConvTranspose2d(1, 1, 4).op_kind == "deconv"
+
+
+class TestSimpleLayers:
+    def test_sequential_composition(self, rng):
+        model = Sequential(Conv2d(3, 4, 3, rng=rng), ReLU(), MaxPool2d(2))
+        out = model(rng.standard_normal((3, 8, 8)))
+        assert out.shape == (4, 4, 4)
+        assert out.min() >= 0.0
+
+    def test_sequential_indexing(self):
+        model = Sequential(Identity(), ReLU())
+        assert isinstance(model[0], Identity)
+        assert len(model) == 2
+
+    def test_identity(self, rng):
+        x = rng.standard_normal((2, 4, 4))
+        assert np.array_equal(Identity()(x), x)
+
+
+class TestResBlock:
+    def test_shape_preserved(self, rng):
+        block = ResBlock(6, rng=rng)
+        x = rng.standard_normal((6, 12, 12))
+        assert block(x).shape == x.shape
+
+    def test_near_identity_at_init(self, rng):
+        # residual_scale keeps untrained blocks close to identity so the
+        # structured-initialization codec stays functional.
+        block = ResBlock(6, rng=rng)
+        x = rng.standard_normal((6, 12, 12))
+        out = block(x)
+        rel = np.linalg.norm(out - x) / np.linalg.norm(x)
+        assert rel < 0.5
+
+    def test_zero_scale_is_exact_identity(self, rng):
+        block = ResBlock(6, rng=rng, residual_scale=0.0)
+        x = rng.standard_normal((6, 12, 12))
+        assert np.allclose(block(x), x)
+
+    def test_contains_two_convs(self):
+        block = ResBlock(4)
+        convs = [m for m in block.modules() if isinstance(m, Conv2d)]
+        assert len(convs) == 2
+
+
+class TestParameter:
+    def test_shape_and_numel(self):
+        p = Parameter(np.zeros((2, 3)))
+        assert p.shape == (2, 3)
+        assert p.numel() == 6
+
+    def test_repr(self):
+        assert "shape=(2, 3)" in repr(Parameter(np.zeros((2, 3))))

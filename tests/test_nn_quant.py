@@ -1,0 +1,104 @@
+"""Tests for fixed-point quantization (W16/A12 per the paper)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Conv2d, QuantSpec, ResBlock, Sequential, quantize_network
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(5)
+
+
+class TestQuantSpec:
+    def test_qmax_qmin(self):
+        spec = QuantSpec(bits=8, scale=1.0)
+        assert spec.qmax == 127
+        assert spec.qmin == -128
+
+    def test_min_bits_enforced(self):
+        with pytest.raises(ValueError):
+            QuantSpec(bits=1)
+
+    def test_roundtrip_within_half_lsb(self, rng):
+        x = rng.standard_normal(1000)
+        spec = QuantSpec.from_tensor(x, bits=12)
+        err = np.abs(x - spec.fake_quant(x))
+        assert err.max() <= spec.scale / 2 + 1e-12
+
+    def test_idempotent(self, rng):
+        x = rng.standard_normal(100)
+        spec = QuantSpec.from_tensor(x, bits=10)
+        once = spec.fake_quant(x)
+        assert np.array_equal(once, spec.fake_quant(once))
+
+    def test_codes_within_range(self, rng):
+        x = rng.standard_normal(500) * 37.0
+        spec = QuantSpec.from_tensor(x, bits=6)
+        codes, _ = spec.quantize(x)
+        assert codes.max() <= spec.qmax
+        assert codes.min() >= spec.qmin
+
+    def test_more_bits_less_error(self, rng):
+        x = rng.standard_normal(2000)
+        e8 = QuantSpec.from_tensor(x, 8).quant_error(x)
+        e16 = QuantSpec.from_tensor(x, 16).quant_error(x)
+        assert e16 < e8 / 100
+
+    def test_dynamic_scale(self, rng):
+        spec = QuantSpec(bits=12)  # no static scale
+        x = rng.standard_normal(100) * 5
+        out = spec.fake_quant(x)
+        assert np.abs(out - x).max() <= (np.abs(x).max() / spec.qmax) / 2 + 1e-12
+
+    def test_zero_tensor_safe(self):
+        spec = QuantSpec(bits=8)
+        x = np.zeros(10)
+        assert np.array_equal(spec.fake_quant(x), x)
+
+    def test_16bit_weights_nearly_lossless(self, rng):
+        """The paper's W16 keeps relative error ~1e-4 — the basis for
+        CTVC-Net(FXP) closely tracking CTVC-Net(FP) in Table I."""
+        w = rng.standard_normal((64, 64))
+        spec = QuantSpec.from_tensor(w, 16)
+        rel = np.linalg.norm(w - spec.fake_quant(w)) / np.linalg.norm(w)
+        assert rel < 1e-4
+
+
+class TestQuantizeNetwork:
+    def test_report_counts(self, rng):
+        model = Sequential(Conv2d(3, 8, 3, rng=rng), ResBlock(8, rng=rng))
+        report = quantize_network(model, 16, 12)
+        # Conv + ResBlock's two convs = 3 kernel layers, each w+b.
+        assert report.parameters_quantized == 6
+        assert report.layers_quantized == 3
+        assert report.weight_bits == 16
+        assert report.activation_bits == 12
+
+    def test_weights_modified_in_place(self, rng):
+        model = Conv2d(3, 4, 3, rng=rng)
+        before = model.weight.data.copy()
+        quantize_network(model, weight_bits=6)
+        assert not np.array_equal(before, model.weight.data)
+
+    def test_activation_hooks_installed(self, rng):
+        model = Sequential(Conv2d(3, 4, 3, rng=rng))
+        quantize_network(model)
+        assert model[0].activation_quant is not None
+        assert model[0].activation_quant.bits == 12
+
+    def test_forward_still_works(self, rng):
+        model = Sequential(Conv2d(3, 4, 3, rng=rng), ResBlock(4, rng=rng))
+        x = rng.standard_normal((3, 8, 8))
+        fp = model(x)
+        quantize_network(model, 16, 12)
+        fxp = model(x)
+        assert fxp.shape == fp.shape
+        # W16/A12 should track the FP output closely.
+        rel = np.linalg.norm(fxp - fp) / np.linalg.norm(fp)
+        assert rel < 0.02
+
+    def test_report_str(self, rng):
+        report = quantize_network(Conv2d(2, 2, 3, rng=rng))
+        assert "W16/A12" in str(report)

@@ -1,0 +1,265 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These sweep randomized shapes, contents, and parameters over the
+load-bearing algebra: fast-transform == direct operator, pruning
+sparsity exactness, entropy-coding round trips, quantization bounds,
+and Bjøntegaard identities.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codec import LaplacianModel, SymbolModel, decode_symbols, encode_symbols
+from repro.core import (
+    PAPER_F23,
+    PAPER_T3_64,
+    compress_kernel,
+    cook_toom_conv,
+    fast_conv2d,
+    fast_deconv2d,
+    fta_deconv,
+    importance_matrix,
+    prune_transform_weights,
+)
+from repro.metrics import RDCurve, bd_rate
+from repro.nn import QuantSpec
+from repro.nn import functional as F
+
+_SETTINGS = dict(max_examples=25, deadline=None)
+
+
+class TestFastTransformEquivalence:
+    @settings(**_SETTINGS)
+    @given(
+        h=st.integers(2, 20),
+        w=st.integers(2, 20),
+        cin=st.integers(1, 5),
+        cout=st.integers(1, 5),
+        seed=st.integers(0, 2**31),
+    )
+    def test_fast_conv_equals_direct(self, h, w, cin, cout, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((cin, h, w))
+        weight = rng.standard_normal((cout, cin, 3, 3))
+        ours = fast_conv2d(x, weight, None, PAPER_F23, padding=1)
+        ref = F.conv2d(x, weight, None, 1, 1)
+        assert np.abs(ours - ref).max() < 1e-9
+
+    @settings(**_SETTINGS)
+    @given(
+        h=st.integers(2, 12),
+        w=st.integers(2, 12),
+        cin=st.integers(1, 4),
+        cout=st.integers(1, 4),
+        seed=st.integers(0, 2**31),
+    )
+    def test_fast_deconv_equals_direct(self, h, w, cin, cout, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((cin, h, w))
+        weight = rng.standard_normal((cout, cin, 4, 4))
+        ours = fast_deconv2d(x, weight, None, PAPER_T3_64, padding=1)
+        ref = F.conv_transpose2d(x, weight, None, 2, 1)
+        assert np.abs(ours - ref).max() < 1e-9
+
+    @settings(**_SETTINGS)
+    @given(m=st.integers(1, 6), k=st.integers(2, 5), seed=st.integers(0, 2**31))
+    def test_cook_toom_family(self, m, k, seed):
+        rng = np.random.default_rng(seed)
+        spec = cook_toom_conv(m, k)
+        x = rng.standard_normal(spec.p)
+        g = rng.standard_normal(k)
+        ref = np.array([np.dot(g, x[j : j + k]) for j in range(m)])
+        assert np.abs(spec.apply_1d(x, g) - ref).max() < 1e-7
+
+    @settings(**_SETTINGS)
+    @given(
+        r=st.integers(1, 4),
+        s=st.integers(2, 3),
+        ksub=st.integers(1, 2),
+        seed=st.integers(0, 2**31),
+    )
+    def test_fta_family(self, r, s, ksub, seed):
+        k = s * ksub
+        rng = np.random.default_rng(seed)
+        spec = fta_deconv(r, s, k)
+        x = rng.standard_normal(spec.p)
+        g = rng.standard_normal(k)
+        full = np.zeros((spec.p - 1) * s + k)
+        for i, xi in enumerate(x):
+            full[i * s : i * s + k] += xi * g
+        ref = full[spec.output_offset : spec.output_offset + spec.m]
+        assert np.abs(spec.apply_1d(x, g) - ref).max() < 1e-7
+
+    @settings(**_SETTINGS)
+    @given(m=st.integers(1, 5), k=st.integers(2, 4))
+    def test_importance_matrix_properties(self, m, k):
+        spec = cook_toom_conv(m, k)
+        q = importance_matrix(spec)
+        assert q.shape == (spec.mu, spec.mu)
+        assert np.allclose(q, q.T)
+        assert (q >= 0).all()
+
+
+class TestPruningProperties:
+    @settings(**_SETTINGS)
+    @given(
+        oc=st.integers(1, 6),
+        ic=st.integers(1, 6),
+        rho=st.sampled_from([0.0, 0.125, 0.25, 0.5, 0.75]),
+        seed=st.integers(0, 2**31),
+    )
+    def test_balanced_sparsity_exact(self, oc, ic, rho, seed):
+        rng = np.random.default_rng(seed)
+        weight = rng.standard_normal((oc, ic, 3, 3))
+        pruned = prune_transform_weights(weight, PAPER_F23, rho=rho)
+        keep = round((1 - rho) * 16)
+        assert np.all(pruned.nonzeros_per_patch() == keep)
+
+    @settings(**_SETTINGS)
+    @given(
+        oc=st.integers(1, 4),
+        ic=st.integers(1, 4),
+        rho=st.floats(0.1, 0.9),
+        seed=st.integers(0, 2**31),
+    )
+    def test_compression_roundtrip(self, oc, ic, rho, seed):
+        rng = np.random.default_rng(seed)
+        weight = rng.standard_normal((oc, ic, 4, 4))
+        pruned = prune_transform_weights(weight, PAPER_T3_64, rho=rho, mode="global")
+        packed = compress_kernel(pruned)
+        assert np.allclose(packed.to_dense(), pruned.values)
+
+    @settings(**_SETTINGS)
+    @given(seed=st.integers(0, 2**31))
+    def test_masked_output_bounded_by_dense(self, seed):
+        """Pruning at rho=0 equals dense; higher rho only perturbs."""
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((3, 10, 10))
+        weight = rng.standard_normal((2, 3, 3, 3))
+        dense = fast_conv2d(x, weight, None, PAPER_F23, 1)
+        rho0 = prune_transform_weights(weight, PAPER_F23, rho=0.0)
+        out0 = fast_conv2d(x, weight, None, PAPER_F23, 1, transform_weights=rho0.values)
+        assert np.abs(out0 - dense).max() < 1e-10
+
+
+class TestEntropyProperties:
+    @settings(**_SETTINGS)
+    @given(
+        nsym=st.integers(2, 40),
+        count=st.integers(1, 600),
+        seed=st.integers(0, 2**31),
+    )
+    def test_roundtrip_any_alphabet(self, nsym, count, seed):
+        rng = np.random.default_rng(seed)
+        freqs = rng.integers(1, 1000, size=nsym)
+        model = SymbolModel(freqs)
+        symbols = rng.integers(0, nsym, size=count)
+        data = encode_symbols(symbols, model)
+        assert np.array_equal(decode_symbols(data, count, model), symbols)
+
+    @settings(**_SETTINGS)
+    @given(
+        scale=st.floats(0.01, 50.0),
+        support=st.integers(1, 64),
+        seed=st.integers(0, 2**31),
+    )
+    def test_laplacian_roundtrip(self, scale, support, seed):
+        rng = np.random.default_rng(seed)
+        model = LaplacianModel(scale, support)
+        values = np.clip(
+            np.round(rng.laplace(0, scale, 200)), -support, support
+        ).astype(int)
+        symbols = np.array([model.symbol_of(v) for v in values])
+        data = encode_symbols(symbols, model.model)
+        decoded = decode_symbols(data, len(symbols), model.model)
+        assert np.array_equal(
+            np.array([model.value_of(s) for s in decoded]), values
+        )
+
+
+class TestQuantizationProperties:
+    @settings(**_SETTINGS)
+    @given(
+        bits=st.integers(2, 16),
+        scale_exp=st.floats(-3, 3),
+        seed=st.integers(0, 2**31),
+    )
+    def test_error_bounded_by_half_step(self, bits, scale_exp, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(200) * (10.0**scale_exp)
+        spec = QuantSpec.from_tensor(x, bits)
+        err = np.abs(x - spec.fake_quant(x))
+        assert err.max() <= spec.scale / 2 + 1e-12
+
+    @settings(**_SETTINGS)
+    @given(bits=st.integers(2, 16), seed=st.integers(0, 2**31))
+    def test_idempotent(self, bits, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(100)
+        spec = QuantSpec.from_tensor(x, bits)
+        once = spec.fake_quant(x)
+        assert np.array_equal(once, spec.fake_quant(once))
+
+
+class TestBjontegaardProperties:
+    @settings(**_SETTINGS)
+    @given(
+        factor=st.floats(0.3, 3.0),
+        seed=st.integers(0, 2**31),
+    )
+    def test_uniform_rate_scaling_identity(self, factor, seed):
+        """Scaling every rate by f gives BD-rate exactly (f-1)*100%."""
+        rng = np.random.default_rng(seed)
+        rates = np.sort(rng.uniform(0.05, 1.0, size=4))
+        rates += np.arange(4) * 1e-3  # strictly increasing
+        quals = np.sort(rng.uniform(30, 42, size=4))
+        quals += np.arange(4) * 1e-6
+        anchor = RDCurve("a")
+        test = RDCurve("t")
+        for r, q in zip(rates, quals):
+            anchor.add(float(r), float(q))
+            test.add(float(r * factor), float(q))
+        expected = (factor - 1.0) * 100.0
+        assert bd_rate(anchor, test) == pytest.approx(expected, abs=1e-6)
+        assert bd_rate(anchor, test, method="pchip") == pytest.approx(
+            expected, abs=1e-6
+        )
+
+    @settings(**_SETTINGS)
+    @given(seed=st.integers(0, 2**31))
+    def test_antisymmetry_of_roles(self, seed):
+        """Swapping anchor and test inverts the rate ratio:
+        (1 + a/100) * (1 + b/100) == 1."""
+        rng = np.random.default_rng(seed)
+        rates = np.sort(rng.uniform(0.05, 1.0, size=4)) + np.arange(4) * 1e-3
+        quals = np.sort(rng.uniform(30, 42, size=4)) + np.arange(4) * 1e-6
+        a = RDCurve("a")
+        b = RDCurve("b")
+        for r, q in zip(rates, quals):
+            a.add(float(r), float(q))
+            b.add(float(r * 0.7), float(q))
+        forward = bd_rate(a, b)
+        backward = bd_rate(b, a)
+        assert (1 + forward / 100) * (1 + backward / 100) == pytest.approx(
+            1.0, abs=1e-6
+        )
+
+
+class TestWindowAttentionProperties:
+    @settings(**_SETTINGS)
+    @given(
+        h=st.integers(2, 15),
+        w=st.integers(2, 15),
+        window=st.integers(2, 4),
+        seed=st.integers(0, 2**31),
+    )
+    def test_partition_merge_roundtrip(self, h, w, window, seed):
+        from repro.nn import window_merge, window_partition
+
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((3, h, w))
+        tokens, padded = window_partition(x, window)
+        back = window_merge(tokens, window, padded, (h, w))
+        assert np.array_equal(back, x)
