@@ -5,6 +5,10 @@ cycle budgets, the heterogeneous layer chaining dataflow (including a
 Fig. 7(b)-style bank schedule trace), the energy/area roll-up, and the
 Table II comparison points.
 
+The headline roll-up comes from the ``repro.pipeline`` facade
+(``analyze_hardware`` returns a serializable ``HardwareReport``); the
+deep dive below it uses the underlying ``repro.hw`` model directly.
+
 Run:  python examples/hardware_walkthrough.py
 """
 
@@ -21,10 +25,17 @@ from repro.hw import (
     nvca_spec,
     simulate_graph,
 )
+from repro.pipeline import analyze_hardware
 
 
 def main():
     config = NVCAConfig()
+
+    print("=== Facade summary (repro.pipeline.analyze_hardware) ======")
+    summary = analyze_hardware(1080, 1920, config)
+    print(summary.render())
+    print(f"  (serializable: {len(summary.to_dict())} top-level JSON fields)")
+    print()
     print("=== Architecture =========================================")
     print(f"  SCU array: {config.pif} x {config.pof} = {config.num_scus} SCUs, "
           f"{config.multipliers_per_scu} multipliers each "

@@ -1,63 +1,56 @@
-"""Quickstart: encode and decode video with CTVC-Net.
+"""Quickstart: encode and decode video through ``repro.pipeline``.
 
-Generates a short synthetic clip, runs the full CTVC-Net pipeline
-(feature-space motion compensation + learned-style transform coding +
-arithmetic-coded bitstream), decodes it back from raw bytes, and
-reports rate/quality next to the classical DCT codec.
+One ``Pipeline.run()`` composes the whole stack — synthetic source,
+codec (any registered name), a real serialize/parse bitstream round
+trip, and rate/quality metrics — and returns a typed ``EncodeReport``.
+``run_many`` sweeps (codec, config, scene) grids the same way.
 
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
+from repro.pipeline import Pipeline, available_codecs, create_codec, run_many
 
-from repro.codec import (
-    ClassicalCodec,
-    ClassicalCodecConfig,
-    CTVCConfig,
-    CTVCNet,
-    SequenceBitstream,
-)
-from repro.metrics import ms_ssim, psnr
-from repro.video import SceneConfig, generate_sequence
-
-
-def evaluate(name, stream_bytes, frames, decoded):
-    height, width = frames[0].shape[1:]
-    bpp = 8 * len(stream_bytes) / (len(frames) * height * width)
-    mean_psnr = np.mean([psnr(a, b) for a, b in zip(frames, decoded)])
-    mean_msssim = np.mean([ms_ssim(a, b) for a, b in zip(frames, decoded)])
-    print(
-        f"{name:24s} {len(stream_bytes):7d} bytes  {bpp:6.3f} bpp  "
-        f"{mean_psnr:6.2f} dB PSNR  {mean_msssim:.4f} MS-SSIM"
-    )
+SCENE = {"height": 64, "width": 96, "frames": 4, "seed": 7}
 
 
 def main():
-    print("Rendering a synthetic test clip (4 frames, 64x96)...")
-    frames = generate_sequence(SceneConfig(height=64, width=96, frames=4, seed=7))
+    print(f"Registered codecs: {', '.join(available_codecs())}")
 
     print("\nCTVC-Net (structured initialization, N=12):")
-    net = CTVCNet(CTVCConfig(channels=12, qstep=8.0, seed=1))
-    stream = net.encode_sequence(frames)
-    blob = stream.serialize()
-    decoded = net.decode_sequence(SequenceBitstream.parse(blob))
-    evaluate("ctvc-net qstep=8", blob, frames, decoded)
+    report = Pipeline(
+        "ctvc",
+        {"channels": 12, "qstep": 8.0, "seed": 1},
+        scene=SCENE,
+        compute_msssim=True,
+    ).run()
+    print(f"  {report.render()}")
+    print(f"  ({report.stream_bytes} bytes, as JSON: {len(report.to_dict())} fields)")
 
-    print("\nRate control — sweep the latent quantization step:")
-    for qstep in (2.0, 8.0, 32.0):
-        net = CTVCNet(CTVCConfig(channels=12, qstep=qstep, seed=1))
-        stream = net.encode_sequence(frames)
-        blob = stream.serialize()
-        decoded = net.decode_sequence(SequenceBitstream.parse(blob))
-        evaluate(f"ctvc-net qstep={qstep:g}", blob, frames, decoded)
+    print("\nRate control — sweep the latent quantization step (run_many):")
+    reports = run_many(
+        codecs=["ctvc"],
+        codec_configs=[
+            {"channels": 12, "qstep": q, "seed": 1} for q in (2.0, 8.0, 32.0)
+        ],
+        scenes=[SCENE],
+        compute_msssim=True,
+    )
+    for rep in reports:
+        print(f"  qstep={rep.codec_config['qstep']:5g}  {rep.render()}")
 
     print("\nClassical block-DCT codec (the H.26x stand-in):")
-    for qp in (4.0, 16.0, 64.0):
-        codec = ClassicalCodec(ClassicalCodecConfig(qp=qp))
-        stream = codec.encode_sequence(frames)
-        blob = stream.serialize()
-        decoded = codec.decode_sequence(SequenceBitstream.parse(blob))
-        evaluate(f"classical qp={qp:g}", blob, frames, decoded)
+    reports = run_many(
+        codecs=["classical"],
+        codec_configs=[{"qp": q} for q in (4.0, 16.0, 64.0)],
+        scenes=[SCENE],
+        compute_msssim=True,
+    )
+    for rep in reports:
+        print(f"  qp={rep.codec_config['qp']:5g}  {rep.render()}")
+
+    print("\nDropping below the facade — create_codec gives the raw codec:")
+    codec = create_codec("ctvc", channels=12, qstep=8.0, seed=1)
+    print(f"  {type(codec).__name__} with config {codec.config.to_json()}")
 
     print(
         "\nNote: absolute RD of the untrained CTVC pipeline is not the "

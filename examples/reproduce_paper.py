@@ -3,15 +3,19 @@
 Fast mode (default) uses the calibrated RD models for Table I / Fig. 8
 and finishes in seconds; pass ``--full`` to also run the measured
 pipeline experiments (FXP/sparse deltas, measured RD overlays, the
-sparsity sweep) — a few minutes on a laptop CPU.
+sparsity sweep) — a few minutes on a laptop CPU.  ``--json`` writes the
+structured report (the same document ``python -m repro reproduce
+--json`` emits) instead of the text rendering.
 
-Run:  python examples/reproduce_paper.py [--full] [-o report.txt]
+Run:  python examples/reproduce_paper.py [--full] [--json] [-o report.txt]
 """
 
 import argparse
+import json
 import sys
 
 from repro.eval import main as eval_main
+from repro.eval.runner import report_dict, run_all
 
 
 def main(argv=None):
@@ -22,6 +26,11 @@ def main(argv=None):
         help="also run the measured-pipeline experiments (slow)",
     )
     parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the structured (machine-readable) report",
+    )
+    parser.add_argument(
         "-o",
         "--output",
         default=None,
@@ -29,7 +38,12 @@ def main(argv=None):
     )
     args = parser.parse_args(argv)
 
-    report = eval_main(fast=not args.full)
+    if args.json:
+        report = json.dumps(
+            report_dict(run_all(fast=not args.full)), indent=2, sort_keys=True
+        )
+    else:
+        report = eval_main(fast=not args.full)
     print(report)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:

@@ -4,6 +4,9 @@ Network" (Zhang, Mao, Shi, Wang - DATE 2024).
 
 Package map
 -----------
+``repro.pipeline`` the composable front door: a string-keyed codec
+                   registry, serializable configs, and a ``Pipeline``
+                   facade producing typed encode/hardware reports.
 ``repro.core``     the paper's algorithmic contribution: Winograd/FTA
                    fast transforms, importance-weighted transform-domain
                    pruning, united sparse execution, co-design driver.
@@ -19,30 +22,65 @@ Package map
 
 Quick start
 -----------
->>> import repro
->>> net = repro.CTVCNet(repro.CTVCConfig(channels=12, qstep=8.0))
->>> # frames: list of (3, H, W) arrays in [0, 255]
->>> stream = net.encode_sequence(frames)
->>> decoded = net.decode_sequence(stream)
+>>> from repro.pipeline import Pipeline, available_codecs
+>>> available_codecs()
+['classical', 'ctvc']
+>>> report = Pipeline(
+...     "ctvc", {"channels": 12, "qstep": 8.0},
+...     scene={"height": 64, "width": 96, "frames": 4},
+... ).run()
+>>> report.bpp, report.mean_psnr        # typed EncodeReport
+>>> report.to_dict()                    # JSON-ready
+
+Sweeps fan out the same job spec, optionally over a process pool:
+
+>>> from repro.pipeline import run_many
+>>> reports = run_many(codecs=["ctvc", "classical"],
+...                    scenes=[{"frames": 4}], processes=4)
+
+Codecs are plugins — ``create_codec("ctvc", channels=12)`` builds one
+directly, and ``register_codec`` adds new variants without touching
+any caller.
 """
 
 from .codec import CTVCConfig, CTVCNet, ClassicalCodec, ClassicalCodecConfig
 from .core import NVCACodesign, SparseStrategy
 from .hw import NVCAConfig
 from .metrics import bd_rate, ms_ssim, psnr
+from .pipeline import (
+    EncodeReport,
+    HardwareReport,
+    Pipeline,
+    available_codecs,
+    create_codec,
+    register_codec,
+    run_many,
+)
+from .serialization import ConfigError, SerializableConfig
+from .video import SceneConfig
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CTVCConfig",
     "CTVCNet",
     "ClassicalCodec",
     "ClassicalCodecConfig",
+    "ConfigError",
+    "EncodeReport",
+    "HardwareReport",
     "NVCACodesign",
     "NVCAConfig",
+    "Pipeline",
+    "SceneConfig",
+    "SerializableConfig",
     "SparseStrategy",
+    "available_codecs",
     "bd_rate",
+    "create_codec",
     "ms_ssim",
     "psnr",
+    "register_codec",
+    "run_many",
     "__version__",
 ]

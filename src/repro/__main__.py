@@ -3,116 +3,123 @@
 Subcommands:
 
 * ``reproduce``  — regenerate every table and figure (the default).
-* ``encode``     — encode a synthetic clip with CTVC-Net or the
-                   classical codec and report rate/quality.
+* ``encode``     — run one codec through the ``repro.pipeline`` facade
+                   and report rate/quality.
 * ``hardware``   — print the NVCA performance/energy/area summary.
+
+Every subcommand accepts ``--json`` to emit the structured report
+(``to_dict()``) instead of the human rendering, and ``-o/--output`` to
+write the result to a file as well as stdout.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
 
-import numpy as np
+
+def _emit(args, text: str, payload: dict) -> int:
+    """Print (and optionally save) either rendering of a report."""
+    out = json.dumps(payload, indent=2, sort_keys=True) if args.json else text
+    print(out)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(out + "\n")
+    return 0
 
 
 def _cmd_reproduce(args) -> int:
     from repro.eval import main as eval_main
+    from repro.eval.runner import report_dict, run_all
 
-    report = eval_main(fast=not args.full)
-    print(report)
-    if args.output:
-        with open(args.output, "w", encoding="utf-8") as handle:
-            handle.write(report + "\n")
-    return 0
+    if args.json:
+        results = run_all(fast=not args.full)
+        return _emit(args, "", report_dict(results))
+    return _emit(args, eval_main(fast=not args.full), {})
 
 
 def _cmd_encode(args) -> int:
-    from repro.codec import (
-        ClassicalCodec,
-        ClassicalCodecConfig,
-        CTVCConfig,
-        CTVCNet,
-        SequenceBitstream,
-    )
-    from repro.metrics import psnr
-    from repro.video import SceneConfig, generate_sequence
+    from repro.pipeline import CodecRegistryError, Pipeline, codec_spec
 
-    frames = generate_sequence(
-        SceneConfig(height=args.height, width=args.width, frames=args.frames)
+    try:
+        config_cls = codec_spec(args.codec).config_cls
+    except CodecRegistryError as exc:
+        print(f"repro encode: {exc}", file=sys.stderr)
+        return 2
+    # Map the generic CLI knobs onto whatever the codec's config calls
+    # them (``--qp`` drives CTVC's latent qstep and classical's QP).
+    fields = {f.name for f in dataclasses.fields(config_cls)}
+    overrides = {}
+    for name, value in (
+        ("qstep", args.qp),
+        ("qp", None if "qstep" in fields else args.qp),
+        ("channels", args.channels),
+    ):
+        if value is not None and name in fields:
+            overrides[name] = value
+    pipeline = Pipeline(
+        args.codec,
+        config_cls.from_dict(overrides),
+        scene={"height": args.height, "width": args.width, "frames": args.frames},
+        compute_msssim=args.msssim,
     )
-    if args.codec == "ctvc":
-        net = CTVCNet(CTVCConfig(channels=args.channels, qstep=args.qp))
-        stream = net.encode_sequence(frames)
-        decoded = net.decode_sequence(SequenceBitstream.parse(stream.serialize()))
-    else:
-        codec = ClassicalCodec(ClassicalCodecConfig(qp=args.qp))
-        stream = codec.encode_sequence(frames)
-        decoded = codec.decode_sequence(SequenceBitstream.parse(stream.serialize()))
-    bpp = stream.bits_per_pixel(args.height, args.width)
-    quality = float(np.mean([psnr(a, b) for a, b in zip(frames, decoded)]))
-    print(
-        f"{args.codec}: {len(frames)} frames @ {args.width}x{args.height}, "
-        f"{bpp:.3f} bpp, {quality:.2f} dB PSNR"
-    )
-    return 0
+    report = pipeline.run()
+    return _emit(args, report.render(), report.to_dict())
 
 
 def _cmd_hardware(args) -> int:
-    from repro.codec import decoder_graph
-    from repro.hw import (
-        NVCAConfig,
-        analyze_graph,
-        area_report,
-        compare_traffic,
-        energy_report,
-    )
+    from repro.pipeline import analyze_hardware
 
-    config = NVCAConfig()
-    graph = decoder_graph(args.height, args.width, config.channels)
-    perf = analyze_graph(graph, config)
-    traffic = compare_traffic(graph, config)
-    energy = energy_report(perf.schedule, traffic, config=config)
-    area = area_report(config)
-    print(perf)
-    print(energy)
-    print(f"gates: {area.total_mgates:.2f} M, SRAM: {config.on_chip_kbytes():.0f} KB")
-    print(
-        f"chaining: {traffic.baseline_total / 1e9:.3f} -> "
-        f"{traffic.chained_total / 1e9:.3f} GB/frame "
-        f"(-{traffic.overall_reduction:.1%})"
-    )
-    return 0
+    report = analyze_hardware(args.height, args.width)
+    return _emit(args, report.render(), report.to_dict())
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    # Bare ``python -m repro`` runs the default subcommand with its
+    # defaults; dispatch goes through ``func`` so user argv is never
+    # re-parsed or discarded.
+    parser.set_defaults(func=_cmd_reproduce, full=False, output=None, json=False)
     sub = parser.add_subparsers(dest="command")
 
     rep = sub.add_parser("reproduce", help="regenerate all tables and figures")
     rep.add_argument("--full", action="store_true", help="include measured runs")
     rep.add_argument("-o", "--output", default=None)
+    rep.add_argument("--json", action="store_true", help="emit structured JSON")
+    rep.set_defaults(func=_cmd_reproduce)
 
     enc = sub.add_parser("encode", help="encode a synthetic clip")
-    enc.add_argument("--codec", choices=("ctvc", "classical"), default="ctvc")
+    enc.add_argument("--codec", default="ctvc", help="registered codec name")
     enc.add_argument("--height", type=int, default=64)
     enc.add_argument("--width", type=int, default=96)
     enc.add_argument("--frames", type=int, default=4)
     enc.add_argument("--channels", type=int, default=12)
     enc.add_argument("--qp", type=float, default=8.0)
+    enc.add_argument("--msssim", action="store_true", help="also compute MS-SSIM")
+    enc.add_argument("-o", "--output", default=None)
+    enc.add_argument("--json", action="store_true", help="emit structured JSON")
+    enc.set_defaults(func=_cmd_encode)
 
     hw = sub.add_parser("hardware", help="NVCA model summary")
     hw.add_argument("--height", type=int, default=1080)
     hw.add_argument("--width", type=int, default=1920)
+    hw.add_argument("-o", "--output", default=None)
+    hw.add_argument("--json", action="store_true", help="emit structured JSON")
+    hw.set_defaults(func=_cmd_hardware)
+
+    from repro.pipeline import CodecRegistryError
+    from repro.serialization import ConfigError
 
     args = parser.parse_args(argv)
-    if args.command in (None, "reproduce"):
-        if args.command is None:
-            args = parser.parse_args(["reproduce"])
-        return _cmd_reproduce(args)
-    if args.command == "encode":
-        return _cmd_encode(args)
-    return _cmd_hardware(args)
+    try:
+        return args.func(args)
+    except (ConfigError, CodecRegistryError, OSError) as exc:
+        # User-input errors get a clean one-liner; genuine internal
+        # failures still traceback so they stay diagnosable.
+        print(f"repro {args.command or 'reproduce'}: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.fft import dctn, idctn
 
+from repro.serialization import SerializableConfig
 from repro.video.yuv import rgb_to_ycbcr, subsample_420, upsample_420, ycbcr_to_rgb
 
 from .bitstream import FramePacket, SequenceBitstream, f16_bits, f16_from_bits
@@ -58,7 +59,7 @@ _ZIGZAG = zigzag_indices(_BLOCK)
 
 
 @dataclass(frozen=True)
-class ClassicalCodecConfig:
+class ClassicalCodecConfig(SerializableConfig):
     """Operating parameters of the classical codec."""
 
     qp: float = 8.0  # quantization step for luma DCT coefficients

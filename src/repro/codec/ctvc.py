@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.serialization import SerializableConfig
 from repro.video.yuv import rgb_to_ycbcr
 
 from .bitstream import (
@@ -55,7 +56,7 @@ __all__ = ["CTVCConfig", "CTVCNet"]
 
 
 @dataclass(frozen=True)
-class CTVCConfig:
+class CTVCConfig(SerializableConfig):
     """Hyper-parameters of a CTVC-Net instance.
 
     The paper's operating point is ``channels=36`` (N), window 3,

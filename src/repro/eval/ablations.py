@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.codec.bitstream import SequenceBitstream
-from repro.codec.ctvc import CTVCConfig, CTVCNet
+from repro.pipeline.registry import create_codec
 from repro.codec.layergraph import decoder_graph, encoder_graph
 from repro.core.ops import multiplications
 from repro.core.transforms import PAPER_F23, PAPER_T3_64
@@ -82,7 +82,7 @@ def sparsity_sweep(
     )
     points = []
     for rho in rhos:
-        net = CTVCNet(CTVCConfig(channels=channels, qstep=qstep, seed=1))
+        net = create_codec("ctvc", channels=channels, qstep=qstep, seed=1)
         if rho > 0:
             net.apply_sparse(rho=rho)
         else:
@@ -184,7 +184,7 @@ def attention_ablation(
     )
 
     def run(disable_attention: bool) -> float:
-        net = CTVCNet(CTVCConfig(channels=channels, qstep=qstep, seed=1))
+        net = create_codec("ctvc", channels=channels, qstep=qstep, seed=1)
         if disable_attention:
             for ae in (net.motion_compression, net.residual_compression):
                 for am in (ae.ana_attn1, ae.ana_attn2):
@@ -331,7 +331,7 @@ def gop_size_ablation(
     )
     results = []
     for gop in gops:
-        net = CTVCNet(CTVCConfig(channels=channels, qstep=qstep, gop=gop, seed=1))
+        net = create_codec("ctvc", channels=channels, qstep=qstep, gop=gop, seed=1)
         stream = net.encode_sequence(sequence)
         decoded = net.decode_sequence(SequenceBitstream.parse(stream.serialize()))
         results.append(

@@ -17,8 +17,6 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.codec.bitstream import SequenceBitstream
-from repro.codec.classical import ClassicalCodec, ClassicalCodecConfig
-from repro.codec.ctvc import CTVCConfig, CTVCNet
 from repro.codec.rd_models import all_method_curves
 from repro.metrics import RDCurve, ms_ssim, psnr
 from repro.video import load_dataset
@@ -90,26 +88,26 @@ def measured_rd_curve(
     corpus sequence; returns a measured RD curve."""
     sequence = load_dataset(dataset).sequences()[0][:frames]
     _, height, width = sequence[0].shape
+    from repro.pipeline import create_codec
+
     curve = RDCurve(name=f"{codec}-{variant}-measured", metric=metric, dataset=dataset)
     for qp in qps:
         if codec == "classical":
-            coder = ClassicalCodec(ClassicalCodecConfig(qp=qp))
-            stream = coder.encode_sequence(sequence)
-            decoded = coder.decode_sequence(
-                SequenceBitstream.parse(stream.serialize())
-            )
+            overrides = {"qp": qp}
         elif codec == "ctvc":
-            net = CTVCNet(CTVCConfig(channels=channels, qstep=qp, seed=1))
-            if variant == "fxp":
-                net.apply_fxp()
-            elif variant == "sparse":
-                net.apply_sparse(rho=0.5)
-            stream = net.encode_sequence(sequence)
-            decoded = net.decode_sequence(
-                SequenceBitstream.parse(stream.serialize())
-            )
+            overrides = {"channels": channels, "qstep": qp, "seed": 1}
         else:
-            raise ValueError(f"unknown codec {codec!r}")
+            raise ValueError(
+                f"measured_rd_curve knows the rate knobs of 'classical' and "
+                f"'ctvc' only, got {codec!r}"
+            )
+        coder = create_codec(codec, **overrides)
+        if variant == "fxp" and hasattr(coder, "apply_fxp"):
+            coder.apply_fxp()
+        elif variant == "sparse" and hasattr(coder, "apply_sparse"):
+            coder.apply_sparse(rho=0.5)
+        stream = coder.encode_sequence(sequence)
+        decoded = coder.decode_sequence(SequenceBitstream.parse(stream.serialize()))
         bpp = stream.num_bits() / (len(sequence) * height * width)
         if metric == "psnr":
             quality = float(np.mean([psnr(a, b) for a, b in zip(sequence, decoded)]))

@@ -1,12 +1,18 @@
 """One-shot driver: regenerate every table and figure of the paper.
 
-``run_all`` collects the artifacts; ``main`` prints them.  ``fast=True``
-(the default) uses the calibrated Table I mode and skips the measured
-RD overlays, finishing in seconds; ``fast=False`` additionally runs the
+``run_all`` collects the artifacts; ``main`` renders them to one text
+report and ``report_dict`` to one JSON-ready document (what
+``python -m repro reproduce --json`` emits).  ``fast=True`` (the
+default) uses the calibrated Table I mode and skips the measured RD
+overlays, finishing in seconds; ``fast=False`` additionally runs the
 real pipeline measurements (minutes on a laptop-class CPU).
 """
 
 from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
 
 from .ablations import (
     dataflow_ablation,
@@ -19,7 +25,46 @@ from .fig9 import generate_fig9a, generate_fig9b
 from .table1 import generate_table1
 from .table2 import generate_table2
 
-__all__ = ["run_all", "main"]
+__all__ = ["run_all", "main", "report_dict"]
+
+
+def _jsonable(value, depth: int = 0):
+    """Best-effort conversion of an eval artifact to JSON-ready types.
+
+    Artifacts are heterogeneous dataclasses (tables, figure panels,
+    nested hardware reports); anything without an obvious mapping
+    falls back to ``str`` rather than failing the whole report.
+    """
+    if depth > 12:
+        return str(value)
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if hasattr(value, "to_dict"):
+        return _jsonable(value.to_dict(), depth + 1)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _jsonable(getattr(value, f.name), depth + 1)
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {
+            "/".join(map(str, k)) if isinstance(k, tuple) else str(k): _jsonable(
+                v, depth + 1
+            )
+            for k, v in value.items()
+        }
+    if isinstance(value, (list, tuple, set)):
+        return [_jsonable(item, depth + 1) for item in value]
+    return str(value)
+
+
+def report_dict(results: dict) -> dict:
+    """Machine-readable rendering of :func:`run_all` output."""
+    return {name: _jsonable(artifact) for name, artifact in results.items()}
 
 
 def run_all(fast: bool = True) -> dict:

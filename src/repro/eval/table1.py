@@ -23,7 +23,6 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.codec.ctvc import CTVCConfig, CTVCNet
 from repro.codec.rd_models import (
     DATASETS,
     LITERATURE_BDBR,
@@ -101,8 +100,10 @@ def measured_variant_deltas(
         SceneConfig(height=size[0], width=size[1], frames=frames, seed=seed)
     )
 
+    from repro.pipeline import create_codec
+
     def run(variant: str) -> float:
-        net = CTVCNet(CTVCConfig(channels=channels, qstep=qstep, seed=1))
+        net = create_codec("ctvc", channels=channels, qstep=qstep, seed=1)
         if variant == "fxp":
             net.apply_fxp()
         elif variant == "sparse":

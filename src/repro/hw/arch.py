@@ -17,11 +17,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.serialization import SerializableConfig
+
 __all__ = ["BufferSpec", "NVCAConfig"]
 
 
 @dataclass(frozen=True)
-class BufferSpec:
+class BufferSpec(SerializableConfig):
     """Geometry of one on-chip SRAM buffer."""
 
     name: str
@@ -36,7 +38,7 @@ class BufferSpec:
 
 
 @dataclass(frozen=True)
-class NVCAConfig:
+class NVCAConfig(SerializableConfig):
     """The full accelerator configuration."""
 
     # -- algorithmic operating point ---------------------------------

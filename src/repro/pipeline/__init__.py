@@ -1,0 +1,50 @@
+"""``repro.pipeline`` — the package's composable front door.
+
+Three layers, designed to be scripted, queued, and sharded:
+
+* **registry** — ``register_codec`` / ``create_codec`` /
+  ``available_codecs``: codecs are named plugins behind the
+  :class:`VideoCodec` protocol (``"ctvc"`` and ``"classical"``
+  register at import).
+* **configs** — every config class serializes (``to_dict`` /
+  ``from_dict`` / JSON) with validation, so jobs travel as documents.
+* **facade** — :class:`Pipeline` composes source → codec →
+  bitstream round-trip → metrics → optional NVCA hardware analysis
+  into one ``run()`` returning typed :class:`EncodeReport` /
+  :class:`HardwareReport`; :func:`run_many` sweeps (codec, config,
+  scene) grids, optionally on a process pool.
+"""
+
+from .configs import CONFIG_TYPES, ConfigError, load_config
+from .facade import EncodeSession, Pipeline, analyze_hardware, run_many
+from .registry import (
+    CodecRegistryError,
+    CodecSpec,
+    VideoCodec,
+    available_codecs,
+    codec_spec,
+    create_codec,
+    register_codec,
+    unregister_codec,
+)
+from .reports import EncodeReport, HardwareReport
+
+__all__ = [
+    "CONFIG_TYPES",
+    "CodecRegistryError",
+    "CodecSpec",
+    "ConfigError",
+    "EncodeReport",
+    "EncodeSession",
+    "HardwareReport",
+    "Pipeline",
+    "VideoCodec",
+    "analyze_hardware",
+    "available_codecs",
+    "codec_spec",
+    "create_codec",
+    "load_config",
+    "register_codec",
+    "run_many",
+    "unregister_codec",
+]

@@ -1,0 +1,349 @@
+"""The ``Pipeline`` facade: one ``run()`` from scene to report.
+
+A :class:`Pipeline` is a fully serializable job description — codec
+name, codec config, scene config, and options — and ``run()`` composes
+source → codec → serialize/parse round-trip → metrics → optional NVCA
+hardware analysis, returning typed reports instead of printed strings.
+Because the job spec is a plain dict under the hood, it ships across
+process boundaries unchanged, which is what :func:`run_many`'s process
+pool relies on.
+
+>>> from repro.pipeline import Pipeline
+>>> report = Pipeline("ctvc", {"channels": 12}, scene={"frames": 4}).run()
+>>> report.bpp, report.mean_psnr  # doctest: +SKIP
+
+The encode path is numerically identical to the pre-facade CLI: same
+frame source, same serialize/parse round trip, same
+``stream.bits_per_pixel`` rate and mean-PSNR quality.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from repro.codec import SequenceBitstream, decoder_graph
+from repro.hw import (
+    NVCAConfig,
+    analyze_graph,
+    area_report,
+    compare_traffic,
+    energy_report,
+)
+from repro.metrics import ms_ssim, psnr
+from repro.serialization import ConfigError, SerializableConfig
+from repro.video import SceneConfig, generate_sequence
+
+from .registry import VideoCodec, codec_spec, create_codec
+from .reports import EncodeReport, HardwareReport
+
+__all__ = ["EncodeSession", "Pipeline", "analyze_hardware", "run_many"]
+
+
+def analyze_hardware(
+    height: int,
+    width: int,
+    config: NVCAConfig | dict | None = None,
+) -> HardwareReport:
+    """Full NVCA roll-up (perf + traffic + energy + area) for the
+    decoder workload at one resolution."""
+    if isinstance(config, dict):
+        config = NVCAConfig.from_dict(config)
+    config = config or NVCAConfig()
+    graph = decoder_graph(height, width, config.channels)
+    perf = analyze_graph(graph, config)
+    traffic = compare_traffic(graph, config)
+    energy = energy_report(perf.schedule, traffic, config=config)
+    area = area_report(config)
+    return HardwareReport(
+        graph_name=graph.name,
+        height=height,
+        width=width,
+        nvca_config=config.to_dict(),
+        fps=perf.fps,
+        frame_time_ms=perf.frame_time_s * 1e3,
+        total_cycles=perf.total_cycles,
+        sustained_gops=perf.sustained_gops,
+        equivalent_gops=perf.equivalent_gops,
+        sftc_utilization=perf.sftc_utilization,
+        per_module_cycles=dict(perf.per_module_cycles),
+        baseline_traffic_gb=traffic.baseline_total / 1e9,
+        chained_traffic_gb=traffic.chained_total / 1e9,
+        traffic_reduction=traffic.overall_reduction,
+        chip_power_w=energy.chip_power_w,
+        dram_energy_mj=energy.dram_energy_j * 1e3,
+        energy_efficiency_gops_per_w=energy.energy_efficiency_gops_per_w(
+            perf.sustained_gops
+        ),
+        total_mgates=area.total_mgates,
+        sram_kbytes=config.on_chip_kbytes(),
+    )
+
+
+class EncodeSession:
+    """One encode run with inspectable intermediates.
+
+    The facade's unit of work: ``prepare()`` renders the source and
+    builds the codec, ``encode()``/``decode()`` run the codec through a
+    real serialize/parse round trip, ``report()`` measures rate and
+    quality.  ``run()`` chains all of it.  After any stage the
+    intermediates (``frames``, ``stream``, ``payload``, ``decoded``)
+    are attributes, so notebooks can poke at the actual bitstream.
+    """
+
+    def __init__(self, pipeline: "Pipeline"):
+        self.pipeline = pipeline
+        self.codec: VideoCodec | None = None
+        self.frames: list[np.ndarray] | None = None
+        self.stream: SequenceBitstream | None = None
+        self.payload: bytes | None = None
+        self.decoded: list[np.ndarray] | None = None
+        self.encode_seconds: float | None = None
+        self.decode_seconds: float | None = None
+
+    def prepare(self) -> "EncodeSession":
+        spec = self.pipeline
+        self.codec = create_codec(spec.codec, spec.codec_config)
+        self.frames = generate_sequence(spec.scene)
+        return self
+
+    def encode(self) -> "EncodeSession":
+        if self.frames is None:
+            self.prepare()
+        start = time.perf_counter()
+        self.stream = self.codec.encode_sequence(self.frames)
+        self.payload = self.stream.serialize()
+        self.encode_seconds = time.perf_counter() - start
+        return self
+
+    def decode(self) -> "EncodeSession":
+        if self.payload is None:
+            self.encode()
+        start = time.perf_counter()
+        self.decoded = self.codec.decode_sequence(
+            SequenceBitstream.parse(self.payload)
+        )
+        self.decode_seconds = time.perf_counter() - start
+        return self
+
+    def report(self) -> EncodeReport:
+        if self.decoded is None:
+            self.decode()
+        spec = self.pipeline
+        scene = spec.scene
+        psnrs = [float(psnr(a, b)) for a, b in zip(self.frames, self.decoded)]
+        msssims = (
+            [float(ms_ssim(a, b)) for a, b in zip(self.frames, self.decoded)]
+            if spec.compute_msssim
+            else []
+        )
+        return EncodeReport(
+            codec=spec.codec,
+            codec_config=self.codec.config.to_dict(),
+            scene=scene.to_dict(),
+            frames=len(self.frames),
+            height=scene.height,
+            width=scene.width,
+            stream_bytes=len(self.payload),
+            bpp=self.stream.bits_per_pixel(scene.height, scene.width),
+            psnr_per_frame=psnrs,
+            mean_psnr=float(np.mean(psnrs)),
+            msssim_per_frame=msssims,
+            mean_msssim=float(np.mean(msssims)) if msssims else None,
+            encode_seconds=self.encode_seconds,
+            decode_seconds=self.decode_seconds,
+        )
+
+    def run(self) -> EncodeReport:
+        return self.prepare().encode().decode().report()
+
+
+class Pipeline:
+    """Serializable job spec + facade over the whole encode stack.
+
+    ``codec`` is a registry name; ``codec_config`` and ``scene`` accept
+    either config instances or plain dicts (validated through the
+    config classes).  ``hardware`` optionally attaches an NVCA
+    analysis of the decoder workload at the scene resolution.
+    """
+
+    def __init__(
+        self,
+        codec: str = "ctvc",
+        codec_config: SerializableConfig | dict | None = None,
+        scene: SceneConfig | dict | None = None,
+        *,
+        compute_msssim: bool = False,
+        hardware: NVCAConfig | dict | bool | None = None,
+    ):
+        spec = codec_spec(codec)  # fail fast on unknown names
+        self.codec = codec
+        if isinstance(codec_config, dict):
+            codec_config = spec.config_cls.from_dict(codec_config)
+        elif codec_config is not None and not isinstance(
+            codec_config, spec.config_cls
+        ):
+            raise ConfigError(
+                f"codec {codec!r} expects a {spec.config_cls.__name__}, "
+                f"got {type(codec_config).__name__}"
+            )
+        self.codec_config = codec_config or spec.config_cls()
+        if isinstance(scene, dict):
+            scene = SceneConfig.from_dict(scene)
+        self.scene = scene or SceneConfig()
+        if self.scene.frames < 1:
+            raise ConfigError(
+                f"scene.frames must be >= 1, got {self.scene.frames}"
+            )
+        self.compute_msssim = compute_msssim
+        if hardware is True:
+            hardware = NVCAConfig()
+        elif hardware is False:
+            hardware = None
+        elif isinstance(hardware, dict):
+            hardware = NVCAConfig.from_dict(hardware)
+        self.hardware = hardware
+
+    # -- serialization ------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "codec": self.codec,
+            "codec_config": self.codec_config.to_dict(),
+            "scene": self.scene.to_dict(),
+            "compute_msssim": self.compute_msssim,
+            "hardware": self.hardware.to_dict() if self.hardware else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Pipeline":
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"Pipeline.from_dict expects a mapping, got {type(data).__name__}"
+            )
+        known = {"codec", "codec_config", "scene", "compute_msssim", "hardware"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigError(
+                f"Pipeline: unknown field(s) {', '.join(unknown)}; "
+                f"valid fields: {', '.join(sorted(known))}"
+            )
+        return cls(
+            codec=data.get("codec", "ctvc"),
+            codec_config=data.get("codec_config"),
+            scene=data.get("scene"),
+            compute_msssim=bool(data.get("compute_msssim", False)),
+            hardware=data.get("hardware"),
+        )
+
+    # -- execution ----------------------------------------------------
+    def session(self) -> EncodeSession:
+        return EncodeSession(self)
+
+    def run(self) -> EncodeReport:
+        """Encode, decode, and measure; attaches ``.hardware`` when the
+        job asks for the NVCA analysis."""
+        report = self.session().run()
+        report.hardware = self.run_hardware() if self.hardware else None
+        return report
+
+    def run_hardware(
+        self, height: int | None = None, width: int | None = None
+    ) -> HardwareReport:
+        """NVCA analysis of the decoder workload (defaults to the scene
+        resolution)."""
+        config = self.hardware if isinstance(self.hardware, NVCAConfig) else None
+        return analyze_hardware(
+            height or self.scene.height, width or self.scene.width, config
+        )
+
+
+def _run_spec(spec: dict) -> dict:
+    """Process-pool worker: dict in, dict out (both picklable and
+    JSON-ready)."""
+    return Pipeline.from_dict(spec).run().to_dict()
+
+
+def run_many(
+    jobs=None,
+    *,
+    codecs=None,
+    codec_configs=None,
+    scenes=None,
+    compute_msssim: bool = False,
+    processes: int | None = None,
+) -> list[EncodeReport]:
+    """Run a batch of encode jobs, optionally on a process pool.
+
+    Two calling styles:
+
+    * explicit — ``run_many([Pipeline(...), {...}, ...])`` runs each
+      job as given (each job carries its own ``compute_msssim``);
+    * grid — ``run_many(codecs=[...], codec_configs=[...],
+      scenes=[...])`` sweeps the cross product.  ``codec_configs``
+      entries are dicts of overrides; for each codec, keys the codec's
+      config class does not define are skipped, so one grid mixing
+      codec-specific knobs (``qstep`` vs ``qp``) can still span
+      heterogeneous config classes.
+
+    ``processes=None`` runs inline (deterministic ordering, easy
+    debugging); ``processes=N`` fans out over N worker processes —
+    job specs travel as JSON-ready dicts, results come back the same
+    way and are re-hydrated into :class:`EncodeReport`.  Workers use
+    the ``fork`` start method where the platform offers it so codecs
+    registered at runtime stay visible; under ``spawn`` semantics,
+    custom codecs must be registered at import time of their module.
+    """
+    if jobs is None:
+        if codecs is None:
+            raise ValueError("run_many needs jobs=... or a codecs=[...] grid")
+        codec_configs = codec_configs if codec_configs is not None else [{}]
+        scenes = scenes if scenes is not None else [SceneConfig()]
+        jobs = []
+        for codec, overrides, scene in itertools.product(
+            codecs, codec_configs, scenes
+        ):
+            if isinstance(overrides, dict):
+                fields = {
+                    f.name
+                    for f in dataclasses.fields(codec_spec(codec).config_cls)
+                }
+                overrides = {k: v for k, v in overrides.items() if k in fields}
+            jobs.append(
+                Pipeline(codec, overrides, scene, compute_msssim=compute_msssim)
+            )
+    elif compute_msssim:
+        raise ValueError(
+            "compute_msssim only applies to grid mode; with explicit jobs, "
+            "set it on each Pipeline"
+        )
+    specs = []
+    for job in jobs:
+        if isinstance(job, Pipeline):
+            specs.append(job.to_dict())
+        elif isinstance(job, dict):
+            specs.append(Pipeline.from_dict(job).to_dict())
+        else:
+            raise TypeError(
+                f"run_many jobs must be Pipeline or dict, got {type(job).__name__}"
+            )
+
+    if processes:
+        # Prefer fork so runtime codec registrations survive into the
+        # workers; elsewhere the default (spawn) re-imports the
+        # registry with the import-time registrations only.
+        context = (
+            multiprocessing.get_context("fork")
+            if "fork" in multiprocessing.get_all_start_methods()
+            else None
+        )
+        with ProcessPoolExecutor(max_workers=processes, mp_context=context) as pool:
+            results = list(pool.map(_run_spec, specs))
+    else:
+        results = [_run_spec(spec) for spec in specs]
+
+    return [EncodeReport.from_dict(result) for result in results]

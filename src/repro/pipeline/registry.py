@@ -1,0 +1,171 @@
+"""String-keyed codec registry: the package's pluggable codec surface.
+
+Callers name a codec (``"ctvc"``, ``"classical"``) instead of importing
+and wiring a concrete class; new variants — including RD-model-backed
+pseudo-codecs — plug in with one :func:`register_codec` call and every
+facade/CLI/sweep path picks them up without modification.
+
+>>> from repro.pipeline import available_codecs, create_codec
+>>> available_codecs()
+['classical', 'ctvc']
+>>> codec = create_codec("ctvc", channels=12, qstep=8.0)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.codec import (
+    ClassicalCodec,
+    ClassicalCodecConfig,
+    CTVCConfig,
+    CTVCNet,
+    SequenceBitstream,
+)
+from repro.serialization import SerializableConfig
+
+__all__ = [
+    "CodecRegistryError",
+    "CodecSpec",
+    "VideoCodec",
+    "available_codecs",
+    "codec_spec",
+    "create_codec",
+    "register_codec",
+    "unregister_codec",
+]
+
+
+class CodecRegistryError(ValueError):
+    """Registration conflict or unknown-codec lookup."""
+
+
+@runtime_checkable
+class VideoCodec(Protocol):
+    """What the pipeline requires of a codec.
+
+    Both ``CTVCNet`` and ``ClassicalCodec`` satisfy this structurally;
+    third-party codecs only need the same two methods plus a ``config``
+    attribute.
+    """
+
+    config: Any
+
+    def encode_sequence(self, frames: list[np.ndarray]) -> SequenceBitstream:
+        ...
+
+    def decode_sequence(self, stream: SequenceBitstream) -> list[np.ndarray]:
+        ...
+
+
+@dataclass(frozen=True)
+class CodecSpec:
+    """One registry entry: how to build a codec and its config."""
+
+    name: str
+    factory: Callable[..., VideoCodec]
+    config_cls: type[SerializableConfig]
+    description: str = ""
+
+
+_REGISTRY: dict[str, CodecSpec] = {}
+
+
+def register_codec(
+    name: str,
+    factory: Callable[..., VideoCodec],
+    config_cls: type[SerializableConfig],
+    description: str = "",
+    *,
+    overwrite: bool = False,
+) -> CodecSpec:
+    """Register a codec under ``name``.
+
+    ``factory(config)`` must return a :class:`VideoCodec`;
+    ``config_cls`` must round-trip through dict/JSON (a
+    :class:`~repro.serialization.SerializableConfig`).  Re-registering
+    an existing name raises unless ``overwrite=True`` (deliberate, so
+    two plugins cannot silently shadow each other).
+    """
+    if not name or not isinstance(name, str):
+        raise CodecRegistryError(f"codec name must be a non-empty string, got {name!r}")
+    if name in _REGISTRY and not overwrite:
+        raise CodecRegistryError(
+            f"codec {name!r} is already registered "
+            f"({_REGISTRY[name].description or _REGISTRY[name].factory!r}); "
+            "pass overwrite=True to replace it"
+        )
+    spec = CodecSpec(
+        name=name, factory=factory, config_cls=config_cls, description=description
+    )
+    _REGISTRY[name] = spec
+    return spec
+
+
+def unregister_codec(name: str) -> None:
+    """Remove a registration (mainly for tests and plugin teardown)."""
+    _REGISTRY.pop(name, None)
+
+
+def available_codecs() -> list[str]:
+    """Sorted names of every registered codec."""
+    return sorted(_REGISTRY)
+
+
+def codec_spec(name: str) -> CodecSpec:
+    """Look up a registry entry, with a helpful unknown-name error."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise CodecRegistryError(
+            f"unknown codec {name!r}; available: {', '.join(available_codecs())}"
+        ) from None
+
+
+def create_codec(
+    name: str,
+    config: SerializableConfig | dict | None = None,
+    **overrides,
+) -> VideoCodec:
+    """Instantiate a registered codec.
+
+    ``config`` may be a ready config instance, a dict (validated via the
+    config class's ``from_dict``), or ``None`` for defaults; keyword
+    overrides are applied on top in all three cases.
+
+    >>> create_codec("classical", qp=16.0)            # doctest: +SKIP
+    >>> create_codec("ctvc", {"channels": 12}, qstep=32.0)  # doctest: +SKIP
+    """
+    spec = codec_spec(name)
+    if config is None:
+        # Route kwargs through from_dict so bad names/types get the
+        # same helpful ConfigError as the dict path.
+        cfg = spec.config_cls.from_dict(overrides) if overrides else spec.config_cls()
+    elif isinstance(config, dict):
+        cfg = spec.config_cls.from_dict({**config, **overrides})
+    else:
+        if not isinstance(config, spec.config_cls):
+            raise CodecRegistryError(
+                f"codec {name!r} expects a {spec.config_cls.__name__}, "
+                f"got {type(config).__name__}"
+            )
+        cfg = config.replace(**overrides) if overrides else config
+    return spec.factory(cfg)
+
+
+# -- built-in registrations -------------------------------------------------
+register_codec(
+    "ctvc",
+    CTVCNet,
+    CTVCConfig,
+    "CTVC-Net CNN-Transformer hybrid codec (the paper's learned codec)",
+)
+register_codec(
+    "classical",
+    ClassicalCodec,
+    ClassicalCodecConfig,
+    "block-DCT hybrid codec (the measured H.26x stand-in)",
+)

@@ -1,0 +1,155 @@
+"""Typed, machine-readable results of pipeline runs.
+
+Every report is a dataclass with ``to_dict()`` (JSON-ready: plain
+scalars, lists, and nested dicts only) and ``render()`` (the human
+summary the CLI prints).  ``EncodeReport.render()`` reproduces the
+pre-redesign ``python -m repro encode`` line byte-for-byte so scripted
+consumers of the old output keep working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["EncodeReport", "HardwareReport"]
+
+
+@dataclass
+class EncodeReport:
+    """Rate/quality outcome of one (codec, config, scene) encode run."""
+
+    codec: str
+    codec_config: dict
+    scene: dict
+    frames: int
+    height: int
+    width: int
+    stream_bytes: int
+    bpp: float
+    psnr_per_frame: list[float]
+    mean_psnr: float
+    msssim_per_frame: list[float] = field(default_factory=list)
+    mean_msssim: float | None = None
+    encode_seconds: float | None = None
+    decode_seconds: float | None = None
+    #: attached NVCA analysis when the job requested one.
+    hardware: "HardwareReport | None" = None
+
+    def to_dict(self) -> dict:
+        return {
+            "codec": self.codec,
+            "codec_config": dict(self.codec_config),
+            "scene": dict(self.scene),
+            "frames": self.frames,
+            "height": self.height,
+            "width": self.width,
+            "stream_bytes": self.stream_bytes,
+            "bpp": self.bpp,
+            "psnr_per_frame": list(self.psnr_per_frame),
+            "mean_psnr": self.mean_psnr,
+            "msssim_per_frame": list(self.msssim_per_frame),
+            "mean_msssim": self.mean_msssim,
+            "encode_seconds": self.encode_seconds,
+            "decode_seconds": self.decode_seconds,
+            "hardware": self.hardware.to_dict() if self.hardware else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EncodeReport":
+        data = dict(data)
+        hardware = data.pop("hardware", None)
+        report = cls(**data)
+        if hardware:
+            report.hardware = HardwareReport.from_dict(hardware)
+        return report
+
+    def render(self) -> str:
+        """One-line summary, format-compatible with the legacy CLI."""
+        line = (
+            f"{self.codec}: {self.frames} frames @ {self.width}x{self.height}, "
+            f"{self.bpp:.3f} bpp, {self.mean_psnr:.2f} dB PSNR"
+        )
+        if self.mean_msssim is not None:
+            line += f", {self.mean_msssim:.4f} MS-SSIM"
+        if self.hardware is not None:
+            line += "\n" + self.hardware.render()
+        return line
+
+
+@dataclass
+class HardwareReport:
+    """NVCA analysis of one decoder workload: performance, traffic,
+    energy, area."""
+
+    graph_name: str
+    height: int
+    width: int
+    nvca_config: dict
+    # -- performance --------------------------------------------------
+    fps: float
+    frame_time_ms: float
+    total_cycles: int
+    sustained_gops: float
+    equivalent_gops: float
+    sftc_utilization: float
+    per_module_cycles: dict[str, int]
+    # -- dataflow -----------------------------------------------------
+    baseline_traffic_gb: float
+    chained_traffic_gb: float
+    traffic_reduction: float
+    # -- energy / area ------------------------------------------------
+    chip_power_w: float
+    dram_energy_mj: float
+    energy_efficiency_gops_per_w: float
+    total_mgates: float
+    sram_kbytes: float
+
+    def to_dict(self) -> dict:
+        return {
+            "graph_name": self.graph_name,
+            "height": self.height,
+            "width": self.width,
+            "nvca_config": dict(self.nvca_config),
+            "fps": self.fps,
+            "frame_time_ms": self.frame_time_ms,
+            "total_cycles": self.total_cycles,
+            "sustained_gops": self.sustained_gops,
+            "equivalent_gops": self.equivalent_gops,
+            "sftc_utilization": self.sftc_utilization,
+            "per_module_cycles": dict(self.per_module_cycles),
+            "baseline_traffic_gb": self.baseline_traffic_gb,
+            "chained_traffic_gb": self.chained_traffic_gb,
+            "traffic_reduction": self.traffic_reduction,
+            "chip_power_w": self.chip_power_w,
+            "dram_energy_mj": self.dram_energy_mj,
+            "energy_efficiency_gops_per_w": self.energy_efficiency_gops_per_w,
+            "total_mgates": self.total_mgates,
+            "sram_kbytes": self.sram_kbytes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HardwareReport":
+        return cls(**data)
+
+    def render(self) -> str:
+        lines = [
+            f"NVCA @ {self.width}x{self.height} ({self.graph_name}):",
+            (
+                f"  {self.fps:.1f} FPS, {self.frame_time_ms:.1f} ms/frame, "
+                f"{self.sustained_gops:.0f} GOPS sustained "
+                f"({self.equivalent_gops:.0f} dense-equivalent), "
+                f"SFTC util {self.sftc_utilization:.1%}"
+            ),
+            (
+                f"  power: {self.chip_power_w:.2f} W chip, "
+                f"{self.energy_efficiency_gops_per_w:.0f} GOPS/W, "
+                f"DRAM {self.dram_energy_mj:.1f} mJ/frame"
+            ),
+            f"  gates: {self.total_mgates:.2f} M, SRAM: {self.sram_kbytes:.0f} KB",
+            (
+                f"  chaining: {self.baseline_traffic_gb:.3f} -> "
+                f"{self.chained_traffic_gb:.3f} GB/frame "
+                f"(-{self.traffic_reduction:.1%})"
+            ),
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,202 @@
+"""Uniform config (de)serialization for the package's dataclass configs.
+
+Every user-facing configuration dataclass (``CTVCConfig``,
+``ClassicalCodecConfig``, ``NVCAConfig``, ``SceneConfig``, ...) mixes in
+:class:`SerializableConfig`, gaining ``to_dict``/``from_dict`` and
+JSON round-trips with validation.  This is what makes pipeline job
+specs picklable/shippable: a whole encode job can travel as one JSON
+document to a worker process, a queue, or a results archive, and come
+back as the identical frozen config.
+
+``from_dict`` is strict about *names* (unknown keys raise, listing the
+valid fields) and lenient about *representations* (lists coerce to
+tuple fields, ints to float fields, nested dicts to nested dataclass
+fields) — exactly the relaxations JSON forces.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import types
+import typing
+
+__all__ = ["ConfigError", "SerializableConfig", "coerce_field"]
+
+#: PEP 604 ``X | Y`` unions and ``typing.Union`` both count as unions.
+_UNION_ORIGINS = {typing.Union, getattr(types, "UnionType", typing.Union)}
+
+
+class ConfigError(ValueError):
+    """A config dict/JSON document failed validation."""
+
+
+def _type_name(tp) -> str:
+    return getattr(tp, "__name__", str(tp))
+
+
+def coerce_field(cls: type, name: str, annotation, value):
+    """Coerce one JSON-decoded value to a dataclass field's annotation.
+
+    Raises :class:`ConfigError` with a path-qualified message when the
+    value cannot represent the annotated type.
+    """
+    origin = typing.get_origin(annotation)
+    args = typing.get_args(annotation)
+
+    # Optional / unions: accept None when allowed, else try each arm.
+    if origin in _UNION_ORIGINS:
+        if value is None:
+            if type(None) in args:
+                return None
+            raise ConfigError(
+                f"{cls.__name__}.{name}: null is not allowed "
+                f"(expected {annotation})"
+            )
+        errors = []
+        for arm in args:
+            if arm is type(None):
+                continue
+            try:
+                return coerce_field(cls, name, arm, value)
+            except ConfigError as exc:
+                errors.append(str(exc))
+        raise ConfigError(
+            f"{cls.__name__}.{name}: {value!r} matches no arm of "
+            f"{annotation} ({'; '.join(errors)})"
+        )
+
+    # Nested dataclass (e.g. BufferSpec inside NVCAConfig).
+    if dataclasses.is_dataclass(annotation) and isinstance(annotation, type):
+        if isinstance(value, annotation):
+            return value
+        if isinstance(value, dict):
+            if issubclass(annotation, SerializableConfig):
+                return annotation.from_dict(value)
+            return annotation(**value)
+        raise ConfigError(
+            f"{cls.__name__}.{name}: expected a {annotation.__name__} "
+            f"mapping, got {type(value).__name__}"
+        )
+
+    # Tuples (e.g. SceneConfig.pan_velocity) arrive as JSON lists.
+    if origin is tuple or annotation is tuple:
+        if not isinstance(value, (list, tuple)):
+            raise ConfigError(
+                f"{cls.__name__}.{name}: expected a sequence, "
+                f"got {type(value).__name__}"
+            )
+        if args and args[-1] is not Ellipsis and len(args) != len(value):
+            raise ConfigError(
+                f"{cls.__name__}.{name}: expected {len(args)} elements, "
+                f"got {len(value)}"
+            )
+        if args:
+            element_types = (
+                [args[0]] * len(value) if args[-1] is Ellipsis else list(args)
+            )
+            return tuple(
+                coerce_field(cls, f"{name}[{i}]", tp, item)
+                for i, (tp, item) in enumerate(zip(element_types, value))
+            )
+        return tuple(value)
+
+    if annotation is bool:
+        if isinstance(value, bool):
+            return value
+        raise ConfigError(
+            f"{cls.__name__}.{name}: expected bool, got {type(value).__name__}"
+        )
+    if annotation is int:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ConfigError(
+                f"{cls.__name__}.{name}: expected int, "
+                f"got {type(value).__name__}"
+            )
+        return value
+    if annotation is float:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ConfigError(
+                f"{cls.__name__}.{name}: expected a number, "
+                f"got {type(value).__name__}"
+            )
+        return float(value)
+    if annotation is str:
+        if not isinstance(value, str):
+            raise ConfigError(
+                f"{cls.__name__}.{name}: expected str, "
+                f"got {type(value).__name__}"
+            )
+        return value
+
+    # Unparameterized / exotic annotations: pass through untouched.
+    return value
+
+
+class SerializableConfig:
+    """Mixin giving a (frozen) dataclass dict/JSON round-trips.
+
+    >>> cfg = SceneConfig(height=64, width=96)
+    >>> SceneConfig.from_json(cfg.to_json()) == cfg
+    True
+    """
+
+    def to_dict(self) -> dict:
+        """Plain-JSON-types dict (tuples become lists, nested configs
+        become nested dicts)."""
+        out = {}
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if isinstance(value, SerializableConfig):
+                value = value.to_dict()
+            elif dataclasses.is_dataclass(value):
+                value = dataclasses.asdict(value)
+            elif isinstance(value, tuple):
+                value = list(value)
+            out[field.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SerializableConfig":
+        """Validate + coerce a dict into a config instance.
+
+        Unknown keys, missing required values, and untypeable values all
+        raise :class:`ConfigError` naming the offending field.
+        """
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"{cls.__name__}.from_dict expects a mapping, "
+                f"got {type(data).__name__}"
+            )
+        hints = typing.get_type_hints(cls)
+        fields = {f.name: f for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - set(fields))
+        if unknown:
+            raise ConfigError(
+                f"{cls.__name__}: unknown field(s) {', '.join(unknown)}; "
+                f"valid fields: {', '.join(sorted(fields))}"
+            )
+        kwargs = {
+            name: coerce_field(cls, name, hints.get(name, object), value)
+            for name, value in data.items()
+        }
+        try:
+            return cls(**kwargs)
+        except (TypeError, ValueError) as exc:
+            raise ConfigError(f"{cls.__name__}: {exc}") from exc
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SerializableConfig":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"{cls.__name__}: invalid JSON ({exc})") from exc
+        return cls.from_dict(data)
+
+    def replace(self, **overrides) -> "SerializableConfig":
+        """``dataclasses.replace`` spelled as a method, for fluent
+        sweeps: ``cfg.replace(qstep=16.0)``."""
+        return dataclasses.replace(self, **overrides)

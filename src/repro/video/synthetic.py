@@ -20,11 +20,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.serialization import SerializableConfig
+
 __all__ = ["SceneConfig", "VideoGenerator", "generate_sequence"]
 
 
 @dataclass(frozen=True)
-class SceneConfig:
+class SceneConfig(SerializableConfig):
     """Knobs controlling the statistics of a synthetic sequence."""
 
     height: int = 128

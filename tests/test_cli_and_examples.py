@@ -1,5 +1,6 @@
 """Smoke tests for the CLI and the example scripts."""
 
+import json
 import subprocess
 import sys
 from pathlib import Path
@@ -49,6 +50,52 @@ class TestCLI:
         assert "Table II" in result.stdout
         assert out.exists()
         assert "Fig. 9(a)" in out.read_text()
+
+    def test_default_subcommand_dispatch(self):
+        # Bare ``python -m repro`` must run reproduce via set_defaults,
+        # not by re-parsing a synthetic argv.
+        result = run_cli()
+        assert result.returncode == 0
+        assert "Table I" in result.stdout
+
+    def test_unknown_codec_is_clean_error(self):
+        result = run_cli("encode", "--codec", "nosuch", "--frames", "1")
+        assert result.returncode == 2
+        assert "unknown codec" in result.stderr
+        assert "classical" in result.stderr  # lists what is available
+
+
+class TestCLIJson:
+    def test_encode_json(self, tmp_path):
+        out = tmp_path / "encode.json"
+        result = run_cli(
+            "encode", "--codec", "classical", "--frames", "2", "--qp", "16",
+            "--json", "-o", str(out),
+        )
+        assert result.returncode == 0
+        payload = json.loads(result.stdout)
+        assert payload["codec"] == "classical"
+        assert payload["codec_config"]["qp"] == 16.0
+        assert payload["frames"] == 2
+        assert payload["bpp"] > 0
+        assert len(payload["psnr_per_frame"]) == 2
+        assert json.loads(out.read_text()) == payload
+
+    def test_hardware_json(self):
+        result = run_cli("hardware", "--height", "288", "--width", "512", "--json")
+        assert result.returncode == 0
+        payload = json.loads(result.stdout)
+        assert payload["height"] == 288
+        assert payload["fps"] > 0
+        assert payload["per_module_cycles"]
+
+    def test_reproduce_json(self, tmp_path):
+        out = tmp_path / "report.json"
+        result = run_cli("reproduce", "--json", "-o", str(out))
+        assert result.returncode == 0
+        payload = json.loads(out.read_text())
+        assert set(payload) >= {"table1", "table2", "fig8", "fig9a", "fig9b"}
+        assert payload["table1"]["computed"]
 
 
 class TestExamples:

@@ -1,0 +1,95 @@
+"""Codec registry: lookup, registration rules, error quality."""
+
+import pytest
+
+from repro.codec import ClassicalCodec, ClassicalCodecConfig, CTVCConfig, CTVCNet
+from repro.pipeline import (
+    CodecRegistryError,
+    VideoCodec,
+    available_codecs,
+    codec_spec,
+    create_codec,
+    register_codec,
+    unregister_codec,
+)
+
+
+class TestLookup:
+    def test_builtins_registered(self):
+        assert available_codecs() == ["classical", "ctvc"]
+
+    def test_codec_spec_fields(self):
+        spec = codec_spec("ctvc")
+        assert spec.factory is CTVCNet
+        assert spec.config_cls is CTVCConfig
+        assert spec.description
+
+    def test_create_default_config(self):
+        codec = create_codec("classical")
+        assert isinstance(codec, ClassicalCodec)
+        assert codec.config == ClassicalCodecConfig()
+
+    def test_create_with_kwargs(self):
+        codec = create_codec("ctvc", channels=8, qstep=16.0)
+        assert isinstance(codec, CTVCNet)
+        assert codec.config.channels == 8
+        assert codec.config.qstep == 16.0
+
+    def test_create_with_dict_and_overrides(self):
+        codec = create_codec("ctvc", {"channels": 8}, qstep=32.0)
+        assert (codec.config.channels, codec.config.qstep) == (8, 32.0)
+
+    def test_create_with_config_instance(self):
+        cfg = ClassicalCodecConfig(qp=24.0)
+        codec = create_codec("classical", cfg)
+        assert codec.config is cfg
+
+    def test_builtin_codecs_satisfy_protocol(self):
+        assert isinstance(create_codec("ctvc", channels=4), VideoCodec)
+        assert isinstance(create_codec("classical"), VideoCodec)
+
+
+class TestErrors:
+    def test_unknown_codec_lists_available(self):
+        with pytest.raises(CodecRegistryError, match="classical, ctvc"):
+            create_codec("h266")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(CodecRegistryError, match="already registered"):
+            register_codec("ctvc", CTVCNet, CTVCConfig)
+
+    def test_wrong_config_type(self):
+        with pytest.raises(CodecRegistryError, match="CTVCConfig"):
+            create_codec("ctvc", ClassicalCodecConfig())
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(CodecRegistryError):
+            register_codec("", CTVCNet, CTVCConfig)
+
+    def test_bad_kwarg_gets_config_error(self):
+        from repro.serialization import ConfigError
+
+        # kwargs-only path validates like the dict path: helpful
+        # ConfigError, not a raw TypeError.
+        with pytest.raises(ConfigError, match="unknown field.*qstep"):
+            create_codec("classical", qstep=2.0)
+
+
+class TestPluggability:
+    def test_register_overwrite_and_unregister(self):
+        try:
+            register_codec(
+                "ctvc-lite",
+                lambda cfg: CTVCNet(cfg),
+                CTVCConfig,
+                "half-size variant",
+            )
+            assert "ctvc-lite" in available_codecs()
+            codec = create_codec("ctvc-lite", channels=4)
+            assert codec.config.channels == 4
+            # Overwrite is explicit, never silent.
+            register_codec("ctvc-lite", CTVCNet, CTVCConfig, overwrite=True)
+            assert codec_spec("ctvc-lite").factory is CTVCNet
+        finally:
+            unregister_codec("ctvc-lite")
+        assert "ctvc-lite" not in available_codecs()
