@@ -1,9 +1,15 @@
 """Codec throughput benchmarks: encode/decode of both real codecs.
 
 Run: pytest benchmarks/bench_codec.py --benchmark-only -s
+
+Each codec is benchmarked per entropy backend ("cacm" reference vs the
+vectorized "rans" fast path).  For the standalone runner that needs no
+pytest-benchmark and writes ``BENCH_codec.json``, see
+``benchmarks/run_benchmarks.py``.
 """
 
 import numpy as np
+import pytest
 
 from repro.codec import (
     ClassicalCodec,
@@ -17,15 +23,19 @@ from repro.video import SceneConfig, generate_sequence
 
 _FRAMES = generate_sequence(SceneConfig(height=64, width=96, frames=3, seed=7))
 
+BACKENDS = ("cacm", "rans")
 
-def test_classical_encode(benchmark):
-    codec = ClassicalCodec(ClassicalCodecConfig(qp=8.0))
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_classical_encode(benchmark, backend):
+    codec = ClassicalCodec(ClassicalCodecConfig(qp=8.0, entropy_backend=backend))
     stream = benchmark(codec.encode_sequence, _FRAMES)
     assert len(stream.packets) == 3
 
 
-def test_classical_decode(benchmark):
-    codec = ClassicalCodec(ClassicalCodecConfig(qp=8.0))
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_classical_decode(benchmark, backend):
+    codec = ClassicalCodec(ClassicalCodecConfig(qp=8.0, entropy_backend=backend))
     blob = codec.encode_sequence(_FRAMES).serialize()
 
     def decode():
@@ -35,16 +45,18 @@ def test_classical_decode(benchmark):
     assert np.mean([psnr(a, b) for a, b in zip(_FRAMES, decoded)]) > 28.0
 
 
-def test_ctvc_encode(benchmark):
-    net = CTVCNet(CTVCConfig(channels=12, qstep=8.0, seed=1))
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_ctvc_encode(benchmark, backend):
+    net = CTVCNet(CTVCConfig(channels=12, qstep=8.0, seed=1, entropy_backend=backend))
     stream = benchmark.pedantic(
         net.encode_sequence, args=(_FRAMES,), rounds=2, iterations=1
     )
     assert len(stream.packets) == 3
 
 
-def test_ctvc_decode(benchmark):
-    net = CTVCNet(CTVCConfig(channels=12, qstep=8.0, seed=1))
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_ctvc_decode(benchmark, backend):
+    net = CTVCNet(CTVCConfig(channels=12, qstep=8.0, seed=1, entropy_backend=backend))
     blob = net.encode_sequence(_FRAMES).serialize()
 
     def decode():

@@ -56,6 +56,7 @@ def _cmd_encode(args) -> int:
         ("qstep", args.qp),
         ("qp", None if "qstep" in fields else args.qp),
         ("channels", args.channels),
+        ("entropy_backend", args.entropy_backend),
     ):
         if value is not None and name in fields:
             overrides[name] = value
@@ -97,6 +98,12 @@ def main(argv=None) -> int:
     enc.add_argument("--frames", type=int, default=4)
     enc.add_argument("--channels", type=int, default=12)
     enc.add_argument("--qp", type=float, default=8.0)
+    enc.add_argument(
+        "--entropy-backend",
+        default=None,
+        help="entropy coder for the codec ('rans' fast path, 'cacm' reference; "
+        "default: the codec config's default)",
+    )
     enc.add_argument("--msssim", action="store_true", help="also compute MS-SSIM")
     enc.add_argument("-o", "--output", default=None)
     enc.add_argument("--json", action="store_true", help="emit structured JSON")

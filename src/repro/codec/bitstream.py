@@ -7,9 +7,24 @@ this.  The container is deliberately simple and fully self-describing:
     magic 'NVCA' | version u16 | header-length u32 | header JSON |
     repeat per frame:  meta-length u32 | meta JSON | chunks...
 
-Every chunk is a named byte payload (an arithmetic-coded stream or raw
+Every chunk is a named byte payload (an entropy-coded stream or raw
 side information).  All rate numbers in the evaluation harness are
 ``len(serialize())*8`` — real bits, headers included.
+
+Format versions:
+
+* **1** — the original container: every chunk is CACM'87
+  arithmetic-coded, and the classical codec's DCT planes interleave
+  their per-band models block by block.
+* **2** (current) — the header's ``"entropy"`` field names the entropy
+  backend that wrote the chunks (``"cacm"``, ``"rans"``, ...; absent
+  means ``"cacm"``), and multi-model chunks are laid out as contiguous
+  per-model segments.  Decoders pick the backend from the stream, not
+  from their own configuration.
+
+``parse`` accepts both versions and records which one it saw in
+``SequenceBitstream.version``, so version-1 streams remain decodable
+(the codecs keep a legacy symbol-order path for them).
 
 Floating-point side information (e.g. Laplacian scales) must be passed
 through :func:`as_f32` before use on the *encoder* side too, so encoder
@@ -35,7 +50,8 @@ __all__ = [
 ]
 
 _MAGIC = b"NVCA"
-_VERSION = 1
+_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 
 def as_f32(value: float) -> float:
@@ -118,10 +134,16 @@ class FramePacket:
 
 @dataclass
 class SequenceBitstream:
-    """A full coded sequence: header plus per-frame packets."""
+    """A full coded sequence: header plus per-frame packets.
+
+    ``version`` is the container format version; ``parse`` preserves
+    the version of the incoming stream so re-serialization and
+    decoder dispatch stay faithful to what was read.
+    """
 
     header: dict = field(default_factory=dict)
     packets: list[FramePacket] = field(default_factory=list)
+    version: int = _VERSION
 
     def add_packet(self, packet: FramePacket) -> None:
         self.packets.append(packet)
@@ -135,6 +157,8 @@ class SequenceBitstream:
         return self.num_bits() / (frames * height * width)
 
     def serialize(self) -> bytes:
+        if self.version not in _SUPPORTED_VERSIONS:
+            raise ValueError(f"unsupported bitstream version {self.version}")
         header_blob = json.dumps(
             {"header": self.header, "num_frames": len(self.packets)},
             sort_keys=True,
@@ -142,7 +166,7 @@ class SequenceBitstream:
         ).encode("utf-8")
         out = bytearray()
         out.extend(_MAGIC)
-        out.extend(struct.pack("<H", _VERSION))
+        out.extend(struct.pack("<H", self.version))
         out.extend(struct.pack("<I", len(header_blob)))
         out.extend(header_blob)
         for packet in self.packets:
@@ -154,13 +178,13 @@ class SequenceBitstream:
         if buffer[:4] != _MAGIC:
             raise ValueError("not an NVCA bitstream (bad magic)")
         (version,) = struct.unpack_from("<H", buffer, 4)
-        if version != _VERSION:
+        if version not in _SUPPORTED_VERSIONS:
             raise ValueError(f"unsupported bitstream version {version}")
         (header_len,) = struct.unpack_from("<I", buffer, 6)
         offset = 10
         record = json.loads(buffer[offset : offset + header_len].decode("utf-8"))
         offset += header_len
-        stream = cls(header=record["header"])
+        stream = cls(header=record["header"], version=version)
         for _ in range(record["num_frames"]):
             packet, offset = FramePacket.parse(buffer, offset)
             stream.add_packet(packet)

@@ -2,10 +2,12 @@
 
 A complete, measured conventional codec: I-frames are 8x8 block-DCT
 transform coded in YCbCr 4:2:0; P-frames use block-matching motion
-compensation plus DCT-coded residuals; everything is entropy coded with
-the arithmetic coder under per-band Laplacian models and packed into a
-real bitstream.  The decoder reconstructs bit-exactly what the
-encoder's closed loop reconstructed.
+compensation plus DCT-coded residuals; everything is entropy coded
+under per-band Laplacian models — through the pluggable entropy
+backend named in the config (vectorized rANS by default, CACM'87
+arithmetic coding as the reference) — and packed into a real
+bitstream.  The decoder reconstructs bit-exactly what the encoder's
+closed loop reconstructed, whichever backend wrote the stream.
 
 Three roles in the reproduction (DESIGN.md §2):
 
@@ -29,9 +31,11 @@ from repro.video.yuv import rgb_to_ycbcr, subsample_420, upsample_420, ycbcr_to_
 from .bitstream import FramePacket, SequenceBitstream, f16_bits, f16_from_bits
 from .entropy import (
     ArithmeticDecoder,
-    ArithmeticEncoder,
+    EntropyBackend,
     LaplacianModel,
-    SymbolModel,
+    cached_laplacian,
+    cached_uniform_model,
+    get_entropy_backend,
 )
 from .modules import block_match, dense_motion_field
 
@@ -71,6 +75,12 @@ class ClassicalCodecConfig(SerializableConfig):
     #: refine integer motion to half-pel precision (bilinear reference
     #: interpolation), as H.264-class codecs do.
     half_pel: bool = False
+    #: entropy coder for coefficients and motion ("rans" is the fast
+    #: vectorized default, "cacm" the paper-exact reference).
+    entropy_backend: str = "rans"
+
+    def __post_init__(self):
+        get_entropy_backend(self.entropy_backend)  # fail fast on unknown names
 
 
 def _pad_to_blocks(plane: np.ndarray) -> np.ndarray:
@@ -114,7 +124,7 @@ def _band_scales(coeffs: np.ndarray) -> list[int]:
 
 
 def _band_models(scale_bits: list[int], support: int) -> list[LaplacianModel]:
-    return [LaplacianModel(max(f16_from_bits(s), 1e-3), support) for s in scale_bits]
+    return [cached_laplacian(s, support) for s in scale_bits]
 
 
 class _PlaneCoder:
@@ -123,11 +133,18 @@ class _PlaneCoder:
     The symbol support adapts to the actual coefficient range and is
     carried as side information, so small quantization steps never clip
     DC coefficients.
+
+    Since format version 2 the four zigzag bands are coded as
+    contiguous per-band segments (all blocks' DC, then all low AC, ...)
+    so any entropy backend codes them with vectorized symbol mapping;
+    version-1 streams interleaved the bands block by block and decode
+    through the ``legacy_order`` path.
     """
 
-    def __init__(self, qstep: float, support: int):
+    def __init__(self, qstep: float, support: int, entropy: EntropyBackend):
         self.qstep = qstep
         self.max_support = support
+        self.entropy = entropy
 
     def encode(self, plane: np.ndarray) -> tuple[bytes, dict, np.ndarray]:
         """Returns (payload, side-info meta, reconstructed plane)."""
@@ -142,28 +159,50 @@ class _PlaneCoder:
 
         scales = _band_scales(quantized)
         models = _band_models(scales, support)
-        encoder = ArithmeticEncoder()
-        for block_syms in quantized:
-            for (lo, hi), model in zip(_BANDS, models):
-                for value in block_syms[lo:hi]:
-                    encoder.encode(model.symbol_of(int(value)), model.model)
-        payload = encoder.finish()
+        segments = [
+            (quantized[:, lo:hi].ravel() + support, model.model)
+            for (lo, hi), model in zip(_BANDS, models)
+        ]
+        payload = self.entropy.encode_segments(segments)
 
         recon = self._reconstruct(quantized, padded.shape)
         meta = {"s": scales, "u": support}
         return payload, meta, recon[:h, :w]
 
-    def decode(self, payload: bytes, meta: dict, h: int, w: int) -> np.ndarray:
+    def decode(
+        self,
+        payload: bytes,
+        meta: dict,
+        h: int,
+        w: int,
+        legacy_order: bool = False,
+    ) -> np.ndarray:
         ph = h + ((-h) % _BLOCK)
         pw = w + ((-w) % _BLOCK)
         nblocks = (ph // _BLOCK) * (pw // _BLOCK)
         models = _band_models(meta["s"], meta["u"])
-        decoder = ArithmeticDecoder(payload)
+        support = meta["u"]
         quantized = np.empty((nblocks, 64), dtype=np.int64)
-        for b in range(nblocks):
-            for (lo, hi), model in zip(_BANDS, models):
-                for pos in range(lo, hi):
-                    quantized[b, pos] = model.value_of(decoder.decode(model.model))
+        if legacy_order:
+            # Version-1 layout: bands interleaved block by block, always
+            # CACM-coded (the seed coder's symbol order).
+            decoder = ArithmeticDecoder(payload)
+            for b in range(nblocks):
+                for (lo, hi), model in zip(_BANDS, models):
+                    for pos in range(lo, hi):
+                        quantized[b, pos] = model.value_of(
+                            decoder.decode(model.model)
+                        )
+        else:
+            specs = [
+                (nblocks * (hi - lo), model.model)
+                for (lo, hi), model in zip(_BANDS, models)
+            ]
+            bands = self.entropy.decode_segments(payload, specs)
+            for (lo, hi), symbols in zip(_BANDS, bands):
+                quantized[:, lo:hi] = (symbols - support).reshape(
+                    nblocks, hi - lo
+                )
         return self._reconstruct(quantized, (ph, pw))[:h, :w]
 
     def _reconstruct(self, quantized: np.ndarray, shape: tuple[int, int]):
@@ -178,6 +217,7 @@ class ClassicalCodec:
 
     def __init__(self, config: ClassicalCodecConfig | None = None):
         self.config = config or ClassicalCodecConfig()
+        self.entropy = get_entropy_backend(self.config.entropy_backend)
 
     # -- plane helpers --------------------------------------------------
     def _planes(self, frame: np.ndarray):
@@ -187,10 +227,11 @@ class ClassicalCodec:
     def _frame_from_planes(self, y, cb, cr) -> np.ndarray:
         return np.clip(ycbcr_to_rgb(upsample_420(y, cb, cr)), 0.0, 255.0)
 
-    def _plane_coders(self):
+    def _plane_coders(self, entropy: EntropyBackend | None = None):
         cfg = self.config
-        luma = _PlaneCoder(cfg.qp, cfg.support)
-        chroma = _PlaneCoder(cfg.qp * cfg.chroma_qp_scale, cfg.support)
+        entropy = entropy or self.entropy
+        luma = _PlaneCoder(cfg.qp, cfg.support, entropy)
+        chroma = _PlaneCoder(cfg.qp * cfg.chroma_qp_scale, cfg.support, entropy)
         return luma, chroma
 
     # -- intra ----------------------------------------------------------
@@ -214,13 +255,21 @@ class ClassicalCodec:
         recon = self._frame_from_planes(*recon_planes)
         return packet, recon
 
-    def decode_intra(self, packet: FramePacket) -> np.ndarray:
-        luma_coder, chroma_coder = self._plane_coders()
+    def decode_intra(
+        self,
+        packet: FramePacket,
+        *,
+        entropy: EntropyBackend | None = None,
+        legacy_order: bool = False,
+    ) -> np.ndarray:
+        luma_coder, chroma_coder = self._plane_coders(entropy)
         planes = []
         for meta in packet.meta["P"]:
             coder = luma_coder if meta["p"] == "y" else chroma_coder
             h, w = meta["hw"]
-            plane = coder.decode(packet.chunks[meta["p"]], meta["sd"], h, w)
+            plane = coder.decode(
+                packet.chunks[meta["p"]], meta["sd"], h, w, legacy_order
+            )
             planes.append(plane + 128.0)
         return self._frame_from_planes(*planes)
 
@@ -234,22 +283,19 @@ class ClassicalCodec:
 
     def _encode_motion(self, mv: np.ndarray) -> tuple[bytes, dict]:
         max_abs = self._mv_max_abs
-        model = SymbolModel(np.ones(2 * max_abs + 1, dtype=np.int64))
-        encoder = ArithmeticEncoder()
-        for value in mv.ravel():
-            encoder.encode(int(value) + max_abs, model)
-        return encoder.finish(), {"mvs": list(mv.shape), "hp": int(self.config.half_pel)}
+        model = cached_uniform_model(2 * max_abs + 1)
+        payload = self.entropy.encode_segments([(mv.ravel() + max_abs, model)])
+        return payload, {"mvs": list(mv.shape), "hp": int(self.config.half_pel)}
 
-    def _decode_motion(self, payload: bytes, meta: dict) -> np.ndarray:
+    def _decode_motion(
+        self, payload: bytes, meta: dict, entropy: EntropyBackend | None = None
+    ) -> np.ndarray:
+        entropy = entropy or self.entropy
         max_abs = self._mv_max_abs
-        model = SymbolModel(np.ones(2 * max_abs + 1, dtype=np.int64))
-        decoder = ArithmeticDecoder(payload)
+        model = cached_uniform_model(2 * max_abs + 1)
         shape = tuple(meta["mvs"])
         count = int(np.prod(shape))
-        flat = np.array(
-            [decoder.decode(model) - max_abs for _ in range(count)],
-            dtype=np.int64,
-        )
+        flat = entropy.decode_segments(payload, [(count, model)])[0] - max_abs
         return flat.reshape(shape)
 
     def _predict_plane(
@@ -362,14 +408,21 @@ class ClassicalCodec:
         recon = self._frame_from_planes(*recon_planes)
         return packet, recon
 
-    def decode_inter(self, packet: FramePacket, reference: np.ndarray) -> np.ndarray:
+    def decode_inter(
+        self,
+        packet: FramePacket,
+        reference: np.ndarray,
+        *,
+        entropy: EntropyBackend | None = None,
+        legacy_order: bool = False,
+    ) -> np.ndarray:
         if bool(packet.meta.get("hp", 0)) != self.config.half_pel:
             raise ValueError(
                 "bitstream motion precision does not match codec config"
             )
         ry, rcb, rcr = self._planes(reference)
-        mv = self._decode_motion(packet.chunks["mv"], packet.meta)
-        luma_coder, chroma_coder = self._plane_coders()
+        mv = self._decode_motion(packet.chunks["mv"], packet.meta, entropy)
+        luma_coder, chroma_coder = self._plane_coders(entropy)
         planes = []
         for meta, ref, coder, chroma in zip(
             packet.meta["P"],
@@ -380,7 +433,7 @@ class ClassicalCodec:
             h, w = meta["hw"]
             prediction = self._predict_plane(ref, mv, h, w, chroma)
             residual = coder.decode(
-                packet.chunks[meta["p"]], meta["sd"], h, w
+                packet.chunks[meta["p"]], meta["sd"], h, w, legacy_order
             )
             planes.append(np.clip(prediction + residual, 0.0, 255.0))
         return self._frame_from_planes(*planes)
@@ -397,6 +450,7 @@ class ClassicalCodec:
                 "width": w,
                 "qp": self.config.qp,
                 "gop": self.config.gop,
+                "entropy": self.entropy.name,
             }
         )
         reference: np.ndarray | None = None
@@ -409,14 +463,22 @@ class ClassicalCodec:
         return stream
 
     def decode_sequence(self, stream: SequenceBitstream) -> list[np.ndarray]:
+        # Honour the backend recorded in the stream header; version-1
+        # streams predate the field and use the legacy CACM layout.
+        entropy = get_entropy_backend(stream.header.get("entropy", "cacm"))
+        legacy_order = stream.version == 1
         frames: list[np.ndarray] = []
         reference: np.ndarray | None = None
         for packet in stream.packets:
             if packet.frame_type == "I":
-                reference = self.decode_intra(packet)
+                reference = self.decode_intra(
+                    packet, entropy=entropy, legacy_order=legacy_order
+                )
             else:
                 if reference is None:
                     raise ValueError("P-frame before any I-frame")
-                reference = self.decode_inter(packet, reference)
+                reference = self.decode_inter(
+                    packet, reference, entropy=entropy, legacy_order=legacy_order
+                )
             frames.append(reference)
         return frames

@@ -43,7 +43,12 @@ from .bitstream import (
     f16_from_bits,
 )
 from .classical import ClassicalCodec, ClassicalCodecConfig
-from .entropy import ArithmeticDecoder, ArithmeticEncoder, LaplacianModel
+from .entropy import (
+    EntropyBackend,
+    LaplacianModel,
+    cached_laplacian,
+    get_entropy_backend,
+)
 from .modules import (
     CompressionAE,
     DeformableCompensation,
@@ -73,6 +78,12 @@ class CTVCConfig(SerializableConfig):
     block_size: int = 8
     search_range: int = 4
     seed: int = 0
+    #: entropy coder for latents and intra planes ("rans" is the fast
+    #: vectorized default, "cacm" the paper-exact reference).
+    entropy_backend: str = "rans"
+
+    def __post_init__(self):
+        get_entropy_backend(self.entropy_backend)  # fail fast on unknown names
 
     def derived_intra_qp(self) -> float:
         """I-frame QP tracking the latent quantization step."""
@@ -112,8 +123,11 @@ class CTVCNet:
         self.motion_compression.calibrate()
         self.residual_compression.calibrate()
         self.intra_codec = ClassicalCodec(
-            ClassicalCodecConfig(qp=cfg.derived_intra_qp())
+            ClassicalCodecConfig(
+                qp=cfg.derived_intra_qp(), entropy_backend=cfg.entropy_backend
+            )
         )
+        self.entropy = get_entropy_backend(cfg.entropy_backend)
         self.variant = "fp"
 
     # -- module traversal ------------------------------------------------
@@ -160,6 +174,12 @@ class CTVCNet:
 
     # -- latent entropy coding --------------------------------------------
     def _encode_latent(self, latent: np.ndarray) -> _LatentCode:
+        """Quantize + entropy-code one latent tensor.
+
+        One segment per channel (symbols are channel-major contiguous,
+        the same order the seed coder used), so any registered backend
+        codes the whole tensor with vectorized symbol mapping.
+        """
         qstep = f16_from_bits(f16_bits(self.config.qstep))
         q = np.round(latent / qstep).astype(np.int64)
         support = int(np.clip(np.max(np.abs(q)), 2, 2048))
@@ -168,34 +188,37 @@ class CTVCNet:
         scale_bits = [
             f16_bits(LaplacianModel.fit_scale(q[c])) for c in range(channels)
         ]
-        encoder = ArithmeticEncoder()
-        for c in range(channels):
-            model = LaplacianModel(max(f16_from_bits(scale_bits[c]), 1e-3), support)
-            for value in q[c].ravel():
-                encoder.encode(model.symbol_of(int(value)), model.model)
+        segments = [
+            (
+                q[c].ravel() + support,
+                cached_laplacian(scale_bits[c], support).model,
+            )
+            for c in range(channels)
+        ]
+        payload = self.entropy.encode_segments(segments)
         meta = {
             "q": f16_bits(qstep),
             "u": support,
             "s": scale_bits,
             "hw": list(latent.shape),
         }
-        return _LatentCode(encoder.finish(), meta, q.astype(np.float64) * qstep)
+        return _LatentCode(payload, meta, q.astype(np.float64) * qstep)
 
     @staticmethod
-    def _decode_latent(payload: bytes, meta: dict) -> np.ndarray:
+    def _decode_latent(
+        payload: bytes, meta: dict, entropy: EntropyBackend
+    ) -> np.ndarray:
         qstep = f16_from_bits(meta["q"])
         support = meta["u"]
         c, h, w = meta["hw"]
-        decoder = ArithmeticDecoder(payload)
+        specs = [
+            (h * w, cached_laplacian(meta["s"][channel], support).model)
+            for channel in range(c)
+        ]
+        planes = entropy.decode_segments(payload, specs)
         out = np.empty((c, h, w))
         for channel in range(c):
-            model = LaplacianModel(
-                max(f16_from_bits(meta["s"][channel]), 1e-3), support
-            )
-            flat = np.array(
-                [model.value_of(decoder.decode(model.model)) for _ in range(h * w)]
-            )
-            out[channel] = flat.reshape(h, w) * qstep
+            out[channel] = (planes[channel] - support).reshape(h, w) * qstep
         return out
 
     # -- helpers ------------------------------------------------------------
@@ -270,16 +293,29 @@ class CTVCNet:
         )
         return packet, recon
 
-    def decode_inter(self, packet: FramePacket, ref_frame: np.ndarray) -> np.ndarray:
-        """Decode one P-frame — exactly the five decoder modules."""
+    def decode_inter(
+        self,
+        packet: FramePacket,
+        ref_frame: np.ndarray,
+        entropy: EntropyBackend | None = None,
+    ) -> np.ndarray:
+        """Decode one P-frame — exactly the five decoder modules.
+
+        ``entropy`` overrides the configured backend (used by
+        ``decode_sequence``, which must honour whatever backend the
+        stream header names).
+        """
+        entropy = entropy or self.entropy
         f_ref = self.feature_extraction(ref_frame)
-        motion_latent = self._decode_latent(packet.chunks["motion"], packet.meta["mm"])
+        motion_latent = self._decode_latent(
+            packet.chunks["motion"], packet.meta["mm"], entropy
+        )
         motion_dec = f16_from_bits(packet.meta["am"]) * self.motion_compression.synthesize(
             motion_latent
         )
         prediction = self._predict(motion_dec, f_ref)
         residual_latent = self._decode_latent(
-            packet.chunks["residual"], packet.meta["rm"]
+            packet.chunks["residual"], packet.meta["rm"], entropy
         )
         residual_hat = self.residual_compression.synthesize(residual_latent)
         f_rec = prediction + f16_from_bits(packet.meta["ar"]) * residual_hat
@@ -299,6 +335,7 @@ class CTVCNet:
                 "channels": self.config.channels,
                 "qstep": self.config.qstep,
                 "gop": self.config.gop,
+                "entropy": self.entropy.name,
             }
         )
         reference: np.ndarray | None = None
@@ -311,14 +348,21 @@ class CTVCNet:
         return stream
 
     def decode_sequence(self, stream: SequenceBitstream) -> list[np.ndarray]:
+        # The stream header names the backend that wrote the chunks;
+        # version-1 streams predate the field and are always CACM with
+        # the legacy (block-interleaved) intra plane layout.
+        entropy = get_entropy_backend(stream.header.get("entropy", "cacm"))
+        legacy_order = stream.version == 1
         frames: list[np.ndarray] = []
         reference: np.ndarray | None = None
         for packet in stream.packets:
             if packet.frame_type == "I":
-                reference = self.intra_codec.decode_intra(packet)
+                reference = self.intra_codec.decode_intra(
+                    packet, entropy=entropy, legacy_order=legacy_order
+                )
             else:
                 if reference is None:
                     raise ValueError("P-frame before any I-frame")
-                reference = self.decode_inter(packet, reference)
+                reference = self.decode_inter(packet, reference, entropy=entropy)
             frames.append(reference)
         return frames

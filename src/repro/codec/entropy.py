@@ -1,16 +1,41 @@
-"""Entropy coding: binary arithmetic coder + discretized priors.
+"""Entropy coding: pluggable backends + discretized priors.
 
 The NVC literature the paper builds on (DVC, FVC, DCVC) quantizes
 auto-encoder latents and entropy-codes them under a factorized prior.
-This module provides the real thing — no estimated-bits shortcuts:
+This module provides the real thing — no estimated-bits shortcuts —
+behind a pluggable **entropy backend** seam:
 
-* :class:`ArithmeticEncoder` / :class:`ArithmeticDecoder` — the
-  classic CACM'87 integer arithmetic coder (32-bit registers, pending
-  bit handling).  Exact round-trip is property-tested.
-* :class:`SymbolModel` — static cumulative-frequency tables.
+* :class:`EntropyBackend` — the protocol every coder implements: a
+  *segment list* (one ``(symbols, SymbolModel)`` pair per contiguous
+  run of same-model symbols) in, one byte payload out, and the exact
+  inverse on decode.  Backends live in a string-keyed registry
+  (:func:`register_entropy_backend` / :func:`get_entropy_backend`),
+  mirroring the codec registry in :mod:`repro.pipeline.registry`.
+* ``"cacm"`` — the classic CACM'87 integer arithmetic coder
+  (:class:`ArithmeticEncoder` / :class:`ArithmeticDecoder`, 32-bit
+  registers, pending-bit handling).  Bit I/O is vectorized through
+  ``np.packbits``/``np.unpackbits`` but the symbol loop is scalar:
+  this is the paper-exact correctness reference.
+* ``"rans"`` — the fast path: a vectorized N-lane interleaved rANS
+  coder in :mod:`repro.codec.rans`, batching all lane work through
+  NumPy so the Python loop runs ``ceil(count / lanes)`` times instead
+  of once per symbol.  This is the default backend of both codecs.
+
+Which backend produced a bitstream is recorded in the
+:class:`~repro.codec.bitstream.SequenceBitstream` header (format
+version 2), so decoders always pick the right one regardless of their
+own configuration.
+
+Probability models:
+
+* :class:`SymbolModel` — static cumulative-frequency tables (shared by
+  both backends; the rANS table/LUT view is cached per instance).
 * :class:`LaplacianModel` — a discretized zero-mean Laplacian over a
   symmetric integer support, the standard factorized latent prior; its
   scale is the only side information a decoder needs.
+  :func:`cached_laplacian` / :func:`cached_uniform_model` memoize
+  model construction on ``(scale_bits, support)`` so per-channel
+  models are built once, not once per frame.
 
 Rates reported anywhere in the evaluation harness come from actual
 encoded byte counts, with ``estimate_bits`` (ideal Shannon cost)
@@ -19,16 +44,30 @@ available to cross-check coder efficiency.
 
 from __future__ import annotations
 
+import functools
+from typing import Protocol, Sequence, runtime_checkable
+
 import numpy as np
+
+from .bitstream import f16_from_bits
 
 __all__ = [
     "ArithmeticEncoder",
     "ArithmeticDecoder",
+    "CacmBackend",
+    "EntropyBackend",
+    "EntropyBackendError",
     "SymbolModel",
     "LaplacianModel",
+    "available_entropy_backends",
+    "cached_laplacian",
+    "cached_uniform_model",
     "encode_symbols",
     "decode_symbols",
     "estimate_bits",
+    "get_entropy_backend",
+    "register_entropy_backend",
+    "unregister_entropy_backend",
 ]
 
 _PRECISION = 32
@@ -36,6 +75,12 @@ _WHOLE = 1 << _PRECISION
 _HALF = _WHOLE >> 1
 _QUARTER = _WHOLE >> 2
 _MAX_TOTAL = 1 << 16  # keeps span * total within 64-bit headroom
+
+#: rANS probability resolution: every model is re-quantized to integer
+#: frequencies summing to exactly 2**14 (same resolution
+#: ``SymbolModel.from_pmf`` uses), which makes the rANS slot arithmetic
+#: pure shifts/masks and keeps the state within 2**46.
+RANS_PRECISION = 14
 
 
 class SymbolModel:
@@ -59,6 +104,7 @@ class SymbolModel:
         self.freqs = freqs
         self.cum = np.concatenate([[0], np.cumsum(freqs)])
         self.total = int(self.cum[-1])
+        self._rans_table: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
 
     @property
     def num_symbols(self) -> int:
@@ -69,6 +115,52 @@ class SymbolModel:
 
     def probabilities(self) -> np.ndarray:
         return self.freqs / self.total
+
+    def rans_table(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Frequencies re-quantized to total 2**RANS_PRECISION.
+
+        Returns ``(freqs, cums, slots)`` — uint64 per-symbol frequency
+        and cumulative arrays plus the int32 slot->symbol lookup table
+        of length 2**RANS_PRECISION that replaces per-symbol
+        ``searchsorted`` on the decoder side.  Deterministic (largest
+        remainder apportionment), so encoder and decoder derive
+        identical tables from identical side information.  Cached per
+        instance; combined with :func:`cached_laplacian` the table is
+        built once per distinct model, not once per frame.
+        """
+        if self._rans_table is None:
+            target = 1 << RANS_PRECISION
+            if self.freqs.size > target:
+                raise ValueError(
+                    f"alphabet of {self.freqs.size} symbols cannot be "
+                    f"represented at rANS precision {RANS_PRECISION} "
+                    f"(max {target} symbols); use the 'cacm' backend"
+                )
+            scaled = self.freqs * (target / self.total)
+            base = np.maximum(1, np.floor(scaled).astype(np.int64))
+            diff = target - int(base.sum())
+            if diff > 0:
+                # Hand out the remainder to the largest fractional parts
+                # (stable order, so ties resolve identically everywhere).
+                order = np.argsort(base - scaled, kind="stable")
+                base[order[:diff]] += 1
+            while diff < 0:
+                # Flooring can overshoot only via the >=1 clamp; claw
+                # back from the largest frequencies, never below 1.
+                order = np.argsort(-base, kind="stable")
+                for index in order:
+                    if diff == 0:
+                        break
+                    if base[index] > 1:
+                        base[index] -= 1
+                        diff += 1
+            freqs = base.astype(np.uint64)
+            cums = np.concatenate([[0], np.cumsum(base)]).astype(np.uint64)
+            slots = np.repeat(
+                np.arange(base.size, dtype=np.int32), base
+            )
+            self._rans_table = (freqs, cums[:-1], slots)
+        return self._rans_table
 
     @classmethod
     def from_pmf(cls, pmf: np.ndarray, precision_total: int = 1 << 14) -> "SymbolModel":
@@ -123,30 +215,32 @@ class ArithmeticEncoder:
             self._high = (self._high << 1) | 1
 
     def finish(self) -> bytes:
-        """Flush and return the encoded payload."""
+        """Flush and return the encoded payload.
+
+        Bit packing is vectorized: ``np.packbits`` consumes the whole
+        bit list at once (MSB-first, zero-padded to a byte boundary —
+        byte-identical to packing the bits one at a time).
+        """
         if not self._finished:
             self._pending += 1
             self._emit(0 if self._low < _QUARTER else 1)
             self._finished = True
-        bits = self._bits
-        padded = bits + [0] * ((-len(bits)) % 8)
-        out = bytearray()
-        for i in range(0, len(padded), 8):
-            byte = 0
-            for bit in padded[i : i + 8]:
-                byte = (byte << 1) | bit
-            out.append(byte)
-        return bytes(out)
+        if not self._bits:
+            return b""
+        return np.packbits(np.asarray(self._bits, dtype=np.uint8)).tobytes()
 
 
 class ArithmeticDecoder:
     """Mirror of :class:`ArithmeticEncoder` over a byte payload."""
 
     def __init__(self, data: bytes):
-        self._bits = []
-        for byte in data:
-            for shift in range(7, -1, -1):
-                self._bits.append((byte >> shift) & 1)
+        # Vectorized unpacking (the inverse of np.packbits in finish);
+        # a plain list makes the per-bit reads cheap Python indexing.
+        self._bits = (
+            np.unpackbits(np.frombuffer(data, dtype=np.uint8)).tolist()
+            if data
+            else []
+        )
         self._pos = 0
         self._low = 0
         self._high = _WHOLE - 1
@@ -234,18 +328,183 @@ class LaplacianModel:
         return max(float(np.mean(np.abs(values))), 1e-3)
 
 
-def encode_symbols(symbols: np.ndarray, model: SymbolModel) -> bytes:
+@functools.lru_cache(maxsize=256)
+def cached_laplacian(scale_bits: int, support: int) -> LaplacianModel:
+    """Memoized :class:`LaplacianModel` keyed on its wire representation.
+
+    ``scale_bits`` is the f16 bit pattern that travels as side
+    information, so encoder and decoder hit the same cache entry and
+    derive bit-identical tables.  The 1e-3 scale floor matches what
+    both codecs applied when building models inline.
+    """
+    return LaplacianModel(max(f16_from_bits(scale_bits), 1e-3), support)
+
+
+@functools.lru_cache(maxsize=64)
+def cached_uniform_model(num_symbols: int) -> SymbolModel:
+    """Memoized uniform model (used for motion-vector coding)."""
+    return SymbolModel(np.ones(num_symbols, dtype=np.int64))
+
+
+# -- backend protocol + registry --------------------------------------------
+
+
+class EntropyBackendError(ValueError):
+    """Registration conflict or unknown-backend lookup."""
+
+
+@runtime_checkable
+class EntropyBackend(Protocol):
+    """What the codecs require of an entropy coder.
+
+    A *segment* is a maximal run of symbols coded under one static
+    :class:`SymbolModel`; a chunk payload codes an ordered list of
+    segments.  ``decode_segments`` is the exact inverse of
+    ``encode_segments`` given the same (count, model) spec list —
+    byte-exact round-trips are property-tested for every registered
+    backend.  Payload layout is backend-specific; the bitstream header
+    records which backend wrote a stream.
+    """
+
+    name: str
+
+    def encode_segments(
+        self, segments: Sequence[tuple[np.ndarray, SymbolModel]]
+    ) -> bytes:
+        ...
+
+    def decode_segments(
+        self, data: bytes, segments: Sequence[tuple[int, SymbolModel]]
+    ) -> list[np.ndarray]:
+        ...
+
+
+class CacmBackend:
+    """The CACM'87 arithmetic coder behind the backend seam.
+
+    Symbols are still coded one at a time (this is the paper-exact
+    reference; the fast path is ``"rans"``), but segments arrive with
+    symbol mapping already vectorized by the caller and the bit I/O is
+    array-packed, so it is usable on non-trivial payloads.
+    """
+
+    name = "cacm"
+
+    def encode_segments(
+        self, segments: Sequence[tuple[np.ndarray, SymbolModel]]
+    ) -> bytes:
+        encoder = ArithmeticEncoder()
+        encode = encoder.encode
+        for symbols, model in segments:
+            for symbol in np.asarray(symbols, dtype=np.int64).ravel().tolist():
+                encode(symbol, model)
+        return encoder.finish()
+
+    def decode_segments(
+        self, data: bytes, segments: Sequence[tuple[int, SymbolModel]]
+    ) -> list[np.ndarray]:
+        decoder = ArithmeticDecoder(data)
+        decode = decoder.decode
+        out: list[np.ndarray] = []
+        for count, model in segments:
+            values = np.empty(int(count), dtype=np.int64)
+            for index in range(int(count)):
+                values[index] = decode(model)
+            out.append(values)
+        return out
+
+
+_BACKENDS: dict[str, EntropyBackend] = {}
+
+
+def register_entropy_backend(
+    name: str, backend: EntropyBackend, *, overwrite: bool = False
+) -> EntropyBackend:
+    """Register an entropy backend instance under ``name``.
+
+    Mirrors :func:`repro.pipeline.registry.register_codec`:
+    re-registering an existing name raises unless ``overwrite=True``.
+    """
+    if not name or not isinstance(name, str):
+        raise EntropyBackendError(
+            f"backend name must be a non-empty string, got {name!r}"
+        )
+    if name in _BACKENDS and not overwrite:
+        raise EntropyBackendError(
+            f"entropy backend {name!r} is already registered; "
+            "pass overwrite=True to replace it"
+        )
+    _BACKENDS[name] = backend
+    return backend
+
+
+def unregister_entropy_backend(name: str) -> None:
+    """Remove a registration (mainly for tests and plugin teardown)."""
+    _BACKENDS.pop(name, None)
+
+
+def available_entropy_backends() -> list[str]:
+    """Sorted names of every registered backend."""
+    _ensure_builtin_backends()
+    return sorted(_BACKENDS)
+
+
+def get_entropy_backend(name: str) -> EntropyBackend:
+    """Look up a backend, with a helpful unknown-name error."""
+    _ensure_builtin_backends()
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise EntropyBackendError(
+            f"unknown entropy backend {name!r}; "
+            f"available: {', '.join(sorted(_BACKENDS))}"
+        ) from None
+
+
+def _ensure_builtin_backends() -> None:
+    # The rANS module registers itself on import; importing it lazily
+    # here keeps `repro.codec.entropy` usable standalone while making
+    # "rans" resolvable wherever the registry is consulted.  Built-ins
+    # also self-heal after unregister_entropy_backend (the import is a
+    # cached no-op the second time, so re-register explicitly).
+    if "cacm" not in _BACKENDS:
+        _BACKENDS["cacm"] = CacmBackend()
+    if "rans" not in _BACKENDS:
+        from . import rans
+
+        if "rans" not in _BACKENDS:
+            _BACKENDS["rans"] = rans.RansBackend()
+
+
+register_entropy_backend("cacm", CacmBackend())
+
+
+# -- convenience single-model helpers ---------------------------------------
+
+
+def encode_symbols(
+    symbols: np.ndarray,
+    model: SymbolModel,
+    backend: EntropyBackend | str = "cacm",
+) -> bytes:
     """Encode an integer symbol array under one static model."""
-    encoder = ArithmeticEncoder()
-    for symbol in np.asarray(symbols, dtype=np.int64).ravel():
-        encoder.encode(int(symbol), model)
-    return encoder.finish()
+    if isinstance(backend, str):
+        backend = get_entropy_backend(backend)
+    return backend.encode_segments(
+        [(np.asarray(symbols, dtype=np.int64).ravel(), model)]
+    )
 
 
-def decode_symbols(data: bytes, count: int, model: SymbolModel) -> np.ndarray:
+def decode_symbols(
+    data: bytes,
+    count: int,
+    model: SymbolModel,
+    backend: EntropyBackend | str = "cacm",
+) -> np.ndarray:
     """Decode ``count`` symbols; exact inverse of :func:`encode_symbols`."""
-    decoder = ArithmeticDecoder(data)
-    return np.array([decoder.decode(model) for _ in range(count)], dtype=np.int64)
+    if isinstance(backend, str):
+        backend = get_entropy_backend(backend)
+    return backend.decode_segments(data, [(count, model)])[0]
 
 
 def estimate_bits(symbols: np.ndarray, model: SymbolModel) -> float:

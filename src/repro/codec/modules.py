@@ -62,8 +62,25 @@ _CODEC_RES_SCALE = 0.02
 
 
 def _reflect_pad(x: np.ndarray, amount: int) -> np.ndarray:
-    """Reflect-pad the spatial axes of a (C, H, W) tensor."""
-    return np.pad(x, ((0, 0), (amount, amount), (amount, amount)), mode="reflect")
+    """Reflect-pad the spatial axes of a (C, H, W) tensor.
+
+    Hand-rolled slice assignment (identical values to
+    ``np.pad(mode="reflect")``, which pads axes sequentially): this
+    runs in front of every strided conv/deconv in the codec, where
+    np.pad's generic machinery dominates the actual copy.
+    """
+    if amount == 0:
+        return x
+    c, h, w = x.shape
+    out = np.empty((c, h + 2 * amount, w + 2 * amount), dtype=x.dtype)
+    out[:, amount : amount + h, amount : amount + w] = x
+    for k in range(1, amount + 1):
+        out[:, amount - k, amount : amount + w] = x[:, k]
+        out[:, amount + h - 1 + k, amount : amount + w] = x[:, h - 1 - k]
+    for k in range(1, amount + 1):
+        out[:, :, amount - k] = out[:, :, amount + k]
+        out[:, :, amount + w - 1 + k] = out[:, :, amount + w - 1 - k]
+    return out
 
 
 def _synthesis_weight_from_analysis(analysis: np.ndarray) -> np.ndarray:

@@ -1,0 +1,237 @@
+"""Vectorized N-lane interleaved rANS entropy backend (the fast path).
+
+Asymmetric numeral systems (Duda, 2014) re-express arithmetic coding as
+integer state transitions, which production NVC stacks (the
+DCVC/CompressAI lineage referenced in PAPERS.md) exploit to batch
+entropy coding.  This module implements the interleaved construction:
+
+* one 64-bit rANS state per *lane*, up to :data:`DEFAULT_LANES` lanes
+  held in a single NumPy ``uint64`` array;
+* symbol position ``i`` belongs to lane ``i % lanes``, so each Python
+  loop iteration retires ``lanes`` symbols with every step (renormalize,
+  transition, emit) expressed as vectorized array ops — the loop runs
+  ``ceil(count / lanes)`` times instead of once per symbol;
+* probabilities come from ``SymbolModel.rans_table()``: frequencies
+  re-quantized to total ``2**RANS_PRECISION`` so the slot arithmetic is
+  shifts and masks, and a precomputed slot->symbol lookup table replaces
+  the decoder's per-symbol ``searchsorted``;
+* encoding walks the stream *in reverse* (rANS is LIFO) emitting 16-bit
+  words, which are order-reversed at flush so the decoder reads forward;
+* multi-model chunks (per-channel latent models, per-band DCT models)
+  are coded as one interleaved stream with per-position tables — a
+  single set of lane states per chunk payload keeps the flush overhead
+  independent of the number of segments.
+
+State invariants (all enforced by construction, property-tested in
+``tests/test_codec_rans.py``): with ``M = 2**RANS_PRECISION``,
+``L = M << 16``, states live in ``[L, L << 16)`` (< 2**46, comfortably
+inside uint64), encode renormalization emits at most one 16-bit word
+per symbol per lane, and decode refills mirror emissions exactly.
+
+Payload layout::
+
+    u8 lanes | u32 word-count | lanes * 6-byte final states (LE) |
+    word-count * u16 stream words (LE)
+
+The lane count adapts to the payload (``count // MIN_SYMBOLS_PER_LANE``
+clamped to [1, DEFAULT_LANES]) so tiny side-info segments don't pay a
+32-lane state flush.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .entropy import (
+    RANS_PRECISION,
+    SymbolModel,
+    register_entropy_backend,
+)
+
+__all__ = ["DEFAULT_LANES", "MIN_SYMBOLS_PER_LANE", "RansBackend"]
+
+DEFAULT_LANES = 32
+#: below this many symbols per lane the 6-byte-per-lane state flush
+#: dominates the payload, so the lane count shrinks (down to plain
+#: single-lane rANS).  64 symbols/lane balances flush overhead on the
+#: small per-latent chunks against Python-loop row count; payloads of
+#: 2048+ symbols run fully 32-lane parallel.
+MIN_SYMBOLS_PER_LANE = 64
+
+_M = np.uint64(1 << RANS_PRECISION)
+_MASK = np.uint64((1 << RANS_PRECISION) - 1)
+_PREC = np.uint64(RANS_PRECISION)
+_L = np.uint64(1 << (RANS_PRECISION + 16))  # lower state bound M << 16
+_SHIFT16 = np.uint64(16)
+_SHIFT32 = np.uint64(32)
+_WORD_MASK = np.uint64(0xFFFF)
+
+
+def _lane_count(count: int, max_lanes: int) -> int:
+    return max(1, min(max_lanes, count // MIN_SYMBOLS_PER_LANE))
+
+
+def _pack_states(states: np.ndarray) -> bytes:
+    """Serialize lane states as 6-byte little-endian integers
+    (states < 2**46, so the top two bytes are always zero)."""
+    raw = states.astype("<u8").view(np.uint8).reshape(-1, 8)
+    return raw[:, :6].tobytes()
+
+
+def _unpack_states(blob: bytes, lanes: int) -> np.ndarray:
+    raw = np.frombuffer(blob, dtype=np.uint8).reshape(lanes, 6)
+    full = np.zeros((lanes, 8), dtype=np.uint8)
+    full[:, :6] = raw
+    return full.view("<u8").ravel().astype(np.uint64)
+
+
+class RansBackend:
+    """Interleaved multi-lane rANS over ``SymbolModel`` tables."""
+
+    name = "rans"
+
+    def __init__(self, lanes: int = DEFAULT_LANES):
+        if not 1 <= lanes <= 255:
+            raise ValueError(f"lanes must be in [1, 255], got {lanes}")
+        self.lanes = lanes
+
+    # -- encode ---------------------------------------------------------
+    def encode_segments(
+        self, segments: Sequence[tuple[np.ndarray, SymbolModel]]
+    ) -> bytes:
+        freqs_parts: list[np.ndarray] = []
+        cums_parts: list[np.ndarray] = []
+        for symbols, model in segments:
+            syms = np.asarray(symbols, dtype=np.int64).ravel()
+            if syms.size == 0:
+                continue
+            tab_freqs, tab_cums, _ = model.rans_table()
+            freqs_parts.append(tab_freqs[syms])
+            cums_parts.append(tab_cums[syms])
+        if not freqs_parts:
+            return b""
+        freqs = np.concatenate(freqs_parts)
+        cums = np.concatenate(cums_parts)
+        count = int(freqs.size)
+        lanes = _lane_count(count, self.lanes)
+
+        rows = -(-count // lanes)
+        pad = rows * lanes - count
+        if pad:
+            # Tail positions never touch the states: the last row is
+            # processed with sliced views of width `rem` below.
+            freqs = np.concatenate([freqs, np.zeros(pad, dtype=np.uint64)])
+            cums = np.concatenate([cums, np.zeros(pad, dtype=np.uint64)])
+        freqs = freqs.reshape(rows, lanes)
+        cums = cums.reshape(rows, lanes)
+        rem = count - (rows - 1) * lanes  # active lanes in the last row
+
+        states = np.full(lanes, _L, dtype=np.uint64)
+        emitted: list[np.ndarray] = []
+        for row in range(rows - 1, -1, -1):
+            active = rem if row == rows - 1 else lanes
+            lane_states = states[:active]
+            f = freqs[row, :active]
+            c = cums[row, :active]
+            overflow = lane_states >= (f << _SHIFT32)
+            if overflow.any():
+                # Emit in descending lane order: the final global
+                # reversal then hands the decoder rows ascending with
+                # lanes ascending inside each row.
+                emitted.append(
+                    (lane_states[overflow] & _WORD_MASK).astype(np.uint16)[::-1]
+                )
+                lane_states[overflow] >>= _SHIFT16
+            div, mod = np.divmod(lane_states, f)
+            states[:active] = (div << _PREC) + c + mod
+
+        if emitted:
+            # Emission order was (last row .. first row, lanes descending
+            # within each row); one global reversal yields the decoder's
+            # reading order (first row .. last row, lanes ascending).
+            words = np.concatenate(emitted)[::-1]
+        else:
+            words = np.empty(0, dtype=np.uint16)
+        header = bytes([lanes]) + int(words.size).to_bytes(4, "little")
+        return header + _pack_states(states) + words.astype("<u2").tobytes()
+
+    # -- decode ---------------------------------------------------------
+    def decode_segments(
+        self, data: bytes, segments: Sequence[tuple[int, SymbolModel]]
+    ) -> list[np.ndarray]:
+        counts = [int(count) for count, _ in segments]
+        total = sum(counts)
+        if total == 0:
+            return [np.empty(0, dtype=np.int64) for _ in segments]
+        if len(data) < 5:
+            raise ValueError("truncated rANS payload (missing header)")
+        lanes = data[0]
+        nwords = int.from_bytes(data[1:5], "little")
+        offset = 5 + 6 * lanes
+        if len(data) < offset + 2 * nwords:
+            raise ValueError("truncated rANS payload")
+        states = _unpack_states(data[5:offset], lanes)
+        words = np.frombuffer(
+            data, dtype="<u2", count=nwords, offset=offset
+        ).astype(np.uint64)
+
+        # Per-position table views: which model's LUT/freq/cum row each
+        # position uses.  Segment tables are stacked once per call (the
+        # tables themselves are cached on the models).
+        seg_models = [model for count, model in segments if count > 0]
+        seg_counts = [count for count in counts if count > 0]
+        tables = [model.rans_table() for model in seg_models]
+        slot_luts = np.concatenate([tab[2].astype(np.int64) for tab in tables])
+        lut_sizes = [tab[2].size for tab in tables]
+        lut_offsets = np.concatenate([[0], np.cumsum(lut_sizes)])[:-1]
+        freq_flat = np.concatenate([tab[0] for tab in tables])
+        cum_flat = np.concatenate([tab[1] for tab in tables])
+        sym_sizes = [tab[0].size for tab in tables]
+        sym_offsets = np.concatenate([[0], np.cumsum(sym_sizes)])[:-1]
+
+        seg_ids = np.repeat(np.arange(len(seg_counts)), seg_counts)
+        pos_lut_off = lut_offsets[seg_ids].astype(np.int64)
+        pos_sym_off = sym_offsets[seg_ids].astype(np.int64)
+
+        rows = -(-total // lanes)
+        pad = rows * lanes - total
+        if pad:
+            pos_lut_off = np.concatenate([pos_lut_off, np.zeros(pad, np.int64)])
+            pos_sym_off = np.concatenate([pos_sym_off, np.zeros(pad, np.int64)])
+        pos_lut_off = pos_lut_off.reshape(rows, lanes)
+        pos_sym_off = pos_sym_off.reshape(rows, lanes)
+        rem = total - (rows - 1) * lanes
+
+        out = np.empty(rows * lanes, dtype=np.int64).reshape(rows, lanes)
+        wpos = 0
+        for row in range(rows):
+            active = rem if row == rows - 1 else lanes
+            lane_states = states[:active]
+            slots = lane_states & _MASK
+            syms = slot_luts[pos_lut_off[row, :active] + slots.astype(np.int64)]
+            base = pos_sym_off[row, :active] + syms
+            f = freq_flat[base]
+            c = cum_flat[base]
+            lane_states = f * (lane_states >> _PREC) + slots - c
+            refill = lane_states < _L
+            if refill.any():
+                need = int(refill.sum())
+                lane_states[refill] = (lane_states[refill] << _SHIFT16) | words[
+                    wpos : wpos + need
+                ]
+                wpos += need
+            states[:active] = lane_states
+            out[row, :active] = syms
+
+        flat = out.ravel()[:total]
+        result: list[np.ndarray] = []
+        start = 0
+        for count in counts:
+            result.append(flat[start : start + count].copy())
+            start += count
+        return result
+
+
+register_entropy_backend("rans", RansBackend())

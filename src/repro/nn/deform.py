@@ -55,17 +55,17 @@ def deform_conv2d(
     base_x = (np.arange(wo) * stride - padding)[None, :]
     group_size = c_in // groups
 
+    tap_y = np.arange(kh)[:, None, None, None]
+    tap_x = np.arange(kw)[None, :, None, None]
     out = np.zeros((c_out, ho, wo))
     for g in range(groups):
         x_group = x[g * group_size : (g + 1) * group_size]
         w_group = weight[:, g * group_size : (g + 1) * group_size]
-        # Gather all kh*kw displaced taps for this group.
-        sampled = np.empty((group_size, kh, kw, ho, wo))
-        for i in range(kh):
-            for j in range(kw):
-                ys = base_y + i + off[g, i, j, 0]
-                xs = base_x + j + off[g, i, j, 1]
-                sampled[:, i, j] = F.bilinear_sample(x_group, ys, xs)
+        # Gather all kh*kw displaced taps for this group in one
+        # batched bilinear lookup (coordinates shaped (kh, kw, ho, wo)).
+        ys = base_y[None, None] + tap_y + off[g, :, :, 0]
+        xs = base_x[None, None] + tap_x + off[g, :, :, 1]
+        sampled = F.bilinear_sample(x_group, ys, xs)
         out += np.einsum("ocij,cijhw->ohw", w_group, sampled)
     if bias is not None:
         out += bias[:, None, None]

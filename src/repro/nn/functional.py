@@ -48,14 +48,22 @@ def deconv_output_size(size: int, kernel: int, stride: int, padding: int) -> int
 
 
 def pad2d(x: np.ndarray, padding: int | tuple[int, int]) -> np.ndarray:
-    """Zero-pad the two trailing (spatial) axes of a (C, H, W) tensor."""
+    """Zero-pad the two trailing (spatial) axes of a (C, H, W) tensor.
+
+    Hand-rolled (allocate + slice-assign) rather than ``np.pad``: this
+    sits on the hot path of every convolution and np.pad's generic
+    machinery costs more than the copy itself.
+    """
     if isinstance(padding, int):
         ph = pw = padding
     else:
         ph, pw = padding
     if ph == 0 and pw == 0:
         return x
-    return np.pad(x, ((0, 0), (ph, ph), (pw, pw)))
+    c, h, w = x.shape
+    out = np.zeros((c, h + 2 * ph, w + 2 * pw), dtype=x.dtype)
+    out[:, ph : ph + h, pw : pw + w] = x
+    return out
 
 
 def im2col(
@@ -218,10 +226,15 @@ def bilinear_sample(x: np.ndarray, ys: np.ndarray, xs: np.ndarray) -> np.ndarray
     x1 = np.minimum(x0 + 1, w - 1)
     fy = ys - y0
     fx = xs - x0
-    tl = x[:, y0, x0]
-    tr = x[:, y0, x1]
-    bl = x[:, y1, x0]
-    br = x[:, y1, x1]
+    # Gather through flat indices on a (C, H*W) view: one stride of
+    # advanced indexing instead of four broadcasted 2-axis lookups.
+    flat = np.ascontiguousarray(x).reshape(c, h * w)
+    row0 = y0 * w
+    row1 = y1 * w
+    tl = flat[:, row0 + x0]
+    tr = flat[:, row0 + x1]
+    bl = flat[:, row1 + x0]
+    br = flat[:, row1 + x1]
     return (
         tl * (1 - fy) * (1 - fx)
         + tr * (1 - fy) * fx

@@ -13,7 +13,16 @@ Three layers, designed to be scripted, queued, and sharded:
   into one ``run()`` returning typed :class:`EncodeReport` /
   :class:`HardwareReport`; :func:`run_many` sweeps (codec, config,
   scene) grids, optionally on a process pool.
+
+Entropy backends plug in one layer below: both built-in codec configs
+carry an ``entropy_backend`` field (``"rans"`` fast path by default,
+``"cacm"`` paper-exact reference — see
+:func:`available_entropy_backends`), it serializes with the rest of the
+job document, and the chosen backend is recorded in every bitstream
+header so decode always follows the stream, not the local config.
 """
+
+from repro.codec import available_entropy_backends
 
 from .configs import CONFIG_TYPES, ConfigError, load_config
 from .facade import EncodeSession, Pipeline, analyze_hardware, run_many
@@ -41,6 +50,7 @@ __all__ = [
     "VideoCodec",
     "analyze_hardware",
     "available_codecs",
+    "available_entropy_backends",
     "codec_spec",
     "create_codec",
     "load_config",

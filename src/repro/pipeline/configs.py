@@ -9,7 +9,11 @@ drivers, job queues) can load "some config" without hard-coding types:
 
 All classes share ``to_dict``/``from_dict``/``to_json``/``from_json``/
 ``replace`` via :class:`repro.serialization.SerializableConfig`, with
-validation errors that name the offending field.
+validation errors that name the offending field.  Both codec configs
+carry an ``entropy_backend`` field (``"rans"``/``"cacm"``, validated
+against the entropy-backend registry at construction), so a sweep
+document can pit entropy coders against each other like any other
+knob.
 """
 
 from __future__ import annotations

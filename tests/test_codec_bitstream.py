@@ -94,6 +94,27 @@ class TestSequenceBitstream:
         with pytest.raises(ValueError):
             SequenceBitstream.parse(bytes(blob))
 
+    def test_current_version_is_2(self):
+        stream = self.make_stream()
+        assert stream.version == 2
+        blob = stream.serialize()
+        assert blob[4:6] == (2).to_bytes(2, "little")
+        assert SequenceBitstream.parse(blob).version == 2
+
+    def test_version_1_streams_parse(self):
+        stream = self.make_stream()
+        stream.version = 1
+        parsed = SequenceBitstream.parse(stream.serialize())
+        assert parsed.version == 1
+        assert parsed.header == stream.header
+        assert len(parsed.packets) == 3
+
+    def test_unsupported_version_serialize_rejected(self):
+        stream = self.make_stream()
+        stream.version = 7
+        with pytest.raises(ValueError):
+            stream.serialize()
+
     def test_num_bits_counts_everything(self):
         stream = self.make_stream()
         assert stream.num_bits() == 8 * len(stream.serialize())

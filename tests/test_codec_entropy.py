@@ -101,6 +101,46 @@ class TestArithmeticCoder:
         with pytest.raises(RuntimeError):
             encoder.encode(1, model)
 
+    def test_packbits_finish_matches_reference_packing(self, rng):
+        """finish() packs via np.packbits; byte-identical to packing the
+        bit list manually (MSB first, zero padding)."""
+        model = SymbolModel(np.array([7, 3, 2, 1]))
+        symbols = rng.choice(4, size=257, p=model.probabilities())
+        encoder = ArithmeticEncoder()
+        for symbol in symbols:
+            encoder.encode(int(symbol), model)
+        # reference packing of the same pending-flushed bit list
+        reference = ArithmeticEncoder()
+        for symbol in symbols:
+            reference.encode(int(symbol), model)
+        reference._pending += 1
+        reference._emit(0 if reference._low < (1 << 30) else 1)
+        reference._finished = True
+        bits = reference._bits
+        padded = bits + [0] * ((-len(bits)) % 8)
+        expected = bytearray()
+        for i in range(0, len(padded), 8):
+            byte = 0
+            for bit in padded[i : i + 8]:
+                byte = (byte << 1) | bit
+            expected.append(byte)
+        assert encoder.finish() == bytes(expected)
+
+    def test_decode_symbols_preallocated_dtype(self, rng):
+        model = SymbolModel(np.array([5, 3, 2]))
+        symbols = rng.choice(3, size=64, p=model.probabilities())
+        out = decode_symbols(encode_symbols(symbols, model), 64, model)
+        assert out.dtype == np.int64
+        assert np.array_equal(out, symbols)
+
+    def test_encode_symbols_backend_parameter(self, rng):
+        model = SymbolModel(np.array([9, 4, 2, 1]))
+        symbols = rng.choice(4, size=500, p=model.probabilities())
+        for backend in ("cacm", "rans"):
+            data = encode_symbols(symbols, model, backend=backend)
+            out = decode_symbols(data, 500, model, backend=backend)
+            assert np.array_equal(out, symbols)
+
     def test_decoder_streaming_interface(self, rng):
         model = SymbolModel(np.array([5, 3, 2]))
         symbols = rng.choice(3, size=100, p=model.probabilities())

@@ -1,0 +1,271 @@
+"""Tests for the entropy-backend registry and the rANS fast path."""
+
+import numpy as np
+import pytest
+
+from repro.codec import (
+    CTVCConfig,
+    ClassicalCodec,
+    ClassicalCodecConfig,
+    CTVCNet,
+    EntropyBackendError,
+    LaplacianModel,
+    RansBackend,
+    SequenceBitstream,
+    SymbolModel,
+    available_entropy_backends,
+    cached_laplacian,
+    cached_uniform_model,
+    estimate_bits,
+    get_entropy_backend,
+    register_entropy_backend,
+    unregister_entropy_backend,
+)
+from repro.serialization import ConfigError
+from repro.video import SceneConfig, generate_sequence
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2024)
+
+
+def random_model(rng, max_symbols=64):
+    n = int(rng.integers(2, max_symbols))
+    return SymbolModel(rng.integers(1, 200, n))
+
+
+class TestRegistry:
+    def test_builtins_available(self):
+        names = available_entropy_backends()
+        assert "cacm" in names and "rans" in names
+
+    def test_unknown_backend(self):
+        with pytest.raises(EntropyBackendError, match="unknown entropy backend"):
+            get_entropy_backend("huffman")
+
+    def test_register_conflict_and_teardown(self):
+        backend = RansBackend(lanes=4)
+        register_entropy_backend("rans4", backend)
+        try:
+            with pytest.raises(EntropyBackendError, match="already registered"):
+                register_entropy_backend("rans4", backend)
+            assert get_entropy_backend("rans4") is backend
+        finally:
+            unregister_entropy_backend("rans4")
+        with pytest.raises(EntropyBackendError):
+            get_entropy_backend("rans4")
+
+    def test_builtins_self_heal_after_unregister(self):
+        """Tearing down a built-in must not brick it for the process."""
+        unregister_entropy_backend("rans")
+        assert get_entropy_backend("rans").name == "rans"
+        unregister_entropy_backend("cacm")
+        assert get_entropy_backend("cacm").name == "cacm"
+
+    def test_config_validates_backend_name(self):
+        with pytest.raises(EntropyBackendError):
+            CTVCConfig(entropy_backend="nope")
+        with pytest.raises(ConfigError):
+            ClassicalCodecConfig.from_dict({"entropy_backend": "nope"})
+
+    def test_config_roundtrips_backend(self):
+        cfg = CTVCConfig(channels=8, entropy_backend="cacm")
+        assert CTVCConfig.from_dict(cfg.to_dict()) == cfg
+        assert cfg.to_dict()["entropy_backend"] == "cacm"
+
+
+class TestModelCaches:
+    def test_cached_laplacian_hits(self):
+        a = cached_laplacian(0x4000, 32)
+        b = cached_laplacian(0x4000, 32)
+        assert a is b
+        assert cached_laplacian(0x4000, 33) is not a
+
+    def test_cached_laplacian_matches_inline_construction(self):
+        from repro.codec import f16_from_bits
+
+        bits, support = 0x3C00, 16  # f16 1.0
+        cached = cached_laplacian(bits, support)
+        inline = LaplacianModel(max(f16_from_bits(bits), 1e-3), support)
+        assert np.array_equal(cached.model.freqs, inline.model.freqs)
+
+    def test_cached_uniform(self):
+        model = cached_uniform_model(17)
+        assert model is cached_uniform_model(17)
+        assert model.num_symbols == 17
+        assert np.all(model.freqs == 1)
+
+
+class TestRansTable:
+    def test_total_is_power_of_two(self, rng):
+        from repro.codec.entropy import RANS_PRECISION
+
+        for _ in range(20):
+            model = random_model(rng, max_symbols=500)
+            freqs, cums, slots = model.rans_table()
+            assert int(freqs.sum()) == 1 << RANS_PRECISION
+            assert np.all(freqs >= 1)
+            assert slots.size == 1 << RANS_PRECISION
+            # slots inverts cums: slot s in [cums[k], cums[k]+freqs[k]) -> k
+            assert np.array_equal(np.diff(np.concatenate([cums, [1 << RANS_PRECISION]])), freqs)
+
+    def test_table_cached_per_instance(self, rng):
+        model = random_model(rng)
+        assert model.rans_table() is model.rans_table()
+
+    def test_single_symbol_alphabet(self):
+        model = SymbolModel(np.array([7]))
+        rans = get_entropy_backend("rans")
+        syms = np.zeros(500, dtype=np.int64)
+        blob = rans.encode_segments([(syms, model)])
+        out = rans.decode_segments(blob, [(500, model)])[0]
+        assert np.array_equal(out, syms)
+
+    def test_oversized_alphabet_raises_instead_of_hanging(self):
+        from repro.codec.entropy import RANS_PRECISION
+
+        model = SymbolModel(np.ones((1 << RANS_PRECISION) + 1, dtype=np.int64))
+        with pytest.raises(ValueError, match="rANS precision"):
+            model.rans_table()
+
+
+class TestRansRoundTrip:
+    @pytest.mark.parametrize("size", [0, 1, 5, 63, 64, 65, 257, 4096])
+    def test_sizes(self, rng, size):
+        rans = get_entropy_backend("rans")
+        model = random_model(rng)
+        syms = rng.choice(model.num_symbols, size=size, p=model.probabilities())
+        blob = rans.encode_segments([(syms, model)])
+        out = rans.decode_segments(blob, [(size, model)])[0]
+        assert np.array_equal(out, syms)
+
+    def test_property_random_multisegment(self, rng):
+        """Random pmfs + random symbol streams, many trials: byte-exact
+        round-trips through the rANS backend, including empty and
+        single-symbol segments mixed with large ones."""
+        rans = get_entropy_backend("rans")
+        for _ in range(40):
+            segments = []
+            for _ in range(int(rng.integers(1, 9))):
+                pmf = rng.random(int(rng.integers(2, 80))) ** 3
+                model = SymbolModel.from_pmf(pmf)
+                count = int(rng.choice([0, 1, 2, 7, 100, 700]))
+                syms = rng.choice(
+                    model.num_symbols, size=count, p=model.probabilities()
+                )
+                segments.append((syms, model))
+            blob = rans.encode_segments(segments)
+            decoded = rans.decode_segments(
+                blob, [(len(s), m) for s, m in segments]
+            )
+            for (syms, _), out in zip(segments, decoded):
+                assert np.array_equal(out, syms)
+
+    def test_deterministic_payloads(self, rng):
+        rans = get_entropy_backend("rans")
+        model = random_model(rng)
+        syms = rng.choice(model.num_symbols, size=1000, p=model.probabilities())
+        assert rans.encode_segments([(syms, model)]) == rans.encode_segments(
+            [(syms, model)]
+        )
+
+    def test_truncated_payload_rejected(self, rng):
+        rans = get_entropy_backend("rans")
+        model = random_model(rng)
+        syms = rng.choice(model.num_symbols, size=500, p=model.probabilities())
+        blob = rans.encode_segments([(syms, model)])
+        with pytest.raises(ValueError, match="truncated"):
+            rans.decode_segments(blob[: len(blob) // 2], [(500, model)])
+
+    def test_custom_lane_counts(self, rng):
+        model = random_model(rng)
+        syms = rng.choice(model.num_symbols, size=3000, p=model.probabilities())
+        for lanes in (1, 2, 7, 32, 64):
+            backend = RansBackend(lanes=lanes)
+            blob = backend.encode_segments([(syms, model)])
+            # any RansBackend decodes any lane count (it's in the header)
+            out = get_entropy_backend("rans").decode_segments(blob, [(3000, model)])
+            assert np.array_equal(out[0], syms)
+
+
+class TestCrossBackendRates:
+    def test_rates_near_shannon(self, rng):
+        """Both backends land within 1% of the ideal Shannon cost on a
+        long Laplacian stream (the satellite acceptance criterion)."""
+        model = LaplacianModel(scale=3.0, support=64)
+        values = np.clip(np.round(rng.laplace(0, 3.0, 60000)), -64, 64)
+        syms = values.astype(np.int64) + 64
+        ideal = estimate_bits(syms, model.model)
+        for name in ("cacm", "rans"):
+            backend = get_entropy_backend(name)
+            blob = backend.encode_segments([(syms, model.model)])
+            out = backend.decode_segments(blob, [(len(syms), model.model)])[0]
+            assert np.array_equal(out, syms)
+            actual = 8 * len(blob)
+            assert actual >= ideal - 8  # cannot beat entropy
+            assert actual <= ideal * 1.01, (name, actual, ideal)
+
+    def test_backends_agree_on_symbols(self, rng):
+        """cacm and rans decode each other's source symbols identically
+        (payloads differ; decoded streams must not)."""
+        cacm = get_entropy_backend("cacm")
+        rans = get_entropy_backend("rans")
+        model = random_model(rng)
+        syms = rng.choice(model.num_symbols, size=2000, p=model.probabilities())
+        for backend in (cacm, rans):
+            blob = backend.encode_segments([(syms, model)])
+            out = backend.decode_segments(blob, [(2000, model)])[0]
+            assert np.array_equal(out, syms)
+
+
+class TestCodecsAcrossBackends:
+    @pytest.fixture(scope="class")
+    def frames(self):
+        return generate_sequence(SceneConfig(height=32, width=48, frames=3, seed=9))
+
+    def test_classical_identical_reconstruction(self, frames):
+        streams = {}
+        recons = {}
+        for backend in ("cacm", "rans"):
+            codec = ClassicalCodec(
+                ClassicalCodecConfig(qp=10.0, entropy_backend=backend)
+            )
+            blob = codec.encode_sequence(frames).serialize()
+            streams[backend] = blob
+            recons[backend] = codec.decode_sequence(SequenceBitstream.parse(blob))
+        # entropy coding is lossless: reconstructions are bit-identical
+        for a, b in zip(recons["cacm"], recons["rans"]):
+            assert np.array_equal(a, b)
+        # the rans payloads genuinely differ from cacm's
+        assert streams["cacm"] != streams["rans"]
+
+    def test_ctvc_identical_reconstruction(self, frames):
+        recons = {}
+        for backend in ("cacm", "rans"):
+            net = CTVCNet(
+                CTVCConfig(channels=8, qstep=8.0, seed=3, entropy_backend=backend)
+            )
+            blob = net.encode_sequence(frames).serialize()
+            stream = SequenceBitstream.parse(blob)
+            assert stream.header["entropy"] == backend
+            assert stream.version == 2
+            recons[backend] = net.decode_sequence(stream)
+        for a, b in zip(recons["cacm"], recons["rans"]):
+            assert np.array_equal(a, b)
+
+    def test_decoder_follows_stream_header(self, frames):
+        """A cacm-configured codec decodes a rans stream (and vice
+        versa): the bitstream header, not the local config, picks the
+        backend."""
+        writer = ClassicalCodec(
+            ClassicalCodecConfig(qp=10.0, entropy_backend="rans")
+        )
+        blob = writer.encode_sequence(frames).serialize()
+        reader = ClassicalCodec(
+            ClassicalCodecConfig(qp=10.0, entropy_backend="cacm")
+        )
+        decoded = reader.decode_sequence(SequenceBitstream.parse(blob))
+        expected = writer.decode_sequence(SequenceBitstream.parse(blob))
+        for a, b in zip(decoded, expected):
+            assert np.array_equal(a, b)
