@@ -4,12 +4,22 @@ Subcommands:
 
 * ``reproduce``  — regenerate every table and figure (the default).
 * ``encode``     — run one codec through the ``repro.pipeline`` facade
-                   and report rate/quality.
+                   and report rate/quality.  ``--stream`` switches to
+                   the frame-at-a-time session API, writing the
+                   incremental version-3 container to ``--output`` as
+                   packets are produced (O(1) frame memory); ``--input
+                   clip.yuv`` feeds raw YUV 4:2:0 frames from disk
+                   instead of the synthetic scene.
+* ``decode``     — round-trip a container file (any format version)
+                   back to frames, reporting rate/quality; ``--output``
+                   writes the reconstruction as raw YUV 4:2:0.
 * ``hardware``   — print the NVCA performance/energy/area summary.
 
 Every subcommand accepts ``--json`` to emit the structured report
 (``to_dict()``) instead of the human rendering, and ``-o/--output`` to
-write the result to a file as well as stdout.
+write the result to a file as well as stdout — except in streaming
+mode, where ``--output`` names the bitstream/YUV artifact and the
+report goes to stdout.
 """
 
 from __future__ import annotations
@@ -17,6 +27,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import sys
 
 
@@ -40,6 +51,16 @@ def _cmd_reproduce(args) -> int:
     return _emit(args, eval_main(fast=not args.full), {})
 
 
+def _progress_printer(enabled: bool):
+    if not enabled:
+        return None
+
+    def progress(index: int, value) -> None:
+        print(f"  frame {index}: {value}", file=sys.stderr)
+
+    return progress
+
+
 def _cmd_encode(args) -> int:
     from repro.pipeline import CodecRegistryError, Pipeline, codec_spec
 
@@ -60,14 +81,210 @@ def _cmd_encode(args) -> int:
     ):
         if value is not None and name in fields:
             overrides[name] = value
+    config = config_cls.from_dict(overrides)
+    if args.input is not None and not args.stream:
+        print("repro encode: --input needs --stream", file=sys.stderr)
+        return 2
+    if args.stream:
+        if not args.output:
+            print(
+                "repro encode: --stream needs --output (the container file)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.input is not None:
+            return _encode_stream_yuv(args, config)
+        # Synthetic scene through the facade's streaming mode: the
+        # container is written incrementally and quality is scored
+        # frame by frame against the regenerated scene.
+        pipeline = Pipeline(
+            args.codec,
+            config,
+            scene={
+                "height": args.height,
+                "width": args.width,
+                "frames": args.frames,
+            },
+            compute_msssim=args.msssim,
+        )
+        report = pipeline.session().run(
+            output=args.output, progress=_progress_printer(args.progress)
+        )
+        payload = report.to_dict()
+        payload["container"] = args.output
+        print(json.dumps(payload, indent=2, sort_keys=True) if args.json
+              else f"{report.render()}\n  container: {args.output}")
+        return 0
     pipeline = Pipeline(
         args.codec,
-        config_cls.from_dict(overrides),
+        config,
         scene={"height": args.height, "width": args.width, "frames": args.frames},
         compute_msssim=args.msssim,
     )
     report = pipeline.run()
     return _emit(args, report.render(), report.to_dict())
+
+
+def _encode_stream_yuv(args, config) -> int:
+    """File-to-file transcode: raw YUV in, v3 container out, one frame
+    in memory at a time (the zero-copy path long sequences use)."""
+    import time
+
+    from repro.codec import StreamWriter
+    from repro.pipeline import create_codec
+    from repro.video import read_yuv420
+
+    source = read_yuv420(args.input, args.height, args.width)
+    codec = create_codec(args.codec, config)
+    progress = _progress_printer(args.progress)
+    start = time.perf_counter()
+    count = 0
+    with open(args.output, "wb") as out:
+        session = codec.open_encoder()
+        writer = StreamWriter(out)
+        for packet in session.encode_iter(iter(source)):
+            if writer.header is None:
+                header = dict(session.header)
+                header["registry"] = args.codec
+                header["config"] = codec.config.to_dict()
+                writer.write_header(header)
+            nbytes = writer.write_packet(packet)
+            count += 1
+            if progress is not None:
+                progress(count, nbytes)
+        total = writer.finalize()
+    seconds = time.perf_counter() - start
+    payload = {
+        "codec": args.codec,
+        "codec_config": codec.config.to_dict(),
+        "input": args.input,
+        "container": args.output,
+        "frames": count,
+        "height": args.height,
+        "width": args.width,
+        "stream_bytes": total,
+        "bpp": 8.0 * total / (max(count, 1) * args.height * args.width),
+        "encode_seconds": seconds,
+    }
+    text = (
+        f"{args.codec}: {count} frames @ {args.width}x{args.height} from "
+        f"{args.input}, {payload['bpp']:.3f} bpp\n  container: {args.output}"
+    )
+    print(json.dumps(payload, indent=2, sort_keys=True) if args.json else text)
+    return 0
+
+
+def _cmd_decode(args) -> int:
+    """Round-trip a container file through a streaming decoder session."""
+    import time
+
+    import numpy as np
+
+    from repro.codec import StreamReader
+    from repro.metrics import psnr
+    from repro.pipeline import create_codec
+    from repro.video import SceneConfig, iter_sequence, read_yuv420, write_yuv420
+
+    #: headers written before the "registry" field name codecs by their
+    #: on-wire name; map them back to registry names.
+    wire_names = {"ctvc-net": "ctvc", "classical-dct": "classical"}
+    start = time.perf_counter()
+    with open(args.bitstream, "rb") as handle:
+        reader = StreamReader(handle)
+        header = reader.header
+        codec_name = args.codec or header.get("registry")
+        if codec_name is None:
+            codec_name = wire_names.get(header.get("codec"))
+        if codec_name is None:
+            print(
+                f"repro decode: cannot infer the codec from the stream header "
+                f"({header.get('codec')!r}); pass --codec",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.pipeline import codec_spec
+
+        config = header.get("config")
+        if config is None:
+            # Pre-v3 headers record operating parameters inline (qp,
+            # channels, qstep, gop, entropy); map the ones the codec's
+            # config understands so v1/v2 streams decode with the
+            # parameters they were encoded with.  Unrecorded knobs
+            # (e.g. CTVC's seed) need --config.
+            fields = {
+                f.name
+                for f in dataclasses.fields(codec_spec(codec_name).config_cls)
+            }
+            config = {k: v for k, v in header.items() if k in fields}
+            if "entropy" in header and "entropy_backend" in fields:
+                config["entropy_backend"] = header["entropy"]
+        if args.config:
+            config = {**(config or {}), **json.loads(args.config)}
+        codec = create_codec(codec_name, config)
+        session = codec.open_decoder(header, version=reader.version)
+        height = int(header.get("height", 0))
+        width = int(header.get("width", 0))
+
+        # Reference frames for quality scoring: an explicit YUV file,
+        # or the scene the facade embedded in a version-3 header.
+        originals = None
+        if args.reference:
+            originals = iter(read_yuv420(args.reference, height, width))
+        elif "scene" in header:
+            originals = iter_sequence(SceneConfig.from_dict(header["scene"]))
+
+        psnrs: list[float] = []
+        count = 0
+        progress = _progress_printer(args.progress)
+
+        def frames():
+            nonlocal count
+            for decoded in session.decode_iter(reader):
+                count += 1
+                if originals is not None:
+                    try:
+                        original = next(originals)
+                    except StopIteration:
+                        raise ValueError(
+                            f"reference has fewer frames than the bitstream "
+                            f"(ran out at frame {count})"
+                        ) from None
+                    psnrs.append(float(psnr(original, decoded)))
+                if progress is not None:
+                    progress(count, psnrs[-1] if psnrs else "-")
+                yield decoded
+
+        if args.output:
+            write_yuv420(args.output, frames())
+        else:
+            for _ in frames():
+                pass
+    seconds = time.perf_counter() - start
+    stream_bytes = os.path.getsize(args.bitstream)
+    payload = {
+        "codec": codec_name,
+        "container_version": reader.version,
+        "bitstream": args.bitstream,
+        "frames": count,
+        "height": height,
+        "width": width,
+        "stream_bytes": stream_bytes,
+        "bpp": 8.0 * stream_bytes / (max(count, 1) * max(height * width, 1)),
+        "psnr_per_frame": psnrs,
+        "mean_psnr": float(np.mean(psnrs)) if psnrs else None,
+        "decode_seconds": seconds,
+        "output": args.output,
+    }
+    text = (
+        f"{codec_name}: {count} frames @ {width}x{height} from "
+        f"{args.bitstream} (v{reader.version}), {payload['bpp']:.3f} bpp"
+    )
+    if psnrs:
+        text += f", {payload['mean_psnr']:.2f} dB PSNR"
+    if args.output:
+        text += f"\n  reconstruction: {args.output}"
+    print(json.dumps(payload, indent=2, sort_keys=True) if args.json else text)
+    return 0
 
 
 def _cmd_hardware(args) -> int:
@@ -91,7 +308,7 @@ def main(argv=None) -> int:
     rep.add_argument("--json", action="store_true", help="emit structured JSON")
     rep.set_defaults(func=_cmd_reproduce)
 
-    enc = sub.add_parser("encode", help="encode a synthetic clip")
+    enc = sub.add_parser("encode", help="encode a clip (synthetic or raw YUV)")
     enc.add_argument("--codec", default="ctvc", help="registered codec name")
     enc.add_argument("--height", type=int, default=64)
     enc.add_argument("--width", type=int, default=96)
@@ -105,9 +322,66 @@ def main(argv=None) -> int:
         "default: the codec config's default)",
     )
     enc.add_argument("--msssim", action="store_true", help="also compute MS-SSIM")
-    enc.add_argument("-o", "--output", default=None)
+    enc.add_argument(
+        "--stream",
+        action="store_true",
+        help="frame-at-a-time encode writing the version-3 container to "
+        "--output incrementally (O(1) frame memory); report goes to stdout",
+    )
+    enc.add_argument(
+        "--input",
+        default=None,
+        help="raw YUV 4:2:0 file to encode instead of the synthetic scene "
+        "(streamed lazily; needs --stream, --height, --width)",
+    )
+    enc.add_argument(
+        "--progress",
+        action="store_true",
+        help="print per-frame progress to stderr (streaming mode)",
+    )
+    enc.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="report file; with --stream, the container file instead",
+    )
     enc.add_argument("--json", action="store_true", help="emit structured JSON")
     enc.set_defaults(func=_cmd_encode)
+
+    dec = sub.add_parser(
+        "decode", help="decode a container file (any format version)"
+    )
+    dec.add_argument("bitstream", help="container file to decode")
+    dec.add_argument(
+        "--codec",
+        default=None,
+        help="registered codec name (default: inferred from the stream header)",
+    )
+    dec.add_argument(
+        "--config",
+        default=None,
+        help="JSON codec-config overrides (merged over the header's config, "
+        "e.g. '{\"seed\": 5}' for pre-v3 CTVC streams)",
+    )
+    dec.add_argument(
+        "--reference",
+        default=None,
+        help="raw YUV 4:2:0 reference for PSNR (default: the scene recorded "
+        "in a version-3 header, if any)",
+    )
+    dec.add_argument(
+        "--progress",
+        action="store_true",
+        help="print per-frame progress to stderr",
+    )
+    dec.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="write the reconstruction as raw YUV 4:2:0",
+    )
+    dec.add_argument("--json", action="store_true", help="emit structured JSON")
+    dec.set_defaults(func=_cmd_decode)
 
     hw = sub.add_parser("hardware", help="NVCA model summary")
     hw.add_argument("--height", type=int, default=1080)
@@ -122,7 +396,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (ConfigError, CodecRegistryError, OSError) as exc:
+    except (ConfigError, CodecRegistryError, ValueError, OSError) as exc:
         # User-input errors get a clean one-liner; genuine internal
         # failures still traceback so they stay diagnosable.
         print(f"repro {args.command or 'reproduce'}: {exc}", file=sys.stderr)

@@ -15,16 +15,26 @@ Format versions:
 
 * **1** — the original container: every chunk is CACM'87
   arithmetic-coded, and the classical codec's DCT planes interleave
-  their per-band models block by block.
-* **2** (current) — the header's ``"entropy"`` field names the entropy
-  backend that wrote the chunks (``"cacm"``, ``"rans"``, ...; absent
-  means ``"cacm"``), and multi-model chunks are laid out as contiguous
+  their per-band models block by block.  The header records
+  ``num_frames`` and packets follow back to back.
+* **2** — the header's ``"entropy"`` field names the entropy backend
+  that wrote the chunks (``"cacm"``, ``"rans"``, ...; absent means
+  ``"cacm"``), and multi-model chunks are laid out as contiguous
   per-model segments.  Decoders pick the backend from the stream, not
   from their own configuration.
+* **3** (streaming) — the header drops ``num_frames`` (unknowable
+  while encoding live) and every packet is length-prefixed
+  (``u32 size | packet bytes``), terminated by a zero-size sentinel.
+  This is what :class:`StreamWriter` emits incrementally and
+  :class:`StreamReader` consumes packet by packet, so file-to-file
+  transcoding needs O(1) frame memory.
 
-``parse`` accepts both versions and records which one it saw in
+``parse`` accepts every version and records which one it saw in
 ``SequenceBitstream.version``, so version-1 streams remain decodable
-(the codecs keep a legacy symbol-order path for them).
+(the codecs keep a legacy symbol-order path for them) and version-3
+files round-trip through the in-memory API too.  The batch encoders
+keep writing version 2 — byte-compatible with every pre-streaming
+consumer — while the streaming paths write version 3.
 
 Floating-point side information (e.g. Laplacian scales) must be passed
 through :func:`as_f32` before use on the *encoder* side too, so encoder
@@ -42,6 +52,8 @@ import numpy as np
 __all__ = [
     "FramePacket",
     "SequenceBitstream",
+    "StreamReader",
+    "StreamWriter",
     "as_f32",
     "f32_bits",
     "f32_from_bits",
@@ -51,7 +63,11 @@ __all__ = [
 
 _MAGIC = b"NVCA"
 _VERSION = 2
-_SUPPORTED_VERSIONS = (1, 2)
+#: Version the incremental (length-prefixed) container writes.
+STREAM_VERSION = 3
+_SUPPORTED_VERSIONS = (1, 2, 3)
+#: Zero-size packet sentinel ending a version-3 stream.
+_END_OF_STREAM = struct.pack("<I", 0)
 
 
 def as_f32(value: float) -> float:
@@ -131,6 +147,27 @@ class FramePacket:
             offset += size
         return packet, offset
 
+    @classmethod
+    def read_from(cls, fileobj) -> "FramePacket":
+        """Read one packet from a binary file object (the packet framing
+        is self-describing: chunk names and sizes ride in the meta
+        blob, so no container-level length prefix is needed)."""
+        (meta_len,) = struct.unpack("<I", _read_exact(fileobj, 4))
+        record = json.loads(_read_exact(fileobj, meta_len).decode("utf-8"))
+        packet = cls(frame_type=record["t"], meta=record["m"])
+        for name, size in zip(record["n"], record["z"]):
+            packet.chunks[name] = _read_exact(fileobj, size)
+        return packet
+
+
+def _read_exact(fileobj, size: int) -> bytes:
+    data = fileobj.read(size)
+    if len(data) != size:
+        raise ValueError(
+            f"truncated bitstream: wanted {size} bytes, got {len(data)}"
+        )
+    return bytes(data)
+
 
 @dataclass
 class SequenceBitstream:
@@ -159,6 +196,14 @@ class SequenceBitstream:
     def serialize(self) -> bytes:
         if self.version not in _SUPPORTED_VERSIONS:
             raise ValueError(f"unsupported bitstream version {self.version}")
+        if self.version == STREAM_VERSION:
+            out = bytearray(_stream_header_bytes(self.header))
+            for packet in self.packets:
+                blob = packet.serialize()
+                out.extend(struct.pack("<I", len(blob)))
+                out.extend(blob)
+            out.extend(_END_OF_STREAM)
+            return bytes(out)
         header_blob = json.dumps(
             {"header": self.header, "num_frames": len(self.packets)},
             sort_keys=True,
@@ -185,7 +230,171 @@ class SequenceBitstream:
         record = json.loads(buffer[offset : offset + header_len].decode("utf-8"))
         offset += header_len
         stream = cls(header=record["header"], version=version)
+        if version == STREAM_VERSION:
+            while True:
+                if offset + 4 > len(buffer):
+                    raise ValueError(
+                        "truncated version-3 bitstream "
+                        "(missing end-of-stream sentinel)"
+                    )
+                (size,) = struct.unpack_from("<I", buffer, offset)
+                offset += 4
+                if size == 0:
+                    break
+                if offset + size > len(buffer):
+                    raise ValueError(
+                        "truncated version-3 bitstream "
+                        f"(packet of {size} bytes overruns the buffer)"
+                    )
+                packet, end = FramePacket.parse(buffer, offset)
+                if end - offset != size:
+                    raise ValueError(
+                        f"corrupt version-3 bitstream: packet framed as "
+                        f"{size} bytes but its body spans {end - offset}"
+                    )
+                offset = end
+                stream.add_packet(packet)
+            return stream
         for _ in range(record["num_frames"]):
             packet, offset = FramePacket.parse(buffer, offset)
             stream.add_packet(packet)
         return stream
+
+
+def _stream_header_bytes(header: dict) -> bytes:
+    """Magic + version 3 + header JSON (no frame count — unknowable
+    while encoding live)."""
+    blob = json.dumps(
+        {"header": header}, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    return (
+        _MAGIC
+        + struct.pack("<H", STREAM_VERSION)
+        + struct.pack("<I", len(blob))
+        + blob
+    )
+
+
+class StreamWriter:
+    """Incremental version-3 container writer over a binary file object.
+
+    Packets leave the process as they are produced — nothing buffers —
+    so encode memory is independent of sequence length:
+
+    >>> writer = StreamWriter(fileobj, header)         # doctest: +SKIP
+    >>> writer.write_packet(packet)                    # per frame
+    >>> writer.finalize()                              # end-of-stream
+
+    The caller owns the file object (``finalize`` writes the
+    end-of-stream sentinel but does not close the file).  Used as a
+    context manager, ``finalize`` runs on clean exit.
+    """
+
+    def __init__(self, fileobj, header: dict | None = None):
+        self._file = fileobj
+        self._finalized = False
+        self.header: dict | None = None
+        self.packets_written = 0
+        self.bytes_written = 0
+        if header is not None:
+            self.write_header(header)
+
+    def write_header(self, header: dict) -> int:
+        """Write magic/version/header; must happen before any packet."""
+        if self.header is not None:
+            raise ValueError("stream header already written")
+        blob = _stream_header_bytes(header)
+        self._file.write(blob)
+        self.header = dict(header)
+        self.bytes_written += len(blob)
+        return len(blob)
+
+    def write_packet(self, packet: FramePacket) -> int:
+        """Write one length-prefixed packet; returns its wire size."""
+        if self.header is None:
+            raise ValueError("write_header must precede write_packet")
+        if self._finalized:
+            raise ValueError("stream is finalized")
+        blob = packet.serialize()
+        self._file.write(struct.pack("<I", len(blob)))
+        self._file.write(blob)
+        self.packets_written += 1
+        self.bytes_written += 4 + len(blob)
+        return 4 + len(blob)
+
+    def finalize(self) -> int:
+        """Write the end-of-stream sentinel; returns total bytes
+        written.  Idempotent."""
+        if not self._finalized:
+            if self.header is None:
+                raise ValueError("nothing was written to the stream")
+            self._file.write(_END_OF_STREAM)
+            self.bytes_written += len(_END_OF_STREAM)
+            self._finalized = True
+        return self.bytes_written
+
+    def __enter__(self) -> "StreamWriter":
+        return self
+
+    def __exit__(self, exc_type, *exc) -> None:
+        if exc_type is None:
+            self.finalize()
+
+
+class StreamReader:
+    """Incremental container reader: any supported version, packet at
+    a time, from a binary file object.
+
+    The header parses on construction (``.header``, ``.version``);
+    :meth:`read_packet` returns packets in stream order and ``None`` at
+    end of stream.  Version 1/2 files end after the frame count their
+    header promised; version-3 files end at the zero-size sentinel.
+    Iterating the reader yields every remaining packet.
+    """
+
+    def __init__(self, fileobj):
+        self._file = fileobj
+        magic = _read_exact(fileobj, 4)
+        if magic != _MAGIC:
+            raise ValueError("not an NVCA bitstream (bad magic)")
+        (version,) = struct.unpack("<H", _read_exact(fileobj, 2))
+        if version not in _SUPPORTED_VERSIONS:
+            raise ValueError(f"unsupported bitstream version {version}")
+        (header_len,) = struct.unpack("<I", _read_exact(fileobj, 4))
+        record = json.loads(_read_exact(fileobj, header_len).decode("utf-8"))
+        self.version = version
+        self.header: dict = record["header"]
+        #: packets left to read for v1/v2; None means "until sentinel".
+        self._remaining = (
+            None if version == STREAM_VERSION else int(record["num_frames"])
+        )
+        self._done = False
+
+    def read_packet(self) -> FramePacket | None:
+        """Next packet, or ``None`` once the stream is exhausted."""
+        if self._done:
+            return None
+        if self._remaining is not None:  # versions 1 and 2
+            if self._remaining == 0:
+                self._done = True
+                return None
+            self._remaining -= 1
+            return FramePacket.read_from(self._file)
+        (size,) = struct.unpack("<I", _read_exact(self._file, 4))
+        if size == 0:
+            self._done = True
+            return None
+        packet, end = FramePacket.parse(_read_exact(self._file, size), 0)
+        if end != size:
+            raise ValueError(
+                f"corrupt version-3 bitstream: packet framed as {size} "
+                f"bytes but its body spans {end}"
+            )
+        return packet
+
+    def __iter__(self):
+        while True:
+            packet = self.read_packet()
+            if packet is None:
+                return
+            yield packet

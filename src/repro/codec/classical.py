@@ -38,6 +38,12 @@ from .entropy import (
     get_entropy_backend,
 )
 from .modules import block_match, dense_motion_field
+from .sessions import (
+    DecoderSession,
+    EncoderSession,
+    GopDecoderSession,
+    GopEncoderSession,
+)
 
 __all__ = ["ClassicalCodecConfig", "ClassicalCodec", "zigzag_indices"]
 
@@ -438,13 +444,14 @@ class ClassicalCodec:
             planes.append(np.clip(prediction + residual, 0.0, 255.0))
         return self._frame_from_planes(*planes)
 
-    # -- sequence --------------------------------------------------------
-    def encode_sequence(self, frames: list[np.ndarray]) -> SequenceBitstream:
-        if not frames:
-            raise ValueError("no frames to encode")
-        _, h, w = frames[0].shape
-        stream = SequenceBitstream(
-            header={
+    # -- streaming sessions ----------------------------------------------
+    def open_encoder(self) -> EncoderSession:
+        """Streaming encoder: ``push(frame)`` yields packets as frames
+        arrive (see :mod:`repro.codec.sessions`)."""
+
+        def make_header(frame: np.ndarray) -> dict:
+            _, h, w = frame.shape
+            return {
                 "codec": "classical-dct",
                 "height": h,
                 "width": w,
@@ -452,33 +459,45 @@ class ClassicalCodec:
                 "gop": self.config.gop,
                 "entropy": self.entropy.name,
             }
+
+        return GopEncoderSession(
+            intra=self.encode_intra,
+            inter=self.encode_inter,
+            gop=self.config.gop,
+            make_header=make_header,
         )
-        reference: np.ndarray | None = None
-        for index, frame in enumerate(frames):
-            if index % self.config.gop == 0 or reference is None:
-                packet, reference = self.encode_intra(frame)
-            else:
-                packet, reference = self.encode_inter(frame, reference)
+
+    def open_decoder(
+        self, header: dict | None = None, version: int = 2
+    ) -> DecoderSession:
+        """Streaming decoder honouring the backend the stream header
+        names; version-1 streams use the legacy CACM layout.  Without a
+        header the session trusts this codec's configured backend."""
+        if header is None:
+            entropy = self.entropy
+        else:
+            entropy = get_entropy_backend(header.get("entropy", "cacm"))
+        legacy_order = version == 1
+        return GopDecoderSession(
+            intra=lambda packet: self.decode_intra(
+                packet, entropy=entropy, legacy_order=legacy_order
+            ),
+            inter=lambda packet, reference: self.decode_inter(
+                packet, reference, entropy=entropy, legacy_order=legacy_order
+            ),
+        )
+
+    # -- sequence (thin wrappers over the sessions) ----------------------
+    def encode_sequence(self, frames: list[np.ndarray]) -> SequenceBitstream:
+        session = self.open_encoder()
+        packets = list(session.encode_iter(frames))
+        if not packets:
+            raise ValueError("no frames to encode")
+        stream = SequenceBitstream(header=session.header)
+        for packet in packets:
             stream.add_packet(packet)
         return stream
 
     def decode_sequence(self, stream: SequenceBitstream) -> list[np.ndarray]:
-        # Honour the backend recorded in the stream header; version-1
-        # streams predate the field and use the legacy CACM layout.
-        entropy = get_entropy_backend(stream.header.get("entropy", "cacm"))
-        legacy_order = stream.version == 1
-        frames: list[np.ndarray] = []
-        reference: np.ndarray | None = None
-        for packet in stream.packets:
-            if packet.frame_type == "I":
-                reference = self.decode_intra(
-                    packet, entropy=entropy, legacy_order=legacy_order
-                )
-            else:
-                if reference is None:
-                    raise ValueError("P-frame before any I-frame")
-                reference = self.decode_inter(
-                    packet, reference, entropy=entropy, legacy_order=legacy_order
-                )
-            frames.append(reference)
-        return frames
+        session = self.open_decoder(stream.header, version=stream.version)
+        return list(session.decode_iter(stream.packets))

@@ -49,6 +49,12 @@ from .entropy import (
     cached_laplacian,
     get_entropy_backend,
 )
+from .sessions import (
+    DecoderSession,
+    EncoderSession,
+    GopDecoderSession,
+    GopEncoderSession,
+)
 from .modules import (
     CompressionAE,
     DeformableCompensation,
@@ -321,13 +327,15 @@ class CTVCNet:
         f_rec = prediction + f16_from_bits(packet.meta["ar"]) * residual_hat
         return np.clip(self.frame_reconstruction(f_rec), 0.0, 255.0)
 
-    # -- sequence -------------------------------------------------------------
-    def encode_sequence(self, frames: list[np.ndarray]) -> SequenceBitstream:
-        if not frames:
-            raise ValueError("no frames to encode")
-        _, h, w = frames[0].shape
-        stream = SequenceBitstream(
-            header={
+    # -- streaming sessions -------------------------------------------------
+    def open_encoder(self) -> EncoderSession:
+        """Streaming encoder: ``push(frame)`` yields packets as frames
+        arrive; intra/inter reference handling lives in session state,
+        so any number of concurrent sessions share this network."""
+
+        def make_header(frame: np.ndarray) -> dict:
+            _, h, w = frame.shape
+            return {
                 "codec": "ctvc-net",
                 "variant": self.variant,
                 "height": h,
@@ -337,32 +345,49 @@ class CTVCNet:
                 "gop": self.config.gop,
                 "entropy": self.entropy.name,
             }
+
+        return GopEncoderSession(
+            intra=self.intra_codec.encode_intra,
+            inter=self.encode_inter,
+            gop=self.config.gop,
+            make_header=make_header,
         )
-        reference: np.ndarray | None = None
-        for index, frame in enumerate(frames):
-            if index % self.config.gop == 0 or reference is None:
-                packet, reference = self.intra_codec.encode_intra(frame)
-            else:
-                packet, reference = self.encode_inter(frame, reference)
+
+    def open_decoder(
+        self, header: dict | None = None, version: int = 2
+    ) -> DecoderSession:
+        """Streaming decoder for a stream with the given header.
+
+        The header names the entropy backend that wrote the chunks
+        (absent on version-1 streams, which are always CACM with the
+        legacy block-interleaved intra layout); without a header the
+        session trusts this codec's configured backend.
+        """
+        if header is None:
+            entropy = self.entropy
+        else:
+            entropy = get_entropy_backend(header.get("entropy", "cacm"))
+        legacy_order = version == 1
+        return GopDecoderSession(
+            intra=lambda packet: self.intra_codec.decode_intra(
+                packet, entropy=entropy, legacy_order=legacy_order
+            ),
+            inter=lambda packet, reference: self.decode_inter(
+                packet, reference, entropy=entropy
+            ),
+        )
+
+    # -- sequence (thin wrappers over the sessions) -------------------------
+    def encode_sequence(self, frames: list[np.ndarray]) -> SequenceBitstream:
+        session = self.open_encoder()
+        packets = list(session.encode_iter(frames))
+        if not packets:
+            raise ValueError("no frames to encode")
+        stream = SequenceBitstream(header=session.header)
+        for packet in packets:
             stream.add_packet(packet)
         return stream
 
     def decode_sequence(self, stream: SequenceBitstream) -> list[np.ndarray]:
-        # The stream header names the backend that wrote the chunks;
-        # version-1 streams predate the field and are always CACM with
-        # the legacy (block-interleaved) intra plane layout.
-        entropy = get_entropy_backend(stream.header.get("entropy", "cacm"))
-        legacy_order = stream.version == 1
-        frames: list[np.ndarray] = []
-        reference: np.ndarray | None = None
-        for packet in stream.packets:
-            if packet.frame_type == "I":
-                reference = self.intra_codec.decode_intra(
-                    packet, entropy=entropy, legacy_order=legacy_order
-                )
-            else:
-                if reference is None:
-                    raise ValueError("P-frame before any I-frame")
-                reference = self.decode_inter(packet, reference, entropy=entropy)
-            frames.append(reference)
-        return frames
+        session = self.open_decoder(stream.header, version=stream.version)
+        return list(session.decode_iter(stream.packets))

@@ -19,14 +19,19 @@ sparsity barely hurt is re-established by measurement, not calibration.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.metrics.rd import RDCurve
+from repro.serialization import SerializableConfig
 
 __all__ = [
     "METHODS",
     "DATASETS",
     "LITERATURE_BDBR",
+    "RDModelCodec",
+    "RDModelConfig",
     "anchor_curve",
     "model_curve",
     "all_method_curves",
@@ -198,3 +203,109 @@ def all_method_curves(
         method: model_curve(method, dataset, metric, num_points)
         for method in METHODS
     }
+
+
+# -- registry-facing pseudo-codec -------------------------------------------
+@dataclass(frozen=True)
+class RDModelConfig(SerializableConfig):
+    """Operating point of one calibrated literature method.
+
+    ``point`` indexes the method's RD curve (``0`` = lowest rate,
+    ``num_points - 1`` = highest), so a ``run_many`` grid over
+    ``point`` sweeps the whole published curve through the same
+    surface as the measured codecs.
+    """
+
+    method: str = "h265"
+    dataset: str = "uvg"
+    #: curve index in [0, num_points).
+    point: int = 2
+    num_points: int = 5
+
+    def __post_init__(self):
+        if self.method not in METHODS:
+            raise ValueError(
+                f"unknown method {self.method!r}; know {', '.join(METHODS)}"
+            )
+        _normalize_dataset(self.dataset)  # raises on unknown names
+        if self.num_points < 2:
+            raise ValueError(f"num_points must be >= 2, got {self.num_points}")
+        if not 0 <= self.point < self.num_points:
+            raise ValueError(
+                f"point must be in [0, {self.num_points}), got {self.point}"
+            )
+
+
+class RDModelCodec:
+    """A calibrated literature method behind the codec-registry surface.
+
+    Not an executable codec: there are no network weights and no
+    bitstream, only the published RD behaviour (Table I BDBR anchored
+    to H.265).  ``simulate`` returns the rate/quality the method would
+    produce on a clip, which the :class:`~repro.pipeline.Pipeline`
+    facade turns into an ordinary ``EncodeReport`` — so literature
+    methods sweep through ``run_many`` grids next to measured codecs.
+
+    The byte-level API (``encode_sequence`` / streaming sessions)
+    raises :class:`NotImplementedError` with a pointer here, rather
+    than fabricating bits that never existed.
+    """
+
+    def __init__(self, config: RDModelConfig | None = None):
+        self.config = config or RDModelConfig()
+
+    def simulate(
+        self,
+        num_frames: int,
+        height: int,
+        width: int,
+        *,
+        compute_msssim: bool = False,
+    ) -> dict:
+        """Rate/quality of this operating point on a clip.
+
+        Returns a dict shaped like the measurable core of an
+        ``EncodeReport``: ``stream_bytes``/``bpp`` from the PSNR-metric
+        curve, per-frame quality constant at the curve point (the model
+        is a sequence-level calibration, not a per-frame one).
+        """
+        cfg = self.config
+        point = model_curve(
+            cfg.method, cfg.dataset, "psnr", cfg.num_points
+        ).points[cfg.point]
+        result = {
+            "stream_bytes": int(round(point.bpp * height * width * num_frames / 8)),
+            "bpp": float(point.bpp),
+            "psnr_per_frame": [float(point.quality)] * num_frames,
+            "mean_psnr": float(point.quality),
+            "msssim_per_frame": [],
+            "mean_msssim": None,
+        }
+        if compute_msssim:
+            ms = model_curve(
+                cfg.method, cfg.dataset, "ms-ssim", cfg.num_points
+            ).points[cfg.point]
+            result["msssim_per_frame"] = [float(ms.quality)] * num_frames
+            result["mean_msssim"] = float(ms.quality)
+        return result
+
+    # -- the executable-codec surface deliberately refuses ----------------
+    def _refuse(self, api: str):
+        raise NotImplementedError(
+            f"rd-model codec {self.config.method!r} is a calibrated RD model "
+            f"of a literature method — it has no weights and produces no "
+            f"bitstream, so {api} is not available; use Pipeline/run_many "
+            f"(which report its calibrated rate/quality) or model_curve()."
+        )
+
+    def encode_sequence(self, frames):
+        self._refuse("encode_sequence")
+
+    def decode_sequence(self, stream):
+        self._refuse("decode_sequence")
+
+    def open_encoder(self):
+        self._refuse("the streaming session API (open_encoder)")
+
+    def open_decoder(self, header=None, version=2):
+        self._refuse("the streaming session API (open_decoder)")

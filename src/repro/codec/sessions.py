@@ -1,0 +1,233 @@
+"""Streaming codec sessions: frame-at-a-time encode and decode.
+
+The batch API (``encode_sequence(list) -> SequenceBitstream``) holds
+every frame and every packet in memory and emits nothing until the
+whole clip is done — fine for the paper's short clips, structurally
+wrong for long sequences.  This module is the per-frame state machine
+underneath both codecs:
+
+* :class:`EncoderSession` — ``push(frame) -> list[FramePacket]``
+  yields coded packets as frames arrive; ``flush()`` drains whatever a
+  (future, lookahead-buffering) codec still holds.  ``header`` is the
+  stream header, available once the first frame fixed the geometry.
+* :class:`DecoderSession` — ``push(packet)`` consumes packets in
+  stream order; ``pull() -> frame | None`` hands back reconstructions
+  as they become available.
+
+:class:`GopEncoderSession` / :class:`GopDecoderSession` implement the
+I/P GOP structure shared by ``CTVCNet`` and ``ClassicalCodec``: the
+intra/inter reference handling that used to live inside the monolithic
+``encode_sequence`` loops moves into session state (``_reference``,
+``_index``), and the batch methods are now thin wrappers over these
+sessions — so streaming and batch are bit-identical by construction.
+
+Sessions pair with the incremental container
+(:class:`~repro.codec.bitstream.StreamWriter` /
+:class:`~repro.codec.bitstream.StreamReader`) so a long sequence
+encodes file-to-file in O(1) frame memory:
+
+>>> with open("clip.nvca", "wb") as out:          # doctest: +SKIP
+...     session = codec.open_encoder()
+...     writer = None
+...     for frame in source:
+...         for packet in session.push(frame):
+...             if writer is None:
+...                 writer = StreamWriter(out, session.header)
+...             writer.write_packet(packet)
+...     for packet in session.flush():
+...         writer.write_packet(packet)
+...     writer.finalize()
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable, Iterator
+
+import numpy as np
+
+from .bitstream import FramePacket
+
+__all__ = [
+    "DecoderSession",
+    "EncoderSession",
+    "GopDecoderSession",
+    "GopEncoderSession",
+    "SessionError",
+]
+
+
+class SessionError(RuntimeError):
+    """Misuse of a streaming session (pushing after close, reading the
+    header before the first frame, streaming an unstreamable codec)."""
+
+
+class EncoderSession:
+    """Frame-at-a-time encoder: feed frames, receive coded packets.
+
+    Subclasses implement :meth:`push`; codecs that buffer lookahead
+    frames also override :meth:`flush`.  The session is a context
+    manager; leaving the ``with`` block closes it (``close`` does not
+    flush — drain explicitly so no packet is silently dropped).
+    """
+
+    def __init__(self) -> None:
+        self._header: dict | None = None
+        self._closed = False
+
+    @property
+    def header(self) -> dict:
+        """The stream header.  Geometry comes from the first frame, so
+        this raises until the first :meth:`push`."""
+        if self._header is None:
+            raise SessionError(
+                "stream header is not known until the first frame is pushed"
+            )
+        return self._header
+
+    def push(self, frame: np.ndarray) -> list[FramePacket]:
+        """Code one frame; returns the packets it produced (possibly
+        none for a buffering codec, possibly several after a stall)."""
+        raise NotImplementedError
+
+    def flush(self) -> list[FramePacket]:
+        """Drain any buffered frames at end of stream (default: none)."""
+        self._check_open()
+        return []
+
+    def encode_iter(self, frames: Iterable[np.ndarray]) -> Iterator[FramePacket]:
+        """Convenience: push every frame, then flush, yielding packets
+        as they appear.  O(1) frame memory when ``frames`` is lazy."""
+        for frame in frames:
+            yield from self.push(frame)
+        yield from self.flush()
+
+    def close(self) -> None:
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SessionError("session is closed")
+
+    def __enter__(self) -> "EncoderSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class DecoderSession:
+    """Packet-at-a-time decoder: feed packets, pull reconstructions.
+
+    ``push`` consumes one :class:`FramePacket` in stream order;
+    ``pull`` returns the next decoded frame, or ``None`` when no frame
+    is ready yet (a buffering codec may need several packets per
+    frame).  Decoded frames queue internally, so push/pull cadence is
+    up to the caller.
+    """
+
+    def __init__(self) -> None:
+        self._ready: deque[np.ndarray] = deque()
+        self._closed = False
+
+    def push(self, packet: FramePacket) -> None:
+        raise NotImplementedError
+
+    def pull(self) -> np.ndarray | None:
+        """Next decoded frame in display order, or ``None`` if none is
+        ready."""
+        return self._ready.popleft() if self._ready else None
+
+    def flush(self) -> list[np.ndarray]:
+        """Drain every frame still queued at end of stream."""
+        out = list(self._ready)
+        self._ready.clear()
+        return out
+
+    def decode_iter(self, packets: Iterable[FramePacket]) -> Iterator[np.ndarray]:
+        """Convenience: push every packet, yielding frames as they
+        become available.  O(1) frame memory when ``packets`` is lazy."""
+        for packet in packets:
+            self.push(packet)
+            frame = self.pull()
+            while frame is not None:
+                yield frame
+                frame = self.pull()
+        yield from self.flush()
+
+    def close(self) -> None:
+        self._closed = True
+        self._ready.clear()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SessionError("session is closed")
+
+    def __enter__(self) -> "DecoderSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class GopEncoderSession(EncoderSession):
+    """The I/P GOP state machine both built-in codecs share.
+
+    ``intra(frame)`` and ``inter(frame, reference)`` return
+    ``(packet, reconstruction)``; the reconstruction becomes the next
+    reference (the closed loop).  Every GOP boundary re-keys with an
+    I-frame.  One packet out per frame in — no lookahead.
+    """
+
+    def __init__(
+        self,
+        *,
+        intra: Callable[[np.ndarray], tuple[FramePacket, np.ndarray]],
+        inter: Callable[[np.ndarray, np.ndarray], tuple[FramePacket, np.ndarray]],
+        gop: int,
+        make_header: Callable[[np.ndarray], dict],
+    ):
+        super().__init__()
+        self._intra = intra
+        self._inter = inter
+        self._gop = gop
+        self._make_header = make_header
+        self._reference: np.ndarray | None = None
+        self._index = 0
+
+    def push(self, frame: np.ndarray) -> list[FramePacket]:
+        self._check_open()
+        if self._header is None:
+            self._header = self._make_header(frame)
+        if self._index % self._gop == 0 or self._reference is None:
+            packet, self._reference = self._intra(frame)
+        else:
+            packet, self._reference = self._inter(frame, self._reference)
+        self._index += 1
+        return [packet]
+
+
+class GopDecoderSession(DecoderSession):
+    """Decoder side of the GOP state machine: I-frames reset the
+    reference, P-frames predict from the previous reconstruction."""
+
+    def __init__(
+        self,
+        *,
+        intra: Callable[[FramePacket], np.ndarray],
+        inter: Callable[[FramePacket, np.ndarray], np.ndarray],
+    ):
+        super().__init__()
+        self._intra = intra
+        self._inter = inter
+        self._reference: np.ndarray | None = None
+
+    def push(self, packet: FramePacket) -> None:
+        self._check_open()
+        if packet.frame_type == "I":
+            self._reference = self._intra(packet)
+        else:
+            if self._reference is None:
+                raise ValueError("P-frame before any I-frame")
+            self._reference = self._inter(packet, self._reference)
+        self._ready.append(self._reference)

@@ -14,6 +14,14 @@ Three layers, designed to be scripted, queued, and sharded:
   :class:`HardwareReport`; :func:`run_many` sweeps (codec, config,
   scene) grids, optionally on a process pool.
 
+Codecs stream: the :class:`VideoCodec` protocol includes
+``open_encoder()``/``open_decoder()`` frame-at-a-time sessions
+(:mod:`repro.codec.sessions`), and the facade's
+``session().run(output=..., progress=...)`` writes the incremental
+version-3 container with O(1) frame memory.  The registered
+``rd-model`` pseudo-codec sweeps calibrated literature RD curves
+through this same surface (simulated reports — it has no bitstream).
+
 Entropy backends plug in one layer below: both built-in codec configs
 carry an ``entropy_backend`` field (``"rans"`` fast path by default,
 ``"cacm"`` paper-exact reference — see

@@ -22,12 +22,13 @@ from __future__ import annotations
 import dataclasses
 import itertools
 import multiprocessing
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
-from repro.codec import SequenceBitstream, decoder_graph
+from repro.codec import SequenceBitstream, StreamReader, StreamWriter, decoder_graph
 from repro.hw import (
     NVCAConfig,
     analyze_graph,
@@ -37,7 +38,7 @@ from repro.hw import (
 )
 from repro.metrics import ms_ssim, psnr
 from repro.serialization import ConfigError, SerializableConfig
-from repro.video import SceneConfig, generate_sequence
+from repro.video import SceneConfig, generate_sequence, iter_sequence
 
 from .registry import VideoCodec, codec_spec, create_codec
 from .reports import EncodeReport, HardwareReport
@@ -88,12 +89,29 @@ def analyze_hardware(
 class EncodeSession:
     """One encode run with inspectable intermediates.
 
-    The facade's unit of work: ``prepare()`` renders the source and
-    builds the codec, ``encode()``/``decode()`` run the codec through a
-    real serialize/parse round trip, ``report()`` measures rate and
-    quality.  ``run()`` chains all of it.  After any stage the
-    intermediates (``frames``, ``stream``, ``payload``, ``decoded``)
-    are attributes, so notebooks can poke at the actual bitstream.
+    The facade's unit of work: ``prepare()`` builds the codec and (in
+    batch mode) renders the source, ``encode()``/``decode()`` run the
+    codec through a real serialize/parse round trip, ``report()``
+    measures rate and quality.  ``run()`` chains all of it.  After any
+    stage the intermediates (``frames``, ``stream``, ``payload``,
+    ``decoded``) are attributes, so notebooks can poke at the actual
+    bitstream.
+
+    **Streaming mode** — ``encode(output=...)`` switches the session to
+    the codec's frame-at-a-time API: frames come from a lazy scene
+    generator, each packet is written to ``output`` (a path or binary
+    file object) through the incremental version-3 container as it is
+    produced, and ``progress(frame_index, packet_bytes)`` fires per
+    frame.  Peak frame memory is O(1) in sequence length; the batch
+    intermediates stay ``None``.  ``decode()`` then reads the container
+    packet by packet, folding per-frame quality against a regenerated
+    scene source instead of materializing either side.  The two modes
+    are bit-identical per packet (the batch API is itself a wrapper
+    over the sessions).
+
+    **Simulated codecs** — a registered pseudo-codec exposing
+    ``simulate()`` (the calibrated ``rd-model``) skips the byte path
+    entirely; ``report()`` carries its calibrated rate/quality.
     """
 
     def __init__(self, pipeline: "Pipeline"):
@@ -105,52 +123,243 @@ class EncodeSession:
         self.decoded: list[np.ndarray] | None = None
         self.encode_seconds: float | None = None
         self.decode_seconds: float | None = None
+        # -- streaming-mode state ----------------------------------------
+        self.stream_path: str | None = None
+        self.stream_bytes: int | None = None
+        self.frames_encoded: int | None = None
+        self._streamed_psnrs: list[float] | None = None
+        self._streamed_msssims: list[float] | None = None
+        # -- simulated (rd-model) state ----------------------------------
+        self.simulated: dict | None = None
+
+    @property
+    def _is_simulated(self) -> bool:
+        return hasattr(self.codec, "simulate")
 
     def prepare(self) -> "EncodeSession":
         spec = self.pipeline
-        self.codec = create_codec(spec.codec, spec.codec_config)
-        self.frames = generate_sequence(spec.scene)
+        if self.codec is None:
+            self.codec = create_codec(spec.codec, spec.codec_config)
+        if not self._is_simulated and self.frames is None:
+            self.frames = generate_sequence(spec.scene)
         return self
 
-    def encode(self) -> "EncodeSession":
-        if self.frames is None:
-            self.prepare()
+    def encode(self, *, output=None, progress=None) -> "EncodeSession":
+        """Encode the scene.
+
+        Batch (default): one ``encode_sequence`` call, intermediates
+        kept.  Streaming (``output`` given): frame-at-a-time sessions
+        writing the version-3 container to ``output`` incrementally,
+        with an optional per-frame ``progress(index, packet_bytes)``
+        callback.
+        """
+        if self.codec is None:
+            spec = self.pipeline
+            self.codec = create_codec(spec.codec, spec.codec_config)
+        if self._is_simulated:
+            if output is not None:
+                raise ConfigError(
+                    f"codec {self.pipeline.codec!r} is a simulated RD model; "
+                    "it produces no bitstream to stream to a file"
+                )
+            scene = self.pipeline.scene
+            self.simulated = self.codec.simulate(
+                scene.frames,
+                scene.height,
+                scene.width,
+                compute_msssim=self.pipeline.compute_msssim,
+            )
+            self.encode_seconds = 0.0
+            return self
+        if output is None:
+            if progress is not None:
+                raise ValueError(
+                    "per-frame progress callbacks need streaming mode "
+                    "(pass output=...)"
+                )
+            if self.frames is None:
+                self.prepare()
+            start = time.perf_counter()
+            self.stream = self.codec.encode_sequence(self.frames)
+            self.payload = self.stream.serialize()
+            self.encode_seconds = time.perf_counter() - start
+            return self
+        return self._encode_streaming(output, progress)
+
+    def _stream_header(self, session_header: dict) -> dict:
+        """The v3 file header: the codec's stream header plus enough
+        context (registry name, full config, scene) for ``repro
+        decode`` to rebuild the decoder and score quality unaided."""
+        spec = self.pipeline
+        header = dict(session_header)
+        header["registry"] = spec.codec
+        header["config"] = self.codec.config.to_dict()
+        header["scene"] = spec.scene.to_dict()
+        return header
+
+    def _encode_streaming(self, output, progress) -> "EncodeSession":
+        spec = self.pipeline
+        owns_handle = isinstance(output, (str, os.PathLike))
+        handle = open(output, "wb") if owns_handle else output
         start = time.perf_counter()
-        self.stream = self.codec.encode_sequence(self.frames)
-        self.payload = self.stream.serialize()
+        try:
+            session = self.codec.open_encoder()
+            writer = StreamWriter(handle)
+            count = 0
+            for frame in iter_sequence(spec.scene):
+                packets = session.push(frame)
+                del frame  # the session owns what it needs; stay O(1)
+                nbytes = 0
+                for packet in packets:
+                    if writer.header is None:
+                        writer.write_header(self._stream_header(session.header))
+                    nbytes += writer.write_packet(packet)
+                count += 1
+                if progress is not None:
+                    progress(count, nbytes)
+            for packet in session.flush():
+                if writer.header is None:
+                    writer.write_header(self._stream_header(session.header))
+                writer.write_packet(packet)
+            if writer.header is None:
+                raise ConfigError("no frames to encode")
+            total = writer.finalize()
+        finally:
+            if owns_handle:
+                handle.close()
         self.encode_seconds = time.perf_counter() - start
+        self.frames_encoded = count
+        self.stream_bytes = total
+        self.stream_path = os.fspath(output) if owns_handle else None
         return self
 
-    def decode(self) -> "EncodeSession":
-        if self.payload is None:
+    def decode(self, *, source=None, progress=None) -> "EncodeSession":
+        """Decode and (in streaming mode) score against the scene.
+
+        Batch: parse the in-memory payload, keep the frames.
+        Streaming (``source`` given, or after a streamed ``encode``):
+        read the container packet by packet, pull frames from a decoder
+        session, and fold per-frame PSNR (and MS-SSIM when configured)
+        against a regenerated scene source — O(1) frame memory, with an
+        optional ``progress(frame_index, psnr)`` callback.
+        """
+        if self.simulated is not None:
+            return self
+        if source is None and self.stream_path is None and self.payload is None:
+            if self.frames_encoded is not None:
+                # A streamed encode went to a caller-owned file object;
+                # re-encoding in batch here would silently discard it.
+                raise ValueError(
+                    "this session streamed to a file object; pass "
+                    "decode(source=...) to read that container back"
+                )
             self.encode()
+            if self.simulated is not None:  # encode() chose the rd-model path
+                return self
+        if source is None and self.stream_path is None:
+            start = time.perf_counter()
+            self.decoded = self.codec.decode_sequence(
+                SequenceBitstream.parse(self.payload)
+            )
+            self.decode_seconds = time.perf_counter() - start
+            return self
+        return self._decode_streaming(source or self.stream_path, progress)
+
+    def _decode_streaming(self, source, progress) -> "EncodeSession":
+        spec = self.pipeline
+        owns_handle = isinstance(source, (str, os.PathLike))
+        handle = open(source, "rb") if owns_handle else source
+        try:
+            start_pos = handle.tell()
+        except (AttributeError, OSError):
+            start_pos = None
         start = time.perf_counter()
-        self.decoded = self.codec.decode_sequence(
-            SequenceBitstream.parse(self.payload)
-        )
+        try:
+            reader = StreamReader(handle)
+            if self.codec is None:
+                self.codec = create_codec(spec.codec, spec.codec_config)
+            session = self.codec.open_decoder(reader.header, version=reader.version)
+            originals = iter_sequence(spec.scene)
+            psnrs: list[float] = []
+            msssims: list[float] = []
+            for decoded in session.decode_iter(reader):
+                try:
+                    original = next(originals)
+                except StopIteration:
+                    raise ValueError(
+                        f"container has more frames than the configured "
+                        f"scene ({spec.scene.frames})"
+                    ) from None
+                psnrs.append(float(psnr(original, decoded)))
+                if spec.compute_msssim:
+                    msssims.append(float(ms_ssim(original, decoded)))
+                if progress is not None:
+                    progress(len(psnrs), psnrs[-1])
+        finally:
+            if owns_handle:
+                handle.close()
         self.decode_seconds = time.perf_counter() - start
+        self._streamed_psnrs = psnrs
+        self._streamed_msssims = msssims
+        if self.stream_bytes is None:
+            if owns_handle:
+                self.stream_bytes = os.path.getsize(source)
+            elif start_pos is not None:
+                # The reader stops exactly after the end sentinel, so
+                # the position delta is the container size.
+                try:
+                    self.stream_bytes = handle.tell() - start_pos
+                except OSError:
+                    pass
         return self
 
     def report(self) -> EncodeReport:
-        if self.decoded is None:
-            self.decode()
         spec = self.pipeline
         scene = spec.scene
-        psnrs = [float(psnr(a, b)) for a, b in zip(self.frames, self.decoded)]
-        msssims = (
-            [float(ms_ssim(a, b)) for a, b in zip(self.frames, self.decoded)]
-            if spec.compute_msssim
-            else []
-        )
+        if self.simulated is None and self.decoded is None and (
+            self._streamed_psnrs is None
+        ):
+            self.decode()
+        if self.simulated is not None:
+            sim = self.simulated
+            return EncodeReport(
+                codec=spec.codec,
+                codec_config=self.codec.config.to_dict(),
+                scene=scene.to_dict(),
+                frames=scene.frames,
+                height=scene.height,
+                width=scene.width,
+                encode_seconds=self.encode_seconds,
+                decode_seconds=0.0,
+                **sim,
+            )
+        if self._streamed_psnrs is not None:
+            psnrs = self._streamed_psnrs
+            msssims = self._streamed_msssims or []
+            num_frames = len(psnrs)
+            stream_bytes = self.stream_bytes or 0
+            bpp = (
+                8.0 * stream_bytes / (max(num_frames, 1) * scene.height * scene.width)
+            )
+        else:
+            psnrs = [float(psnr(a, b)) for a, b in zip(self.frames, self.decoded)]
+            msssims = (
+                [float(ms_ssim(a, b)) for a, b in zip(self.frames, self.decoded)]
+                if spec.compute_msssim
+                else []
+            )
+            num_frames = len(self.frames)
+            stream_bytes = len(self.payload)
+            bpp = self.stream.bits_per_pixel(scene.height, scene.width)
         return EncodeReport(
             codec=spec.codec,
             codec_config=self.codec.config.to_dict(),
             scene=scene.to_dict(),
-            frames=len(self.frames),
+            frames=num_frames,
             height=scene.height,
             width=scene.width,
-            stream_bytes=len(self.payload),
-            bpp=self.stream.bits_per_pixel(scene.height, scene.width),
+            stream_bytes=stream_bytes,
+            bpp=bpp,
             psnr_per_frame=psnrs,
             mean_psnr=float(np.mean(psnrs)),
             msssim_per_frame=msssims,
@@ -159,8 +368,28 @@ class EncodeSession:
             decode_seconds=self.decode_seconds,
         )
 
-    def run(self) -> EncodeReport:
-        return self.prepare().encode().decode().report()
+    def run(self, *, output=None, progress=None) -> EncodeReport:
+        """Chain the stages.  With ``output`` the whole round trip runs
+        in streaming mode through the container — a path, or a
+        readable+seekable binary file object (rewound and decoded in
+        place; for write-only streams use ``encode``/``decode``
+        separately)."""
+        if output is None:
+            return self.prepare().encode().decode().report()
+        if not isinstance(output, (str, os.PathLike)):
+            if not (
+                getattr(output, "readable", lambda: False)()
+                and getattr(output, "seekable", lambda: False)()
+            ):
+                raise ValueError(
+                    "run(output=...) needs a path or a readable, seekable "
+                    "binary file object; with a write-only stream call "
+                    "encode(output=...) and decode(source=...) yourself"
+                )
+            self.encode(output=output, progress=progress)
+            output.seek(0)
+            return self.decode(source=output).report()
+        return self.encode(output=output, progress=progress).decode().report()
 
 
 class Pipeline:

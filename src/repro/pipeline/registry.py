@@ -7,7 +7,7 @@ facade/CLI/sweep path picks them up without modification.
 
 >>> from repro.pipeline import available_codecs, create_codec
 >>> available_codecs()
-['classical', 'ctvc']
+['classical', 'ctvc', 'rd-model']
 >>> codec = create_codec("ctvc", channels=12, qstep=8.0)
 """
 
@@ -23,6 +23,10 @@ from repro.codec import (
     ClassicalCodecConfig,
     CTVCConfig,
     CTVCNet,
+    DecoderSession,
+    EncoderSession,
+    RDModelCodec,
+    RDModelConfig,
     SequenceBitstream,
 )
 from repro.serialization import SerializableConfig
@@ -48,8 +52,12 @@ class VideoCodec(Protocol):
     """What the pipeline requires of a codec.
 
     Both ``CTVCNet`` and ``ClassicalCodec`` satisfy this structurally;
-    third-party codecs only need the same two methods plus a ``config``
-    attribute.
+    third-party codecs need the batch pair, the streaming session pair
+    (``open_encoder``/``open_decoder`` — a buffering codec may emit
+    zero or several packets per ``push``), and a ``config`` attribute.
+    A codec that cannot stream should still define the session methods
+    and raise a clear error from them (as the ``rd-model``
+    pseudo-codec does).
     """
 
     config: Any
@@ -58,6 +66,14 @@ class VideoCodec(Protocol):
         ...
 
     def decode_sequence(self, stream: SequenceBitstream) -> list[np.ndarray]:
+        ...
+
+    def open_encoder(self) -> EncoderSession:
+        ...
+
+    def open_decoder(
+        self, header: dict | None = None, version: int = 2
+    ) -> DecoderSession:
         ...
 
 
@@ -168,4 +184,11 @@ register_codec(
     ClassicalCodec,
     ClassicalCodecConfig,
     "block-DCT hybrid codec (the measured H.26x stand-in)",
+)
+register_codec(
+    "rd-model",
+    RDModelCodec,
+    RDModelConfig,
+    "calibrated literature RD model (Table I BDBR vs the H.265 anchor); "
+    "simulated rate/quality reports, no bitstream",
 )

@@ -1,8 +1,9 @@
 """Synthetic video sources and raw-video utilities."""
 
 from .datasets import DATASETS, DatasetSpec, dataset_names, load_dataset
-from .synthetic import SceneConfig, VideoGenerator, generate_sequence
+from .synthetic import SceneConfig, VideoGenerator, generate_sequence, iter_sequence
 from .yuv import (
+    YUV420Reader,
     read_yuv420,
     rgb_to_ycbcr,
     subsample_420,
@@ -16,8 +17,10 @@ __all__ = [
     "DatasetSpec",
     "SceneConfig",
     "VideoGenerator",
+    "YUV420Reader",
     "dataset_names",
     "generate_sequence",
+    "iter_sequence",
     "load_dataset",
     "read_yuv420",
     "rgb_to_ycbcr",

@@ -17,12 +17,13 @@ grain (noise floor that bounds achievable quality).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator
 
 import numpy as np
 
 from repro.serialization import SerializableConfig
 
-__all__ = ["SceneConfig", "VideoGenerator", "generate_sequence"]
+__all__ = ["SceneConfig", "VideoGenerator", "generate_sequence", "iter_sequence"]
 
 
 @dataclass(frozen=True)
@@ -199,10 +200,16 @@ class VideoGenerator:
                 sprite.velocity[axis] *= -1.0
                 sprite.position[axis] += 2 * sprite.velocity[axis]
 
-    def render(self) -> list[np.ndarray]:
-        """Render all frames as (3, H, W) float arrays in [0, 255]."""
+    def frames(self) -> Iterator[np.ndarray]:
+        """Yield frames lazily as (3, H, W) float arrays in [0, 255].
+
+        One frame is materialized at a time, so streaming encode
+        sessions consume arbitrarily long scenes in O(1) frame memory.
+        Sprite state advances as frames are consumed (the generator is
+        stateful); build a fresh :class:`VideoGenerator` — or use
+        :func:`iter_sequence` — for a second identical pass.
+        """
         cfg = self.config
-        frames = []
         pan = np.array([0.0, 0.0])
         start = np.array([2.0, 2.0])
         for _ in range(cfg.frames):
@@ -222,11 +229,23 @@ class VideoGenerator:
                 frame = frame + self._rng.normal(
                     0.0, cfg.grain_sigma, size=frame.shape
                 )
-            frames.append(np.clip(frame, 0.0, 255.0))
+            yield np.clip(frame, 0.0, 255.0)
             pan = pan + np.abs(np.array(cfg.pan_velocity))
-        return frames
+
+    def render(self) -> list[np.ndarray]:
+        """Render all frames at once (materializes :meth:`frames`)."""
+        return list(self.frames())
+
+
+def iter_sequence(config: SceneConfig | None = None) -> Iterator[np.ndarray]:
+    """Lazy frame source: a fresh generator's :meth:`frames` stream.
+
+    Bit-identical to :func:`generate_sequence` frame by frame, without
+    ever materializing the sequence.
+    """
+    return VideoGenerator(config or SceneConfig()).frames()
 
 
 def generate_sequence(config: SceneConfig | None = None) -> list[np.ndarray]:
     """Convenience wrapper: render a sequence from a config (or defaults)."""
-    return VideoGenerator(config or SceneConfig()).render()
+    return list(iter_sequence(config))

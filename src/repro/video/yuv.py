@@ -8,15 +8,24 @@ the public corpora the paper uses.
 
 Frames are float64 in [0, 255] with shape (3, H, W) channel-first,
 matching the rest of the code base.
+
+File I/O streams: :func:`write_yuv420` accepts any frame iterable (a
+generator, a decoder session's output, a list) and writes as it goes;
+:func:`read_yuv420` returns a lazy :class:`YUV420Reader` — a sequence
+view over the file that decodes one frame per access — so files of
+arbitrary length feed streaming codec sessions without ever loading
+into memory.
 """
 
 from __future__ import annotations
 
 import os
+from typing import Iterable, Iterator
 
 import numpy as np
 
 __all__ = [
+    "YUV420Reader",
     "rgb_to_ycbcr",
     "ycbcr_to_rgb",
     "subsample_420",
@@ -90,9 +99,12 @@ def upsample_420(y: np.ndarray, cb: np.ndarray, cr: np.ndarray) -> np.ndarray:
     return out
 
 
-def write_yuv420(path: str, frames: list[np.ndarray]) -> int:
+def write_yuv420(path: str, frames: Iterable[np.ndarray]) -> int:
     """Write RGB frames to a raw planar YUV 4:2:0 8-bit file.
 
+    ``frames`` may be any iterable — a list, a generator, a streaming
+    decoder's output — and is consumed one frame at a time, so
+    sequences of arbitrary length stream to disk in O(1) frame memory.
     Returns the number of bytes written.
     """
     total = 0
@@ -106,25 +118,68 @@ def write_yuv420(path: str, frames: list[np.ndarray]) -> int:
     return total
 
 
-def read_yuv420(path: str, height: int, width: int) -> list[np.ndarray]:
-    """Read all frames of a raw planar YUV 4:2:0 8-bit file as RGB."""
-    if height % 2 or width % 2:
-        raise ValueError("4:2:0 needs even dimensions")
-    frame_bytes = height * width + 2 * (height // 2) * (width // 2)
-    size = os.path.getsize(path)
-    if size % frame_bytes:
-        raise ValueError(
-            f"file size {size} is not a multiple of frame size {frame_bytes}"
-        )
-    frames = []
-    with open(path, "rb") as handle:
-        for _ in range(size // frame_bytes):
-            raw = np.frombuffer(handle.read(frame_bytes), dtype=np.uint8)
-            y = raw[: height * width].reshape(height, width).astype(np.float64)
-            offset = height * width
-            quarter = (height // 2) * (width // 2)
-            cb = raw[offset : offset + quarter].reshape(height // 2, width // 2)
-            cr = raw[offset + quarter :].reshape(height // 2, width // 2)
-            ycc = upsample_420(y, cb.astype(np.float64), cr.astype(np.float64))
-            frames.append(ycbcr_to_rgb(ycc))
-    return frames
+def _frame_from_raw(raw: np.ndarray, height: int, width: int) -> np.ndarray:
+    y = raw[: height * width].reshape(height, width).astype(np.float64)
+    offset = height * width
+    quarter = (height // 2) * (width // 2)
+    cb = raw[offset : offset + quarter].reshape(height // 2, width // 2)
+    cr = raw[offset + quarter :].reshape(height // 2, width // 2)
+    ycc = upsample_420(y, cb.astype(np.float64), cr.astype(np.float64))
+    return ycbcr_to_rgb(ycc)
+
+
+class YUV420Reader:
+    """Lazy sequence view over a raw planar YUV 4:2:0 8-bit file.
+
+    Quacks like the list :func:`read_yuv420` used to return —
+    ``len()``, indexing (including negative indices and slices), and
+    iteration all work — but decodes one frame per access instead of
+    materializing the file, so iterating an hour of video holds one
+    frame at a time.  Iteration streams through a single sequential
+    file handle; random access seeks per frame.
+    """
+
+    def __init__(self, path: str, height: int, width: int):
+        if height % 2 or width % 2:
+            raise ValueError("4:2:0 needs even dimensions")
+        size = os.path.getsize(path)
+        self._frame_bytes = height * width + 2 * (height // 2) * (width // 2)
+        if size % self._frame_bytes:
+            raise ValueError(
+                f"file size {size} is not a multiple of frame size "
+                f"{self._frame_bytes}"
+            )
+        self.path = path
+        self.height = height
+        self.width = width
+        self.num_frames = size // self._frame_bytes
+
+    def __len__(self) -> int:
+        return self.num_frames
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(self.num_frames))]
+        if index < 0:
+            index += self.num_frames
+        if not 0 <= index < self.num_frames:
+            raise IndexError(f"frame {index} out of range [0, {self.num_frames})")
+        with open(self.path, "rb") as handle:
+            handle.seek(index * self._frame_bytes)
+            raw = np.frombuffer(handle.read(self._frame_bytes), dtype=np.uint8)
+        return _frame_from_raw(raw, self.height, self.width)
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        with open(self.path, "rb") as handle:
+            for _ in range(self.num_frames):
+                raw = np.frombuffer(handle.read(self._frame_bytes), dtype=np.uint8)
+                yield _frame_from_raw(raw, self.height, self.width)
+
+
+def read_yuv420(path: str, height: int, width: int) -> YUV420Reader:
+    """Open a raw planar YUV 4:2:0 8-bit file as a lazy frame sequence.
+
+    Returns a :class:`YUV420Reader`: list-compatible (``len``, index,
+    iterate) but O(1) memory — frames decode from disk on access.
+    """
+    return YUV420Reader(path, height, width)

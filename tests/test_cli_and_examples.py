@@ -98,10 +98,147 @@ class TestCLIJson:
         assert payload["table1"]["computed"]
 
 
+class TestStreamingCLI:
+    def test_encode_stream_decode_round_trip(self, tmp_path):
+        container = tmp_path / "clip.bin"
+        enc = run_cli(
+            "encode", "--stream", "--codec", "classical", "--qp", "16",
+            "--height", "32", "--width", "48", "--frames", "3",
+            "--output", str(container), "--json",
+        )
+        assert enc.returncode == 0, enc.stderr[-2000:]
+        enc_report = json.loads(enc.stdout)
+        assert container.exists()
+        assert enc_report["container"] == str(container)
+        assert enc_report["frames"] == 3
+
+        batch = run_cli(
+            "encode", "--codec", "classical", "--qp", "16",
+            "--height", "32", "--width", "48", "--frames", "3", "--json",
+        )
+        batch_report = json.loads(batch.stdout)
+        # streaming == batch quality, exactly (same packets, same loop)
+        assert enc_report["psnr_per_frame"] == batch_report["psnr_per_frame"]
+
+        dec = run_cli("decode", str(container), "--json")
+        assert dec.returncode == 0, dec.stderr[-2000:]
+        dec_report = json.loads(dec.stdout)
+        assert dec_report["container_version"] == 3
+        assert dec_report["psnr_per_frame"] == batch_report["psnr_per_frame"]
+
+    def test_yuv_file_to_file_round_trip(self, tmp_path):
+        import numpy as np
+
+        sys.path.insert(0, str(REPO / "src"))
+        try:
+            from repro.video import SceneConfig, iter_sequence, write_yuv420
+        finally:
+            sys.path.pop(0)
+        source = tmp_path / "src.yuv"
+        write_yuv420(
+            str(source),
+            iter_sequence(SceneConfig(height=32, width=48, frames=3, seed=4)),
+        )
+        container = tmp_path / "clip.bin"
+        recon = tmp_path / "recon.yuv"
+        enc = run_cli(
+            "encode", "--stream", "--codec", "classical", "--qp", "12",
+            "--input", str(source), "--height", "32", "--width", "48",
+            "--output", str(container), "--json",
+        )
+        assert enc.returncode == 0, enc.stderr[-2000:]
+        assert json.loads(enc.stdout)["frames"] == 3
+        dec = run_cli(
+            "decode", str(container), "--reference", str(source),
+            "-o", str(recon), "--json",
+        )
+        assert dec.returncode == 0, dec.stderr[-2000:]
+        report = json.loads(dec.stdout)
+        assert report["mean_psnr"] > 25.0
+        assert recon.stat().st_size == source.stat().st_size
+
+    def test_stream_requires_output(self):
+        result = run_cli("encode", "--stream", "--frames", "1")
+        assert result.returncode == 2
+        assert "--output" in result.stderr
+
+    def test_decode_bad_file_is_clean_error(self, tmp_path):
+        bad = tmp_path / "bad.bin"
+        bad.write_bytes(b"not a bitstream")
+        result = run_cli("decode", str(bad))
+        assert result.returncode == 1
+        assert "bad magic" in result.stderr
+
+    def test_decode_v2_uses_header_recorded_parameters(self, tmp_path):
+        # v2 headers carry qp/gop/entropy inline (no config blob); the
+        # decode subcommand must honour them, not config defaults.
+        sys.path.insert(0, str(REPO / "src"))
+        try:
+            from repro.codec import ClassicalCodec, ClassicalCodecConfig
+            from repro.metrics import psnr
+            from repro.video import SceneConfig, generate_sequence
+        finally:
+            sys.path.pop(0)
+        import numpy as np
+
+        codec = ClassicalCodec(ClassicalCodecConfig(qp=16.0, gop=2))
+        frames = generate_sequence(SceneConfig(height=32, width=48, frames=3))
+        stream = codec.encode_sequence(frames)
+        container = tmp_path / "v2.bin"
+        container.write_bytes(stream.serialize())
+        expected = [
+            float(psnr(a, b))
+            for a, b in zip(frames, codec.decode_sequence(stream))
+        ]
+        recon = tmp_path / "recon.yuv"
+        src = tmp_path / "src.yuv"
+        from repro.video import write_yuv420
+
+        write_yuv420(str(src), frames)
+        result = run_cli(
+            "decode", str(container), "--reference", str(src), "--json",
+            "-o", str(recon),
+        )
+        assert result.returncode == 0, result.stderr[-2000:]
+        report = json.loads(result.stdout)
+        assert report["container_version"] == 2
+        # quality within YUV-reference quantization (8-bit 4:2:0) of the
+        # library path's float reference; had qp fallen back to the
+        # default 8.0, dequantization would be wrong by 2x and PSNR
+        # tens of dB off
+        assert abs(report["mean_psnr"] - sum(expected) / 3) < 1.5
+
+    def test_decode_short_reference_is_clean_error(self, tmp_path):
+        sys.path.insert(0, str(REPO / "src"))
+        try:
+            from repro.video import SceneConfig, iter_sequence, write_yuv420
+        finally:
+            sys.path.pop(0)
+        short = tmp_path / "short.yuv"
+        write_yuv420(
+            str(short),
+            iter_sequence(SceneConfig(height=32, width=48, frames=1)),
+        )
+        container = tmp_path / "clip.bin"
+        enc = run_cli(
+            "encode", "--stream", "--codec", "classical", "--height", "32",
+            "--width", "48", "--frames", "3", "--output", str(container),
+        )
+        assert enc.returncode == 0
+        result = run_cli("decode", str(container), "--reference", str(short))
+        assert result.returncode == 1
+        assert "fewer frames" in result.stderr
+
+
 class TestExamples:
     @pytest.mark.parametrize(
         "script",
-        ["quickstart.py", "sparse_codesign.py", "hardware_walkthrough.py"],
+        [
+            "quickstart.py",
+            "sparse_codesign.py",
+            "hardware_walkthrough.py",
+            "streaming.py",
+        ],
     )
     def test_example_runs(self, script):
         result = subprocess.run(

@@ -106,3 +106,87 @@ class TestModelCurves:
         for dataset in DATASETS:
             for method in METHODS:
                 assert model_curve(method, dataset, "psnr").validate_monotone()
+
+
+class TestRDModelCodecInRegistry:
+    """The calibrated methods sweep through the same Pipeline/run_many
+    surface as the measured codecs (pseudo-codec "rd-model")."""
+
+    SCENE = {"height": 32, "width": 48, "frames": 2}
+
+    def test_registered(self):
+        from repro.pipeline import available_codecs, codec_spec
+
+        assert "rd-model" in available_codecs()
+        assert "no bitstream" in codec_spec("rd-model").description
+
+    def test_pipeline_reports_the_curve_point(self):
+        from repro.pipeline import Pipeline
+
+        config = {"method": "dcvc", "dataset": "uvg", "point": 1}
+        report = Pipeline("rd-model", config, scene=self.SCENE).run()
+        point = model_curve("dcvc", "uvg", "psnr").points[1]
+        assert report.bpp == pytest.approx(point.bpp)
+        assert report.mean_psnr == pytest.approx(point.quality)
+        assert report.psnr_per_frame == [point.quality] * 2
+        assert report.stream_bytes == round(point.bpp * 32 * 48 * 2 / 8)
+        # the report round-trips like any other
+        from repro.pipeline import EncodeReport
+
+        assert EncodeReport.from_dict(report.to_dict()).to_dict() == report.to_dict()
+
+    def test_msssim_comes_from_the_msssim_curve(self):
+        from repro.pipeline import Pipeline
+
+        report = Pipeline(
+            "rd-model",
+            {"method": "fvc", "dataset": "hevcb", "point": 3},
+            scene=self.SCENE,
+            compute_msssim=True,
+        ).run()
+        ms = model_curve("fvc", "hevcb", "ms-ssim").points[3]
+        assert report.mean_msssim == pytest.approx(ms.quality)
+
+    def test_run_many_sweeps_the_published_curve(self):
+        from repro.pipeline import run_many
+
+        reports = run_many(
+            codecs=["rd-model"],
+            codec_configs=[{"method": "h264", "point": p} for p in range(5)],
+            scenes=[self.SCENE],
+        )
+        bpps = [r.bpp for r in reports]
+        assert bpps == sorted(bpps)  # the curve sweeps low to high rate
+        assert [r.codec_config["point"] for r in reports] == list(range(5))
+
+    def test_byte_api_refuses_with_clear_error(self):
+        from repro.pipeline import create_codec
+
+        codec = create_codec("rd-model", method="h265")
+        for api in (
+            lambda: codec.encode_sequence([]),
+            lambda: codec.decode_sequence(None),
+            lambda: codec.open_encoder(),
+            lambda: codec.open_decoder(),
+        ):
+            with pytest.raises(NotImplementedError, match="calibrated RD model"):
+                api()
+
+    def test_streaming_output_refused(self, tmp_path):
+        from repro.pipeline import Pipeline
+        from repro.serialization import ConfigError
+
+        session = Pipeline("rd-model", scene=self.SCENE).session()
+        with pytest.raises(ConfigError, match="no bitstream"):
+            session.encode(output=str(tmp_path / "x.bin"))
+
+    def test_config_validation(self):
+        from repro.codec import RDModelConfig
+        from repro.serialization import ConfigError
+
+        with pytest.raises((ValueError, ConfigError)):
+            RDModelConfig(method="av1")
+        with pytest.raises((ValueError, ConfigError)):
+            RDModelConfig(point=7)
+        cfg = RDModelConfig(method="dvc", dataset="mcljcv", point=4)
+        assert RDModelConfig.from_dict(cfg.to_dict()) == cfg

@@ -16,7 +16,7 @@ from repro.pipeline import (
 
 class TestLookup:
     def test_builtins_registered(self):
-        assert available_codecs() == ["classical", "ctvc"]
+        assert available_codecs() == ["classical", "ctvc", "rd-model"]
 
     def test_codec_spec_fields(self):
         spec = codec_spec("ctvc")

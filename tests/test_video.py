@@ -7,8 +7,10 @@ from repro.video import (
     DATASETS,
     SceneConfig,
     VideoGenerator,
+    YUV420Reader,
     dataset_names,
     generate_sequence,
+    iter_sequence,
     load_dataset,
     read_yuv420,
     rgb_to_ycbcr,
@@ -82,6 +84,37 @@ class TestYUVFileIO:
         with pytest.raises(ValueError):
             read_yuv420(str(path), 16, 16)
 
+    def test_reader_is_lazy_sequence(self, tmp_path):
+        rng = np.random.default_rng(3)
+        frames = [rng.uniform(0, 255, (3, 16, 16)) for _ in range(4)]
+        path = str(tmp_path / "clip.yuv")
+        write_yuv420(path, frames)
+        reader = read_yuv420(path, 16, 16)
+        assert isinstance(reader, YUV420Reader)
+        assert len(reader) == 4
+        # random access, negative indices, slices, iteration — all the
+        # list affordances, decoded one frame per access.
+        assert np.array_equal(reader[1], list(reader)[1])
+        assert np.array_equal(reader[-1], reader[3])
+        assert [f.shape for f in reader[1:3]] == [(3, 16, 16)] * 2
+        with pytest.raises(IndexError):
+            reader[4]
+        # two sweeps give identical frames (no consumed-iterator state)
+        first = [f.copy() for f in reader]
+        for a, b in zip(first, reader):
+            assert np.array_equal(a, b)
+
+    def test_write_accepts_generator(self, tmp_path):
+        cfg = SceneConfig(height=16, width=16, frames=3, seed=11)
+        from_list = str(tmp_path / "list.yuv")
+        from_gen = str(tmp_path / "gen.yuv")
+        write_yuv420(from_list, generate_sequence(cfg))
+        nbytes = write_yuv420(from_gen, iter_sequence(cfg))
+        assert nbytes == 3 * (16 * 16 + 2 * 64)
+        assert (
+            open(from_list, "rb").read() == open(from_gen, "rb").read()
+        )
+
 
 class TestVideoGenerator:
     def test_deterministic(self):
@@ -115,6 +148,13 @@ class TestVideoGenerator:
         a = generate_sequence(SceneConfig(frames=1, seed=1))
         b = generate_sequence(SceneConfig(frames=1, seed=2))
         assert not np.array_equal(a[0], b[0])
+
+    def test_iter_sequence_matches_generate_sequence(self):
+        cfg = SceneConfig(height=32, width=48, frames=4, seed=9)
+        lazy = iter_sequence(cfg)
+        assert not isinstance(lazy, list)  # a true generator
+        for eager, streamed in zip(generate_sequence(cfg), lazy, strict=True):
+            assert np.array_equal(eager, streamed)
 
     def test_texture_contrast_scales_energy(self):
         low = VideoGenerator(
