@@ -21,6 +21,11 @@ Measures, on the bench_codec scene (64x96, 3 frames, seed 7):
   stream, round-trip verified.
 * **kernels** — conv2d / conv_transpose2d / bilinear warp /
   block-match / 8x8 DCT timings of the NumPy substrate.
+* **sweep** — grid throughput (jobs/s) of ``run_many`` per execution
+  backend: inline, thread workers over the in-memory queue, and
+  process workers over the directory-backed queue, on a fixed
+  4-job classical RD grid.  Tracks the dispatch overhead of the
+  distributed executor against serial execution.
 
 The report lands in ``BENCH_codec.json`` (override with ``-o``): one
 entry per benchmark with per-stage milliseconds, plus speedup ratios
@@ -276,6 +281,49 @@ def bench_kernels(repeats: int) -> dict:
     return report
 
 
+def bench_sweep(repeats: int) -> dict:
+    """Sweep-executor throughput on a fixed 4-job classical grid."""
+    import tempfile
+
+    from repro.pipeline import SweepRunner, run_many
+
+    grid = dict(
+        codecs=["classical"],
+        codec_configs=[{"qp": 8.0}, {"qp": 16.0}],
+        scenes=[
+            dict(height=32, width=48, frames=2, seed=seed) for seed in (0, 1)
+        ],
+    )
+    num_jobs = 4
+    report: dict = {"num_jobs": num_jobs}
+
+    serial_s, _ = _time(lambda: run_many(**grid), repeats)
+    report["inline"] = {"seconds": serial_s, "jobs_per_s": num_jobs / serial_s}
+
+    threads_s, result = _time(
+        lambda: SweepRunner(**grid, workers=2).run(), repeats
+    )
+    assert result.ok and len(result.reports) == num_jobs
+    report["queue_threads_x2"] = {
+        "seconds": threads_s,
+        "jobs_per_s": num_jobs / threads_s,
+        "x_vs_inline": serial_s / threads_s,
+    }
+
+    def run_dir_queue():
+        with tempfile.TemporaryDirectory() as root:
+            return SweepRunner(**grid, queue_dir=root, workers=2).run()
+
+    procs_s, result = _time(run_dir_queue, repeats)
+    assert result.ok and len(result.reports) == num_jobs
+    report["queue_processes_x2"] = {
+        "seconds": procs_s,
+        "jobs_per_s": num_jobs / procs_s,
+        "x_vs_inline": serial_s / procs_s,
+    }
+    return report
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -339,6 +387,20 @@ def main(argv=None) -> int:
         kernels = bench_kernels(repeats)
         for name, row in kernels.items():
             print(f"  {name:24s} {row['ms']:8.3f} ms")
+
+        print("== sweep executor (4-job classical grid) ==")
+        sweep = bench_sweep(repeats)
+        for backend in ("inline", "queue_threads_x2", "queue_processes_x2"):
+            row = sweep[backend]
+            extra = (
+                f"  x_vs_inline={row['x_vs_inline']:.2f}"
+                if "x_vs_inline" in row
+                else ""
+            )
+            print(
+                f"  {backend:20s} {row['seconds'] * 1e3:8.1f} ms "
+                f"{row['jobs_per_s']:6.1f} jobs/s{extra}"
+            )
     finally:
         unregister_entropy_backend("seed")
 
@@ -352,6 +414,7 @@ def main(argv=None) -> int:
         "codecs": codecs,
         "entropy": entropy,
         "kernels": kernels,
+        "sweep": sweep,
     }
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)

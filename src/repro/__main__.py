@@ -13,6 +13,11 @@ Subcommands:
 * ``decode``     — round-trip a container file (any format version)
                    back to frames, reporting rate/quality; ``--output``
                    writes the reconstruction as raw YUV 4:2:0.
+* ``sweep``      — run a (codec, qp, scene) RD grid on the work-queue
+                   backend (``--workers N`` threads, or processes with
+                   ``--queue-dir``; ``--resume`` continues an
+                   interrupted sweep from the same directory) and
+                   aggregate RD curves + BD-rate vs ``--anchor``.
 * ``hardware``   — print the NVCA performance/energy/area summary.
 
 Every subcommand accepts ``--json`` to emit the structured report
@@ -287,6 +292,122 @@ def _cmd_decode(args) -> int:
     return 0
 
 
+def _csv_rows(result) -> list[list]:
+    """Flatten a SweepResult into CSV rows (one per completed job)."""
+    from repro.metrics import scene_label
+
+    rows = [[
+        "codec", "scene", "bpp", "mean_psnr", "mean_msssim",
+        "stream_bytes", "frames", "codec_config",
+    ]]
+    for report in result.reports:
+        rows.append([
+            report.codec,
+            scene_label(report.scene),
+            report.bpp,
+            report.mean_psnr,
+            "" if report.mean_msssim is None else report.mean_msssim,
+            report.stream_bytes,
+            report.frames,
+            json.dumps(report.codec_config, sort_keys=True),
+        ])
+    return rows
+
+
+def _cmd_sweep(args) -> int:
+    import csv
+
+    from repro.pipeline import SweepRunner
+
+    codecs = [c.strip() for c in args.codecs.split(",") if c.strip()]
+    if not codecs:
+        print("repro sweep: --codecs must name at least one codec",
+              file=sys.stderr)
+        return 2
+    try:
+        qps = [float(q) for q in args.qps.split(",") if q.strip()]
+        seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+    except ValueError as exc:
+        print(f"repro sweep: bad --qps/--seeds value ({exc})", file=sys.stderr)
+        return 2
+    # One override document per operating point; grid expansion keeps
+    # only the keys each codec's config defines, so the same document
+    # drives CTVC's qstep and classical's qp.
+    configs = []
+    for qp in qps or [None]:
+        overrides = {}
+        if qp is not None:
+            overrides.update({"qstep": qp, "qp": qp})
+        if args.channels is not None:
+            overrides["channels"] = args.channels
+        if args.entropy_backend is not None:
+            overrides["entropy_backend"] = args.entropy_backend
+        configs.append(overrides)
+    scenes = [
+        {
+            "height": args.height,
+            "width": args.width,
+            "frames": args.frames,
+            "seed": seed,
+        }
+        for seed in (seeds or [0])
+    ]
+    anchor = args.anchor
+    if anchor == "auto":
+        anchor = None
+        if len(codecs) > 1:
+            anchor = "classical" if "classical" in codecs else codecs[0]
+    elif anchor == "none":
+        anchor = None
+
+    if args.resume and not args.queue_dir:
+        print("repro sweep: --resume needs --queue-dir (the durable queue "
+              "state to continue from)", file=sys.stderr)
+        return 2
+    if args.queue_dir and not args.resume:
+        leftover = [
+            name
+            for state in ("pending", "claimed", "done", "failed")
+            if os.path.isdir(os.path.join(args.queue_dir, state))
+            for name in os.listdir(os.path.join(args.queue_dir, state))
+        ]
+        if leftover:
+            print(
+                f"repro sweep: queue dir {args.queue_dir!r} already holds "
+                f"{len(leftover)} job file(s); pass --resume to continue "
+                "that sweep or point --queue-dir at an empty directory",
+                file=sys.stderr,
+            )
+            return 2
+
+    runner = SweepRunner(
+        codecs=codecs,
+        codec_configs=configs,
+        scenes=scenes,
+        compute_msssim=args.msssim,
+        queue_dir=args.queue_dir,
+        workers=args.workers,
+        lease_seconds=args.lease,
+        max_attempts=args.max_attempts,
+        metric=args.metric,
+        anchor=anchor,
+    )
+    progress = None
+    if args.progress:
+        def progress(stats):
+            print(
+                f"  pending {stats.pending}  claimed {stats.claimed}  "
+                f"done {stats.done}  failed {stats.failed}",
+                file=sys.stderr,
+            )
+    result = runner.run(progress)
+    if args.csv:
+        with open(args.csv, "w", newline="", encoding="utf-8") as handle:
+            csv.writer(handle).writerows(_csv_rows(result))
+    _emit(args, result.render(), result.to_dict())
+    return 0 if result.ok else 1
+
+
 def _cmd_hardware(args) -> int:
     from repro.pipeline import analyze_hardware
 
@@ -382,6 +503,92 @@ def main(argv=None) -> int:
     )
     dec.add_argument("--json", action="store_true", help="emit structured JSON")
     dec.set_defaults(func=_cmd_decode)
+
+    swp = sub.add_parser(
+        "sweep",
+        help="run an RD grid on the work-queue backend and aggregate curves",
+    )
+    swp.add_argument(
+        "--codecs",
+        default="classical,ctvc",
+        help="comma-separated registered codec names (default: classical,ctvc)",
+    )
+    swp.add_argument(
+        "--qps",
+        default="8,16",
+        help="comma-separated operating points; each drives the codec's "
+        "quantization knob (CTVC qstep / classical qp)",
+    )
+    swp.add_argument("--height", type=int, default=64)
+    swp.add_argument("--width", type=int, default=96)
+    swp.add_argument("--frames", type=int, default=4)
+    swp.add_argument(
+        "--seeds",
+        default="0",
+        help="comma-separated scene seeds; each seed is one scene in the grid",
+    )
+    swp.add_argument("--channels", type=int, default=None)
+    swp.add_argument(
+        "--entropy-backend",
+        default=None,
+        help="entropy coder override for codecs that take one",
+    )
+    swp.add_argument("--msssim", action="store_true", help="also compute MS-SSIM")
+    swp.add_argument(
+        "--metric",
+        choices=["psnr", "ms-ssim"],
+        default="psnr",
+        help="quality axis of the aggregated RD curves",
+    )
+    swp.add_argument(
+        "--anchor",
+        default="auto",
+        help="anchor codec for BD-rate deltas ('auto': classical when "
+        "present; 'none' to skip)",
+    )
+    swp.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker count: 0 runs serially in-process; with --queue-dir "
+        "workers are processes, otherwise threads",
+    )
+    swp.add_argument(
+        "--queue-dir",
+        default=None,
+        help="directory-backed job queue (durable state; other hosts sharing "
+        "the filesystem can attach workers; enables --resume)",
+    )
+    swp.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue an interrupted sweep from --queue-dir (finished jobs "
+        "are not re-run)",
+    )
+    swp.add_argument(
+        "--lease",
+        type=float,
+        default=120.0,
+        help="per-job lease seconds before a silent worker is presumed dead "
+        "and its job is retried",
+    )
+    swp.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="tries per job before it dead-letters into the failure report",
+    )
+    swp.add_argument(
+        "--csv", default=None, help="also write per-job rows as CSV here"
+    )
+    swp.add_argument(
+        "--progress",
+        action="store_true",
+        help="print queue progress snapshots to stderr",
+    )
+    swp.add_argument("-o", "--output", default=None, help="report file")
+    swp.add_argument("--json", action="store_true", help="emit structured JSON")
+    swp.set_defaults(func=_cmd_sweep)
 
     hw = sub.add_parser("hardware", help="NVCA model summary")
     hw.add_argument("--height", type=int, default=1080)

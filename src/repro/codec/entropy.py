@@ -40,6 +40,10 @@ Probability models:
 Rates reported anywhere in the evaluation harness come from actual
 encoded byte counts, with ``estimate_bits`` (ideal Shannon cost)
 available to cross-check coder efficiency.
+
+This registry is one of the three pluggable seams mapped in
+``docs/architecture.md``; the header field that pins a stream to its
+backend is specified in ``docs/bitstream.md``.
 """
 
 from __future__ import annotations
@@ -108,12 +112,16 @@ class SymbolModel:
 
     @property
     def num_symbols(self) -> int:
+        """Alphabet size (symbols are the integers ``0..num_symbols-1``)."""
         return int(self.freqs.size)
 
     def interval(self, symbol: int) -> tuple[int, int]:
+        """Cumulative-frequency interval ``[low, high)`` of a symbol —
+        the sub-range the arithmetic coder narrows to."""
         return int(self.cum[symbol]), int(self.cum[symbol + 1])
 
     def probabilities(self) -> np.ndarray:
+        """Normalized symbol probabilities (used by :func:`estimate_bits`)."""
         return self.freqs / self.total
 
     def rans_table(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -192,6 +200,8 @@ class ArithmeticEncoder:
         self._pending = 0
 
     def encode(self, symbol: int, model: SymbolModel) -> None:
+        """Narrow the coding interval to ``symbol``'s sub-range,
+        emitting renormalization bits as the range tightens."""
         if self._finished:
             raise RuntimeError("encoder already finished")
         lo, hi = model.interval(symbol)
@@ -256,6 +266,8 @@ class ArithmeticDecoder:
         return 0  # zero-padding past the payload is part of the scheme
 
     def decode(self, model: SymbolModel) -> int:
+        """Next symbol under ``model`` — the exact inverse of
+        :meth:`ArithmeticEncoder.encode` given the same model sequence."""
         span = self._high - self._low + 1
         scaled = ((self._value - self._low + 1) * model.total - 1) // span
         symbol = int(np.searchsorted(model.cum, scaled, side="right") - 1)

@@ -23,8 +23,9 @@ sessions — so streaming and batch are bit-identical by construction.
 
 Sessions pair with the incremental container
 (:class:`~repro.codec.bitstream.StreamWriter` /
-:class:`~repro.codec.bitstream.StreamReader`) so a long sequence
-encodes file-to-file in O(1) frame memory:
+:class:`~repro.codec.bitstream.StreamReader`; byte layout in
+``docs/bitstream.md``) so a long sequence encodes file-to-file in O(1)
+frame memory:
 
 >>> with open("clip.nvca", "wb") as out:          # doctest: +SKIP
 ...     session = codec.open_encoder()
@@ -131,6 +132,8 @@ class DecoderSession:
         self._closed = False
 
     def push(self, packet: FramePacket) -> None:
+        """Consume one packet in stream order; decoded frames surface
+        through :meth:`pull` (possibly not until later packets)."""
         raise NotImplementedError
 
     def pull(self) -> np.ndarray | None:

@@ -1,8 +1,14 @@
-"""Quality metrics and rate-distortion analysis (PSNR, MS-SSIM, BD-rate)."""
+"""Quality metrics and rate-distortion analysis (PSNR, MS-SSIM, BD-rate).
 
-from .bd import bd_quality, bd_rate
+Sweep aggregation lives here too: :func:`curves_from_reports` folds the
+encode reports of a ``run_many``/``repro sweep`` grid into per-(codec,
+scene) :class:`RDCurve` objects and :func:`bd_rate_table` scores them
+against an anchor codec — see ``docs/distributed.md``.
+"""
+
+from .bd import bd_quality, bd_rate, bd_rate_table
 from .quality import MS_SSIM_WEIGHTS, ms_ssim, mse, psnr, ssim
-from .rd import RDCurve, RDPoint
+from .rd import RDCurve, RDPoint, curves_from_reports, scene_label
 
 __all__ = [
     "MS_SSIM_WEIGHTS",
@@ -10,8 +16,11 @@ __all__ = [
     "RDPoint",
     "bd_quality",
     "bd_rate",
+    "bd_rate_table",
+    "curves_from_reports",
     "ms_ssim",
     "mse",
     "psnr",
+    "scene_label",
     "ssim",
 ]

@@ -21,7 +21,7 @@ from scipy.interpolate import PchipInterpolator
 
 from .rd import RDCurve
 
-__all__ = ["bd_rate", "bd_quality"]
+__all__ = ["bd_rate", "bd_quality", "bd_rate_table"]
 
 
 def _prepare(curve: RDCurve) -> tuple[np.ndarray, np.ndarray]:
@@ -115,3 +115,39 @@ def bd_quality(anchor: RDCurve, test: RDCurve, method: str = "cubic") -> float:
     else:
         raise ValueError(f"unknown method {method!r}")
     return float((int_t - int_a) / (hi - lo))
+
+
+def bd_rate_table(
+    curves: dict[tuple[str, str], RDCurve],
+    anchor: str,
+    method: str = "cubic",
+) -> dict[str, dict[str, float | None]]:
+    """BD-rate of every codec against ``anchor``, per scene.
+
+    ``curves`` is the ``{(codec, scene): RDCurve}`` mapping
+    :func:`repro.metrics.rd.curves_from_reports` builds from a sweep.
+    For each scene that has a curve for the anchor codec, every other
+    codec's curve is scored with :func:`bd_rate` (negative = bits saved
+    at equal quality, the paper's Table I convention).  Pairings that
+    cannot be scored — fewer than two rate points, or no quality
+    overlap with the anchor — map to ``None`` rather than aborting the
+    table, so a sweep with one degenerate cell still reports the rest.
+
+    Returns ``{scene: {codec: bd_rate_percent_or_None}}``.
+    """
+    scenes = sorted({scene for _, scene in curves})
+    table: dict[str, dict[str, float | None]] = {}
+    for scene in scenes:
+        anchor_curve = curves.get((anchor, scene))
+        if anchor_curve is None:
+            continue
+        row: dict[str, float | None] = {}
+        for (codec, curve_scene), curve in sorted(curves.items()):
+            if curve_scene != scene or codec == anchor:
+                continue
+            try:
+                row[codec] = bd_rate(anchor_curve, curve, method=method)
+            except ValueError:
+                row[codec] = None
+        table[scene] = row
+    return table

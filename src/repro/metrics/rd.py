@@ -3,16 +3,21 @@
 The paper reports results as rate-distortion (RD) curves — quality
 (PSNR dB or MS-SSIM) against rate (bits per pixel, "bpp") — and as
 Bjøntegaard deltas between curves (Table I).  This module provides the
-small value types those computations share.
+small value types those computations share, plus the aggregation
+helpers that fold a sweep's :class:`~repro.pipeline.EncodeReport`
+results into per-(codec, scene) curves (:func:`curves_from_reports`) —
+the reduction step of ``run_many``/``repro sweep`` (see
+``docs/distributed.md``).
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["RDPoint", "RDCurve"]
+__all__ = ["RDPoint", "RDCurve", "curves_from_reports", "scene_label"]
 
 
 @dataclass(frozen=True)
@@ -76,8 +81,100 @@ class RDCurve:
         q = self.qualities
         return bool(np.all(np.diff(q) >= -1e-9))
 
+    def to_dict(self) -> dict:
+        """JSON-ready view: name/metric/dataset plus ``[bpp, quality]``
+        point pairs in rate order (the sweep CLI's ``--json`` shape)."""
+        return {
+            "name": self.name,
+            "metric": self.metric,
+            "dataset": self.dataset,
+            "points": [[p.bpp, p.quality] for p in self.points],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RDCurve":
+        """Inverse of :meth:`to_dict`."""
+        curve = cls(
+            name=data["name"],
+            metric=data.get("metric", "psnr"),
+            dataset=data.get("dataset", ""),
+        )
+        for bpp, quality in data.get("points", []):
+            curve.add(float(bpp), float(quality))
+        return curve
+
     def __len__(self) -> int:
         return len(self.points)
 
     def __iter__(self):
         return iter(self.points)
+
+
+def scene_label(scene: dict) -> str:
+    """Short human label for a scene dict: geometry plus, when the key
+    is present, the seed (``"48x64x2"``, ``"48x64x2/s0"``).  Seed 0 is
+    labelled like any other so ``--seeds 0,1`` sweeps read uniformly.
+    Purely cosmetic — grouping in :func:`curves_from_reports` uses the
+    full canonical scene JSON, so two scenes differing only in e.g.
+    texture still aggregate apart.
+    """
+    label = (
+        f"{scene.get('height', '?')}x{scene.get('width', '?')}"
+        f"x{scene.get('frames', '?')}"
+    )
+    if scene.get("seed") is not None:
+        label += f"/s{scene['seed']}"
+    return label
+
+
+def curves_from_reports(
+    reports, *, metric: str = "psnr"
+) -> dict[tuple[str, str], "RDCurve"]:
+    """Fold encode reports into RD curves, one per (codec, scene).
+
+    ``reports`` is any iterable of :class:`~repro.pipeline.EncodeReport`
+    objects or their ``to_dict()`` documents (the two shapes a sweep
+    produces, depending on which side of the queue you are on).  Reports
+    are grouped by codec name and canonical scene JSON — every config
+    variation (qp/qstep sweep) of the same (codec, scene) lands on one
+    curve, sorted by rate, which is exactly the input
+    :func:`repro.metrics.bd.bd_rate` expects.
+
+    Returns ``{(codec, scene_label): RDCurve}``.  When two distinct
+    scenes share a cosmetic label the later one gets a ``#2`` suffix so
+    keys stay unique.  Reports lacking the requested metric (e.g.
+    ``metric="ms-ssim"`` on a run without ``compute_msssim``) raise a
+    clear ``ValueError`` instead of silently thinning the curve.
+    """
+    if metric not in ("psnr", "ms-ssim"):
+        raise ValueError(f"unknown metric {metric!r}; use 'psnr' or 'ms-ssim'")
+    curves: dict[tuple[str, str], RDCurve] = {}
+    groups: dict[tuple[str, str], tuple[str, str]] = {}
+    for report in reports:
+        data = report if isinstance(report, dict) else report.to_dict()
+        codec = data["codec"]
+        scene = data.get("scene") or {}
+        if metric == "psnr":
+            quality = data.get("mean_psnr")
+        else:
+            quality = data.get("mean_msssim")
+        if quality is None:
+            raise ValueError(
+                f"report for codec {codec!r} has no {metric} value; "
+                "run the sweep with compute_msssim=True for MS-SSIM curves"
+            )
+        group = (codec, json.dumps(scene, sort_keys=True))
+        if group not in groups:
+            label = scene_label(scene)
+            taken = {k for k in groups.values()}
+            suffix = 2
+            key = (codec, label)
+            while key in taken:
+                key = (codec, f"{label}#{suffix}")
+                suffix += 1
+            groups[group] = key
+            curves[key] = RDCurve(
+                name=f"{codec}@{key[1]}", metric=metric, dataset=key[1]
+            )
+        curves[groups[group]].add(float(data["bpp"]), float(quality))
+    return curves

@@ -12,7 +12,16 @@ Three layers, designed to be scripted, queued, and sharded:
   bitstream round-trip → metrics → optional NVCA hardware analysis
   into one ``run()`` returning typed :class:`EncodeReport` /
   :class:`HardwareReport`; :func:`run_many` sweeps (codec, config,
-  scene) grids, optionally on a process pool.
+  scene) grids inline, on a process pool, or — via
+  ``backend="queue"`` — on the work-queue execution layer.
+* **dist** — sharded sweep execution (:mod:`repro.pipeline.dist`):
+  a claim/lease/ack :class:`~repro.pipeline.dist.JobQueue` (in-memory
+  or directory-backed, so workers can live in other processes or on
+  other hosts sharing a filesystem), the worker loop, and
+  :class:`~repro.pipeline.dist.SweepRunner`, which tolerates worker
+  death mid-job and aggregates results into
+  :class:`~repro.metrics.RDCurve` objects with BD-rate deltas.
+  Surfaced on the CLI as ``repro sweep``; see ``docs/distributed.md``.
 
 Codecs stream: the :class:`VideoCodec` protocol includes
 ``open_encoder()``/``open_decoder()`` frame-at-a-time sessions
@@ -33,7 +42,14 @@ header so decode always follows the stream, not the local config.
 from repro.codec import available_entropy_backends
 
 from .configs import CONFIG_TYPES, ConfigError, load_config
-from .facade import EncodeSession, Pipeline, analyze_hardware, run_many
+from .facade import (
+    EncodeSession,
+    Pipeline,
+    analyze_hardware,
+    build_jobs,
+    run_many,
+)
+from .dist import SweepResult, SweepRunner
 from .registry import (
     CodecRegistryError,
     CodecSpec,
@@ -55,10 +71,13 @@ __all__ = [
     "EncodeSession",
     "HardwareReport",
     "Pipeline",
+    "SweepResult",
+    "SweepRunner",
     "VideoCodec",
     "analyze_hardware",
     "available_codecs",
     "available_entropy_backends",
+    "build_jobs",
     "codec_spec",
     "create_codec",
     "load_config",

@@ -13,7 +13,9 @@ validation errors that name the offending field.  Both codec configs
 carry an ``entropy_backend`` field (``"rans"``/``"cacm"``, validated
 against the entropy-backend registry at construction), so a sweep
 document can pit entropy coders against each other like any other
-knob.
+knob.  These config documents are what travels inside the job specs
+of distributed sweeps (``docs/distributed.md``) and inside version-3
+stream headers (``docs/bitstream.md``).
 """
 
 from __future__ import annotations

@@ -1,0 +1,42 @@
+"""``repro.pipeline.dist`` — sharded sweep execution over work queues.
+
+PR 1 made every :class:`~repro.pipeline.Pipeline` job a JSON document
+precisely so grids could one day shard beyond a process pool; this
+package is that seam made real.  Three layers, bottom up:
+
+* :mod:`~repro.pipeline.dist.queues` — the :class:`JobQueue`
+  claim/lease/ack protocol with an in-memory implementation
+  (:class:`MemoryJobQueue`, thread workers) and a directory-backed one
+  (:class:`DirectoryJobQueue`, atomic-rename claims; any number of
+  worker processes, on one host or across hosts sharing a filesystem).
+* :mod:`~repro.pipeline.dist.worker` — the worker loop
+  (:func:`run_worker`) and the process/remote-host entry point
+  (:func:`worker_entry`): claim spec, ``Pipeline.from_dict(...).run()``,
+  ack report; failures are retried by whoever claims next.
+* :mod:`~repro.pipeline.dist.sweep` — :class:`SweepRunner`: submit a
+  grid, babysit the fleet (lease reaping, crash respawns), and
+  aggregate completed reports into per-(codec, scene)
+  :class:`~repro.metrics.RDCurve` objects with BD-rate deltas.
+
+Front doors: ``run_many(backend="queue", ...)`` and the ``repro
+sweep`` CLI subcommand.  Protocol semantics and the job-spec schema
+are documented in ``docs/distributed.md``.
+"""
+
+from .queues import DirectoryJobQueue, Job, JobQueue, MemoryJobQueue, QueueStats
+from .sweep import SweepResult, SweepRunner, job_id_for_spec
+from .worker import default_worker_id, run_worker, worker_entry
+
+__all__ = [
+    "DirectoryJobQueue",
+    "Job",
+    "JobQueue",
+    "MemoryJobQueue",
+    "QueueStats",
+    "SweepResult",
+    "SweepRunner",
+    "default_worker_id",
+    "job_id_for_spec",
+    "run_worker",
+    "worker_entry",
+]

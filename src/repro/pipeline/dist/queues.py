@@ -1,0 +1,450 @@
+"""Work queues for sharded sweeps: claim / lease / ack with retry.
+
+A queue holds *job specs* — the JSON documents
+:meth:`repro.pipeline.Pipeline.to_dict` produces — and hands them to
+workers under a **lease**: a claim expires after ``lease_seconds``
+unless the worker acks a result first, so a worker that dies mid-job
+(OOM kill, node loss, ctrl-C) never strands work.  The next
+:meth:`~JobQueue.reap_expired` call returns the job to the pending set
+with its attempt counter bumped; a job that keeps failing moves to the
+dead-letter set after ``max_attempts`` tries instead of looping
+forever.  The full protocol semantics (state diagram, at-least-once
+caveats) are specified in ``docs/distributed.md``.
+
+Two implementations share the :class:`JobQueue` protocol:
+
+* :class:`MemoryJobQueue` — a ``threading.Lock``-guarded in-process
+  queue.  Workers are threads; this is what serial execution and the
+  fast tests use.
+* :class:`DirectoryJobQueue` — a filesystem-backed queue: every job is
+  one JSON file that moves between ``pending/``, ``claimed/``,
+  ``done/`` and ``failed/`` subdirectories via atomic ``os.rename``.
+  Claiming *is* the rename, so any number of worker processes — on one
+  host or on many hosts sharing a filesystem — can pop from the same
+  directory without locks, and the queue state survives restarts
+  (which is what ``repro sweep --resume`` relies on).
+
+Job identity is caller-chosen (the sweep runner derives ids from the
+spec content, making resubmission idempotent).  Lease deadlines and
+attempt counters ride in the *filename* of a claimed job, so every
+state transition is a single atomic rename with no read-modify-write
+window.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+import time
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+__all__ = [
+    "DirectoryJobQueue",
+    "Job",
+    "JobQueue",
+    "MemoryJobQueue",
+    "QueueStats",
+]
+
+#: characters allowed in job and worker ids (they become file names).
+_SAFE = re.compile(r"[^A-Za-z0-9._-]+")
+#: field separator inside queue file names; sanitization above
+#: guarantees it cannot appear in a job or worker id.
+_SEP = "~~"
+
+
+def _sanitize(name: str) -> str:
+    return _SAFE.sub("-", str(name)) or "anon"
+
+
+@dataclass(frozen=True)
+class Job:
+    """One claimed unit of work: the spec plus its queue bookkeeping."""
+
+    job_id: str
+    spec: dict
+    #: how many times this job has been claimed before (0 first try).
+    attempts: int = 0
+
+
+@dataclass(frozen=True)
+class QueueStats:
+    """Point-in-time queue census (one entry per job, states disjoint)."""
+
+    pending: int
+    claimed: int
+    done: int
+    failed: int
+
+    @property
+    def total(self) -> int:
+        return self.pending + self.claimed + self.done + self.failed
+
+    @property
+    def finished(self) -> int:
+        """Jobs in a terminal state (completed or dead-lettered)."""
+        return self.done + self.failed
+
+
+@runtime_checkable
+class JobQueue(Protocol):
+    """What the worker loop and the sweep runner require of a queue.
+
+    Semantics (both implementations):
+
+    * ``submit`` is idempotent per ``job_id`` — resubmitting an id that
+      is already pending, claimed, done, or failed is a no-op returning
+      the id, so a resumed sweep can replay its whole grid.
+    * ``claim`` transfers one pending job to the caller under a lease;
+      ``None`` means nothing is pending right now (work may still be
+      claimed by others — check :meth:`stats`).
+    * ``ack`` finishes a claimed job with its result document.
+    * ``fail`` records an error; the job returns to pending until it
+      has been attempted ``max_attempts`` times, then dead-letters.
+    * ``reap_expired`` requeues every claimed job whose lease deadline
+      passed (the crashed-worker recovery path).
+    """
+
+    def submit(self, spec: dict, *, job_id: str) -> str: ...
+
+    def claim(self, worker_id: str, *, lease_seconds: float) -> Job | None: ...
+
+    def ack(self, job_id: str, result: dict) -> None: ...
+
+    def fail(self, job_id: str, error: str) -> None: ...
+
+    def reap_expired(self) -> list[str]: ...
+
+    def stats(self) -> QueueStats: ...
+
+    def finished_ids(self) -> set[str]: ...
+
+    def results(self) -> dict[str, dict]: ...
+
+    def failures(self) -> dict[str, str]: ...
+
+
+class MemoryJobQueue:
+    """In-process :class:`JobQueue`: a lock, four dicts, no I/O.
+
+    Workers against this queue are necessarily threads of the
+    submitting process; the codec hot loops live in NumPy, so thread
+    workers still overlap usefully.  Used by ``repro sweep --workers N``
+    when no ``--queue-dir`` is given, and by the fast tests.
+    """
+
+    def __init__(self, *, max_attempts: int = 3):
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.max_attempts = max_attempts
+        self._lock = threading.Lock()
+        self._specs: dict[str, dict] = {}
+        self._attempts: dict[str, int] = {}
+        self._pending: list[str] = []
+        #: job_id -> (worker_id, monotonic deadline)
+        self._claimed: dict[str, tuple[str, float]] = {}
+        self._done: dict[str, dict] = {}
+        self._failed: dict[str, str] = {}
+
+    def submit(self, spec: dict, *, job_id: str) -> str:
+        job_id = _sanitize(job_id)
+        with self._lock:
+            if job_id not in self._specs:
+                self._specs[job_id] = dict(spec)
+                self._attempts[job_id] = 0
+                self._pending.append(job_id)
+        return job_id
+
+    def claim(self, worker_id: str, *, lease_seconds: float) -> Job | None:
+        with self._lock:
+            if not self._pending:
+                return None
+            job_id = self._pending.pop(0)
+            self._claimed[job_id] = (
+                _sanitize(worker_id),
+                time.monotonic() + lease_seconds,
+            )
+            return Job(job_id, dict(self._specs[job_id]), self._attempts[job_id])
+
+    def ack(self, job_id: str, result: dict) -> None:
+        with self._lock:
+            self._claimed.pop(job_id, None)
+            self._done[job_id] = result
+
+    def fail(self, job_id: str, error: str) -> None:
+        with self._lock:
+            self._claimed.pop(job_id, None)
+            if job_id in self._done:
+                return
+            self._attempts[job_id] = self._attempts.get(job_id, 0) + 1
+            if self._attempts[job_id] >= self.max_attempts:
+                self._failed[job_id] = error
+            else:
+                self._pending.append(job_id)
+
+    def reap_expired(self) -> list[str]:
+        now = time.monotonic()
+        reaped = []
+        with self._lock:
+            for job_id, (worker, deadline) in list(self._claimed.items()):
+                if deadline > now:
+                    continue
+                del self._claimed[job_id]
+                self._attempts[job_id] = self._attempts.get(job_id, 0) + 1
+                if self._attempts[job_id] >= self.max_attempts:
+                    self._failed[job_id] = (
+                        f"lease expired {self._attempts[job_id]} times "
+                        f"(last worker: {worker})"
+                    )
+                else:
+                    self._pending.append(job_id)
+                reaped.append(job_id)
+        return reaped
+
+    def stats(self) -> QueueStats:
+        with self._lock:
+            return QueueStats(
+                pending=len(self._pending),
+                claimed=len(self._claimed),
+                done=len(self._done),
+                failed=len(self._failed),
+            )
+
+    def finished_ids(self) -> set[str]:
+        """Ids in a terminal state — cheap to poll, no payload access."""
+        with self._lock:
+            return set(self._done) | set(self._failed)
+
+    def results(self) -> dict[str, dict]:
+        with self._lock:
+            return dict(self._done)
+
+    def failures(self) -> dict[str, str]:
+        with self._lock:
+            return dict(self._failed)
+
+
+class DirectoryJobQueue:
+    """Filesystem-backed :class:`JobQueue` for cross-process workers.
+
+    Layout under ``root``::
+
+        pending/{id}~~{attempts}.json            the job spec
+        claimed/{id}~~{attempts}~~{deadline_ms}~~{worker}.json
+        done/{id}.json                           the result document
+        failed/{id}.json                         {"error": ..., "spec": ...}
+
+    Every transition is one atomic ``os.rename`` (claim, requeue) or a
+    write-then-unlink (ack, fail), so concurrent workers — including
+    workers on other hosts sharing the filesystem — cannot double-run a
+    job: whichever rename wins owns the claim, the loser gets
+    ``FileNotFoundError`` and moves on.  Lease deadlines are wall-clock
+    epoch milliseconds in the claimed filename; hosts sharing a queue
+    directory should have loosely synchronized clocks (skew merely
+    shortens or stretches leases).
+
+    The directory is durable state: a sweep interrupted and restarted
+    with the same root resumes from ``done/`` instead of re-encoding
+    (``repro sweep --resume``).
+    """
+
+    _STATES = ("pending", "claimed", "done", "failed")
+
+    def __init__(self, root: str | os.PathLike, *, max_attempts: int = 3):
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.root = os.fspath(root)
+        self.max_attempts = max_attempts
+        for state in self._STATES:
+            os.makedirs(os.path.join(self.root, state), exist_ok=True)
+
+    # -- path helpers -------------------------------------------------
+    def _dir(self, state: str) -> str:
+        return os.path.join(self.root, state)
+
+    def _pending_path(self, job_id: str, attempts: int) -> str:
+        return os.path.join(
+            self._dir("pending"), f"{job_id}{_SEP}{attempts}.json"
+        )
+
+    def _terminal_path(self, state: str, job_id: str) -> str:
+        return os.path.join(self._dir(state), f"{job_id}.json")
+
+    @staticmethod
+    def _parse_name(name: str) -> list[str]:
+        return name[: -len(".json")].split(_SEP)
+
+    def _find_job(self, state: str, job_id: str) -> str | None:
+        prefix = f"{job_id}{_SEP}"
+        for name in os.listdir(self._dir(state)):
+            if name.startswith(prefix):
+                return name
+        return None
+
+    @staticmethod
+    def _write_json(path: str, payload: dict) -> None:
+        # Write-then-rename so a concurrently listing worker never sees
+        # a half-written JSON document.
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)
+        os.replace(tmp, path)
+
+    # -- protocol -----------------------------------------------------
+    def submit(self, spec: dict, *, job_id: str) -> str:
+        job_id = _sanitize(job_id)
+        if not self._known(job_id):
+            self._write_json(self._pending_path(job_id, 0), dict(spec))
+        return job_id
+
+    def _known(self, job_id: str) -> bool:
+        for state in ("done", "failed"):
+            if os.path.exists(self._terminal_path(state, job_id)):
+                return True
+        return any(
+            self._find_job(state, job_id) for state in ("pending", "claimed")
+        )
+
+    def claim(self, worker_id: str, *, lease_seconds: float) -> Job | None:
+        worker_id = _sanitize(worker_id)
+        for name in sorted(os.listdir(self._dir("pending"))):
+            if not name.endswith(".json") or ".tmp." in name:
+                continue
+            job_id, attempts = self._parse_name(name)
+            deadline_ms = int((time.time() + lease_seconds) * 1000)
+            target = os.path.join(
+                self._dir("claimed"),
+                f"{job_id}{_SEP}{attempts}{_SEP}{deadline_ms}{_SEP}"
+                f"{worker_id}.json",
+            )
+            try:
+                os.rename(os.path.join(self._dir("pending"), name), target)
+            except FileNotFoundError:
+                continue  # lost the race; try the next pending job
+            with open(target, "r", encoding="utf-8") as handle:
+                spec = json.load(handle)
+            return Job(job_id, spec, int(attempts))
+        return None
+
+    def ack(self, job_id: str, result: dict) -> None:
+        self._write_json(self._terminal_path("done", job_id), result)
+        claimed = self._find_job("claimed", job_id)
+        if claimed:
+            try:
+                os.unlink(os.path.join(self._dir("claimed"), claimed))
+            except FileNotFoundError:
+                pass
+
+    def fail(self, job_id: str, error: str) -> None:
+        claimed = self._find_job("claimed", job_id)
+        if claimed is None or os.path.exists(
+            self._terminal_path("done", job_id)
+        ):
+            return
+        path = os.path.join(self._dir("claimed"), claimed)
+        _, attempts, _, _ = self._parse_name(claimed)
+        attempts = int(attempts) + 1
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                spec = json.load(handle)
+        except FileNotFoundError:
+            return  # someone else already moved it
+        if attempts >= self.max_attempts:
+            self._write_json(
+                self._terminal_path("failed", job_id),
+                {"error": error, "attempts": attempts, "spec": spec},
+            )
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                pass
+        else:
+            try:
+                os.rename(path, self._pending_path(job_id, attempts))
+            except FileNotFoundError:
+                pass
+
+    def reap_expired(self) -> list[str]:
+        now_ms = int(time.time() * 1000)
+        reaped = []
+        for name in os.listdir(self._dir("claimed")):
+            if not name.endswith(".json") or ".tmp." in name:
+                continue
+            job_id, attempts, deadline_ms, worker = self._parse_name(name)
+            if int(deadline_ms) > now_ms:
+                continue
+            path = os.path.join(self._dir("claimed"), name)
+            attempts = int(attempts) + 1
+            if attempts >= self.max_attempts:
+                try:
+                    with open(path, "r", encoding="utf-8") as handle:
+                        spec = json.load(handle)
+                    self._write_json(
+                        self._terminal_path("failed", job_id),
+                        {
+                            "error": (
+                                f"lease expired {attempts} times "
+                                f"(last worker: {worker})"
+                            ),
+                            "attempts": attempts,
+                            "spec": spec,
+                        },
+                    )
+                    os.unlink(path)
+                except FileNotFoundError:
+                    continue
+            else:
+                try:
+                    os.rename(path, self._pending_path(job_id, attempts))
+                except FileNotFoundError:
+                    continue  # claimer acked or another reaper won
+            reaped.append(job_id)
+        return reaped
+
+    def _count(self, state: str) -> int:
+        return sum(
+            1
+            for name in os.listdir(self._dir(state))
+            if name.endswith(".json") and ".tmp." not in name
+        )
+
+    def stats(self) -> QueueStats:
+        return QueueStats(
+            pending=self._count("pending"),
+            claimed=self._count("claimed"),
+            done=self._count("done"),
+            failed=self._count("failed"),
+        )
+
+    def finished_ids(self) -> set[str]:
+        """Ids in a terminal state, from filenames alone — the cheap
+        thing to poll (no JSON parsing; result payloads load once via
+        :meth:`results` when the sweep completes)."""
+        out: set[str] = set()
+        for state in ("done", "failed"):
+            for name in os.listdir(self._dir(state)):
+                if name.endswith(".json") and ".tmp." not in name:
+                    out.add(name[: -len(".json")])
+        return out
+
+    def _load_terminal(self, state: str) -> dict[str, dict]:
+        out = {}
+        directory = self._dir(state)
+        for name in os.listdir(directory):
+            if not name.endswith(".json") or ".tmp." in name:
+                continue
+            with open(os.path.join(directory, name), encoding="utf-8") as fh:
+                out[name[: -len(".json")]] = json.load(fh)
+        return out
+
+    def results(self) -> dict[str, dict]:
+        return self._load_terminal("done")
+
+    def failures(self) -> dict[str, str]:
+        return {
+            job_id: record.get("error", "unknown error")
+            for job_id, record in self._load_terminal("failed").items()
+        }

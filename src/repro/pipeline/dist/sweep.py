@@ -1,0 +1,341 @@
+"""Sweep orchestration: submit a grid, babysit workers, aggregate RD.
+
+:class:`SweepRunner` is the driver behind ``run_many(backend="queue")``
+and ``repro sweep``: it expands a (codec, config, scene) grid into job
+specs with content-derived ids, submits them to a
+:class:`~repro.pipeline.dist.queues.JobQueue`, runs a worker fleet
+(inline, threads, or processes — chosen by the queue type and
+``workers``), requeues expired leases while it waits, and folds the
+surviving reports into :class:`~repro.metrics.RDCurve` objects per
+(codec, scene) with BD-rate deltas against an anchor codec.
+
+Determinism: job results depend only on their specs, never on which
+worker ran them or in what order, so a sweep's aggregated
+:class:`SweepResult` — reports in submission order, curves, BD-rate
+table — is byte-identical between ``workers=0`` (serial) and any
+worker count.  The CI distributed smoke step pins exactly that.
+
+Failure tolerance: a worker that dies mid-job loses its lease and the
+job is retried elsewhere (``max_attempts`` total tries); a job whose
+spec itself is broken dead-letters with its traceback into
+``SweepResult.failures`` instead of sinking the sweep.  Dead worker
+*processes* are respawned while work remains.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.metrics import RDCurve, bd_rate_table, curves_from_reports
+
+from .queues import DirectoryJobQueue, JobQueue, MemoryJobQueue, QueueStats
+from .worker import run_worker, worker_entry
+
+__all__ = ["SweepResult", "SweepRunner", "job_id_for_spec"]
+
+#: hard cap on crashed-worker replacements, so a fleet whose workers
+#: die on arrival (bad interpreter, OOM box) fails instead of flapping.
+_MAX_RESPAWNS = 16
+
+
+def job_id_for_spec(index: int, spec: dict) -> str:
+    """Deterministic job id: submission index + content digest.
+
+    The digest makes resubmission idempotent (``--resume`` replays the
+    grid and the queue skips ids it already finished); the zero-padded
+    index keeps duplicate specs distinct and makes lexicographic id
+    order equal submission order, which is how results are re-ordered
+    after out-of-order completion.
+    """
+    canonical = json.dumps(spec, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:10]
+    return f"{index:05d}-{digest}"
+
+
+@dataclass
+class SweepResult:
+    """Aggregated outcome of one sweep.
+
+    ``reports`` hold the completed jobs in submission order (failures
+    are absent — see ``failures``); ``curves`` and ``bd_rate`` are the
+    RD aggregation over those reports, keyed as
+    :func:`repro.metrics.curves_from_reports` and
+    :func:`repro.metrics.bd_rate_table` document.
+    """
+
+    job_ids: list[str]
+    reports: list  # list[EncodeReport]
+    failures: dict[str, str]
+    curves: dict[tuple[str, str], RDCurve]
+    bd_rate: dict[str, dict[str, float | None]] | None
+    anchor: str | None
+    metric: str
+    elapsed_seconds: float
+    workers: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> dict:
+        """JSON document (the ``repro sweep --json`` payload).
+
+        ``curves`` and ``bd_rate`` depend only on the job specs, so
+        they compare byte-identically across worker counts; ``reports``
+        carry per-run timings and do not.
+        """
+        return {
+            "jobs": len(self.job_ids),
+            "completed": len(self.reports),
+            "failed": dict(self.failures),
+            "workers": self.workers,
+            "elapsed_seconds": self.elapsed_seconds,
+            "metric": self.metric,
+            "anchor": self.anchor,
+            "reports": [report.to_dict() for report in self.reports],
+            "curves": [
+                {"codec": codec, "scene": scene, **curve.to_dict()}
+                for (codec, scene), curve in sorted(self.curves.items())
+            ],
+            "bd_rate": self.bd_rate,
+        }
+
+    def render(self) -> str:
+        """Human summary: per-job table, curves, BD-rate deltas."""
+        lines = [
+            f"sweep: {len(self.job_ids)} jobs, {len(self.reports)} completed, "
+            f"{len(self.failures)} failed in {self.elapsed_seconds:.1f}s "
+            f"({self.workers} workers)"
+        ]
+        for report in self.reports:
+            from repro.metrics import scene_label
+
+            lines.append(
+                f"  {report.codec:10s} {scene_label(report.scene):14s} "
+                f"{report.bpp:7.3f} bpp  {report.mean_psnr:6.2f} dB"
+            )
+        if self.curves:
+            lines.append(f"RD curves ({self.metric}):")
+            for (codec, scene), curve in sorted(self.curves.items()):
+                first, last = curve.points[0], curve.points[-1]
+                lines.append(
+                    f"  {curve.name}: {first.bpp:.3f} bpp/{first.quality:.2f}"
+                    f" -> {last.bpp:.3f} bpp/{last.quality:.2f}"
+                    f" ({len(curve)} points)"
+                )
+        if self.bd_rate:
+            lines.append(f"BD-rate vs {self.anchor} (negative = bits saved):")
+            for scene, row in sorted(self.bd_rate.items()):
+                cells = ", ".join(
+                    f"{codec} {value:+.2f}%" if value is not None
+                    else f"{codec} n/a"
+                    for codec, value in sorted(row.items())
+                )
+                lines.append(f"  {scene}: {cells}")
+        for job_id, error in sorted(self.failures.items()):
+            lines.append(f"  FAILED {job_id}: {error.strip().splitlines()[-1]}")
+        return "\n".join(lines)
+
+
+class SweepRunner:
+    """Submit a grid of encode jobs to a queue and run it to completion.
+
+    Job sources (same two styles as :func:`repro.pipeline.run_many`):
+    explicit ``jobs`` (``Pipeline`` objects or spec dicts), or a
+    ``codecs``/``codec_configs``/``scenes`` grid.
+
+    Execution backend, chosen by ``queue``/``queue_dir``/``workers``:
+
+    * ``workers=0`` — serial: this process drains the queue inline
+      (deterministic scheduling; the parity baseline).
+    * ``MemoryJobQueue`` (default) — ``workers`` threads of this
+      process.
+    * ``DirectoryJobQueue`` (pass ``queue_dir`` or a queue instance) —
+      ``workers`` local child processes; additional processes on other
+      hosts may attach to the same directory with
+      :func:`~repro.pipeline.dist.worker.worker_entry` and the runner
+      simply sees jobs complete faster.
+
+    ``lease_seconds`` must comfortably exceed the slowest single job:
+    an expired lease is treated as a dead worker and the job re-runs
+    (at-least-once semantics; results are idempotent because jobs are
+    pure functions of their spec).
+    """
+
+    def __init__(
+        self,
+        jobs=None,
+        *,
+        codecs=None,
+        codec_configs=None,
+        scenes=None,
+        compute_msssim: bool = False,
+        queue: JobQueue | None = None,
+        queue_dir: str | os.PathLike | None = None,
+        workers: int = 2,
+        lease_seconds: float = 120.0,
+        max_attempts: int = 3,
+        metric: str = "psnr",
+        anchor: str | None = None,
+    ):
+        from repro.pipeline.facade import build_jobs
+
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        if queue is not None and queue_dir is not None:
+            raise ValueError("pass queue or queue_dir, not both")
+        self.specs = build_jobs(
+            jobs,
+            codecs=codecs,
+            codec_configs=codec_configs,
+            scenes=scenes,
+            compute_msssim=compute_msssim,
+        )
+        if queue is None:
+            queue = (
+                DirectoryJobQueue(queue_dir, max_attempts=max_attempts)
+                if queue_dir is not None
+                else MemoryJobQueue(max_attempts=max_attempts)
+            )
+        self.queue = queue
+        self.workers = workers
+        self.lease_seconds = lease_seconds
+        self.metric = metric
+        self.anchor = anchor
+        self.job_ids: list[str] = []
+
+    def submit(self) -> list[str]:
+        """Submit every spec (idempotent: ids derive from content, so a
+        resumed sweep re-submits and the queue keeps finished work)."""
+        self.job_ids = [
+            self.queue.submit(spec, job_id=job_id_for_spec(index, spec))
+            for index, spec in enumerate(self.specs)
+        ]
+        return self.job_ids
+
+    # -- worker fleet -------------------------------------------------
+    def _spawn_process(self, index: int):
+        assert isinstance(self.queue, DirectoryJobQueue)
+        process = multiprocessing.Process(
+            target=worker_entry,
+            args=(self.queue.root,),
+            kwargs={
+                "worker_id": f"sweep-w{index}-{os.getpid()}",
+                "max_attempts": self.queue.max_attempts,
+                "lease_seconds": self.lease_seconds,
+            },
+            daemon=True,
+        )
+        process.start()
+        return process
+
+    def _spawn_thread(self, index: int):
+        thread = threading.Thread(
+            target=run_worker,
+            args=(self.queue, f"sweep-t{index}"),
+            kwargs={"lease_seconds": self.lease_seconds},
+            daemon=True,
+        )
+        thread.start()
+        return thread
+
+    def _load_finished(self) -> tuple[dict[str, dict], dict[str, str]]:
+        """Terminal payloads for this sweep's jobs (one-time full read;
+        the polling loop watches the cheap ``finished_ids`` instead)."""
+        wanted = set(self.job_ids)
+        results = {
+            k: v for k, v in self.queue.results().items() if k in wanted
+        }
+        failures = {
+            k: v for k, v in self.queue.failures().items() if k in wanted
+        }
+        return results, failures
+
+    def run(self, progress=None, *, poll_seconds: float = 0.05) -> SweepResult:
+        """Run the sweep to completion and aggregate.
+
+        ``progress(stats)`` fires with a
+        :class:`~repro.pipeline.dist.queues.QueueStats` snapshot each
+        poll.  Returns a :class:`SweepResult`; job failures land in
+        ``result.failures`` rather than raising, so partial sweeps
+        still aggregate what completed.
+        """
+        if not self.job_ids:
+            self.submit()
+        start = time.monotonic()
+        use_processes = isinstance(self.queue, DirectoryJobQueue)
+        fleet: list = []
+        spawned = 0
+        if self.workers == 0:
+            run_worker(self.queue, "sweep-serial",
+                       lease_seconds=self.lease_seconds)
+        else:
+            spawn = self._spawn_process if use_processes else self._spawn_thread
+            fleet = [spawn(i) for i in range(self.workers)]
+            spawned = self.workers
+        wanted = set(self.job_ids)
+        try:
+            while True:
+                self.queue.reap_expired()
+                if progress is not None:
+                    progress(self.queue.stats())
+                if wanted <= self.queue.finished_ids():
+                    break
+                if use_processes and self.workers > 0:
+                    stats = self.queue.stats()
+                    for i, proc in enumerate(fleet):
+                        if proc.is_alive():
+                            continue
+                        proc.join()
+                        if (
+                            stats.pending + stats.claimed > 0
+                            and spawned < self.workers + _MAX_RESPAWNS
+                        ):
+                            fleet[i] = self._spawn_process(spawned)
+                            spawned += 1
+                time.sleep(poll_seconds)
+        finally:
+            for worker in fleet:
+                worker.join(timeout=max(self.lease_seconds, 10.0))
+        elapsed = time.monotonic() - start
+        results, failures = self._load_finished()
+        return self._aggregate(results, failures, elapsed)
+
+    def _aggregate(
+        self, results: dict[str, dict], failures: dict[str, str], elapsed: float
+    ) -> SweepResult:
+        from repro.pipeline.reports import EncodeReport
+
+        # submission order == lexicographic id order (index prefix)
+        reports = [
+            EncodeReport.from_dict(results[job_id])
+            for job_id in sorted(set(self.job_ids))
+            if job_id in results
+        ]
+        curves = curves_from_reports(reports, metric=self.metric)
+        table = None
+        if self.anchor is not None:
+            if all(codec != self.anchor for codec, _ in curves):
+                raise ValueError(
+                    f"anchor codec {self.anchor!r} produced no curve in "
+                    f"this sweep; curves: "
+                    f"{', '.join(sorted(c for c, _ in curves))}"
+                )
+            table = bd_rate_table(curves, self.anchor)
+        return SweepResult(
+            job_ids=list(self.job_ids),
+            reports=reports,
+            failures=failures,
+            curves=curves,
+            bd_rate=table,
+            anchor=self.anchor,
+            metric=self.metric,
+            elapsed_seconds=elapsed,
+            workers=self.workers,
+        )

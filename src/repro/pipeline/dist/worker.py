@@ -1,0 +1,118 @@
+"""The sweep worker loop: pop job specs, run pipelines, ack results.
+
+A worker is deliberately dumb: it claims one job at a time from a
+:class:`~repro.pipeline.dist.queues.JobQueue`, rehydrates the spec with
+:meth:`repro.pipeline.Pipeline.from_dict`, runs it, and acks the
+``to_dict()`` report.  All coordination — retries, lease recovery,
+result aggregation — lives in the queue and the
+:class:`~repro.pipeline.dist.sweep.SweepRunner`, so the same loop body
+serves every deployment shape: inline (serial execution), threads over
+a :class:`~repro.pipeline.dist.queues.MemoryJobQueue`, local processes
+over a :class:`~repro.pipeline.dist.queues.DirectoryJobQueue`, or
+processes on other hosts pointed at a shared queue directory (run
+:func:`worker_entry` there).
+
+A job that raises is ``fail()``-ed with its traceback and will be
+retried by whoever claims it next, up to the queue's ``max_attempts``;
+the worker itself keeps going.  Workers exit when the queue is fully
+drained (nothing pending *and* nothing claimed), so a straggler's
+death can still be recovered by the remaining workers rather than
+orphaning its lease.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+import traceback
+
+from .queues import DirectoryJobQueue, Job, JobQueue
+
+__all__ = ["default_worker_id", "run_worker", "worker_entry"]
+
+
+def default_worker_id() -> str:
+    """``host-pid`` — unique enough to attribute leases in a shared
+    queue directory."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+def execute_job(job: Job) -> dict:
+    """Run one job spec to its report document (the worker's unit of
+    work; import deferred so queue modules stay import-light)."""
+    from repro.pipeline import Pipeline
+
+    return Pipeline.from_dict(job.spec).run().to_dict()
+
+
+def run_worker(
+    queue: JobQueue,
+    worker_id: str | None = None,
+    *,
+    lease_seconds: float = 60.0,
+    poll_seconds: float = 0.05,
+    max_jobs: int | None = None,
+    stop_when_drained: bool = True,
+    execute=execute_job,
+) -> int:
+    """Drain jobs from ``queue``; returns how many this worker completed.
+
+    ``lease_seconds`` bounds how long one job may take before the
+    runner assumes this worker died and requeues the job — size it well
+    above the slowest expected job.  ``max_jobs`` caps the number of
+    claims (useful for tests and batch-sized workers);
+    ``stop_when_drained=False`` keeps the worker polling forever (a
+    long-lived fleet fed by an external submitter).  ``execute`` is the
+    job body, injectable for tests.
+    """
+    if worker_id is None:
+        worker_id = default_worker_id()
+    completed = 0
+    while max_jobs is None or completed < max_jobs:
+        job = queue.claim(worker_id, lease_seconds=lease_seconds)
+        if job is None:
+            # Recover orphaned leases ourselves — a serial run has no
+            # runner loop reaping alongside, and in a fleet this lets
+            # any surviving worker pick up a dead peer's job.
+            if queue.reap_expired():
+                continue  # something became claimable; retry now
+            stats = queue.stats()
+            if stop_when_drained and stats.pending == 0 and stats.claimed == 0:
+                break
+            time.sleep(poll_seconds)
+            continue
+        try:
+            result = execute(job)
+        except Exception:
+            queue.fail(job.job_id, traceback.format_exc())
+            continue
+        queue.ack(job.job_id, result)
+        completed += 1
+    return completed
+
+
+def worker_entry(
+    queue_dir: str,
+    worker_id: str | None = None,
+    *,
+    max_attempts: int = 3,
+    lease_seconds: float = 60.0,
+    max_jobs: int | None = None,
+) -> int:
+    """Process entry point: attach to a queue directory and work it.
+
+    This is what :class:`~repro.pipeline.dist.sweep.SweepRunner` spawns
+    locally, and what a remote host runs to join a sweep over a shared
+    filesystem::
+
+        python -c "from repro.pipeline.dist import worker_entry; \\
+                   worker_entry('/mnt/shared/sweep-queue')"
+
+    Top-level (picklable) on purpose, so it works under both the
+    ``fork`` and ``spawn`` multiprocessing start methods.
+    """
+    queue = DirectoryJobQueue(queue_dir, max_attempts=max_attempts)
+    return run_worker(
+        queue, worker_id, lease_seconds=lease_seconds, max_jobs=max_jobs
+    )

@@ -40,10 +40,16 @@ from repro.metrics import ms_ssim, psnr
 from repro.serialization import ConfigError, SerializableConfig
 from repro.video import SceneConfig, generate_sequence, iter_sequence
 
-from .registry import VideoCodec, codec_spec, create_codec
+from .registry import VideoCodec, available_codecs, codec_spec, create_codec
 from .reports import EncodeReport, HardwareReport
 
-__all__ = ["EncodeSession", "Pipeline", "analyze_hardware", "run_many"]
+__all__ = [
+    "EncodeSession",
+    "Pipeline",
+    "analyze_hardware",
+    "build_jobs",
+    "run_many",
+]
 
 
 def analyze_hardware(
@@ -399,6 +405,12 @@ class Pipeline:
     either config instances or plain dicts (validated through the
     config classes).  ``hardware`` optionally attaches an NVCA
     analysis of the decoder workload at the scene resolution.
+
+    ``to_dict()``/``from_dict()`` make the spec a JSON document — the
+    unit of work every execution backend shares, from the inline loop
+    to queue workers on other hosts (schema in ``docs/distributed.md``).
+    A run is a pure function of this document: everything in the
+    resulting report except wall-clock timings is deterministic.
     """
 
     def __init__(
@@ -497,39 +509,38 @@ def _run_spec(spec: dict) -> dict:
     return Pipeline.from_dict(spec).run().to_dict()
 
 
-def run_many(
+def build_jobs(
     jobs=None,
     *,
     codecs=None,
     codec_configs=None,
     scenes=None,
     compute_msssim: bool = False,
-    processes: int | None = None,
-) -> list[EncodeReport]:
-    """Run a batch of encode jobs, optionally on a process pool.
+) -> list[dict]:
+    """Normalize either ``run_many`` calling style to validated specs.
 
-    Two calling styles:
+    Explicit ``jobs`` (``Pipeline`` objects or spec dicts) pass through
+    ``Pipeline`` validation one by one; a grid expands the
+    codecs x codec_configs x scenes cross product, skipping override
+    keys a codec's config class does not define (so one grid can mix
+    ``qstep`` and ``qp``).  Codec names are validated *up front* —
+    before any job is built, let alone shipped to a pool or queue — so
+    a typo fails as one clear ``ValueError`` naming every offender
+    instead of a worker traceback mid-sweep.
 
-    * explicit — ``run_many([Pipeline(...), {...}, ...])`` runs each
-      job as given (each job carries its own ``compute_msssim``);
-    * grid — ``run_many(codecs=[...], codec_configs=[...],
-      scenes=[...])`` sweeps the cross product.  ``codec_configs``
-      entries are dicts of overrides; for each codec, keys the codec's
-      config class does not define are skipped, so one grid mixing
-      codec-specific knobs (``qstep`` vs ``qp``) can still span
-      heterogeneous config classes.
-
-    ``processes=None`` runs inline (deterministic ordering, easy
-    debugging); ``processes=N`` fans out over N worker processes —
-    job specs travel as JSON-ready dicts, results come back the same
-    way and are re-hydrated into :class:`EncodeReport`.  Workers use
-    the ``fork`` start method where the platform offers it so codecs
-    registered at runtime stay visible; under ``spawn`` semantics,
-    custom codecs must be registered at import time of their module.
+    Returns JSON-ready job-spec dicts (the on-wire unit of
+    :mod:`repro.pipeline.dist`).
     """
     if jobs is None:
         if codecs is None:
             raise ValueError("run_many needs jobs=... or a codecs=[...] grid")
+        known = set(available_codecs())
+        unknown = sorted({str(c) for c in codecs if c not in known})
+        if unknown:
+            raise ValueError(
+                f"unknown codec name(s) in grid: {', '.join(map(repr, unknown))}; "
+                f"available: {', '.join(sorted(known))}"
+            )
         codec_configs = codec_configs if codec_configs is not None else [{}]
         scenes = scenes if scenes is not None else [SceneConfig()]
         jobs = []
@@ -560,8 +571,103 @@ def run_many(
             raise TypeError(
                 f"run_many jobs must be Pipeline or dict, got {type(job).__name__}"
             )
+    return specs
 
-    if processes:
+
+def run_many(
+    jobs=None,
+    *,
+    codecs=None,
+    codec_configs=None,
+    scenes=None,
+    compute_msssim: bool = False,
+    processes: int | None = None,
+    backend: str | None = None,
+    queue_dir=None,
+    workers: int | None = None,
+    lease_seconds: float = 120.0,
+    max_attempts: int = 3,
+) -> list[EncodeReport]:
+    """Run a batch of encode jobs — inline, on a pool, or on a queue.
+
+    Two calling styles:
+
+    * explicit — ``run_many([Pipeline(...), {...}, ...])`` runs each
+      job as given (each job carries its own ``compute_msssim``);
+    * grid — ``run_many(codecs=[...], codec_configs=[...],
+      scenes=[...])`` sweeps the cross product.  ``codec_configs``
+      entries are dicts of overrides; for each codec, keys the codec's
+      config class does not define are skipped, so one grid mixing
+      codec-specific knobs (``qstep`` vs ``qp``) can still span
+      heterogeneous config classes.  Codec names are validated before
+      any execution starts.
+
+    Execution ``backend``:
+
+    * ``"inline"`` (default) — this process, submission order,
+      easiest debugging.
+    * ``"pool"`` (or just pass ``processes=N``) — a
+      ``ProcessPoolExecutor``; ``processes`` defaults to the CPU count
+      when the backend is named explicitly without it.  Job specs
+      travel as JSON-ready dicts and come back re-hydrated into
+      :class:`EncodeReport`.  Workers use
+      the ``fork`` start method where the platform offers it so codecs
+      registered at runtime stay visible; under ``spawn`` semantics,
+      custom codecs must be registered at import time of their module.
+    * ``"queue"`` — the work-queue backend
+      (:class:`repro.pipeline.dist.SweepRunner`): ``workers`` worker
+      threads (in-memory queue) or processes (pass ``queue_dir`` for
+      the directory-backed queue, which other hosts can join and
+      ``repro sweep --resume`` can continue).  Dead workers lose their
+      lease and their jobs are retried up to ``max_attempts`` times;
+      see ``docs/distributed.md``.
+
+    Every backend returns the same thing: one :class:`EncodeReport`
+    per job, in submission order, numerically identical across
+    backends.  The queue backend raises ``RuntimeError`` if any job
+    dead-letters (use :class:`~repro.pipeline.dist.SweepRunner`
+    directly for partial-result tolerance and RD aggregation).
+    """
+    if backend is None:
+        backend = "pool" if processes else "inline"
+    if backend not in ("inline", "pool", "queue"):
+        raise ValueError(
+            f"unknown run_many backend {backend!r}; "
+            "use 'inline', 'pool', or 'queue'"
+        )
+    specs = build_jobs(
+        jobs,
+        codecs=codecs,
+        codec_configs=codec_configs,
+        scenes=scenes,
+        compute_msssim=compute_msssim,
+    )
+
+    if backend == "queue":
+        from .dist import SweepRunner
+
+        runner = SweepRunner(
+            specs,
+            queue_dir=queue_dir,
+            workers=workers if workers is not None else (processes or 2),
+            lease_seconds=lease_seconds,
+            max_attempts=max_attempts,
+        )
+        result = runner.run()
+        if result.failures:
+            summary = "; ".join(
+                f"{job_id}: {error.strip().splitlines()[-1]}"
+                for job_id, error in sorted(result.failures.items())
+            )
+            raise RuntimeError(
+                f"{len(result.failures)} sweep job(s) failed after retries: "
+                f"{summary}"
+            )
+        return result.reports
+
+    if backend == "pool":
+        # An explicitly requested pool must not silently run serial.
+        processes = processes or os.cpu_count() or 2
         # Prefer fork so runtime codec registrations survive into the
         # workers; elsewhere the default (spawn) re-imports the
         # registry with the import-time registrations only.

@@ -3,7 +3,16 @@
 Callers name a codec (``"ctvc"``, ``"classical"``) instead of importing
 and wiring a concrete class; new variants — including RD-model-backed
 pseudo-codecs — plug in with one :func:`register_codec` call and every
-facade/CLI/sweep path picks them up without modification.
+facade/CLI/sweep path picks them up without modification.  This is the
+first of the three seams mapped in ``docs/architecture.md`` (the
+others: streaming sessions, :mod:`repro.codec.sessions`, and entropy
+backends, :mod:`repro.codec.entropy`).
+
+Note on distribution: sweep workers in other *processes* resolve codec
+names against their own copy of this registry, so a custom codec must
+be registered at import time of a module the worker also imports —
+runtime registrations only propagate to thread workers and, under the
+``fork`` start method, to process pools (see ``docs/distributed.md``).
 
 >>> from repro.pipeline import available_codecs, create_codec
 >>> available_codecs()

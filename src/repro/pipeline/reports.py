@@ -5,6 +5,15 @@ scalars, lists, and nested dicts only) and ``render()`` (the human
 summary the CLI prints).  ``EncodeReport.render()`` reproduces the
 pre-redesign ``python -m repro encode`` line byte-for-byte so scripted
 consumers of the old output keep working.
+
+Reports are also the unit sweep workers ship back over the job queue
+(:mod:`repro.pipeline.dist`): ``to_dict()`` travels as JSON and
+``from_dict()`` re-hydrates on the aggregating side, where
+:func:`repro.metrics.curves_from_reports` folds the ``bpp`` /
+``mean_psnr`` / ``mean_msssim`` fields into RD curves.  Everything in
+a report except the two ``*_seconds`` timings is a pure function of
+the job spec — that determinism is what makes retries and
+out-of-order sweep aggregation safe (``docs/distributed.md``).
 """
 
 from __future__ import annotations

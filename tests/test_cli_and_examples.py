@@ -230,6 +230,60 @@ class TestStreamingCLI:
         assert "fewer frames" in result.stderr
 
 
+class TestSweepCLI:
+    ARGS = [
+        "sweep", "--codecs", "classical", "--qps", "8,16", "--seeds", "0",
+        "--height", "32", "--width", "48", "--frames", "2",
+    ]
+
+    def test_workers_match_serial_byte_identically(self):
+        queued = run_cli(*self.ARGS, "--workers", "2", "--json")
+        serial = run_cli(*self.ARGS, "--workers", "0", "--json")
+        assert queued.returncode == 0, queued.stderr[-2000:]
+        assert serial.returncode == 0, serial.stderr[-2000:]
+        a, b = json.loads(queued.stdout), json.loads(serial.stdout)
+        assert a["jobs"] == a["completed"] == 2 and not a["failed"]
+        for key in ("curves", "bd_rate"):
+            assert json.dumps(a[key], sort_keys=True) == json.dumps(
+                b[key], sort_keys=True
+            )
+
+    def test_queue_dir_and_csv(self, tmp_path):
+        queue_dir = tmp_path / "queue"
+        csv_path = tmp_path / "sweep.csv"
+        result = run_cli(
+            *self.ARGS, "--workers", "2", "--queue-dir", str(queue_dir),
+            "--csv", str(csv_path), "--json",
+        )
+        assert result.returncode == 0, result.stderr[-2000:]
+        assert (queue_dir / "done").is_dir()
+        assert len(list((queue_dir / "done").glob("*.json"))) == 2
+        rows = csv_path.read_text().strip().splitlines()
+        assert len(rows) == 3  # header + 2 jobs
+        assert rows[0].startswith("codec,scene,bpp")
+
+    def test_nonempty_queue_dir_needs_resume(self, tmp_path):
+        queue_dir = tmp_path / "queue"
+        first = run_cli(*self.ARGS, "--workers", "0",
+                        "--queue-dir", str(queue_dir))
+        assert first.returncode == 0, first.stderr[-2000:]
+        refused = run_cli(*self.ARGS, "--workers", "0",
+                          "--queue-dir", str(queue_dir))
+        assert refused.returncode == 2
+        assert "--resume" in refused.stderr
+        resumed = run_cli(*self.ARGS, "--workers", "0",
+                          "--queue-dir", str(queue_dir), "--resume", "--json")
+        assert resumed.returncode == 0, resumed.stderr[-2000:]
+        assert json.loads(resumed.stdout)["completed"] == 2
+
+    def test_unknown_codec_is_one_clean_error(self):
+        result = run_cli("sweep", "--codecs", "nosuch,classical",
+                         "--workers", "2")
+        assert result.returncode == 1
+        assert "unknown codec name" in result.stderr
+        assert "Traceback" not in result.stderr
+
+
 class TestExamples:
     @pytest.mark.parametrize(
         "script",
@@ -238,6 +292,7 @@ class TestExamples:
             "sparse_codesign.py",
             "hardware_walkthrough.py",
             "streaming.py",
+            "sweep_rd_curves.py",
         ],
     )
     def test_example_runs(self, script):

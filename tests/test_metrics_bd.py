@@ -127,3 +127,134 @@ class TestBDQuality:
         anchor = make_curve("h265", [0.1, 0.2, 0.4, 0.8], [32, 35, 38, 41])
         better = make_curve("ours", [0.1, 0.2, 0.4, 0.8], [33.1, 36.0, 38.9, 41.8])
         assert bd_quality(anchor, better) > 0
+
+
+class TestCurveSerialization:
+    def test_round_trip(self):
+        curve = make_curve("c@48x64x2", [0.1, 0.4, 0.2], [30, 36, 33])
+        curve.dataset = "48x64x2"
+        restored = RDCurve.from_dict(curve.to_dict())
+        assert restored.to_dict() == curve.to_dict()
+        assert list(restored.rates) == [0.1, 0.2, 0.4]
+        assert restored.metric == "psnr" and restored.dataset == "48x64x2"
+
+    def test_points_stay_rate_sorted(self):
+        data = {"name": "x", "points": [[0.4, 36.0], [0.1, 30.0]]}
+        curve = RDCurve.from_dict(data)
+        assert list(curve.rates) == [0.1, 0.4]
+
+
+def _report(codec, bpp, psnr_db, scene=None, msssim=None):
+    scene = dict(scene or {"height": 48, "width": 64, "frames": 2})
+    return {
+        "codec": codec,
+        "scene": scene,
+        "bpp": bpp,
+        "mean_psnr": psnr_db,
+        "mean_msssim": msssim,
+    }
+
+
+class TestCurvesFromReports:
+    def test_groups_by_codec_and_scene(self):
+        from repro.metrics import curves_from_reports
+
+        scene_b = {"height": 48, "width": 64, "frames": 2, "seed": 3}
+        reports = [
+            _report("classical", 0.4, 34.0),
+            _report("classical", 0.2, 31.0),
+            _report("ctvc", 0.3, 33.0),
+            _report("classical", 0.25, 30.5, scene=scene_b),
+        ]
+        curves = curves_from_reports(reports)
+        assert set(curves) == {
+            ("classical", "48x64x2"),
+            ("ctvc", "48x64x2"),
+            ("classical", "48x64x2/s3"),
+        }
+        # config sweep folds onto one curve, sorted by rate
+        curve = curves[("classical", "48x64x2")]
+        assert list(curve.rates) == [0.2, 0.4]
+        assert curve.metric == "psnr"
+
+    def test_same_label_distinct_scenes_stay_apart(self):
+        from repro.metrics import curves_from_reports
+
+        base = {"height": 48, "width": 64, "frames": 2}
+        textured = {**base, "texture_contrast": 0.9}
+        curves = curves_from_reports([
+            _report("classical", 0.4, 34.0, scene=base),
+            _report("classical", 0.4, 31.0, scene=textured),
+        ])
+        assert set(curves) == {
+            ("classical", "48x64x2"),
+            ("classical", "48x64x2#2"),
+        }
+
+    def test_msssim_metric(self):
+        from repro.metrics import curves_from_reports
+
+        curves = curves_from_reports(
+            [_report("classical", 0.4, 34.0, msssim=0.97)], metric="ms-ssim"
+        )
+        assert curves[("classical", "48x64x2")].qualities[0] == 0.97
+
+    def test_missing_metric_is_clear_error(self):
+        from repro.metrics import curves_from_reports
+
+        with pytest.raises(ValueError, match="compute_msssim"):
+            curves_from_reports([_report("classical", 0.4, 34.0)],
+                                metric="ms-ssim")
+
+    def test_accepts_encode_report_objects(self):
+        from repro.metrics import curves_from_reports
+        from repro.pipeline import Pipeline
+
+        report = Pipeline(
+            "classical", {"qp": 16.0},
+            scene={"height": 32, "width": 48, "frames": 2},
+        ).run()
+        curves = curves_from_reports([report])
+        ((key, curve),) = curves.items()
+        # facade scenes always carry a seed; 0 is labelled like any other
+        assert key == ("classical", "32x48x2/s0")
+        assert curve.qualities[0] == pytest.approx(report.mean_psnr)
+
+
+class TestBdRateTable:
+    def test_half_rate_scores_minus_fifty(self):
+        from repro.metrics import bd_rate_table
+
+        rates = [0.1, 0.2, 0.4, 0.8]
+        quals = [32.0, 35.0, 38.0, 41.0]
+        curves = {
+            ("h265", "cif"): make_curve("h265@cif", rates, quals),
+            ("ours", "cif"): make_curve(
+                "ours@cif", [r / 2 for r in rates], quals
+            ),
+        }
+        table = bd_rate_table(curves, "h265")
+        assert table["cif"]["ours"] == pytest.approx(-50.0, abs=1e-6)
+
+    def test_degenerate_cell_maps_to_none(self):
+        from repro.metrics import bd_rate_table
+
+        curves = {
+            ("h265", "cif"): make_curve(
+                "h265@cif", [0.1, 0.2, 0.4], [32.0, 35.0, 38.0]
+            ),
+            # no quality overlap with the anchor: unscorable, not fatal
+            ("ours", "cif"): make_curve("ours@cif", [0.1, 0.2], [50.0, 55.0]),
+        }
+        table = bd_rate_table(curves, "h265")
+        assert table["cif"]["ours"] is None
+
+    def test_scene_without_anchor_is_skipped(self):
+        from repro.metrics import bd_rate_table
+
+        curves = {
+            ("ours", "cif"): make_curve(
+                "ours@cif", [0.1, 0.2, 0.4], [32.0, 35.0, 38.0]
+            ),
+        }
+        assert bd_rate_table(curves, "h265") == {}

@@ -1,0 +1,410 @@
+"""Distributed sweep executor: queue protocol semantics, worker
+failure/retry (a genuinely killed worker process), resume, and
+aggregation parity between serial and sharded execution."""
+
+import json
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.metrics import bd_rate_table, curves_from_reports
+from repro.pipeline import Pipeline, run_many
+from repro.pipeline.dist import (
+    DirectoryJobQueue,
+    MemoryJobQueue,
+    SweepRunner,
+    job_id_for_spec,
+    run_worker,
+)
+from repro.pipeline.registry import register_codec, unregister_codec
+from repro.codec import ClassicalCodecConfig
+
+SCENE = {"height": 32, "width": 48, "frames": 2}
+GRID = dict(
+    codecs=["classical", "ctvc"],
+    codec_configs=[
+        {"qp": 8.0, "qstep": 8.0, "channels": 8},
+        {"qp": 16.0, "qstep": 16.0, "channels": 8},
+    ],
+    scenes=[SCENE],
+)
+
+
+def _spec(qp=8.0):
+    return Pipeline("classical", {"qp": qp}, scene=SCENE).to_dict()
+
+
+def _claim_and_die(queue_dir, lease_seconds):
+    """Worker that dies mid-job: claims, never acks, hard-exits."""
+    queue = DirectoryJobQueue(queue_dir)
+    job = queue.claim("doomed-worker", lease_seconds=lease_seconds)
+    assert job is not None
+    os._exit(1)
+
+
+@pytest.mark.parametrize("make_queue", [
+    lambda tmp: MemoryJobQueue(max_attempts=2),
+    lambda tmp: DirectoryJobQueue(tmp / "q", max_attempts=2),
+], ids=["memory", "directory"])
+class TestQueueProtocol:
+    def test_submit_claim_ack_cycle(self, tmp_path, make_queue):
+        queue = make_queue(tmp_path)
+        job_id = queue.submit({"x": 1}, job_id="job-a")
+        assert queue.stats().pending == 1
+        job = queue.claim("w1", lease_seconds=30.0)
+        assert job.job_id == job_id and job.spec == {"x": 1}
+        assert job.attempts == 0
+        assert queue.stats().claimed == 1
+        assert queue.claim("w2", lease_seconds=30.0) is None
+        queue.ack(job_id, {"ok": True})
+        stats = queue.stats()
+        assert (stats.pending, stats.claimed, stats.done) == (0, 0, 1)
+        assert queue.results() == {job_id: {"ok": True}}
+
+    def test_submit_is_idempotent(self, tmp_path, make_queue):
+        queue = make_queue(tmp_path)
+        queue.submit({"x": 1}, job_id="dup")
+        queue.submit({"x": 2}, job_id="dup")  # ignored: id already known
+        assert queue.stats().pending == 1
+        job = queue.claim("w", lease_seconds=30.0)
+        assert job.spec == {"x": 1}
+        queue.ack("dup", {})
+        queue.submit({"x": 3}, job_id="dup")  # done is terminal too
+        assert queue.stats().pending == 0
+
+    def test_fail_requeues_then_dead_letters(self, tmp_path, make_queue):
+        queue = make_queue(tmp_path)  # max_attempts=2
+        queue.submit({"x": 1}, job_id="flaky")
+        job = queue.claim("w", lease_seconds=30.0)
+        queue.fail(job.job_id, "boom 1")
+        assert queue.stats().pending == 1  # first failure: retried
+        job = queue.claim("w", lease_seconds=30.0)
+        assert job.attempts == 1
+        queue.fail(job.job_id, "boom 2")
+        stats = queue.stats()
+        assert (stats.pending, stats.failed) == (0, 1)
+        assert "boom 2" in queue.failures()["flaky"]
+
+    def test_lease_expiry_requeues(self, tmp_path, make_queue):
+        queue = make_queue(tmp_path)
+        queue.submit({"x": 1}, job_id="leased")
+        assert queue.claim("w1", lease_seconds=0.05) is not None
+        assert queue.reap_expired() == []  # lease still live
+        time.sleep(0.08)
+        assert queue.reap_expired() == ["leased"]
+        job = queue.claim("w2", lease_seconds=30.0)
+        assert job.job_id == "leased" and job.attempts == 1
+
+    def test_expiry_exhaustion_dead_letters(self, tmp_path, make_queue):
+        queue = make_queue(tmp_path)  # max_attempts=2
+        queue.submit({"x": 1}, job_id="lost")
+        for _ in range(2):
+            if queue.claim("w", lease_seconds=0.01) is not None:
+                time.sleep(0.03)
+                queue.reap_expired()
+        stats = queue.stats()
+        assert (stats.pending, stats.claimed, stats.failed) == (0, 0, 1)
+        assert "lease expired" in queue.failures()["lost"]
+
+
+class TestDirectoryQueue:
+    def test_state_survives_reattach(self, tmp_path):
+        root = tmp_path / "q"
+        queue = DirectoryJobQueue(root)
+        queue.submit({"x": 1}, job_id="persist")
+        queue.ack("persist", {"bpp": 1.0})
+        # a fresh instance (fresh process, resumed sweep) sees the result
+        again = DirectoryJobQueue(root)
+        assert again.results() == {"persist": {"bpp": 1.0}}
+        assert again.stats().done == 1
+
+    def test_concurrent_claim_single_winner(self, tmp_path):
+        queue = DirectoryJobQueue(tmp_path / "q")
+        queue.submit({"x": 1}, job_id="contested")
+        a = queue.claim("w1", lease_seconds=30.0)
+        b = queue.claim("w2", lease_seconds=30.0)
+        assert (a is None) != (b is None)  # exactly one winner
+
+    def test_late_ack_after_expiry_still_lands(self, tmp_path):
+        # Straggler semantics: the job re-runs elsewhere, but the slow
+        # worker's eventual ack must not be lost or crash.
+        queue = DirectoryJobQueue(tmp_path / "q", max_attempts=3)
+        queue.submit({"x": 1}, job_id="slow")
+        job = queue.claim("w1", lease_seconds=0.01)
+        time.sleep(0.03)
+        queue.reap_expired()
+        job2 = queue.claim("w2", lease_seconds=30.0)
+        queue.ack(job2.job_id, {"from": "w2"})
+        queue.ack(job.job_id, {"from": "w1"})  # straggler returns
+        assert queue.stats().done == 1
+
+
+class TestWorkerDeath:
+    def test_killed_worker_lease_expires_and_job_reruns(self, tmp_path):
+        """Kill a worker mid-job; the job must still complete correctly."""
+        root = str(tmp_path / "q")
+        queue = DirectoryJobQueue(root, max_attempts=3)
+        for index, qp in enumerate((8.0, 16.0)):
+            spec = _spec(qp)
+            queue.submit(spec, job_id=job_id_for_spec(index, spec))
+
+        context = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else None
+        )
+        victim = context.Process(target=_claim_and_die, args=(root, 0.2))
+        victim.start()
+        victim.join(timeout=30)
+        assert victim.exitcode == 1
+        assert queue.stats().claimed == 1  # the orphaned lease
+
+        deadline = time.time() + 10
+        while not queue.reap_expired():
+            assert time.time() < deadline, "lease never expired"
+            time.sleep(0.02)
+        stats = queue.stats()
+        assert (stats.pending, stats.claimed) == (2, 0)
+
+        completed = run_worker(queue, "survivor", lease_seconds=60.0)
+        assert completed == 2
+        results = queue.results()
+        assert len(results) == 2
+        # the re-run job's report equals a clean serial run (jobs are
+        # pure functions of their spec, so the retry changes nothing)
+        serial = {r.codec_config["qp"]: r for r in run_many(
+            [Pipeline("classical", {"qp": qp}, scene=SCENE)
+             for qp in (8.0, 16.0)]
+        )}
+        for result in results.values():
+            expected = serial[result["codec_config"]["qp"]].to_dict()
+            for volatile in ("encode_seconds", "decode_seconds"):
+                result.pop(volatile), expected.pop(volatile)
+            assert result == expected
+
+    def test_serial_run_recovers_stale_claimed_job(self, tmp_path):
+        # Regression: a sweep killed mid-job leaves a file in claimed/;
+        # a workers=0 re-run must reap that lease itself, not hang.
+        root = str(tmp_path / "q")
+        queue = DirectoryJobQueue(root, max_attempts=3)
+        spec = _spec(8.0)
+        queue.submit(spec, job_id=job_id_for_spec(0, spec))
+        assert queue.claim("dead-run", lease_seconds=0.05) is not None
+        time.sleep(0.08)  # lease orphaned and expired
+
+        runner = SweepRunner([spec], queue_dir=root, workers=0)
+        result = runner.run()
+        assert result.ok and len(result.reports) == 1
+
+    def test_sweep_runner_survives_induced_death(self, tmp_path):
+        """Full-stack: SweepRunner completes a grid despite a worker
+        that claims a job and dies before acking."""
+        root = str(tmp_path / "q")
+        runner = SweepRunner(
+            codecs=["classical"],
+            codec_configs=[{"qp": 8.0}, {"qp": 16.0}, {"qp": 32.0}],
+            scenes=[SCENE],
+            queue_dir=root,
+            workers=2,
+            lease_seconds=0.3,
+        )
+        runner.submit()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else None
+        )
+        victim = context.Process(target=_claim_and_die, args=(root, 0.3))
+        victim.start()
+        victim.join(timeout=30)
+        assert victim.exitcode == 1
+
+        result = runner.run()
+        assert result.ok, result.failures
+        assert len(result.reports) == 3
+        assert [r.codec_config["qp"] for r in result.reports] == [
+            8.0, 16.0, 32.0,
+        ]
+
+
+class TestAggregationParity:
+    def test_out_of_order_results_match_serial_curves(self):
+        serial_reports = run_many(**GRID)
+        serial_curves = curves_from_reports(serial_reports)
+
+        runner = SweepRunner(**GRID, workers=3, anchor="classical")
+        result = runner.run()
+        assert result.ok, result.failures
+
+        # Byte-identical aggregation regardless of completion order.
+        def canon(curves):
+            return json.dumps(
+                [{"codec": c, "scene": s, **curve.to_dict()}
+                 for (c, s), curve in sorted(curves.items())],
+                sort_keys=True,
+            )
+
+        assert canon(result.curves) == canon(serial_curves)
+        assert result.bd_rate == bd_rate_table(serial_curves, "classical")
+
+    def test_run_many_queue_backend_matches_inline(self):
+        inline = run_many(**GRID)
+        queued = run_many(**GRID, backend="queue", workers=2)
+        assert len(queued) == len(inline) == 4
+        for a, b in zip(inline, queued):
+            a_dict, b_dict = a.to_dict(), b.to_dict()
+            for key in ("encode_seconds", "decode_seconds"):
+                a_dict.pop(key), b_dict.pop(key)
+            assert a_dict == b_dict
+
+    def test_directory_queue_backend_matches_inline(self, tmp_path):
+        inline = run_many(codecs=["classical"],
+                          codec_configs=[{"qp": 8.0}, {"qp": 16.0}],
+                          scenes=[SCENE])
+        queued = run_many(codecs=["classical"],
+                          codec_configs=[{"qp": 8.0}, {"qp": 16.0}],
+                          scenes=[SCENE],
+                          backend="queue", workers=2,
+                          queue_dir=str(tmp_path / "q"))
+        for a, b in zip(inline, queued):
+            a_dict, b_dict = a.to_dict(), b.to_dict()
+            for key in ("encode_seconds", "decode_seconds"):
+                a_dict.pop(key), b_dict.pop(key)
+            assert a_dict == b_dict
+
+
+class TestResume:
+    def test_second_run_reuses_done_results(self, tmp_path):
+        root = str(tmp_path / "q")
+        kwargs = dict(
+            codecs=["classical"],
+            codec_configs=[{"qp": 8.0}, {"qp": 16.0}],
+            scenes=[SCENE],
+            queue_dir=root,
+            workers=0,
+        )
+        first = SweepRunner(**kwargs)
+        result1 = first.run()
+        assert result1.ok
+
+        resumed = SweepRunner(**kwargs)
+        resumed.submit()
+        # identical grid -> identical content-derived ids -> nothing new
+        assert resumed.queue.stats().pending == 0
+        result2 = resumed.run()
+        assert json.dumps(
+            [c.to_dict() for _, c in sorted(result2.curves.items())],
+            sort_keys=True,
+        ) == json.dumps(
+            [c.to_dict() for _, c in sorted(result1.curves.items())],
+            sort_keys=True,
+        )
+
+    def test_job_ids_are_deterministic_and_ordered(self):
+        spec_a, spec_b = _spec(8.0), _spec(16.0)
+        assert job_id_for_spec(0, spec_a) == job_id_for_spec(0, spec_a)
+        assert job_id_for_spec(0, spec_a) != job_id_for_spec(0, spec_b)
+        assert job_id_for_spec(0, spec_a) < job_id_for_spec(1, spec_a)
+
+
+class TestFailureTolerance:
+    def test_broken_codec_dead_letters_without_sinking_sweep(self):
+        class _BoomCodec:
+            config = ClassicalCodecConfig()
+
+            def __init__(self, config):
+                self.config = config
+
+            def encode_sequence(self, frames):
+                raise RuntimeError("injected encode failure")
+
+            def decode_sequence(self, stream):
+                raise RuntimeError("injected decode failure")
+
+            def open_encoder(self):
+                raise RuntimeError("injected session failure")
+
+            def open_decoder(self, header=None, version=2):
+                raise RuntimeError("injected session failure")
+
+        register_codec("boom", _BoomCodec, ClassicalCodecConfig,
+                       "always fails", overwrite=True)
+        try:
+            runner = SweepRunner(
+                codecs=["classical", "boom"],
+                codec_configs=[{"qp": 8.0}],
+                scenes=[SCENE],
+                workers=2,
+                max_attempts=2,
+            )
+            result = runner.run()
+        finally:
+            unregister_codec("boom")
+        assert not result.ok
+        assert len(result.reports) == 1  # classical still aggregated
+        assert result.reports[0].codec == "classical"
+        assert len(result.failures) == 1
+        assert "injected encode failure" in next(iter(result.failures.values()))
+
+    def test_run_many_queue_backend_raises_on_failures(self):
+        # spec validates fine; execution fails — run_many's contract is
+        # all-or-error, so the queue backend must raise, not truncate
+        class _Boom:
+            config = ClassicalCodecConfig()
+
+            def __init__(self, config):
+                self.config = config
+
+            def encode_sequence(self, frames):
+                raise RuntimeError("nope")
+
+            def decode_sequence(self, stream):
+                raise RuntimeError("nope")
+
+            def open_encoder(self):
+                raise RuntimeError("nope")
+
+            def open_decoder(self, header=None, version=2):
+                raise RuntimeError("nope")
+
+        register_codec("boom2", _Boom, ClassicalCodecConfig, overwrite=True)
+        try:
+            with pytest.raises(RuntimeError, match="failed after retries"):
+                run_many(
+                    codecs=["boom2"], scenes=[SCENE],
+                    backend="queue", workers=1, max_attempts=2,
+                )
+        finally:
+            unregister_codec("boom2")
+
+
+class TestGridValidation:
+    def test_unknown_codec_fails_before_any_execution(self):
+        with pytest.raises(ValueError, match="unknown codec name"):
+            run_many(codecs=["nosuch", "classical"], scenes=[SCENE])
+
+    def test_unknown_codec_fails_before_pool_spawn(self):
+        # the point of the fix: one clear error, not a worker traceback
+        with pytest.raises(ValueError, match="nosuch.*available"):
+            run_many(codecs=["nosuch"], scenes=[SCENE], processes=2)
+
+    def test_unknown_codec_fails_before_queue_submit(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown codec name"):
+            run_many(
+                codecs=["nosuch"], scenes=[SCENE],
+                backend="queue", queue_dir=str(tmp_path / "q"),
+            )
+        assert not (tmp_path / "q").exists()  # nothing was even created
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown run_many backend"):
+            run_many(codecs=["classical"], scenes=[SCENE], backend="carrier-pigeon")
+
+    def test_explicit_pool_backend_without_processes_still_pools(self):
+        # an explicitly requested pool must not silently run serial
+        inline = run_many(codecs=["classical"], codec_configs=[{"qp": 8.0}],
+                          scenes=[SCENE])
+        pooled = run_many(codecs=["classical"], codec_configs=[{"qp": 8.0}],
+                          scenes=[SCENE], backend="pool")
+        assert pooled[0].bpp == inline[0].bpp
+        assert pooled[0].mean_psnr == inline[0].mean_psnr

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Documentation checker: link integrity + executable code blocks.
+
+Run from the repo root (CI does)::
+
+    PYTHONPATH=src python tools/check_docs.py
+
+Checks, over ``README.md`` and every ``docs/*.md``:
+
+* **links** — every relative markdown link ``[text](target)`` must
+  resolve to an existing file (anchors are stripped; ``http(s)``/
+  ``mailto`` targets are skipped — CI stays hermetic).
+* **doctests** — fenced ```python blocks containing ``>>>`` prompts
+  run under :mod:`doctest` with a fresh namespace per block; expected
+  output must match exactly, so the docs cannot drift from the code.
+* **syntax** — remaining ```python blocks (no prompts) must at least
+  compile, catching renamed-API rot in illustrative snippets.
+
+Exit status is the number of failing files (0 = everything holds).
+"""
+
+from __future__ import annotations
+
+import doctest
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+#: [text](target) — target captured up to the first ')' or whitespace.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: fenced code blocks with their info string.
+_FENCE = re.compile(r"^```(\w*)\s*$([\s\S]*?)^```\s*$", re.MULTILINE)
+_SKIP_SCHEMES = ("http://", "https://", "mailto:", "#")
+
+
+def check_links(path: pathlib.Path, text: str) -> list[str]:
+    errors = []
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(_SKIP_SCHEMES):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            errors.append(f"{path}: broken link -> {target}")
+    return errors
+
+
+def check_code_blocks(path: pathlib.Path, text: str) -> list[str]:
+    errors = []
+    runner = doctest.DocTestRunner(optionflags=doctest.ELLIPSIS)
+    parser = doctest.DocTestParser()
+    for index, match in enumerate(_FENCE.finditer(text)):
+        language, body = match.group(1), match.group(2)
+        if language != "python":
+            continue
+        name = f"{path.name}[block {index}]"
+        if ">>>" in body:
+            test = parser.get_doctest(body, {}, name, str(path), 0)
+            result = runner.run(test, clear_globs=True)
+            if result.failed:
+                errors.append(
+                    f"{path}: {result.failed} doctest failure(s) in "
+                    f"code block {index}"
+                )
+        else:
+            try:
+                compile(body, name, "exec")
+            except SyntaxError as exc:
+                errors.append(
+                    f"{path}: code block {index} does not compile ({exc})"
+                )
+    return errors
+
+
+def main() -> int:
+    files = [REPO / "README.md"] + sorted((REPO / "docs").glob("*.md"))
+    failing_files = 0
+    checked_blocks = 0
+    for path in files:
+        if not path.exists():
+            print(f"MISSING {path}")
+            failing_files += 1
+            continue
+        text = path.read_text(encoding="utf-8")
+        errors = check_links(path, text) + check_code_blocks(path, text)
+        checked_blocks += sum(
+            1 for m in _FENCE.finditer(text) if m.group(1) == "python"
+        )
+        if errors:
+            failing_files += 1
+            for error in errors:
+                print(f"FAIL {error}")
+        else:
+            print(f"ok   {path.relative_to(REPO)}")
+    print(
+        f"{len(files)} file(s), {checked_blocks} python block(s), "
+        f"{failing_files} failing"
+    )
+    return failing_files
+
+
+if __name__ == "__main__":
+    sys.exit(main())
