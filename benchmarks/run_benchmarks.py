@@ -26,6 +26,12 @@ Measures, on the bench_codec scene (64x96, 3 frames, seed 7):
   process workers over the directory-backed queue, on a fixed
   4-job classical RD grid.  Tracks the dispatch overhead of the
   distributed executor against serial execution.
+* **hardware** — hardware-analysis throughput (design points/s) of a
+  fixed NVCA geometry grid: the inline ``repro.hw.dse`` sweep vs the
+  same points through the task-typed work queue (``DSERunner``,
+  2 thread workers), with Pareto fronts asserted identical.  Tracks
+  the queue's per-point dispatch cost on sub-millisecond analytic
+  jobs.
 
 The report lands in ``BENCH_codec.json`` (override with ``-o``): one
 entry per benchmark with per-stage milliseconds, plus speedup ratios
@@ -324,6 +330,44 @@ def bench_sweep(repeats: int) -> dict:
     return report
 
 
+def bench_hardware(repeats: int) -> dict:
+    """Hardware-analysis throughput on a fixed NVCA geometry grid."""
+    from repro.codec import decoder_graph
+    from repro.hw import NVCAConfig, pareto_front, sweep_array_geometry
+    from repro.pipeline import DSERunner, dse_grid
+
+    height, width = 270, 480
+    geometries = ((6, 6), (12, 6), (12, 12), (18, 12), (18, 18))
+    num_points = len(geometries)
+    graph = decoder_graph(height, width, NVCAConfig().channels)
+
+    inline_s, inline_points = _time(
+        lambda: sweep_array_geometry(graph, geometries), repeats
+    )
+    specs = dse_grid("geometry", values=geometries, height=height, width=width)
+    queue_s, result = _time(lambda: DSERunner(specs, workers=2).run(), repeats)
+    assert result.ok and len(result.points) == num_points
+    # same points, same frontier: the queue may cost time, never answers
+    assert [p.to_dict() for p in result.points] == [
+        p.to_dict() for p in inline_points
+    ]
+    assert [p.label for p in result.pareto] == [
+        p.label for p in pareto_front(inline_points)
+    ]
+    return {
+        "num_points": num_points,
+        "inline": {
+            "seconds": inline_s,
+            "points_per_s": num_points / inline_s,
+        },
+        "queue_threads_x2": {
+            "seconds": queue_s,
+            "points_per_s": num_points / queue_s,
+            "x_vs_inline": inline_s / queue_s,
+        },
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -401,6 +445,20 @@ def main(argv=None) -> int:
                 f"  {backend:20s} {row['seconds'] * 1e3:8.1f} ms "
                 f"{row['jobs_per_s']:6.1f} jobs/s{extra}"
             )
+
+        print("== hardware analysis (5-point NVCA geometry grid) ==")
+        hardware = bench_hardware(repeats)
+        for backend in ("inline", "queue_threads_x2"):
+            row = hardware[backend]
+            extra = (
+                f"  x_vs_inline={row['x_vs_inline']:.2f}"
+                if "x_vs_inline" in row
+                else ""
+            )
+            print(
+                f"  {backend:20s} {row['seconds'] * 1e3:8.1f} ms "
+                f"{row['points_per_s']:6.1f} points/s{extra}"
+            )
     finally:
         unregister_entropy_backend("seed")
 
@@ -415,6 +473,7 @@ def main(argv=None) -> int:
         "entropy": entropy,
         "kernels": kernels,
         "sweep": sweep,
+        "hardware": hardware,
     }
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)

@@ -5,9 +5,11 @@ cycle budgets, the heterogeneous layer chaining dataflow (including a
 Fig. 7(b)-style bank schedule trace), the energy/area roll-up, and the
 Table II comparison points.
 
-The headline roll-up comes from the ``repro.pipeline`` facade
-(``analyze_hardware`` returns a serializable ``HardwareReport``); the
-deep dive below it uses the underlying ``repro.hw`` model directly.
+The headline roll-up comes from the ``repro.pipeline`` platform
+registry (``create_platform("nvca")`` — ``analyze_hardware`` is the
+same thing as a one-liner, returning a serializable
+``HardwareReport``); the deep dive below it uses the underlying
+``repro.hw`` model directly.
 
 Run:  python examples/hardware_walkthrough.py
 """
@@ -17,7 +19,6 @@ from repro.hw import (
     ChainLayer,
     InputBufferScheduler,
     NVCAConfig,
-    REFERENCE_PLATFORMS,
     analyze_graph,
     area_report,
     compare_traffic,
@@ -25,14 +26,15 @@ from repro.hw import (
     nvca_spec,
     simulate_graph,
 )
-from repro.pipeline import analyze_hardware
+from repro.pipeline import available_platforms, create_platform
 
 
 def main():
     config = NVCAConfig()
 
-    print("=== Facade summary (repro.pipeline.analyze_hardware) ======")
-    summary = analyze_hardware(1080, 1920, config)
+    print("=== Platform registry (repro.pipeline) ====================")
+    print(f"  registered platforms: {', '.join(available_platforms())}")
+    summary = create_platform("nvca", config).analyze(1080, 1920).hardware
     print(summary.render())
     print(f"  (serializable: {len(summary.to_dict())} top-level JSON fields)")
     print()
@@ -104,7 +106,8 @@ def main():
         area.total_mgates,
         config.on_chip_kbytes(),
     )
-    for ref in REFERENCE_PLATFORMS:
+    for name in ("cpu-i9-9900x", "gpu-rtx3090", "shao-tcas22", "alchemist"):
+        ref = create_platform(name).analyze(1080, 1920)
         print(f"  vs {ref.name:28s} throughput {ours.throughput_gops / ref.throughput_gops:5.1f}x, "
               f"efficiency {ours.energy_efficiency / ref.energy_efficiency:7.1f}x")
 

@@ -18,7 +18,20 @@ Subcommands:
                    ``--queue-dir``; ``--resume`` continues an
                    interrupted sweep from the same directory) and
                    aggregate RD curves + BD-rate vs ``--anchor``.
-* ``hardware``   — print the NVCA performance/energy/area summary.
+* ``hardware``   — analyze a registered accelerator platform:
+                   ``--platform nvca`` (default) runs the full NVCA
+                   performance/energy/area roll-up with the operating
+                   point under ``--pif/--pof/--rho/--frequency``
+                   control; the Table II references
+                   (``--platform gpu-rtx3090``, ...) report their
+                   published columns, optionally node-projected with
+                   ``--technology``.
+* ``dse``        — sweep one NVCA design-space axis (``--grid
+                   geometry|sparsity|frequency``) through the same
+                   work-queue backend as ``sweep`` (``--workers``,
+                   ``--queue-dir``, ``--resume``) and report the
+                   design-point table with its Pareto front
+                   (``--pareto`` for the frontier alone).
 
 Every subcommand accepts ``--json`` to emit the structured report
 (``to_dict()``) instead of the human rendering, and ``-o/--output`` to
@@ -360,25 +373,9 @@ def _cmd_sweep(args) -> int:
     elif anchor == "none":
         anchor = None
 
-    if args.resume and not args.queue_dir:
-        print("repro sweep: --resume needs --queue-dir (the durable queue "
-              "state to continue from)", file=sys.stderr)
-        return 2
-    if args.queue_dir and not args.resume:
-        leftover = [
-            name
-            for state in ("pending", "claimed", "done", "failed")
-            if os.path.isdir(os.path.join(args.queue_dir, state))
-            for name in os.listdir(os.path.join(args.queue_dir, state))
-        ]
-        if leftover:
-            print(
-                f"repro sweep: queue dir {args.queue_dir!r} already holds "
-                f"{len(leftover)} job file(s); pass --resume to continue "
-                "that sweep or point --queue-dir at an empty directory",
-                file=sys.stderr,
-            )
-            return 2
+    status = _check_queue_dir(args, "sweep")
+    if status:
+        return status
 
     runner = SweepRunner(
         codecs=codecs,
@@ -409,10 +406,169 @@ def _cmd_sweep(args) -> int:
 
 
 def _cmd_hardware(args) -> int:
-    from repro.pipeline import analyze_hardware
+    from repro.pipeline import PlatformRegistryError, create_platform, platform_entry
 
-    report = analyze_hardware(args.height, args.width)
+    try:
+        entry = platform_entry(args.platform)
+    except PlatformRegistryError as exc:
+        print(f"repro hardware: {exc}", file=sys.stderr)
+        return 2
+    # Map the CLI knobs onto whatever the platform's config defines
+    # (the NVCA operating point; reference platforms only take
+    # --technology) — unknown keys are skipped, mirroring encode.
+    fields = {f.name for f in dataclasses.fields(entry.config_cls)}
+    overrides = {}
+    for name, value in (
+        ("pif", args.pif),
+        ("pof", args.pof),
+        ("rho", args.rho),
+        ("frequency_mhz", args.frequency),
+        ("channels", args.channels),
+        ("technology_nm", args.technology),
+    ):
+        if value is not None and name in fields:
+            overrides[name] = value
+    config = dict(json.loads(args.config)) if args.config else {}
+    config.update(overrides)
+    report = create_platform(args.platform, config).analyze(
+        args.height, args.width
+    )
+    if report.hardware is not None:
+        # Modeled platforms keep the full roll-up as the top-level
+        # payload — same shape `repro hardware` has always emitted.
+        return _emit(args, report.hardware.render(), report.hardware.to_dict())
     return _emit(args, report.render(), report.to_dict())
+
+
+def _check_queue_dir(args, command: str) -> int:
+    """Shared --queue-dir/--resume hygiene for sweep-shaped commands."""
+    if args.resume and not args.queue_dir:
+        print(f"repro {command}: --resume needs --queue-dir (the durable "
+              "queue state to continue from)", file=sys.stderr)
+        return 2
+    if args.queue_dir and not args.resume:
+        leftover = [
+            name
+            for state in ("pending", "claimed", "done", "failed")
+            if os.path.isdir(os.path.join(args.queue_dir, state))
+            for name in os.listdir(os.path.join(args.queue_dir, state))
+        ]
+        if leftover:
+            print(
+                f"repro {command}: queue dir {args.queue_dir!r} already holds "
+                f"{len(leftover)} job file(s); pass --resume to continue "
+                "that run or point --queue-dir at an empty directory",
+                file=sys.stderr,
+            )
+            return 2
+    return 0
+
+
+def _dse_csv_rows(result) -> list[list]:
+    """Flatten a DSEResult into CSV rows (one per completed point)."""
+    rows = [[
+        "label", "pif", "pof", "rho", "frequency_mhz", "fps",
+        "sustained_gops", "chip_power_w", "gate_count_m",
+        "energy_efficiency", "pareto",
+    ]]
+    on_front = {id(point) for point in result.pareto}
+    for point in result.points:
+        rows.append([
+            point.label, point.pif, point.pof, point.rho,
+            point.frequency_mhz, point.fps, point.sustained_gops,
+            point.chip_power_w, point.gate_count_m,
+            point.energy_efficiency, int(id(point) in on_front),
+        ])
+    return rows
+
+
+def _cmd_dse(args) -> int:
+    import csv
+
+    from repro.pipeline import DSERunner, dse_grid
+
+    # An axis-values flag that does not match --grid would be silently
+    # discarded and a *different* sweep would run; refuse instead.
+    axis_flags = {
+        "geometry": ("--geometries", args.geometries),
+        "sparsity": ("--rhos", args.rhos),
+        "frequency": ("--frequencies", args.frequencies),
+    }
+    for grid_name, (flag, value) in axis_flags.items():
+        if value and grid_name != args.grid:
+            print(
+                f"repro dse: {flag} only applies to --grid {grid_name} "
+                f"(got --grid {args.grid}); drop the flag or switch grids",
+                file=sys.stderr,
+            )
+            return 2
+    values = None
+    try:
+        if args.grid == "geometry" and args.geometries:
+            values = tuple(
+                tuple(int(side) for side in geometry.split("x"))
+                for geometry in args.geometries.split(",") if geometry.strip()
+            )
+            if any(len(geometry) != 2 for geometry in values):
+                raise ValueError("geometries must be PIFxPOF pairs")
+        elif args.grid == "sparsity" and args.rhos:
+            values = tuple(
+                float(rho) for rho in args.rhos.split(",") if rho.strip()
+            )
+        elif args.grid == "frequency" and args.frequencies:
+            values = tuple(
+                float(f) for f in args.frequencies.split(",") if f.strip()
+            )
+    except ValueError as exc:
+        print(f"repro dse: bad grid values ({exc})", file=sys.stderr)
+        return 2
+    base = {}
+    for name, value in (
+        ("pif", args.pif),
+        ("pof", args.pof),
+        ("rho", args.rho),
+        ("frequency_mhz", args.frequency),
+        ("channels", args.channels),
+    ):
+        if value is not None:
+            base[name] = value
+
+    status = _check_queue_dir(args, "dse")
+    if status:
+        return status
+
+    specs = dse_grid(
+        args.grid,
+        values=values,
+        base=base,
+        height=args.height,
+        width=args.width,
+        platform=args.platform,
+    )
+    runner = DSERunner(
+        specs,
+        queue_dir=args.queue_dir,
+        workers=args.workers,
+        lease_seconds=args.lease,
+        max_attempts=args.max_attempts,
+    )
+    progress = None
+    if args.progress:
+        def progress(stats):
+            print(
+                f"  pending {stats.pending}  claimed {stats.claimed}  "
+                f"done {stats.done}  failed {stats.failed}",
+                file=sys.stderr,
+            )
+    result = runner.run(progress)
+    if args.csv:
+        with open(args.csv, "w", newline="", encoding="utf-8") as handle:
+            csv.writer(handle).writerows(_dse_csv_rows(result))
+    payload = result.to_dict()
+    if args.pareto:
+        payload["points"] = payload["pareto"]
+    _emit(args, result.render(pareto_only=args.pareto), payload)
+    return 0 if result.ok else 1
 
 
 def main(argv=None) -> int:
@@ -590,12 +746,133 @@ def main(argv=None) -> int:
     swp.add_argument("--json", action="store_true", help="emit structured JSON")
     swp.set_defaults(func=_cmd_sweep)
 
-    hw = sub.add_parser("hardware", help="NVCA model summary")
+    hw = sub.add_parser(
+        "hardware",
+        help="accelerator platform analysis (NVCA model or a Table II "
+        "reference)",
+    )
+    hw.add_argument(
+        "--platform",
+        default="nvca",
+        help="registered platform name ('nvca' modeled by this repo; "
+        "'cpu-i9-9900x', 'gpu-rtx3090', 'shao-tcas22', 'alchemist' "
+        "published references)",
+    )
     hw.add_argument("--height", type=int, default=1080)
     hw.add_argument("--width", type=int, default=1920)
+    hw.add_argument(
+        "--pif", type=int, default=None,
+        help="SCU array input-channel unrolling (NVCA; default 12)",
+    )
+    hw.add_argument(
+        "--pof", type=int, default=None,
+        help="SCU array output-channel unrolling (NVCA; default 12)",
+    )
+    hw.add_argument(
+        "--rho", type=float, default=None,
+        help="provisioned transform-domain sparsity in [0, 1) "
+        "(NVCA; default 0.5)",
+    )
+    hw.add_argument(
+        "--frequency", type=float, default=None,
+        help="core clock in MHz (NVCA; default 400)",
+    )
+    hw.add_argument(
+        "--channels", type=int, default=None,
+        help="decoder channel count N (NVCA; default 36)",
+    )
+    hw.add_argument(
+        "--technology", type=int, default=None,
+        help="project a reference platform to this node (nm) via "
+        "first-order scaling",
+    )
+    hw.add_argument(
+        "--config", default=None,
+        help="JSON platform-config overrides (merged under the flags, "
+        "e.g. '{\"dcc_utilization\": 0.8}')",
+    )
     hw.add_argument("-o", "--output", default=None)
     hw.add_argument("--json", action="store_true", help="emit structured JSON")
     hw.set_defaults(func=_cmd_hardware)
+
+    dse = sub.add_parser(
+        "dse",
+        help="run an NVCA design-space grid on the work-queue backend "
+        "and report the Pareto front",
+    )
+    dse.add_argument(
+        "--grid",
+        choices=["geometry", "sparsity", "frequency"],
+        default="geometry",
+        help="which axis to sweep around the paper's operating point",
+    )
+    dse.add_argument(
+        "--geometries", default=None,
+        help="comma-separated PIFxPOF pairs for --grid geometry "
+        "(default: 6x6,12x6,12x12,18x12,18x18)",
+    )
+    dse.add_argument(
+        "--rhos", default=None,
+        help="comma-separated sparsity levels for --grid sparsity "
+        "(default: 0,0.25,0.5,0.75)",
+    )
+    dse.add_argument(
+        "--frequencies", default=None,
+        help="comma-separated clock MHz for --grid frequency "
+        "(default: 200,400,600,800)",
+    )
+    dse.add_argument("--height", type=int, default=1080)
+    dse.add_argument("--width", type=int, default=1920)
+    dse.add_argument("--platform", default="nvca",
+                     help="registered (modeled) platform to explore")
+    dse.add_argument("--pif", type=int, default=None,
+                     help="base-config Pif for the non-swept axes")
+    dse.add_argument("--pof", type=int, default=None,
+                     help="base-config Pof for the non-swept axes")
+    dse.add_argument("--rho", type=float, default=None,
+                     help="base-config sparsity for the non-swept axes")
+    dse.add_argument("--frequency", type=float, default=None,
+                     help="base-config clock MHz for the non-swept axes")
+    dse.add_argument("--channels", type=int, default=None,
+                     help="base-config decoder channel count")
+    dse.add_argument(
+        "--workers", type=int, default=2,
+        help="worker count: 0 runs serially in-process; with --queue-dir "
+        "workers are processes, otherwise threads",
+    )
+    dse.add_argument(
+        "--queue-dir", default=None,
+        help="directory-backed job queue (durable state; other hosts "
+        "sharing the filesystem can attach workers; enables --resume)",
+    )
+    dse.add_argument(
+        "--resume", action="store_true",
+        help="continue an interrupted grid from --queue-dir (finished "
+        "points are not re-run)",
+    )
+    dse.add_argument(
+        "--lease", type=float, default=120.0,
+        help="per-point lease seconds before a silent worker is presumed "
+        "dead and its point is retried",
+    )
+    dse.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="tries per point before it dead-letters into the failure report",
+    )
+    dse.add_argument(
+        "--pareto", action="store_true",
+        help="report only the Pareto-optimal points",
+    )
+    dse.add_argument(
+        "--csv", default=None, help="also write per-point rows as CSV here"
+    )
+    dse.add_argument(
+        "--progress", action="store_true",
+        help="print queue progress snapshots to stderr",
+    )
+    dse.add_argument("-o", "--output", default=None, help="report file")
+    dse.add_argument("--json", action="store_true", help="emit structured JSON")
+    dse.set_defaults(func=_cmd_dse)
 
     from repro.pipeline import CodecRegistryError
     from repro.serialization import ConfigError

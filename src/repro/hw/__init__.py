@@ -20,7 +20,14 @@ from .dataflow import (
     compare_traffic,
 )
 from .dcc import DCCLayerCost, dcc_layer_cost
-from .dse import DesignPoint, pareto_front, sweep_array_geometry, sweep_sparsity
+from .dse import (
+    DesignPoint,
+    evaluate_point,
+    pareto_front,
+    sweep_array_geometry,
+    sweep_frequency,
+    sweep_sparsity,
+)
 from .energy import EnergyReport, EnergyUnits, energy_report
 from .perf import PerformanceReport, analyze_graph
 from .platforms import (
@@ -28,6 +35,7 @@ from .platforms import (
     CPU_I9_9900X,
     GPU_RTX3090,
     REFERENCE_PLATFORMS,
+    REFERENCE_PLATFORM_SPECS,
     SHAO_TCAS22,
     PlatformSpec,
     nvca_spec,
@@ -61,6 +69,7 @@ __all__ = [
     "PerformanceReport",
     "PlatformSpec",
     "REFERENCE_PLATFORMS",
+    "REFERENCE_PLATFORM_SPECS",
     "SFTCLayerCost",
     "SHAO_TCAS22",
     "ScheduleStep",
@@ -74,6 +83,7 @@ __all__ = [
     "compare_traffic",
     "dcc_layer_cost",
     "energy_report",
+    "evaluate_point",
     "nvca_spec",
     "pareto_front",
     "scale_frequency",
@@ -84,5 +94,6 @@ __all__ = [
     "simulate_graph",
     "simulate_layer",
     "sweep_array_geometry",
+    "sweep_frequency",
     "sweep_sparsity",
 ]

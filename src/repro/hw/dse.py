@@ -6,12 +6,20 @@ quality/cost frontier — the analysis a designer would run to justify
 that choice: SCU array geometry (Pif x Pof), sparsity, and clock
 frequency, each evaluated through the same performance / energy / area
 models that reproduce Table II.
+
+:func:`evaluate_point` is the unit of work: one ``(graph, config)``
+roll-up to a :class:`DesignPoint`.  The ``sweep_*`` helpers evaluate a
+whole axis inline; at scale the same points travel as ``"dse-point"``
+job specs through the task-typed work queue instead
+(:mod:`repro.pipeline.dse` builds the grids, ``repro dse`` runs them —
+see ``docs/hardware.md``).  Both paths call :func:`evaluate_point`, so
+inline and distributed sweeps are byte-identical by construction.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.layerspec import LayerGraph
 
@@ -21,12 +29,36 @@ from .dataflow import compare_traffic
 from .energy import energy_report
 from .perf import analyze_graph
 
-__all__ = ["DesignPoint", "sweep_array_geometry", "sweep_sparsity", "pareto_front"]
+__all__ = [
+    "DEFAULT_FREQUENCIES",
+    "DEFAULT_GEOMETRIES",
+    "DEFAULT_RHOS",
+    "DesignPoint",
+    "evaluate_point",
+    "pareto_front",
+    "sweep_array_geometry",
+    "sweep_frequency",
+    "sweep_sparsity",
+]
+
+#: SCU array geometries (Pif, Pof) bracketing the paper's 12x12 point.
+DEFAULT_GEOMETRIES: tuple[tuple[int, int], ...] = (
+    (6, 6), (12, 6), (12, 12), (18, 12), (18, 18),
+)
+#: pruning levels around the paper's rho = 50% point.
+DEFAULT_RHOS: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75)
+#: clock frequencies (MHz) around the paper's 400 MHz point.
+DEFAULT_FREQUENCIES: tuple[float, ...] = (200.0, 400.0, 600.0, 800.0)
 
 
 @dataclass(frozen=True)
 class DesignPoint:
-    """One evaluated configuration."""
+    """One evaluated configuration.
+
+    A plain-scalar record, so it round-trips through dict/JSON and can
+    travel back from distributed ``"dse-point"`` workers the way
+    :class:`~repro.pipeline.EncodeReport` documents do.
+    """
 
     label: str
     pif: int
@@ -44,8 +76,41 @@ class DesignPoint:
         """GOPS per million gates."""
         return self.sustained_gops / self.gate_count_m
 
+    def to_dict(self) -> dict:
+        """JSON-ready document (pure fields; derived properties are
+        recomputed on the hydrating side)."""
+        return dataclasses.asdict(self)
 
-def _evaluate(graph: LayerGraph, config: NVCAConfig, label: str) -> DesignPoint:
+    @classmethod
+    def from_dict(cls, data: dict) -> "DesignPoint":
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"DesignPoint.from_dict expects a mapping, "
+                f"got {type(data).__name__}"
+            )
+        fields = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - fields)
+        if unknown:
+            raise ValueError(
+                f"DesignPoint: unknown field(s) {', '.join(unknown)}; "
+                f"valid fields: {', '.join(sorted(fields))}"
+            )
+        return cls(**data)
+
+    def render(self) -> str:
+        """One-line human summary (the row format of ``repro dse``)."""
+        return (
+            f"{self.label:>14s}  {self.fps:7.1f} FPS  "
+            f"{self.sustained_gops:7.0f} GOPS  {self.chip_power_w:6.2f} W  "
+            f"{self.gate_count_m:5.2f} Mgates  "
+            f"{self.energy_efficiency:7.0f} GOPS/W"
+        )
+
+
+def evaluate_point(
+    graph: LayerGraph, config: NVCAConfig, label: str
+) -> DesignPoint:
+    """Roll one configuration through the perf/energy/area models."""
     performance = analyze_graph(graph, config)
     traffic = compare_traffic(graph, config)
     energy = energy_report(performance.schedule, traffic, config=config)
@@ -68,7 +133,7 @@ def _evaluate(graph: LayerGraph, config: NVCAConfig, label: str) -> DesignPoint:
 
 def sweep_array_geometry(
     graph: LayerGraph,
-    geometries: tuple[tuple[int, int], ...] = ((6, 6), (12, 6), (12, 12), (18, 12), (18, 18)),
+    geometries: tuple[tuple[int, int], ...] = DEFAULT_GEOMETRIES,
     base: NVCAConfig | None = None,
 ) -> list[DesignPoint]:
     """Sweep the SCU array's channel unrolling (Pif x Pof)."""
@@ -76,20 +141,37 @@ def sweep_array_geometry(
     points = []
     for pif, pof in geometries:
         config = dataclasses.replace(base, pif=pif, pof=pof)
-        points.append(_evaluate(graph, config, f"{pif}x{pof}"))
+        points.append(evaluate_point(graph, config, f"{pif}x{pof}"))
     return points
 
 
 def sweep_sparsity(
     graph: LayerGraph,
-    rhos: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75),
+    rhos: tuple[float, ...] = DEFAULT_RHOS,
     base: NVCAConfig | None = None,
 ) -> list[DesignPoint]:
     """Sweep the pruning level the SCUs are provisioned for."""
     base = base or NVCAConfig()
     return [
-        _evaluate(graph, dataclasses.replace(base, rho=rho), f"rho={rho:.2f}")
+        evaluate_point(graph, dataclasses.replace(base, rho=rho), f"rho={rho:.2f}")
         for rho in rhos
+    ]
+
+
+def sweep_frequency(
+    graph: LayerGraph,
+    frequencies: tuple[float, ...] = DEFAULT_FREQUENCIES,
+    base: NVCAConfig | None = None,
+) -> list[DesignPoint]:
+    """Sweep the core clock around the paper's 400 MHz point."""
+    base = base or NVCAConfig()
+    return [
+        evaluate_point(
+            graph,
+            dataclasses.replace(base, frequency_mhz=float(freq)),
+            f"{float(freq):g}MHz",
+        )
+        for freq in frequencies
     ]
 
 
@@ -97,7 +179,13 @@ def pareto_front(
     points: list[DesignPoint],
     maximize: tuple[str, ...] = ("fps", "energy_efficiency"),
 ) -> list[DesignPoint]:
-    """Non-dominated subset under the given maximization objectives."""
+    """Non-dominated subset under the given maximization objectives.
+
+    Input order is preserved and exact ties are all kept (a point never
+    dominates its own duplicate), so the frontier of a distributed
+    sweep is byte-identical to the serial one as long as the points
+    arrive in submission order.
+    """
     front = []
     for candidate in points:
         dominated = False

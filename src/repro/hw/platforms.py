@@ -25,6 +25,7 @@ __all__ = [
     "SHAO_TCAS22",
     "ALCHEMIST",
     "REFERENCE_PLATFORMS",
+    "REFERENCE_PLATFORM_SPECS",
     "scale_power",
     "scale_frequency",
     "scale_platform",
@@ -114,6 +115,16 @@ REFERENCE_PLATFORMS: tuple[PlatformSpec, ...] = (
     SHAO_TCAS22,
     ALCHEMIST,
 )
+
+#: registry key -> published spec, in Table II column order.  These are
+#: the names the ``repro.pipeline`` platform registry registers its
+#: reference adapters under (``repro hardware --platform gpu-rtx3090``).
+REFERENCE_PLATFORM_SPECS: dict[str, PlatformSpec] = {
+    "cpu-i9-9900x": CPU_I9_9900X,
+    "gpu-rtx3090": GPU_RTX3090,
+    "shao-tcas22": SHAO_TCAS22,
+    "alchemist": ALCHEMIST,
+}
 
 
 def scale_frequency(frequency_mhz: float, from_nm: int, to_nm: int) -> float:

@@ -25,22 +25,27 @@ from repro.hw import NVCAConfig
 from repro.serialization import ConfigError, SerializableConfig
 from repro.video import SceneConfig
 
+from .platforms import ReferencePlatformConfig
+
 __all__ = [
     "CONFIG_TYPES",
     "CTVCConfig",
     "ClassicalCodecConfig",
     "ConfigError",
     "NVCAConfig",
+    "ReferencePlatformConfig",
     "SceneConfig",
     "SerializableConfig",
     "load_config",
 ]
 
-#: Name → config class, the dual of the codec registry for configs.
+#: Name → config class, the dual of the codec/platform registries for
+#: configs.
 CONFIG_TYPES: dict[str, type[SerializableConfig]] = {
     "ctvc": CTVCConfig,
     "classical": ClassicalCodecConfig,
     "nvca": NVCAConfig,
+    "reference-platform": ReferencePlatformConfig,
     "scene": SceneConfig,
 }
 

@@ -11,20 +11,25 @@ package is that seam made real.  Three layers, bottom up:
   worker processes, on one host or across hosts sharing a filesystem).
 * :mod:`~repro.pipeline.dist.worker` — the worker loop
   (:func:`run_worker`) and the process/remote-host entry point
-  (:func:`worker_entry`): claim spec, ``Pipeline.from_dict(...).run()``,
-  ack report; failures are retried by whoever claims next.
-* :mod:`~repro.pipeline.dist.sweep` — :class:`SweepRunner`: submit a
-  grid, babysit the fleet (lease reaping, crash respawns), and
-  aggregate completed reports into per-(codec, scene)
-  :class:`~repro.metrics.RDCurve` objects with BD-rate deltas.
+  (:func:`worker_entry`): claim spec, dispatch it by task kind through
+  :func:`repro.pipeline.tasks.run_task` (encode pipelines, hardware
+  analyses, and DSE points share one fleet), ack the result; failures
+  are retried by whoever claims next.
+* :mod:`~repro.pipeline.dist.sweep` — :class:`QueueRunner`: submit a
+  spec list, babysit the fleet (lease reaping, crash respawns), and
+  hand terminal payloads to an aggregation.  :class:`SweepRunner`
+  folds encode reports into per-(codec, scene)
+  :class:`~repro.metrics.RDCurve` objects with BD-rate deltas;
+  :class:`~repro.pipeline.dse.DSERunner` folds design points into
+  Pareto fronts.
 
 Front doors: ``run_many(backend="queue", ...)`` and the ``repro
-sweep`` CLI subcommand.  Protocol semantics and the job-spec schema
-are documented in ``docs/distributed.md``.
+sweep`` / ``repro dse`` CLI subcommands.  Protocol semantics and the
+job-spec schema are documented in ``docs/distributed.md``.
 """
 
 from .queues import DirectoryJobQueue, Job, JobQueue, MemoryJobQueue, QueueStats
-from .sweep import SweepResult, SweepRunner, job_id_for_spec
+from .sweep import QueueRunner, SweepResult, SweepRunner, job_id_for_spec
 from .worker import default_worker_id, run_worker, worker_entry
 
 __all__ = [
@@ -32,6 +37,7 @@ __all__ = [
     "Job",
     "JobQueue",
     "MemoryJobQueue",
+    "QueueRunner",
     "QueueStats",
     "SweepResult",
     "SweepRunner",

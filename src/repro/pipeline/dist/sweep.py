@@ -1,13 +1,23 @@
 """Sweep orchestration: submit a grid, babysit workers, aggregate RD.
 
-:class:`SweepRunner` is the driver behind ``run_many(backend="queue")``
-and ``repro sweep``: it expands a (codec, config, scene) grid into job
-specs with content-derived ids, submits them to a
-:class:`~repro.pipeline.dist.queues.JobQueue`, runs a worker fleet
+:class:`QueueRunner` is the generic driver: submit job specs with
+content-derived ids to a
+:class:`~repro.pipeline.dist.queues.JobQueue`, run a worker fleet
 (inline, threads, or processes — chosen by the queue type and
-``workers``), requeues expired leases while it waits, and folds the
-surviving reports into :class:`~repro.metrics.RDCurve` objects per
-(codec, scene) with BD-rate deltas against an anchor codec.
+``workers``), requeue expired leases while waiting, and hand the
+terminal payloads to a subclass's ``_aggregate``.  Two aggregations
+ship: :class:`SweepRunner` here (RD curves + BD-rate, behind
+``run_many(backend="queue")`` and ``repro sweep``) and
+:class:`~repro.pipeline.dse.DSERunner` (design-point tables + Pareto
+fronts, behind ``repro dse``).
+
+:class:`SweepRunner` expands a (codec, config, scene) grid — or any
+explicit list of task-typed job specs — and folds the surviving
+encode reports into :class:`~repro.metrics.RDCurve` objects per
+(codec, scene) with BD-rate deltas against an anchor codec; results
+of other task kinds (``"hardware"``, ``"dse-point"``) hydrate to
+their own report types and ride along in ``reports`` untouched by the
+RD aggregation.
 
 Determinism: job results depend only on their specs, never on which
 worker ran them or in what order, so a sweep's aggregated
@@ -37,7 +47,7 @@ from repro.metrics import RDCurve, bd_rate_table, curves_from_reports
 from .queues import DirectoryJobQueue, JobQueue, MemoryJobQueue, QueueStats
 from .worker import run_worker, worker_entry
 
-__all__ = ["SweepResult", "SweepRunner", "job_id_for_spec"]
+__all__ = ["QueueRunner", "SweepResult", "SweepRunner", "job_id_for_spec"]
 
 #: hard cap on crashed-worker replacements, so a fleet whose workers
 #: die on arrival (bad interpreter, OOM box) fails instead of flapping.
@@ -113,13 +123,18 @@ class SweepResult:
             f"{len(self.failures)} failed in {self.elapsed_seconds:.1f}s "
             f"({self.workers} workers)"
         ]
-        for report in self.reports:
-            from repro.metrics import scene_label
+        from repro.metrics import scene_label
+        from repro.pipeline.reports import EncodeReport
 
-            lines.append(
-                f"  {report.codec:10s} {scene_label(report.scene):14s} "
-                f"{report.bpp:7.3f} bpp  {report.mean_psnr:6.2f} dB"
-            )
+        for report in self.reports:
+            if isinstance(report, EncodeReport):
+                lines.append(
+                    f"  {report.codec:10s} {scene_label(report.scene):14s} "
+                    f"{report.bpp:7.3f} bpp  {report.mean_psnr:6.2f} dB"
+                )
+            else:
+                # hardware / dse-point jobs riding in a mixed sweep
+                lines.append("  " + report.render().splitlines()[0])
         if self.curves:
             lines.append(f"RD curves ({self.metric}):")
             for (codec, scene), curve in sorted(self.curves.items()):
@@ -143,12 +158,14 @@ class SweepResult:
         return "\n".join(lines)
 
 
-class SweepRunner:
-    """Submit a grid of encode jobs to a queue and run it to completion.
+class QueueRunner:
+    """Run a list of job specs on a queue to completion.
 
-    Job sources (same two styles as :func:`repro.pipeline.run_many`):
-    explicit ``jobs`` (``Pipeline`` objects or spec dicts), or a
-    ``codecs``/``codec_configs``/``scenes`` grid.
+    The fleet-orchestration core every sharded grid shares: submission
+    with idempotent content-derived ids, worker babysitting (lease
+    reaping, crash respawns), and the drain loop.  Subclasses supply
+    the normalized job specs and an ``_aggregate(results, failures,
+    elapsed)`` that folds terminal payloads into their result type.
 
     Execution backend, chosen by ``queue``/``queue_dir``/``workers``:
 
@@ -170,33 +187,19 @@ class SweepRunner:
 
     def __init__(
         self,
-        jobs=None,
+        specs: list[dict],
         *,
-        codecs=None,
-        codec_configs=None,
-        scenes=None,
-        compute_msssim: bool = False,
         queue: JobQueue | None = None,
         queue_dir: str | os.PathLike | None = None,
         workers: int = 2,
         lease_seconds: float = 120.0,
         max_attempts: int = 3,
-        metric: str = "psnr",
-        anchor: str | None = None,
     ):
-        from repro.pipeline.facade import build_jobs
-
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
         if queue is not None and queue_dir is not None:
             raise ValueError("pass queue or queue_dir, not both")
-        self.specs = build_jobs(
-            jobs,
-            codecs=codecs,
-            codec_configs=codec_configs,
-            scenes=scenes,
-            compute_msssim=compute_msssim,
-        )
+        self.specs = list(specs)
         if queue is None:
             queue = (
                 DirectoryJobQueue(queue_dir, max_attempts=max_attempts)
@@ -206,8 +209,6 @@ class SweepRunner:
         self.queue = queue
         self.workers = workers
         self.lease_seconds = lease_seconds
-        self.metric = metric
-        self.anchor = anchor
         self.job_ids: list[str] = []
 
     def submit(self) -> list[str]:
@@ -307,18 +308,92 @@ class SweepRunner:
         results, failures = self._load_finished()
         return self._aggregate(results, failures, elapsed)
 
+    def _hydrated_reports(self, results: dict[str, dict]) -> list:
+        """Completed results in submission order, hydrated to the
+        typed report each job's task kind produces (submission order ==
+        lexicographic id order, thanks to the id's index prefix)."""
+        from repro.pipeline.tasks import hydrate_result
+
+        spec_by_id = dict(zip(self.job_ids, self.specs))
+        return [
+            hydrate_result(spec_by_id[job_id], results[job_id])
+            for job_id in sorted(set(self.job_ids))
+            if job_id in results
+        ]
+
+    def _aggregate(
+        self, results: dict[str, dict], failures: dict[str, str], elapsed: float
+    ):
+        raise NotImplementedError  # subclasses fold into their result type
+
+
+class SweepRunner(QueueRunner):
+    """Submit a grid of jobs to a queue and aggregate RD curves.
+
+    Job sources (same two styles as :func:`repro.pipeline.run_many`):
+    explicit ``jobs`` (``Pipeline`` objects or task-typed spec dicts —
+    encode, hardware, and dse-point jobs can mix in one sweep), or a
+    ``codecs``/``codec_configs``/``scenes`` encode grid /
+    ``platforms``/``platform_configs``/``resolutions`` hardware grid.
+    Execution semantics (``workers``/``queue_dir``/``lease_seconds``)
+    are :class:`QueueRunner`'s; the RD aggregation
+    (:class:`~repro.metrics.RDCurve` per (codec, scene) + BD-rate vs
+    ``anchor``) folds over the encode reports only — other kinds pass
+    through in ``SweepResult.reports`` as their own report types.
+    """
+
+    def __init__(
+        self,
+        jobs=None,
+        *,
+        codecs=None,
+        codec_configs=None,
+        scenes=None,
+        compute_msssim: bool = False,
+        platforms=None,
+        platform_configs=None,
+        resolutions=None,
+        queue: JobQueue | None = None,
+        queue_dir: str | os.PathLike | None = None,
+        workers: int = 2,
+        lease_seconds: float = 120.0,
+        max_attempts: int = 3,
+        metric: str = "psnr",
+        anchor: str | None = None,
+    ):
+        from repro.pipeline.facade import build_jobs
+
+        specs = build_jobs(
+            jobs,
+            codecs=codecs,
+            codec_configs=codec_configs,
+            scenes=scenes,
+            compute_msssim=compute_msssim,
+            platforms=platforms,
+            platform_configs=platform_configs,
+            resolutions=resolutions,
+        )
+        super().__init__(
+            specs,
+            queue=queue,
+            queue_dir=queue_dir,
+            workers=workers,
+            lease_seconds=lease_seconds,
+            max_attempts=max_attempts,
+        )
+        self.metric = metric
+        self.anchor = anchor
+
     def _aggregate(
         self, results: dict[str, dict], failures: dict[str, str], elapsed: float
     ) -> SweepResult:
         from repro.pipeline.reports import EncodeReport
 
-        # submission order == lexicographic id order (index prefix)
-        reports = [
-            EncodeReport.from_dict(results[job_id])
-            for job_id in sorted(set(self.job_ids))
-            if job_id in results
-        ]
-        curves = curves_from_reports(reports, metric=self.metric)
+        reports = self._hydrated_reports(results)
+        curves = curves_from_reports(
+            [r for r in reports if isinstance(r, EncodeReport)],
+            metric=self.metric,
+        )
         table = None
         if self.anchor is not None:
             if all(codec != self.anchor for codec, _ in curves):

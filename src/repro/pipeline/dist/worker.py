@@ -1,16 +1,18 @@
-"""The sweep worker loop: pop job specs, run pipelines, ack results.
+"""The sweep worker loop: pop job specs, run tasks, ack results.
 
 A worker is deliberately dumb: it claims one job at a time from a
-:class:`~repro.pipeline.dist.queues.JobQueue`, rehydrates the spec with
-:meth:`repro.pipeline.Pipeline.from_dict`, runs it, and acks the
-``to_dict()`` report.  All coordination — retries, lease recovery,
-result aggregation — lives in the queue and the
-:class:`~repro.pipeline.dist.sweep.SweepRunner`, so the same loop body
-serves every deployment shape: inline (serial execution), threads over
-a :class:`~repro.pipeline.dist.queues.MemoryJobQueue`, local processes
-over a :class:`~repro.pipeline.dist.queues.DirectoryJobQueue`, or
-processes on other hosts pointed at a shared queue directory (run
-:func:`worker_entry` there).
+:class:`~repro.pipeline.dist.queues.JobQueue`, dispatches the spec by
+its task kind through :func:`repro.pipeline.tasks.run_task` (a spec
+without a ``"kind"`` field is an encode job — every pre-task-typing
+spec still runs), and acks the resulting document.  All coordination —
+retries, lease recovery, result aggregation — lives in the queue and
+the :class:`~repro.pipeline.dist.sweep.SweepRunner`, so the same loop
+body serves every deployment shape: inline (serial execution), threads
+over a :class:`~repro.pipeline.dist.queues.MemoryJobQueue`, local
+processes over a :class:`~repro.pipeline.dist.queues.DirectoryJobQueue`,
+or processes on other hosts pointed at a shared queue directory (run
+:func:`worker_entry` there).  One fleet can drain a mixed queue —
+encode sweeps, hardware analyses, and DSE grids interleave freely.
 
 A job that raises is ``fail()``-ed with its traceback and will be
 retried by whoever claims it next, up to the queue's ``max_attempts``;
@@ -39,11 +41,16 @@ def default_worker_id() -> str:
 
 
 def execute_job(job: Job) -> dict:
-    """Run one job spec to its report document (the worker's unit of
-    work; import deferred so queue modules stay import-light)."""
-    from repro.pipeline import Pipeline
+    """Run one job spec to its result document (the worker's unit of
+    work; import deferred so queue modules stay import-light).
 
-    return Pipeline.from_dict(job.spec).run().to_dict()
+    Dispatch is by the spec's ``"kind"`` field via the task registry
+    (:mod:`repro.pipeline.tasks`); a spec with no ``kind`` runs as an
+    ``"encode"`` job, exactly as every worker before task typing did.
+    """
+    from repro.pipeline.tasks import run_task
+
+    return run_task(job.spec)
 
 
 def run_worker(

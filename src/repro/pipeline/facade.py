@@ -28,14 +28,8 @@ from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
-from repro.codec import SequenceBitstream, StreamReader, StreamWriter, decoder_graph
-from repro.hw import (
-    NVCAConfig,
-    analyze_graph,
-    area_report,
-    compare_traffic,
-    energy_report,
-)
+from repro.codec import SequenceBitstream, StreamReader, StreamWriter
+from repro.hw import NVCAConfig
 from repro.metrics import ms_ssim, psnr
 from repro.serialization import ConfigError, SerializableConfig
 from repro.video import SceneConfig, generate_sequence, iter_sequence
@@ -58,38 +52,16 @@ def analyze_hardware(
     config: NVCAConfig | dict | None = None,
 ) -> HardwareReport:
     """Full NVCA roll-up (perf + traffic + energy + area) for the
-    decoder workload at one resolution."""
-    if isinstance(config, dict):
-        config = NVCAConfig.from_dict(config)
-    config = config or NVCAConfig()
-    graph = decoder_graph(height, width, config.channels)
-    perf = analyze_graph(graph, config)
-    traffic = compare_traffic(graph, config)
-    energy = energy_report(perf.schedule, traffic, config=config)
-    area = area_report(config)
-    return HardwareReport(
-        graph_name=graph.name,
-        height=height,
-        width=width,
-        nvca_config=config.to_dict(),
-        fps=perf.fps,
-        frame_time_ms=perf.frame_time_s * 1e3,
-        total_cycles=perf.total_cycles,
-        sustained_gops=perf.sustained_gops,
-        equivalent_gops=perf.equivalent_gops,
-        sftc_utilization=perf.sftc_utilization,
-        per_module_cycles=dict(perf.per_module_cycles),
-        baseline_traffic_gb=traffic.baseline_total / 1e9,
-        chained_traffic_gb=traffic.chained_total / 1e9,
-        traffic_reduction=traffic.overall_reduction,
-        chip_power_w=energy.chip_power_w,
-        dram_energy_mj=energy.dram_energy_j * 1e3,
-        energy_efficiency_gops_per_w=energy.energy_efficiency_gops_per_w(
-            perf.sustained_gops
-        ),
-        total_mgates=area.total_mgates,
-        sram_kbytes=config.on_chip_kbytes(),
-    )
+    decoder workload at one resolution.
+
+    Thin shim over the platform registry — equivalent to
+    ``create_platform("nvca", config).analyze(height, width).hardware``
+    — kept because a plain "what does the paper's chip do at this
+    resolution" question should stay one call.
+    """
+    from .platforms import create_platform
+
+    return create_platform("nvca", config).hardware_report(height, width)
 
 
 class EncodeSession:
@@ -505,8 +477,74 @@ class Pipeline:
 
 def _run_spec(spec: dict) -> dict:
     """Process-pool worker: dict in, dict out (both picklable and
-    JSON-ready)."""
-    return Pipeline.from_dict(spec).run().to_dict()
+    JSON-ready), dispatched by the spec's task kind."""
+    from .tasks import run_task
+
+    return run_task(spec)
+
+
+def _encode_grid(codecs, codec_configs, scenes, compute_msssim) -> list:
+    """Expand the codecs x codec_configs x scenes cross product."""
+    known = set(available_codecs())
+    unknown = sorted({str(c) for c in codecs if c not in known})
+    if unknown:
+        raise ValueError(
+            f"unknown codec name(s) in grid: {', '.join(map(repr, unknown))}; "
+            f"available: {', '.join(sorted(known))}"
+        )
+    codec_configs = codec_configs if codec_configs is not None else [{}]
+    scenes = scenes if scenes is not None else [SceneConfig()]
+    jobs = []
+    for codec, overrides, scene in itertools.product(
+        codecs, codec_configs, scenes
+    ):
+        if isinstance(overrides, dict):
+            fields = {
+                f.name
+                for f in dataclasses.fields(codec_spec(codec).config_cls)
+            }
+            overrides = {k: v for k, v in overrides.items() if k in fields}
+        jobs.append(
+            Pipeline(codec, overrides, scene, compute_msssim=compute_msssim)
+        )
+    return jobs
+
+
+def _hardware_grid(platforms, platform_configs, resolutions) -> list[dict]:
+    """Expand the platforms x platform_configs x resolutions cross
+    product into ``"hardware"`` task specs."""
+    from .platforms import available_platforms, platform_entry
+
+    known = set(available_platforms())
+    unknown = sorted({str(p) for p in platforms if p not in known})
+    if unknown:
+        raise ValueError(
+            f"unknown platform name(s) in grid: "
+            f"{', '.join(map(repr, unknown))}; "
+            f"available: {', '.join(sorted(known))}"
+        )
+    platform_configs = platform_configs if platform_configs is not None else [{}]
+    resolutions = resolutions if resolutions is not None else [(1080, 1920)]
+    jobs = []
+    for platform, overrides, (height, width) in itertools.product(
+        platforms, platform_configs, resolutions
+    ):
+        if isinstance(overrides, dict):
+            fields = {
+                f.name
+                for f in dataclasses.fields(platform_entry(platform).config_cls)
+            }
+            overrides = {k: v for k, v in overrides.items() if k in fields}
+        jobs.append(
+            {
+                "kind": "hardware",
+                "platform": platform,
+                "config": overrides,
+                "height": int(height),
+                "width": int(width),
+            }
+        )
+    return jobs
 
 
 def build_jobs(
@@ -516,57 +554,60 @@ def build_jobs(
     codec_configs=None,
     scenes=None,
     compute_msssim: bool = False,
+    platforms=None,
+    platform_configs=None,
+    resolutions=None,
 ) -> list[dict]:
-    """Normalize either ``run_many`` calling style to validated specs.
+    """Normalize any ``run_many`` calling style to validated specs.
 
-    Explicit ``jobs`` (``Pipeline`` objects or spec dicts) pass through
-    ``Pipeline`` validation one by one; a grid expands the
+    Explicit ``jobs`` (``Pipeline`` objects or task-typed spec dicts —
+    a dict without ``"kind"`` is an encode job) pass through per-kind
+    validation one by one; a ``codecs`` grid expands the
     codecs x codec_configs x scenes cross product, skipping override
     keys a codec's config class does not define (so one grid can mix
-    ``qstep`` and ``qp``).  Codec names are validated *up front* —
-    before any job is built, let alone shipped to a pool or queue — so
-    a typo fails as one clear ``ValueError`` naming every offender
-    instead of a worker traceback mid-sweep.
+    ``qstep`` and ``qp``); a ``platforms`` grid expands
+    platforms x platform_configs x resolutions into ``"hardware"``
+    analysis jobs the same way.  Codec, platform, and task-kind names
+    are validated *up front* — before any job is built, let alone
+    shipped to a pool or queue — so a typo fails as one clear
+    ``ValueError`` naming every offender instead of a worker traceback
+    mid-sweep.
 
     Returns JSON-ready job-spec dicts (the on-wire unit of
     :mod:`repro.pipeline.dist`).
     """
     if jobs is None:
-        if codecs is None:
-            raise ValueError("run_many needs jobs=... or a codecs=[...] grid")
-        known = set(available_codecs())
-        unknown = sorted({str(c) for c in codecs if c not in known})
-        if unknown:
+        if codecs is not None and platforms is not None:
             raise ValueError(
-                f"unknown codec name(s) in grid: {', '.join(map(repr, unknown))}; "
-                f"available: {', '.join(sorted(known))}"
+                "pass a codecs=[...] grid or a platforms=[...] grid, not "
+                "both (build the two spec lists and concatenate them to mix)"
             )
-        codec_configs = codec_configs if codec_configs is not None else [{}]
-        scenes = scenes if scenes is not None else [SceneConfig()]
-        jobs = []
-        for codec, overrides, scene in itertools.product(
-            codecs, codec_configs, scenes
-        ):
-            if isinstance(overrides, dict):
-                fields = {
-                    f.name
-                    for f in dataclasses.fields(codec_spec(codec).config_cls)
-                }
-                overrides = {k: v for k, v in overrides.items() if k in fields}
-            jobs.append(
-                Pipeline(codec, overrides, scene, compute_msssim=compute_msssim)
+        if codecs is not None:
+            jobs = _encode_grid(codecs, codec_configs, scenes, compute_msssim)
+        elif platforms is not None:
+            if compute_msssim:
+                raise ValueError(
+                    "compute_msssim only applies to encode grids"
+                )
+            jobs = _hardware_grid(platforms, platform_configs, resolutions)
+        else:
+            raise ValueError(
+                "run_many needs jobs=... or a codecs=[...] / "
+                "platforms=[...] grid"
             )
     elif compute_msssim:
         raise ValueError(
             "compute_msssim only applies to grid mode; with explicit jobs, "
             "set it on each Pipeline"
         )
+    from .tasks import normalize_spec
+
     specs = []
     for job in jobs:
         if isinstance(job, Pipeline):
             specs.append(job.to_dict())
         elif isinstance(job, dict):
-            specs.append(Pipeline.from_dict(job).to_dict())
+            specs.append(normalize_spec(job))
         else:
             raise TypeError(
                 f"run_many jobs must be Pipeline or dict, got {type(job).__name__}"
@@ -581,26 +622,39 @@ def run_many(
     codec_configs=None,
     scenes=None,
     compute_msssim: bool = False,
+    platforms=None,
+    platform_configs=None,
+    resolutions=None,
     processes: int | None = None,
     backend: str | None = None,
     queue_dir=None,
     workers: int | None = None,
     lease_seconds: float = 120.0,
     max_attempts: int = 3,
-) -> list[EncodeReport]:
-    """Run a batch of encode jobs — inline, on a pool, or on a queue.
+) -> list:
+    """Run a batch of jobs — inline, on a pool, or on a queue.
 
-    Two calling styles:
+    Three calling styles:
 
     * explicit — ``run_many([Pipeline(...), {...}, ...])`` runs each
-      job as given (each job carries its own ``compute_msssim``);
-    * grid — ``run_many(codecs=[...], codec_configs=[...],
+      job as given (each job carries its own ``compute_msssim``).
+      Spec dicts are *task-typed*: a ``"kind"`` field selects the job
+      body (``"encode"``, ``"hardware"``, ``"dse-point"``, or any
+      :func:`repro.pipeline.register_task` plugin); a dict without
+      ``kind`` is an encode job, so pre-task-typing specs run
+      unchanged.  Kinds can mix in one batch.
+    * encode grid — ``run_many(codecs=[...], codec_configs=[...],
       scenes=[...])`` sweeps the cross product.  ``codec_configs``
       entries are dicts of overrides; for each codec, keys the codec's
       config class does not define are skipped, so one grid mixing
       codec-specific knobs (``qstep`` vs ``qp``) can still span
-      heterogeneous config classes.  Codec names are validated before
-      any execution starts.
+      heterogeneous config classes.
+    * hardware grid — ``run_many(platforms=[...],
+      platform_configs=[...], resolutions=[(h, w), ...])`` sweeps
+      platform analyses the same way.
+
+    Codec, platform, and task-kind names are validated before any
+    execution starts.
 
     Execution ``backend``:
 
@@ -622,11 +676,13 @@ def run_many(
       lease and their jobs are retried up to ``max_attempts`` times;
       see ``docs/distributed.md``.
 
-    Every backend returns the same thing: one :class:`EncodeReport`
-    per job, in submission order, numerically identical across
-    backends.  The queue backend raises ``RuntimeError`` if any job
-    dead-letters (use :class:`~repro.pipeline.dist.SweepRunner`
-    directly for partial-result tolerance and RD aggregation).
+    Every backend returns the same thing: one typed report per job —
+    :class:`EncodeReport`, :class:`~repro.pipeline.PlatformReport`, or
+    :class:`~repro.hw.DesignPoint`, by the job's kind — in submission
+    order, numerically identical across backends.  The queue backend
+    raises ``RuntimeError`` if any job dead-letters (use
+    :class:`~repro.pipeline.dist.SweepRunner` directly for
+    partial-result tolerance and RD aggregation).
     """
     if backend is None:
         backend = "pool" if processes else "inline"
@@ -641,6 +697,9 @@ def run_many(
         codec_configs=codec_configs,
         scenes=scenes,
         compute_msssim=compute_msssim,
+        platforms=platforms,
+        platform_configs=platform_configs,
+        resolutions=resolutions,
     )
 
     if backend == "queue":
@@ -681,4 +740,8 @@ def run_many(
     else:
         results = [_run_spec(spec) for spec in specs]
 
-    return [EncodeReport.from_dict(result) for result in results]
+    from .tasks import hydrate_result
+
+    return [
+        hydrate_result(spec, result) for spec, result in zip(specs, results)
+    ]

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["EncodeReport", "HardwareReport"]
+__all__ = ["EncodeReport", "HardwareReport", "PlatformReport"]
 
 
 @dataclass
@@ -161,4 +161,106 @@ class HardwareReport:
                 f"(-{self.traffic_reduction:.1%})"
             ),
         ]
+        return "\n".join(lines)
+
+
+@dataclass
+class PlatformReport:
+    """Table-II-shaped summary of one accelerator platform.
+
+    What every registered platform's ``analyze()`` returns: the
+    published-comparison attributes (technology, frequency, precision,
+    power, throughput, area) regardless of whether the platform is a
+    fixed reference column or a fully modeled accelerator.  Modeled
+    platforms (``"nvca"``) also attach the complete
+    :class:`HardwareReport` roll-up as ``hardware``; reference
+    platforms leave it ``None`` — their numbers are published
+    constants, independent of the workload resolution.
+    """
+
+    #: registry name ("nvca", "gpu-rtx3090", ...).
+    platform: str
+    #: display name (the Table II column header).
+    name: str
+    year: str
+    task: str
+    benchmark: str
+    technology_nm: int
+    frequency_mhz: float
+    precision: str
+    power_w: float
+    throughput_gops: float
+    gate_count_m: float | None = None
+    on_chip_kb: float | None = None
+    #: original node when the published figures were scaled (Table II's
+    #: dagger note).
+    scaled_from_nm: int | None = None
+    #: workload resolution the analysis ran at (None for references).
+    height: int | None = None
+    width: int | None = None
+    #: full NVCA roll-up when the platform is modeled, else None.
+    hardware: HardwareReport | None = None
+
+    @property
+    def energy_efficiency(self) -> float:
+        """GOPS per watt (the Table II bottom row)."""
+        return self.throughput_gops / self.power_w
+
+    def to_dict(self) -> dict:
+        return {
+            "platform": self.platform,
+            "name": self.name,
+            "year": self.year,
+            "task": self.task,
+            "benchmark": self.benchmark,
+            "technology_nm": self.technology_nm,
+            "frequency_mhz": self.frequency_mhz,
+            "precision": self.precision,
+            "power_w": self.power_w,
+            "throughput_gops": self.throughput_gops,
+            "energy_efficiency": self.energy_efficiency,
+            "gate_count_m": self.gate_count_m,
+            "on_chip_kb": self.on_chip_kb,
+            "scaled_from_nm": self.scaled_from_nm,
+            "height": self.height,
+            "width": self.width,
+            "hardware": self.hardware.to_dict() if self.hardware else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PlatformReport":
+        data = dict(data)
+        data.pop("energy_efficiency", None)  # derived, recomputed
+        hardware = data.pop("hardware", None)
+        report = cls(**data)
+        if hardware:
+            report.hardware = HardwareReport.from_dict(hardware)
+        return report
+
+    def render(self) -> str:
+        scaled = (
+            f" (scaled from {self.scaled_from_nm} nm)"
+            if self.scaled_from_nm
+            else ""
+        )
+        area = (
+            f"  gates: {self.gate_count_m:.2f} M, "
+            f"SRAM: {self.on_chip_kb:.0f} KB"
+            if self.gate_count_m is not None and self.on_chip_kb is not None
+            else "  gates/SRAM: not published"
+        )
+        lines = [
+            f"{self.name} [{self.platform}] — {self.task} ({self.benchmark}):",
+            (
+                f"  {self.technology_nm} nm{scaled}, "
+                f"{self.frequency_mhz:g} MHz, {self.precision}"
+            ),
+            (
+                f"  {self.throughput_gops:.0f} GOPS @ {self.power_w:.2f} W "
+                f"= {self.energy_efficiency:.0f} GOPS/W"
+            ),
+            area,
+        ]
+        if self.hardware is not None:
+            lines.append(self.hardware.render())
         return "\n".join(lines)

@@ -1,0 +1,343 @@
+"""Task kinds: typed dispatch for distributed job specs.
+
+PR 4's queue layer assumed every job was an encode; this registry
+generalizes the on-wire unit of work to *task kinds*.  A job spec is
+still one JSON document, but a ``"kind"`` field now names which task it
+is — and a spec with **no** ``kind`` field is an ``"encode"`` job, so
+every pre-existing queue directory, resume state, and job id keeps
+working unchanged.
+
+Three kinds register at import:
+
+* ``"encode"`` — a :class:`~repro.pipeline.Pipeline` run (codec,
+  codec_config, scene, ...), hydrating to
+  :class:`~repro.pipeline.EncodeReport`.
+* ``"hardware"`` — a platform analysis (``platform`` registry name,
+  platform ``config``, ``height``/``width``), hydrating to
+  :class:`~repro.pipeline.PlatformReport`.
+* ``"dse-point"`` — one NVCA design-space point (``label``, ``config``,
+  resolution), hydrating to :class:`~repro.hw.DesignPoint`.
+
+Each kind supplies three functions: ``normalize`` (validate a raw spec
+up front — on the submitting side, before anything ships to a pool or
+queue — and canonicalize it so content-derived job ids are stable),
+``execute`` (spec in, JSON-ready result document out; what
+:func:`repro.pipeline.dist.run_worker` runs), and ``hydrate`` (result
+document back to a typed report on the aggregating side).  Custom kinds
+plug in with :func:`register_task`; like codec and platform
+registrations, runtime registrations propagate to thread workers and
+``fork``-start processes only (``docs/distributed.md``).
+
+>>> from repro.pipeline import available_tasks
+>>> available_tasks()
+['dse-point', 'encode', 'hardware']
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.serialization import ConfigError
+
+__all__ = [
+    "TaskKind",
+    "TaskRegistryError",
+    "available_tasks",
+    "hydrate_result",
+    "normalize_spec",
+    "register_task",
+    "run_task",
+    "spec_kind",
+    "task_kind",
+    "unregister_task",
+]
+
+#: the kind assumed when a job spec carries no "kind" field — the
+#: shape every spec had before task typing existed.
+DEFAULT_KIND = "encode"
+
+
+class TaskRegistryError(ValueError):
+    """Registration conflict or unknown-task-kind lookup."""
+
+
+@dataclass(frozen=True)
+class TaskKind:
+    """One registry entry: the three phases of a typed job."""
+
+    name: str
+    #: raw spec -> validated canonical spec (raises on bad input).
+    normalize: Callable[[dict], dict]
+    #: canonical spec -> JSON-ready result document (the worker body).
+    execute: Callable[[dict], dict]
+    #: result document -> typed report object (the aggregating side).
+    hydrate: Callable[[dict], Any]
+    description: str = ""
+
+
+_REGISTRY: dict[str, TaskKind] = {}
+
+
+def register_task(
+    name: str,
+    *,
+    normalize: Callable[[dict], dict],
+    execute: Callable[[dict], dict],
+    hydrate: Callable[[dict], Any],
+    description: str = "",
+    overwrite: bool = False,
+) -> TaskKind:
+    """Register a task kind under ``name``."""
+    if not name or not isinstance(name, str):
+        raise TaskRegistryError(
+            f"task kind must be a non-empty string, got {name!r}"
+        )
+    if name in _REGISTRY and not overwrite:
+        raise TaskRegistryError(
+            f"task kind {name!r} is already registered "
+            f"({_REGISTRY[name].description!r}); "
+            "pass overwrite=True to replace it"
+        )
+    kind = TaskKind(
+        name=name,
+        normalize=normalize,
+        execute=execute,
+        hydrate=hydrate,
+        description=description,
+    )
+    _REGISTRY[name] = kind
+    return kind
+
+
+def unregister_task(name: str) -> None:
+    """Remove a registration (mainly for tests and plugin teardown)."""
+    _REGISTRY.pop(name, None)
+
+
+def available_tasks() -> list[str]:
+    """Sorted names of every registered task kind."""
+    return sorted(_REGISTRY)
+
+
+def task_kind(name: str) -> TaskKind:
+    """Look up a registry entry, with a helpful unknown-name error."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise TaskRegistryError(
+            f"unknown task kind {name!r}; available: "
+            f"{', '.join(available_tasks())}"
+        ) from None
+
+
+def spec_kind(spec: dict) -> str:
+    """The task kind a job spec names (missing ``kind`` = encode)."""
+    if not isinstance(spec, dict):
+        raise TaskRegistryError(
+            f"job spec must be a mapping, got {type(spec).__name__}"
+        )
+    kind = spec.get("kind", DEFAULT_KIND)
+    if not isinstance(kind, str):
+        raise TaskRegistryError(
+            f"job spec 'kind' must be a string, got {type(kind).__name__}"
+        )
+    return kind
+
+
+def normalize_spec(spec: dict) -> dict:
+    """Validate and canonicalize one job spec, whatever its kind.
+
+    This is the up-front check every submission path runs *before* a
+    job reaches a pool or queue, so a typo'd codec, platform, or task
+    name is one clear ``ValueError`` on the submitting side instead of
+    a worker traceback mid-sweep.
+    """
+    return task_kind(spec_kind(spec)).normalize(spec)
+
+
+def run_task(spec: dict) -> dict:
+    """Execute one job spec to its result document (the worker body)."""
+    return task_kind(spec_kind(spec)).execute(spec)
+
+
+def hydrate_result(spec: dict, result: dict) -> Any:
+    """Turn a worker's result document back into the typed report the
+    spec's kind produces."""
+    return task_kind(spec_kind(spec)).hydrate(result)
+
+
+# -- "encode" ---------------------------------------------------------------
+def _strip_kind(spec: dict) -> dict:
+    return {k: v for k, v in spec.items() if k != "kind"}
+
+
+def _normalize_encode(spec: dict) -> dict:
+    # Canonical form carries no "kind": byte-identical to every job
+    # document written before task typing, so content-derived ids (and
+    # therefore --resume against old queue directories) are stable.
+    from .facade import Pipeline
+
+    return Pipeline.from_dict(_strip_kind(spec)).to_dict()
+
+
+def _execute_encode(spec: dict) -> dict:
+    from .facade import Pipeline
+
+    return Pipeline.from_dict(_strip_kind(spec)).run().to_dict()
+
+
+def _hydrate_encode(result: dict):
+    from .reports import EncodeReport
+
+    return EncodeReport.from_dict(result)
+
+
+# -- "hardware" -------------------------------------------------------------
+_HARDWARE_FIELDS = ("kind", "platform", "config", "height", "width")
+
+
+def _check_fields(spec: dict, known: tuple[str, ...], kind: str) -> None:
+    unknown = sorted(set(spec) - set(known))
+    if unknown:
+        raise ConfigError(
+            f"{kind} job spec: unknown field(s) {', '.join(unknown)}; "
+            f"valid fields: {', '.join(known)}"
+        )
+
+
+def _resolution(spec: dict, kind: str) -> tuple[int, int]:
+    height = spec.get("height", 1080)
+    width = spec.get("width", 1920)
+    for label, value in (("height", height), ("width", width)):
+        if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+            raise ConfigError(
+                f"{kind} job spec: {label} must be a positive int, "
+                f"got {value!r}"
+            )
+    return height, width
+
+
+def _platform_config(spec: dict, kind: str):
+    """Resolve (platform name, canonical config dict), validating the
+    name against the platform registry up front."""
+    from .platforms import platform_entry
+
+    platform = spec.get("platform", "nvca")
+    entry = platform_entry(platform)  # raises listing what is available
+    config = spec.get("config")
+    if config is None:
+        config = entry.config_cls()
+    elif isinstance(config, dict):
+        config = entry.config_cls.from_dict(config)
+    elif not isinstance(config, entry.config_cls):
+        raise ConfigError(
+            f"{kind} job spec: platform {platform!r} expects a "
+            f"{entry.config_cls.__name__} config, got {type(config).__name__}"
+        )
+    return platform, entry, config
+
+
+def _normalize_hardware(spec: dict) -> dict:
+    _check_fields(spec, _HARDWARE_FIELDS, "hardware")
+    platform, _, config = _platform_config(spec, "hardware")
+    height, width = _resolution(spec, "hardware")
+    return {
+        "kind": "hardware",
+        "platform": platform,
+        "config": config.to_dict(),
+        "height": height,
+        "width": width,
+    }
+
+
+def _execute_hardware(spec: dict) -> dict:
+    from .platforms import create_platform
+
+    model = create_platform(spec.get("platform", "nvca"), spec.get("config"))
+    height, width = _resolution(spec, "hardware")
+    return model.analyze(height, width).to_dict()
+
+
+def _hydrate_hardware(result: dict):
+    from .reports import PlatformReport
+
+    return PlatformReport.from_dict(result)
+
+
+# -- "dse-point" ------------------------------------------------------------
+_DSE_FIELDS = ("kind", "label", "platform", "config", "height", "width")
+
+
+def _normalize_dse_point(spec: dict) -> dict:
+    from repro.hw import NVCAConfig
+
+    _check_fields(spec, _DSE_FIELDS, "dse-point")
+    platform, entry, config = _platform_config(spec, "dse-point")
+    if not (
+        isinstance(entry.config_cls, type)
+        and issubclass(entry.config_cls, NVCAConfig)
+    ):
+        raise ConfigError(
+            f"dse-point job spec: platform {platform!r} is a fixed "
+            "reference platform with no design space; DSE needs a "
+            "modeled platform ('nvca')"
+        )
+    height, width = _resolution(spec, "dse-point")
+    label = spec.get("label")
+    if label is None:
+        label = (
+            f"{config.pif}x{config.pof}@rho={config.rho:.2f}"
+            f"@{config.frequency_mhz:g}MHz"
+        )
+    elif not isinstance(label, str) or not label:
+        raise ConfigError(
+            f"dse-point job spec: label must be a non-empty string, "
+            f"got {label!r}"
+        )
+    return {
+        "kind": "dse-point",
+        "label": label,
+        "platform": platform,
+        "config": config.to_dict(),
+        "height": height,
+        "width": width,
+    }
+
+
+def _execute_dse_point(spec: dict) -> dict:
+    from .platforms import create_platform
+
+    model = create_platform(spec.get("platform", "nvca"), spec.get("config"))
+    height, width = _resolution(spec, "dse-point")
+    return model.design_point(height, width, spec["label"]).to_dict()
+
+
+def _hydrate_dse_point(result: dict):
+    from repro.hw import DesignPoint
+
+    return DesignPoint.from_dict(result)
+
+
+# -- built-in registrations -------------------------------------------------
+register_task(
+    "encode",
+    normalize=_normalize_encode,
+    execute=_execute_encode,
+    hydrate=_hydrate_encode,
+    description="one Pipeline encode/decode/measure run -> EncodeReport",
+)
+register_task(
+    "hardware",
+    normalize=_normalize_hardware,
+    execute=_execute_hardware,
+    hydrate=_hydrate_hardware,
+    description="one platform analysis -> PlatformReport",
+)
+register_task(
+    "dse-point",
+    normalize=_normalize_dse_point,
+    execute=_execute_dse_point,
+    hydrate=_hydrate_dse_point,
+    description="one NVCA design-space point -> DesignPoint",
+)

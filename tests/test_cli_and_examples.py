@@ -293,6 +293,7 @@ class TestExamples:
             "hardware_walkthrough.py",
             "streaming.py",
             "sweep_rd_curves.py",
+            "dse_pareto.py",
         ],
     )
     def test_example_runs(self, script):

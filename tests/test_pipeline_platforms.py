@@ -1,0 +1,138 @@
+"""Platform registry: registration semantics, the NVCA model, the
+Table II reference adapters, and node scaling."""
+
+import pytest
+
+from repro.hw import ALCHEMIST, GPU_RTX3090, NVCAConfig
+from repro.pipeline import (
+    NVCAModel,
+    PlatformRegistryError,
+    PlatformReport,
+    ReferencePlatformConfig,
+    analyze_hardware,
+    available_platforms,
+    create_platform,
+    platform_entry,
+    register_platform,
+    unregister_platform,
+)
+from repro.serialization import ConfigError
+
+RES = (288, 512)  # small decoder workload keeps analyses fast
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert available_platforms() == [
+            "alchemist", "cpu-i9-9900x", "gpu-rtx3090", "nvca", "shao-tcas22",
+        ]
+
+    def test_unknown_platform_lists_available(self):
+        with pytest.raises(PlatformRegistryError, match="nvca"):
+            platform_entry("tpu-v5")
+
+    def test_duplicate_registration_refused(self):
+        with pytest.raises(PlatformRegistryError, match="already registered"):
+            register_platform("nvca", NVCAModel, NVCAConfig)
+
+    def test_register_unregister_cycle(self):
+        register_platform("nvca-copy", NVCAModel, NVCAConfig, "test copy")
+        try:
+            assert "nvca-copy" in available_platforms()
+            model = create_platform("nvca-copy", pif=6)
+            assert model.config.pif == 6
+        finally:
+            unregister_platform("nvca-copy")
+        assert "nvca-copy" not in available_platforms()
+
+    def test_create_with_dict_and_overrides(self):
+        model = create_platform("nvca", {"pif": 6}, pof=18)
+        assert (model.config.pif, model.config.pof) == (6, 18)
+
+    def test_create_with_wrong_config_type(self):
+        with pytest.raises(PlatformRegistryError, match="NVCAConfig"):
+            create_platform("nvca", ReferencePlatformConfig())
+
+    def test_bad_config_field_is_config_error(self):
+        with pytest.raises(ConfigError, match="unknown field"):
+            create_platform("nvca", {"cores": 8})
+
+
+class TestNVCAModel:
+    def test_analyze_attaches_full_roll_up(self):
+        report = create_platform("nvca").analyze(*RES)
+        assert isinstance(report, PlatformReport)
+        assert report.platform == "nvca"
+        assert report.hardware is not None
+        assert report.hardware.fps > 0
+        assert report.throughput_gops == report.hardware.sustained_gops
+        assert report.power_w == report.hardware.chip_power_w
+        assert (report.height, report.width) == RES
+
+    def test_analyze_hardware_shim_matches_model(self):
+        # the legacy free function must stay a thin view of the model
+        shim = analyze_hardware(*RES).to_dict()
+        model = create_platform("nvca").analyze(*RES).hardware.to_dict()
+        assert shim == model
+
+    def test_config_knobs_flow_through(self):
+        small = create_platform("nvca", pif=6, pof=6).analyze(*RES)
+        big = create_platform("nvca", pif=18, pof=18).analyze(*RES)
+        assert small.hardware.fps < big.hardware.fps
+        assert small.gate_count_m < big.gate_count_m
+
+    def test_design_point_matches_hardware_numbers(self):
+        model = create_platform("nvca")
+        point = model.design_point(*RES, "paper")
+        hardware = model.analyze(*RES).hardware
+        assert point.fps == hardware.fps
+        assert point.sustained_gops == hardware.sustained_gops
+        assert point.chip_power_w == hardware.chip_power_w
+
+
+class TestReferencePlatforms:
+    def test_published_constants(self):
+        report = create_platform("gpu-rtx3090").analyze(*RES)
+        assert report.hardware is None  # nothing modeled, just recorded
+        assert report.throughput_gops == GPU_RTX3090.throughput_gops
+        assert report.power_w == GPU_RTX3090.power_w
+        assert report.energy_efficiency == pytest.approx(
+            GPU_RTX3090.throughput_gops / GPU_RTX3090.power_w
+        )
+
+    def test_resolution_independent(self):
+        model = create_platform("cpu-i9-9900x")
+        assert model.analyze(288, 512).to_dict() == model.analyze(
+            1080, 1920
+        ).to_dict()
+
+    def test_node_scaling_config(self):
+        scaled = create_platform("alchemist", technology_nm=28).analyze(*RES)
+        assert scaled.technology_nm == 28
+        assert scaled.scaled_from_nm == ALCHEMIST.technology_nm
+        # constant-field scaling: faster clock, lower power at 28 nm
+        assert scaled.frequency_mhz > ALCHEMIST.frequency_mhz
+        assert scaled.power_w < ALCHEMIST.power_w
+
+    def test_invalid_node_rejected(self):
+        with pytest.raises(ConfigError, match="positive"):
+            create_platform("alchemist", {"technology_nm": -3})
+
+
+class TestPlatformReport:
+    def test_dict_round_trip(self):
+        report = create_platform("nvca").analyze(*RES)
+        again = PlatformReport.from_dict(report.to_dict())
+        assert again.to_dict() == report.to_dict()
+        assert again.hardware.fps == report.hardware.fps
+
+    def test_reference_round_trip_without_hardware(self):
+        report = create_platform("shao-tcas22").analyze(*RES)
+        again = PlatformReport.from_dict(report.to_dict())
+        assert again.hardware is None
+        assert again.to_dict() == report.to_dict()
+
+    def test_render_mentions_platform_and_efficiency(self):
+        text = create_platform("gpu-rtx3090").analyze(*RES).render()
+        assert "gpu-rtx3090" in text
+        assert "GOPS/W" in text

@@ -1,0 +1,187 @@
+"""Task-typed job specs: kind dispatch, up-front validation, legacy
+encode compatibility, and mixed-kind execution across backends."""
+
+import pytest
+
+from repro.hw import DesignPoint
+from repro.pipeline import (
+    EncodeReport,
+    Pipeline,
+    PlatformReport,
+    TaskRegistryError,
+    available_tasks,
+    build_jobs,
+    hydrate_result,
+    normalize_spec,
+    register_task,
+    run_many,
+    run_task,
+    spec_kind,
+    unregister_task,
+)
+from repro.serialization import ConfigError
+
+SCENE = {"height": 32, "width": 48, "frames": 2}
+RES = (270, 480)
+HW_SPEC = {"kind": "hardware", "platform": "gpu-rtx3090"}
+DSE_SPEC = {
+    "kind": "dse-point",
+    "label": "paper",
+    "config": {"pif": 12, "pof": 12},
+    "height": RES[0],
+    "width": RES[1],
+}
+
+
+class TestKindDispatch:
+    def test_builtin_kinds(self):
+        assert available_tasks() == ["dse-point", "encode", "hardware"]
+
+    def test_missing_kind_is_encode(self):
+        spec = Pipeline("classical", {"qp": 8.0}, scene=SCENE).to_dict()
+        assert "kind" not in spec
+        assert spec_kind(spec) == "encode"
+        report = hydrate_result(spec, run_task(spec))
+        assert isinstance(report, EncodeReport)
+        assert report.codec == "classical"
+
+    def test_explicit_encode_kind_normalizes_to_legacy_shape(self):
+        spec = Pipeline("classical", {"qp": 8.0}, scene=SCENE).to_dict()
+        tagged = {**spec, "kind": "encode"}
+        # canonical form drops the tag, so content-derived job ids (and
+        # resume against pre-task-typing queue dirs) stay stable
+        assert normalize_spec(tagged) == normalize_spec(spec) == spec
+
+    def test_unknown_kind_lists_available(self):
+        with pytest.raises(TaskRegistryError, match="encode"):
+            normalize_spec({"kind": "transcode"})
+        with pytest.raises(TaskRegistryError, match="transcode"):
+            run_task({"kind": "transcode"})
+
+    def test_non_string_kind_rejected(self):
+        with pytest.raises(TaskRegistryError, match="string"):
+            spec_kind({"kind": 3})
+
+    def test_register_unregister_custom_kind(self):
+        register_task(
+            "noop",
+            normalize=lambda spec: {"kind": "noop"},
+            execute=lambda spec: {"ok": True},
+            hydrate=lambda result: result["ok"],
+        )
+        try:
+            assert run_task({"kind": "noop"}) == {"ok": True}
+            assert hydrate_result({"kind": "noop"}, {"ok": True}) is True
+            with pytest.raises(TaskRegistryError, match="already registered"):
+                register_task(
+                    "noop",
+                    normalize=lambda s: s,
+                    execute=lambda s: {},
+                    hydrate=lambda r: r,
+                )
+        finally:
+            unregister_task("noop")
+        assert "noop" not in available_tasks()
+
+
+class TestHardwareTask:
+    def test_normalize_canonicalizes_config(self):
+        spec = normalize_spec({"kind": "hardware", "platform": "nvca"})
+        assert spec["config"]["pif"] == 12  # defaults materialized
+        assert (spec["height"], spec["width"]) == (1080, 1920)
+
+    def test_unknown_platform_fails_up_front(self):
+        with pytest.raises(ValueError, match="available"):
+            normalize_spec({"kind": "hardware", "platform": "tpu-v5"})
+
+    def test_unknown_field_fails_up_front(self):
+        with pytest.raises(ConfigError, match="unknown field"):
+            normalize_spec({"kind": "hardware", "scene": SCENE})
+
+    def test_bad_resolution_fails_up_front(self):
+        with pytest.raises(ConfigError, match="height"):
+            normalize_spec({"kind": "hardware", "height": 0})
+
+    def test_execute_and_hydrate(self):
+        result = run_task(HW_SPEC)
+        report = hydrate_result(HW_SPEC, result)
+        assert isinstance(report, PlatformReport)
+        assert report.platform == "gpu-rtx3090"
+
+
+class TestDsePointTask:
+    def test_execute_and_hydrate(self):
+        spec = normalize_spec(DSE_SPEC)
+        point = hydrate_result(spec, run_task(spec))
+        assert isinstance(point, DesignPoint)
+        assert point.label == "paper"
+        assert point.fps > 0
+
+    def test_default_label_is_deterministic(self):
+        spec = normalize_spec({"kind": "dse-point", "height": 270, "width": 480})
+        assert spec["label"] == "12x12@rho=0.50@400MHz"
+
+    def test_reference_platform_has_no_design_space(self):
+        with pytest.raises(ConfigError, match="reference platform"):
+            normalize_spec({"kind": "dse-point", "platform": "gpu-rtx3090"})
+
+
+class TestRunManyTaskJobs:
+    def test_mixed_kinds_inline(self):
+        reports = run_many(
+            jobs=[
+                Pipeline("classical", {"qp": 8.0}, scene=SCENE),
+                HW_SPEC,
+                DSE_SPEC,
+            ]
+        )
+        assert isinstance(reports[0], EncodeReport)
+        assert isinstance(reports[1], PlatformReport)
+        assert isinstance(reports[2], DesignPoint)
+
+    def test_mixed_kinds_queue_matches_inline(self):
+        jobs = [
+            Pipeline("classical", {"qp": 8.0}, scene=SCENE).to_dict(),
+            HW_SPEC,
+            DSE_SPEC,
+        ]
+        inline = run_many(jobs)
+        queued = run_many(jobs, backend="queue", workers=2)
+        for a, b in zip(inline, queued):
+            a_dict, b_dict = a.to_dict(), b.to_dict()
+            for volatile in ("encode_seconds", "decode_seconds"):
+                a_dict.pop(volatile, None), b_dict.pop(volatile, None)
+            assert a_dict == b_dict
+
+    def test_platform_grid(self):
+        reports = run_many(
+            platforms=["gpu-rtx3090", "cpu-i9-9900x"], resolutions=[RES]
+        )
+        assert [r.platform for r in reports] == ["gpu-rtx3090", "cpu-i9-9900x"]
+
+    def test_platform_grid_skips_undefined_config_keys(self):
+        # one config document can span nvca and reference platforms
+        reports = run_many(
+            platforms=["nvca", "alchemist"],
+            platform_configs=[{"pif": 6, "pof": 6, "technology_nm": 28}],
+            resolutions=[RES],
+        )
+        assert reports[0].hardware.nvca_config["pif"] == 6
+        assert reports[1].technology_nm == 28
+
+    def test_unknown_platform_in_grid_fails_before_execution(self):
+        with pytest.raises(ValueError, match="unknown platform name"):
+            run_many(platforms=["nosuch", "nvca"], resolutions=[RES])
+
+    def test_unknown_kind_fails_before_queue_submit(self, tmp_path):
+        with pytest.raises(TaskRegistryError, match="unknown task kind"):
+            run_many(
+                jobs=[{"kind": "transcode"}],
+                backend="queue",
+                queue_dir=str(tmp_path / "q"),
+            )
+        assert not (tmp_path / "q").exists()
+
+    def test_codecs_and_platforms_grids_cannot_mix(self):
+        with pytest.raises(ValueError, match="not\\s+both"):
+            build_jobs(codecs=["classical"], platforms=["nvca"])
