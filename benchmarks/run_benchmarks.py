@@ -327,6 +327,22 @@ def bench_sweep(repeats: int) -> dict:
         "jobs_per_s": num_jobs / procs_s,
         "x_vs_inline": serial_s / procs_s,
     }
+
+    def run_http_queue():
+        from repro.pipeline.dist import HttpJobQueue, MemoryJobQueue, QueueServer
+
+        with QueueServer(MemoryJobQueue(), port=0) as server:
+            return SweepRunner(
+                **grid, queue=HttpJobQueue(server.url), workers=2
+            ).run()
+
+    http_s, result = _time(run_http_queue, repeats)
+    assert result.ok and len(result.reports) == num_jobs
+    report["queue_http_x2"] = {
+        "seconds": http_s,
+        "jobs_per_s": num_jobs / http_s,
+        "x_vs_inline": serial_s / http_s,
+    }
     return report
 
 
@@ -434,7 +450,12 @@ def main(argv=None) -> int:
 
         print("== sweep executor (4-job classical grid) ==")
         sweep = bench_sweep(repeats)
-        for backend in ("inline", "queue_threads_x2", "queue_processes_x2"):
+        for backend in (
+            "inline",
+            "queue_threads_x2",
+            "queue_processes_x2",
+            "queue_http_x2",
+        ):
             row = sweep[backend]
             extra = (
                 f"  x_vs_inline={row['x_vs_inline']:.2f}"

@@ -14,10 +14,20 @@ Subcommands:
                    back to frames, reporting rate/quality; ``--output``
                    writes the reconstruction as raw YUV 4:2:0.
 * ``sweep``      — run a (codec, qp, scene) RD grid on the work-queue
-                   backend (``--workers N`` threads, or processes with
-                   ``--queue-dir``; ``--resume`` continues an
-                   interrupted sweep from the same directory) and
-                   aggregate RD curves + BD-rate vs ``--anchor``.
+                   backend (``--workers N`` threads, processes with
+                   ``--queue-dir``, or HTTP worker processes against a
+                   ``repro serve`` daemon with ``--queue-url``;
+                   ``--resume`` continues an interrupted sweep from
+                   the same directory or server) and aggregate RD
+                   curves + BD-rate vs ``--anchor``.
+* ``serve``      — run the JSON-over-HTTP job-queue daemon
+                   (``--queue-dir`` for durable state, ``--autoscale``
+                   to grow/shrink a local worker fleet against queue
+                   depth and lease expiries).
+* ``worker``     — join a fleet: drain jobs from a ``repro serve``
+                   daemon (``--queue-url``) or a shared queue
+                   directory (``--queue-dir``) until empty, or
+                   ``--forever``.
 * ``hardware``   — analyze a registered accelerator platform:
                    ``--platform nvca`` (default) runs the full NVCA
                    performance/energy/area roll-up with the operating
@@ -29,8 +39,8 @@ Subcommands:
 * ``dse``        — sweep one NVCA design-space axis (``--grid
                    geometry|sparsity|frequency``) through the same
                    work-queue backend as ``sweep`` (``--workers``,
-                   ``--queue-dir``, ``--resume``) and report the
-                   design-point table with its Pareto front
+                   ``--queue-dir``, ``--queue-url``, ``--resume``) and
+                   report the design-point table with its Pareto front
                    (``--pareto`` for the frontier alone).
 
 Every subcommand accepts ``--json`` to emit the structured report
@@ -376,12 +386,18 @@ def _cmd_sweep(args) -> int:
     status = _check_queue_dir(args, "sweep")
     if status:
         return status
+    queue = None
+    if args.queue_url:
+        queue, status = _remote_queue(args, "sweep")
+        if status:
+            return status
 
     runner = SweepRunner(
         codecs=codecs,
         codec_configs=configs,
         scenes=scenes,
         compute_msssim=args.msssim,
+        queue=queue,
         queue_dir=args.queue_dir,
         workers=args.workers,
         lease_seconds=args.lease,
@@ -442,9 +458,15 @@ def _cmd_hardware(args) -> int:
 
 def _check_queue_dir(args, command: str) -> int:
     """Shared --queue-dir/--resume hygiene for sweep-shaped commands."""
-    if args.resume and not args.queue_dir:
-        print(f"repro {command}: --resume needs --queue-dir (the durable "
-              "queue state to continue from)", file=sys.stderr)
+    queue_url = getattr(args, "queue_url", None)
+    if queue_url and args.queue_dir:
+        print(f"repro {command}: pass --queue-url or --queue-dir, not both "
+              "(the server owns the backing queue; point workers and runners "
+              "at its URL)", file=sys.stderr)
+        return 2
+    if args.resume and not (args.queue_dir or queue_url):
+        print(f"repro {command}: --resume needs --queue-dir or --queue-url "
+              "(the durable queue state to continue from)", file=sys.stderr)
         return 2
     if args.queue_dir and not args.resume:
         leftover = [
@@ -462,6 +484,26 @@ def _check_queue_dir(args, command: str) -> int:
             )
             return 2
     return 0
+
+
+def _remote_queue(args, command: str):
+    """Build the HttpJobQueue for --queue-url, with the same
+    already-holds-jobs hygiene as --queue-dir; returns (queue, status)."""
+    from repro.pipeline.dist import HttpJobQueue
+
+    queue = HttpJobQueue(args.queue_url)
+    if not args.resume:
+        stats = queue.stats()
+        total = stats.pending + stats.claimed + stats.done + stats.failed
+        if total:
+            print(
+                f"repro {command}: queue at {queue.url} already holds "
+                f"{total} job(s); pass --resume to continue that run or "
+                "point --queue-url at a fresh server",
+                file=sys.stderr,
+            )
+            return None, 2
+    return queue, 0
 
 
 def _dse_csv_rows(result) -> list[list]:
@@ -536,6 +578,11 @@ def _cmd_dse(args) -> int:
     status = _check_queue_dir(args, "dse")
     if status:
         return status
+    queue = None
+    if args.queue_url:
+        queue, status = _remote_queue(args, "dse")
+        if status:
+            return status
 
     specs = dse_grid(
         args.grid,
@@ -547,6 +594,7 @@ def _cmd_dse(args) -> int:
     )
     runner = DSERunner(
         specs,
+        queue=queue,
         queue_dir=args.queue_dir,
         workers=args.workers,
         lease_seconds=args.lease,
@@ -569,6 +617,112 @@ def _cmd_dse(args) -> int:
         payload["points"] = payload["pareto"]
     _emit(args, result.render(pareto_only=args.pareto), payload)
     return 0 if result.ok else 1
+
+
+def _cmd_serve(args) -> int:
+    """Run the JSON-over-HTTP queue daemon (optionally autoscaling a
+    local worker fleet against it)."""
+    import threading
+
+    from repro.pipeline.dist import (
+        Autoscaler,
+        DirectoryJobQueue,
+        MemoryJobQueue,
+        QueueServer,
+        spawn_http_worker,
+    )
+
+    if args.queue_dir:
+        queue = DirectoryJobQueue(args.queue_dir, max_attempts=args.max_attempts)
+        backend = f"directory queue {args.queue_dir!r}"
+    else:
+        queue = MemoryJobQueue(max_attempts=args.max_attempts)
+        backend = "in-memory queue (state dies with the server; pass "\
+                  "--queue-dir for durability and --resume)"
+    server = QueueServer(queue, host=args.host, port=args.port)
+    # Scraped by scripts/CI to discover an ephemeral --port 0 address;
+    # keep the "serving on <url>" shape stable.
+    print(f"serving on {server.url}\n  backend: {backend}", flush=True)
+    stop = threading.Event()
+    scaler_thread = None
+    if args.autoscale:
+        scaler = Autoscaler(
+            queue,
+            lambda: spawn_http_worker(server.url, lease_seconds=args.lease),
+            min_workers=args.min_workers,
+            max_workers=args.max_workers,
+            backlog_per_worker=args.backlog_per_worker,
+            cooldown_seconds=args.cooldown,
+        )
+        scaler_thread = threading.Thread(
+            target=scaler.run,
+            kwargs={"should_stop": stop.is_set},
+            daemon=True,
+        )
+        scaler_thread.start()
+        print(
+            f"  autoscaling {args.min_workers}..{args.max_workers} workers "
+            f"(backlog/worker {args.backlog_per_worker}, "
+            f"cooldown {args.cooldown:g}s)",
+            flush=True,
+        )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        stop.set()
+        if scaler_thread is not None:
+            scaler_thread.join(timeout=30.0)
+        server.stop()
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    """Join a worker fleet: drain jobs from a queue server (or a shared
+    queue directory) until it is empty — or forever with --forever."""
+    from repro.pipeline.dist import (
+        DirectoryJobQueue,
+        default_worker_id,
+        http_worker_entry,
+        run_worker,
+    )
+
+    if bool(args.queue_url) == bool(args.queue_dir):
+        print(
+            "repro worker: pass exactly one of --queue-url (a repro serve "
+            "daemon) or --queue-dir (a shared queue directory)",
+            file=sys.stderr,
+        )
+        return 2
+    worker_id = args.id or default_worker_id()
+    try:
+        if args.queue_url:
+            completed = http_worker_entry(
+                args.queue_url,
+                worker_id,
+                lease_seconds=args.lease,
+                poll_seconds=args.poll,
+                max_jobs=args.max_jobs,
+                stop_when_drained=not args.forever,
+            )
+        else:
+            queue = DirectoryJobQueue(
+                args.queue_dir, max_attempts=args.max_attempts
+            )
+            completed = run_worker(
+                queue,
+                worker_id,
+                lease_seconds=args.lease,
+                poll_seconds=args.poll,
+                max_jobs=args.max_jobs,
+                stop_when_drained=not args.forever,
+            )
+    except KeyboardInterrupt:
+        print(f"worker {worker_id}: interrupted", file=sys.stderr)
+        return 130
+    print(f"worker {worker_id}: completed {completed} job(s)")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -716,10 +870,17 @@ def main(argv=None) -> int:
         "the filesystem can attach workers; enables --resume)",
     )
     swp.add_argument(
+        "--queue-url",
+        default=None,
+        help="run the grid through a repro serve daemon at this URL; workers "
+        "are local processes talking HTTP, and remote hosts can join with "
+        "'repro worker --queue-url'",
+    )
+    swp.add_argument(
         "--resume",
         action="store_true",
-        help="continue an interrupted sweep from --queue-dir (finished jobs "
-        "are not re-run)",
+        help="continue an interrupted sweep from --queue-dir or --queue-url "
+        "(finished jobs are not re-run)",
     )
     swp.add_argument(
         "--lease",
@@ -846,9 +1007,15 @@ def main(argv=None) -> int:
         "sharing the filesystem can attach workers; enables --resume)",
     )
     dse.add_argument(
+        "--queue-url", default=None,
+        help="run the grid through a repro serve daemon at this URL; "
+        "workers are local processes talking HTTP, and remote hosts can "
+        "join with 'repro worker --queue-url'",
+    )
+    dse.add_argument(
         "--resume", action="store_true",
-        help="continue an interrupted grid from --queue-dir (finished "
-        "points are not re-run)",
+        help="continue an interrupted grid from --queue-dir or --queue-url "
+        "(finished points are not re-run)",
     )
     dse.add_argument(
         "--lease", type=float, default=120.0,
@@ -874,13 +1041,93 @@ def main(argv=None) -> int:
     dse.add_argument("--json", action="store_true", help="emit structured JSON")
     dse.set_defaults(func=_cmd_dse)
 
+    srv = sub.add_parser(
+        "serve",
+        help="run the JSON-over-HTTP job-queue daemon for network sweeps",
+    )
+    srv.add_argument(
+        "--queue-dir",
+        default=None,
+        help="serve a directory-backed queue (durable: a restarted server "
+        "over the same directory keeps all job state, and sweeps --resume); "
+        "default is an in-memory queue that dies with the server",
+    )
+    srv.add_argument("--host", default="127.0.0.1",
+                     help="bind address (default loopback; 0.0.0.0 to "
+                     "accept remote workers)")
+    srv.add_argument("--port", type=int, default=8642,
+                     help="TCP port (0 picks a free one; the chosen URL is "
+                     "printed at startup)")
+    srv.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="tries per job before it dead-letters (backing-queue policy)",
+    )
+    srv.add_argument(
+        "--autoscale", action="store_true",
+        help="also run an autoscaler growing/shrinking a local worker fleet "
+        "against queue depth and lease expiries",
+    )
+    srv.add_argument("--min-workers", type=int, default=0,
+                     help="autoscaler floor (default 0: idle fleet scales "
+                     "to nothing)")
+    srv.add_argument("--max-workers", type=int, default=4,
+                     help="autoscaler ceiling")
+    srv.add_argument(
+        "--backlog-per-worker", type=int, default=4,
+        help="scale-up threshold: target at most this many pending jobs "
+        "per alive worker",
+    )
+    srv.add_argument("--cooldown", type=float, default=2.0,
+                     help="seconds between autoscaler actions")
+    srv.add_argument(
+        "--lease", type=float, default=120.0,
+        help="per-job lease seconds for autoscaled workers",
+    )
+    srv.set_defaults(func=_cmd_serve, json=False, output=None)
+
+    wrk = sub.add_parser(
+        "worker",
+        help="join a worker fleet (network or shared-filesystem queue)",
+    )
+    wrk.add_argument(
+        "--queue-url", default=None,
+        help="repro serve daemon to drain (heartbeats feed its /stats)",
+    )
+    wrk.add_argument(
+        "--queue-dir", default=None,
+        help="shared queue directory to drain instead of a server",
+    )
+    wrk.add_argument("--id", default=None,
+                     help="worker id for lease attribution "
+                     "(default: host-pid)")
+    wrk.add_argument(
+        "--lease", type=float, default=120.0,
+        help="per-job lease seconds (size well above the slowest job)",
+    )
+    wrk.add_argument("--max-jobs", type=int, default=None,
+                     help="exit after completing this many jobs")
+    wrk.add_argument("--poll", type=float, default=0.05,
+                     help="idle poll interval in seconds")
+    wrk.add_argument(
+        "--forever", action="store_true",
+        help="keep polling an empty queue instead of exiting when drained",
+    )
+    wrk.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="tries per job before dead-letter (--queue-dir only; the "
+        "server's backing queue owns this over HTTP)",
+    )
+    wrk.set_defaults(func=_cmd_worker, json=False, output=None)
+
     from repro.pipeline import CodecRegistryError
+    from repro.pipeline.dist import HttpQueueError
     from repro.serialization import ConfigError
 
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (ConfigError, CodecRegistryError, ValueError, OSError) as exc:
+    except (ConfigError, CodecRegistryError, HttpQueueError,
+            ValueError, OSError) as exc:
         # User-input errors get a clean one-liner; genuine internal
         # failures still traceback so they stay diagnosable.
         print(f"repro {args.command or 'reproduce'}: {exc}", file=sys.stderr)

@@ -61,7 +61,14 @@ from .facade import (
     build_jobs,
     run_many,
 )
-from .dist import QueueRunner, SweepResult, SweepRunner
+from .dist import (
+    Autoscaler,
+    HttpJobQueue,
+    QueueRunner,
+    QueueServer,
+    SweepResult,
+    SweepRunner,
+)
 from .dse import DSEResult, DSERunner, dse_grid, dse_point_spec
 from .platforms import (
     AcceleratorModel,
@@ -103,6 +110,7 @@ from .tasks import (
 __all__ = [
     "CONFIG_TYPES",
     "AcceleratorModel",
+    "Autoscaler",
     "CodecRegistryError",
     "CodecSpec",
     "ConfigError",
@@ -111,12 +119,14 @@ __all__ = [
     "EncodeReport",
     "EncodeSession",
     "HardwareReport",
+    "HttpJobQueue",
     "NVCAModel",
     "Pipeline",
     "PlatformEntry",
     "PlatformRegistryError",
     "PlatformReport",
     "QueueRunner",
+    "QueueServer",
     "ReferencePlatform",
     "ReferencePlatformConfig",
     "SweepResult",

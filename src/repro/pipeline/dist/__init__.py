@@ -15,34 +15,54 @@ package is that seam made real.  Three layers, bottom up:
   :func:`repro.pipeline.tasks.run_task` (encode pipelines, hardware
   analyses, and DSE points share one fleet), ack the result; failures
   are retried by whoever claims next.
+* :mod:`~repro.pipeline.dist.net` — the network transport:
+  :class:`QueueServer` serves any backing queue as JSON-over-HTTP (the
+  ``repro serve`` daemon); :class:`HttpJobQueue` is the client
+  implementing the same :class:`JobQueue` protocol over the wire, so
+  runners and workers on any host that can reach the server
+  participate unchanged (``repro worker --queue-url``).
+* :mod:`~repro.pipeline.dist.autoscale` — :class:`Autoscaler`: grows
+  and shrinks a local worker-process fleet against observed queue
+  depth and lease-expiry rate.
 * :mod:`~repro.pipeline.dist.sweep` — :class:`QueueRunner`: submit a
-  spec list, babysit the fleet (lease reaping, crash respawns), and
-  hand terminal payloads to an aggregation.  :class:`SweepRunner`
-  folds encode reports into per-(codec, scene)
-  :class:`~repro.metrics.RDCurve` objects with BD-rate deltas;
-  :class:`~repro.pipeline.dse.DSERunner` folds design points into
-  Pareto fronts.
+  spec list, babysit the fleet (lease reaping, crash respawns), drain
+  results incrementally, and hand terminal payloads to an
+  aggregation.  :class:`SweepRunner` folds encode reports into
+  per-(codec, scene) :class:`~repro.metrics.RDCurve` objects with
+  BD-rate deltas; :class:`~repro.pipeline.dse.DSERunner` folds design
+  points into Pareto fronts.
 
 Front doors: ``run_many(backend="queue", ...)`` and the ``repro
-sweep`` / ``repro dse`` CLI subcommands.  Protocol semantics and the
-job-spec schema are documented in ``docs/distributed.md``.
+serve`` / ``repro worker`` / ``repro sweep`` / ``repro dse`` CLI
+subcommands.  Protocol semantics, the job-spec schema, and the HTTP
+wire schema are documented in ``docs/distributed.md``.
 """
 
+from .autoscale import Autoscaler, spawn_directory_worker, spawn_http_worker
+from .net import HttpJobQueue, HttpQueueError, QueueServer, http_worker_entry
 from .queues import DirectoryJobQueue, Job, JobQueue, MemoryJobQueue, QueueStats
 from .sweep import QueueRunner, SweepResult, SweepRunner, job_id_for_spec
-from .worker import default_worker_id, run_worker, worker_entry
+from .worker import Heartbeat, default_worker_id, run_worker, worker_entry
 
 __all__ = [
+    "Autoscaler",
     "DirectoryJobQueue",
+    "Heartbeat",
+    "HttpJobQueue",
+    "HttpQueueError",
     "Job",
     "JobQueue",
     "MemoryJobQueue",
     "QueueRunner",
+    "QueueServer",
     "QueueStats",
     "SweepResult",
     "SweepRunner",
     "default_worker_id",
+    "http_worker_entry",
     "job_id_for_spec",
     "run_worker",
+    "spawn_directory_worker",
+    "spawn_http_worker",
     "worker_entry",
 ]

@@ -1,0 +1,247 @@
+"""Autoscaling a local worker fleet against observed queue pressure.
+
+The :class:`Autoscaler` closes the loop the network transport opens:
+once jobs arrive over HTTP (:mod:`repro.pipeline.dist.net`) the
+serving host no longer knows in advance how many workers a grid
+needs, so it watches two signals on the queue itself —
+
+* **depth** — pending jobs per alive worker (``backlog_per_worker``
+  is the scale-up threshold), and
+* **lease-expiry rate** — a reaped lease means a worker died mid-job,
+  so the fleet is down a hand regardless of depth,
+
+and grows or shrinks a fleet of local worker *processes* between
+``min_workers`` and ``max_workers``, with a ``cooldown_seconds``
+damper between actions so a bursty queue doesn't thrash the fleet.
+Scale-down is deliberately conservative: workers are only terminated
+when the queue is fully idle (nothing pending, nothing claimed), so a
+kill can never orphan a lease mid-job.
+
+The scaling *decision* (:meth:`Autoscaler.desired_workers`) is a pure
+function of observed numbers, unit-testable without processes; the
+*actuation* (:meth:`Autoscaler.step`) spawns handles via an injectable
+``spawn`` callable — anything with ``is_alive()`` / ``terminate()`` /
+``join()``, which a ``multiprocessing.Process`` is.  Use
+:func:`spawn_http_worker` / :func:`spawn_directory_worker` for the two
+real transports, or inject a fake in tests.
+
+``repro serve --autoscale`` runs one next to the daemon; see
+``docs/distributed.md`` ("Network transport") for the knobs.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from .queues import JobQueue
+
+__all__ = [
+    "Autoscaler",
+    "spawn_directory_worker",
+    "spawn_http_worker",
+]
+
+
+def spawn_http_worker(queue_url: str, **kwargs):
+    """Start one persistent HTTP worker process against ``queue_url``.
+
+    ``stop_when_drained=False`` by default — fleet lifetime belongs to
+    the autoscaler, not to a momentarily empty queue.  Extra kwargs
+    pass through to :func:`~repro.pipeline.dist.net.http_worker_entry`.
+    """
+    import multiprocessing
+
+    from .net import http_worker_entry
+
+    process = multiprocessing.Process(
+        target=http_worker_entry,
+        args=(queue_url,),
+        kwargs={"stop_when_drained": False, **kwargs},
+        daemon=True,
+    )
+    process.start()
+    return process
+
+
+def spawn_directory_worker(queue_dir: str, **kwargs):
+    """Start one persistent worker process against a queue directory
+    (the shared-filesystem sibling of :func:`spawn_http_worker`)."""
+    import multiprocessing
+
+    from .worker import worker_entry
+
+    process = multiprocessing.Process(
+        target=worker_entry,
+        args=(queue_dir,),
+        kwargs={"stop_when_drained": False, **kwargs},
+        daemon=True,
+    )
+    process.start()
+    return process
+
+
+class Autoscaler:
+    """Grow/shrink a worker fleet against queue depth and expiry rate.
+
+    Parameters
+    ----------
+    queue:
+        The :class:`~repro.pipeline.dist.queues.JobQueue` to watch
+        (any backend — the autoscaler only calls ``reap_expired`` and
+        ``stats``).
+    spawn:
+        Zero-argument callable returning a started worker handle with
+        ``is_alive()`` / ``terminate()`` / ``join()``.
+    min_workers / max_workers:
+        Hard fleet bounds.  ``min_workers=0`` lets an idle fleet scale
+        to nothing.
+    backlog_per_worker:
+        Scale-up threshold: target at most this many pending jobs per
+        alive worker.
+    cooldown_seconds:
+        Minimum time between scaling actions (observations still
+        happen every :meth:`step`).
+    clock:
+        Injectable monotonic clock, for tests.
+    """
+
+    def __init__(
+        self,
+        queue: JobQueue | None = None,
+        spawn=None,
+        *,
+        min_workers: int = 0,
+        max_workers: int = 4,
+        backlog_per_worker: int = 4,
+        cooldown_seconds: float = 2.0,
+        clock=time.monotonic,
+    ):
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if not 0 <= min_workers <= max_workers:
+            raise ValueError(
+                f"need 0 <= min_workers <= max_workers, got "
+                f"{min_workers}/{max_workers}"
+            )
+        if backlog_per_worker < 1:
+            raise ValueError(
+                f"backlog_per_worker must be >= 1, got {backlog_per_worker}"
+            )
+        self.queue = queue
+        self.spawn = spawn
+        self.min_workers = min_workers
+        self.max_workers = max_workers
+        self.backlog_per_worker = backlog_per_worker
+        self.cooldown_seconds = cooldown_seconds
+        self._clock = clock
+        self._workers: list = []
+        self._last_action: float | None = None
+        self.expired_total = 0
+
+    # -- decision (pure) ----------------------------------------------
+    def desired_workers(
+        self, *, pending: int, claimed: int, expired: int = 0
+    ) -> int:
+        """How many workers the observed queue state wants, clamped to
+        ``[min_workers, max_workers]``.
+
+        Depth asks for ``ceil(pending / backlog_per_worker)``; any
+        in-flight work asks for at least one; each freshly expired
+        lease asks for one more hand (a worker just died mid-job).  An
+        idle queue asks for ``min_workers``.
+        """
+        if pending == 0 and claimed == 0 and expired == 0:
+            need = 0
+        else:
+            need = math.ceil(pending / self.backlog_per_worker)
+            if claimed > 0 or pending > 0:
+                need = max(need, 1)
+            need += expired
+        return max(self.min_workers, min(self.max_workers, need))
+
+    # -- actuation ----------------------------------------------------
+    @property
+    def workers(self) -> list:
+        """Live worker handles (dead ones are pruned by :meth:`step`)."""
+        return list(self._workers)
+
+    def _prune_dead(self) -> int:
+        alive = [w for w in self._workers if w.is_alive()]
+        dead = len(self._workers) - len(alive)
+        self._workers = alive
+        return dead
+
+    def _cooled_down(self, now: float) -> bool:
+        return (
+            self._last_action is None
+            or now - self._last_action >= self.cooldown_seconds
+        )
+
+    def step(self) -> dict:
+        """One observe→decide→act cycle; returns a summary document.
+
+        Reaps expired leases (feeding the expiry signal), prunes dead
+        handles, then — if the cooldown allows — spawns up to the
+        desired count, or terminates excess workers *only when the
+        queue is fully idle* so no in-flight job is ever killed.
+        """
+        if self.queue is None or self.spawn is None:
+            raise RuntimeError("step() needs both a queue and a spawn callable")
+        now = self._clock()
+        expired = len(self.queue.reap_expired())
+        self.expired_total += expired
+        died = self._prune_dead()
+        stats = self.queue.stats()
+        desired = self.desired_workers(
+            pending=stats.pending, claimed=stats.claimed, expired=expired
+        )
+        alive = len(self._workers)
+        action = "hold"
+        if desired > alive and self._cooled_down(now):
+            for _ in range(desired - alive):
+                self._workers.append(self.spawn())
+            action = f"scale-up:{desired - alive}"
+            self._last_action = now
+        elif (
+            desired < alive
+            and stats.pending == 0
+            and stats.claimed == 0
+            and self._cooled_down(now)
+        ):
+            excess = self._workers[desired:]
+            self._workers = self._workers[:desired]
+            for worker in excess:
+                worker.terminate()
+            for worker in excess:
+                worker.join()
+            action = f"scale-down:{len(excess)}"
+            self._last_action = now
+        return {
+            "action": action,
+            "alive": len(self._workers),
+            "desired": desired,
+            "pending": stats.pending,
+            "claimed": stats.claimed,
+            "expired": expired,
+            "worker_deaths": died,
+        }
+
+    def run(self, *, poll_seconds: float = 0.5, should_stop=None) -> None:
+        """Loop :meth:`step` until ``should_stop()`` is true (forever
+        when ``should_stop`` is ``None`` — the serve-daemon shape);
+        always shuts the fleet down on the way out."""
+        try:
+            while should_stop is None or not should_stop():
+                self.step()
+                time.sleep(poll_seconds)
+        finally:
+            self.shutdown()
+
+    def shutdown(self) -> None:
+        """Terminate and join every worker (idempotent)."""
+        workers, self._workers = self._workers, []
+        for worker in workers:
+            worker.terminate()
+        for worker in workers:
+            worker.join()

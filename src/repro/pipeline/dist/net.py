@@ -1,0 +1,597 @@
+"""Network job transport: the :class:`JobQueue` protocol over HTTP.
+
+This module is the seam that turns the distributed layer from "worker
+processes sharing a filesystem" into a service.  It adds no third
+dependency to the claim/lease/ack protocol — just a wire:
+
+* :class:`QueueServer` — a long-lived daemon built on the stdlib
+  :mod:`http.server` (``ThreadingHTTPServer``) exposing a backing
+  :class:`~repro.pipeline.dist.queues.JobQueue` — in-memory or
+  directory-backed, so durable state and ``--resume`` keep working —
+  as JSON-over-HTTP endpoints.  ``repro serve`` runs one.
+* :class:`HttpJobQueue` — a client implementing the full
+  :class:`~repro.pipeline.dist.queues.JobQueue` protocol over that
+  wire, with per-thread connection reuse (HTTP/1.1 keep-alive),
+  request timeouts, and bounded exponential-backoff retries on
+  connection errors.  Because it *is* a ``JobQueue``,
+  :class:`~repro.pipeline.dist.sweep.QueueRunner`,
+  :class:`~repro.pipeline.dist.sweep.SweepRunner`,
+  :class:`~repro.pipeline.dse.DSERunner`, and
+  :func:`~repro.pipeline.dist.worker.run_worker` all work over the
+  network unchanged.
+* :func:`http_worker_entry` — the process/remote-host entry point:
+  ``repro worker --queue-url http://host:port`` on any machine that
+  can reach the server joins the fleet, no shared filesystem needed.
+
+Results drain **incrementally**: the ``/results`` endpoint is
+paginated (lexicographic job-id cursor), and the runner consumes pages
+as jobs finish instead of asking the server to buffer every report
+into one response — see ``QueueRunner``'s drain loop.
+
+## Wire schema
+
+Every endpoint speaks JSON.  ``POST`` bodies are JSON objects; ``GET``
+parameters ride in the query string.  Success is HTTP 200 with a JSON
+body; a malformed request is 400, an unknown endpoint 404, an internal
+failure 500 — all with ``{"error": ...}``.
+
+| endpoint          | request                                      | response |
+|-------------------|----------------------------------------------|----------|
+| ``POST /submit``  | ``{"spec": {...}, "job_id": "..."}``         | ``{"job_id": "..."}`` |
+| ``POST /claim``   | ``{"worker_id": "...", "lease_seconds": s}`` | ``{"job": null | {"job_id", "spec", "attempts"}}`` |
+| ``POST /ack``     | ``{"job_id", "result", "worker_id"?}``       | ``{"accepted": bool}`` |
+| ``POST /fail``    | ``{"job_id", "error"}``                      | ``{"ok": true}`` |
+| ``POST /reap``    | ``{}``                                       | ``{"reaped": [ids]}`` |
+| ``POST /heartbeat`` | worker heartbeat document                  | ``{"ok": true}`` |
+| ``GET /stats``    | —                                            | ``{"pending", "claimed", "done", "failed", "workers"}`` |
+| ``GET /finished`` | —                                            | ``{"finished": [ids]}`` |
+| ``GET /results``  | ``?after=<id>&limit=<n>``                    | ``{"results": {id: doc}, "next": id | null}`` |
+| ``GET /failures`` | —                                            | ``{"failures": {id: error}}`` |
+| ``GET /health``   | —                                            | ``{"ok": true, "backend": "..."}`` |
+
+Semantics are exactly the queue protocol's (``docs/distributed.md``):
+at-least-once with idempotent submission and stale-ack rejection.  One
+transport-specific caveat: a retried ``/claim`` whose first attempt
+succeeded server-side but whose response was lost can leave an
+orphaned lease — it expires and is reaped like any dead worker's.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import logging
+import threading
+import time
+import traceback
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlencode, urlsplit
+
+from .queues import Job, JobQueue, QueueStats
+from .worker import Heartbeat, default_worker_id, run_worker
+
+__all__ = [
+    "HttpJobQueue",
+    "HttpQueueError",
+    "QueueServer",
+    "http_worker_entry",
+]
+
+_LOG = logging.getLogger(__name__)
+
+
+class HttpQueueError(RuntimeError):
+    """The queue server rejected a request or cannot be reached."""
+
+
+# -- server -----------------------------------------------------------------
+def _ep_health(server: "QueueServer", body: dict) -> dict:
+    return {"ok": True, "backend": type(server.queue).__name__}
+
+
+def _ep_submit(server: "QueueServer", body: dict) -> dict:
+    job_id = server.queue.submit(dict(body["spec"]), job_id=str(body["job_id"]))
+    return {"job_id": job_id}
+
+
+def _ep_claim(server: "QueueServer", body: dict) -> dict:
+    job = server.queue.claim(
+        str(body["worker_id"]),
+        lease_seconds=float(body.get("lease_seconds", 60.0)),
+    )
+    if job is None:
+        return {"job": None}
+    return {
+        "job": {"job_id": job.job_id, "spec": job.spec, "attempts": job.attempts}
+    }
+
+
+def _ep_ack(server: "QueueServer", body: dict) -> dict:
+    worker_id = body.get("worker_id")
+    accepted = server.queue.ack(
+        str(body["job_id"]),
+        dict(body["result"]),
+        worker_id=None if worker_id is None else str(worker_id),
+    )
+    # a pre-stale-ack custom queue may return None; that meant accepted
+    return {"accepted": True if accepted is None else bool(accepted)}
+
+
+def _ep_fail(server: "QueueServer", body: dict) -> dict:
+    server.queue.fail(str(body["job_id"]), str(body["error"]))
+    return {"ok": True}
+
+
+def _ep_reap(server: "QueueServer", body: dict) -> dict:
+    return {"reaped": list(server.queue.reap_expired())}
+
+
+def _ep_heartbeat(server: "QueueServer", body: dict) -> dict:
+    server.record_heartbeat(body)
+    return {"ok": True}
+
+
+def _ep_stats(server: "QueueServer", body: dict) -> dict:
+    stats = server.queue.stats()
+    return {
+        "pending": stats.pending,
+        "claimed": stats.claimed,
+        "done": stats.done,
+        "failed": stats.failed,
+        "workers": server.fleet(),
+    }
+
+
+def _ep_finished(server: "QueueServer", body: dict) -> dict:
+    return {"finished": sorted(server.queue.finished_ids())}
+
+
+def _ep_results(server: "QueueServer", body: dict) -> dict:
+    after = body.get("after") or None
+    limit = int(body.get("limit", 100))
+    if hasattr(server.queue, "results_page"):
+        page, cursor = server.queue.results_page(after=after, limit=limit)
+    else:  # custom queue without pagination: slice its full dict
+        everything = server.queue.results()
+        ids = sorted(
+            job_id for job_id in everything
+            if after is None or job_id > after
+        )[:limit]
+        page = {job_id: everything[job_id] for job_id in ids}
+        cursor = ids[-1] if ids else None
+    return {"results": page, "next": cursor}
+
+
+def _ep_failures(server: "QueueServer", body: dict) -> dict:
+    return {"failures": dict(server.queue.failures())}
+
+
+_ROUTES = {
+    ("GET", "/health"): _ep_health,
+    ("GET", "/stats"): _ep_stats,
+    ("GET", "/finished"): _ep_finished,
+    ("GET", "/results"): _ep_results,
+    ("GET", "/failures"): _ep_failures,
+    ("POST", "/submit"): _ep_submit,
+    ("POST", "/claim"): _ep_claim,
+    ("POST", "/ack"): _ep_ack,
+    ("POST", "/fail"): _ep_fail,
+    ("POST", "/reap"): _ep_reap,
+    ("POST", "/heartbeat"): _ep_heartbeat,
+}
+
+
+class _QueueHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    #: set by QueueServer right after construction.
+    queue_server: "QueueServer"
+
+
+class _QueueRequestHandler(BaseHTTPRequestHandler):
+    """Routes requests to the endpoint table; JSON in, JSON out."""
+
+    protocol_version = "HTTP/1.1"  # keep-alive: clients reuse connections
+    server_version = "repro-queue/1"
+
+    def log_message(self, fmt, *args):  # stderr chatter off; logging on
+        _LOG.debug("%s %s", self.address_string(), fmt % args)
+
+    def _send(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        url = urlsplit(self.path)
+        endpoint = _ROUTES.get((method, url.path))
+        if endpoint is None:
+            self._send(
+                404, {"error": f"no such endpoint: {method} {url.path}"}
+            )
+            return
+        try:
+            if method == "POST":
+                length = int(self.headers.get("Content-Length") or 0)
+                raw = self.rfile.read(length) if length else b""
+                body = json.loads(raw) if raw else {}
+                if not isinstance(body, dict):
+                    raise ValueError(
+                        f"request body must be a JSON object, "
+                        f"got {type(body).__name__}"
+                    )
+            else:
+                body = {k: v[-1] for k, v in parse_qs(url.query).items()}
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._send(400, {"error": f"bad request body: {exc}"})
+            return
+        try:
+            payload = endpoint(self.server.queue_server, body)
+        except (KeyError, TypeError, ValueError) as exc:
+            self._send(400, {"error": f"bad request: {exc!r}"})
+        except Exception:
+            self._send(500, {"error": traceback.format_exc()})
+        else:
+            self._send(200, payload)
+
+
+class QueueServer:
+    """Serve a backing :class:`JobQueue` over JSON/HTTP.
+
+    The server is transport only: every queue semantic — leases,
+    retries, idempotent submission, durable ``--resume`` state —
+    belongs to the backing queue, so serving a
+    :class:`~repro.pipeline.dist.queues.DirectoryJobQueue` survives a
+    server restart with all state intact (point a new server at the
+    same directory).  Requests are handled on daemon threads; both
+    built-in queues are thread-safe (a lock, or atomic renames).
+
+    Use as a context manager or ``start()``/``stop()`` for an
+    in-process background server (tests, benchmarks, notebooks), or
+    ``serve_forever()`` to block (the ``repro serve`` daemon).  With
+    ``port=0`` the OS picks a free port; read it back from ``url``.
+
+    Fleet liveness: workers POST structured heartbeats (worker id,
+    jobs done/failed, last job id — see
+    :class:`~repro.pipeline.dist.worker.Heartbeat`), and ``/stats``
+    reports the fleet under ``"workers"`` so an autoscaler or a human
+    can see who is alive without another channel.
+    """
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.queue = queue
+        self._heartbeats: dict[str, dict] = {}
+        self._heartbeat_lock = threading.Lock()
+        self._httpd = _QueueHTTPServer((host, port), _QueueRequestHandler)
+        self._httpd.queue_server = self
+        self._thread: threading.Thread | None = None
+
+    # -- addressing ---------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- lifecycle ----------------------------------------------------
+    def start(self) -> "QueueServer":
+        """Serve on a daemon thread; returns self for chaining."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"queue-server-{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until ``stop()`` (the daemon)."""
+        self._httpd.serve_forever()
+
+    def stop(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+
+    def __enter__(self) -> "QueueServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- fleet liveness -----------------------------------------------
+    def record_heartbeat(self, beat: dict) -> None:
+        """Record one worker heartbeat (the ``/heartbeat`` endpoint)."""
+        worker_id = str(beat.get("worker_id", "anon"))
+        with self._heartbeat_lock:
+            self._heartbeats[worker_id] = {
+                "completed": int(beat.get("completed", 0)),
+                "failed": int(beat.get("failed", 0)),
+                "last_job_id": beat.get("last_job_id"),
+                "last_seen_unix": time.time(),
+            }
+
+    def fleet(self) -> dict[str, dict]:
+        """Last-known heartbeat per worker id (``/stats`` payload)."""
+        with self._heartbeat_lock:
+            return {k: dict(v) for k, v in self._heartbeats.items()}
+
+
+# -- client -----------------------------------------------------------------
+class HttpJobQueue:
+    """:class:`JobQueue` client speaking JSON/HTTP to a :class:`QueueServer`.
+
+    Implements the full queue protocol over the wire, so every runner
+    and worker loop in :mod:`repro.pipeline.dist` works over the
+    network unchanged.  Transport behavior:
+
+    * **connection reuse** — one persistent HTTP/1.1 connection per
+      thread (the server keeps them alive), so a worker's
+      claim/ack/heartbeat cycle costs no reconnect.
+    * **timeouts** — every request carries ``timeout`` seconds; a hung
+      server surfaces as an error instead of a stuck fleet.
+    * **bounded retries** — connection-level failures (refused, reset,
+      timed out) retry up to ``retries`` more times with exponential
+      backoff (``backoff_seconds`` doubling, capped at
+      ``max_backoff_seconds``), then raise :class:`HttpQueueError`.
+      HTTP-level errors (4xx/5xx) never retry: the server answered.
+
+    Retrying ``claim`` is not idempotent — if the response (not the
+    request) was lost, a lease is orphaned server-side and recovered
+    by normal expiry.  All other verbs are idempotent by protocol.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        *,
+        timeout: float = 10.0,
+        retries: int = 5,
+        backoff_seconds: float = 0.05,
+        max_backoff_seconds: float = 2.0,
+    ):
+        parts = urlsplit(url if "//" in url else f"http://{url}")
+        if parts.scheme not in ("", "http"):
+            raise ValueError(
+                f"HttpJobQueue speaks plain http, got {parts.scheme!r} "
+                f"({url!r})"
+            )
+        if not parts.hostname:
+            raise ValueError(f"queue url has no host: {url!r}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self._host = parts.hostname
+        self._port = parts.port or 80
+        self._prefix = parts.path.rstrip("/")
+        self.url = f"http://{self._host}:{self._port}{self._prefix}"
+        self.timeout = float(timeout)
+        self.retries = int(retries)
+        self.backoff_seconds = float(backoff_seconds)
+        self.max_backoff_seconds = float(max_backoff_seconds)
+        self._local = threading.local()
+
+    # -- transport ----------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            connection = http.client.HTTPConnection(
+                self._host, self._port, timeout=self.timeout
+            )
+            self._local.connection = connection
+        return connection
+
+    def _drop_connection(self) -> None:
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            connection.close()
+        self._local.connection = None
+
+    def close(self) -> None:
+        """Close this thread's persistent connection (best-effort)."""
+        self._drop_connection()
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        query: dict | None = None,
+    ) -> dict:
+        target = self._prefix + path
+        if query:
+            pairs = {k: v for k, v in query.items() if v is not None}
+            if pairs:
+                target += "?" + urlencode(pairs)
+        payload = None if body is None else json.dumps(body).encode("utf-8")
+        headers = {"Content-Type": "application/json"} if payload else {}
+        last_error: Exception | None = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                time.sleep(
+                    min(
+                        self.backoff_seconds * (2 ** (attempt - 1)),
+                        self.max_backoff_seconds,
+                    )
+                )
+            try:
+                connection = self._connection()
+                connection.request(method, target, body=payload, headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+                status = response.status
+            except (OSError, http.client.HTTPException) as exc:
+                # connection-level failure: reconnect and retry
+                self._drop_connection()
+                last_error = exc
+                continue
+            try:
+                document = json.loads(raw) if raw else {}
+            except json.JSONDecodeError:
+                document = {"error": raw.decode("utf-8", "replace")}
+            if status != 200:
+                detail = document.get("error", repr(raw[:200]))
+                raise HttpQueueError(
+                    f"{method} {path} -> HTTP {status}: {detail}"
+                )
+            return document
+        raise HttpQueueError(
+            f"cannot reach queue server at {self.url} "
+            f"({method} {path} failed {self.retries + 1} times; "
+            f"last error: {last_error!r})"
+        ) from last_error
+
+    # -- JobQueue protocol --------------------------------------------
+    def submit(self, spec: dict, *, job_id: str) -> str:
+        return str(
+            self._request(
+                "POST", "/submit", {"spec": dict(spec), "job_id": job_id}
+            )["job_id"]
+        )
+
+    def claim(self, worker_id: str, *, lease_seconds: float) -> Job | None:
+        job = self._request(
+            "POST",
+            "/claim",
+            {"worker_id": worker_id, "lease_seconds": lease_seconds},
+        )["job"]
+        if job is None:
+            return None
+        return Job(job["job_id"], job["spec"], int(job.get("attempts", 0)))
+
+    def ack(
+        self, job_id: str, result: dict, *, worker_id: str | None = None
+    ) -> bool:
+        return bool(
+            self._request(
+                "POST",
+                "/ack",
+                {"job_id": job_id, "result": result, "worker_id": worker_id},
+            )["accepted"]
+        )
+
+    def fail(self, job_id: str, error: str) -> None:
+        self._request("POST", "/fail", {"job_id": job_id, "error": error})
+
+    def reap_expired(self) -> list[str]:
+        return list(self._request("POST", "/reap", {})["reaped"])
+
+    def stats(self) -> QueueStats:
+        payload = self._request("GET", "/stats")
+        return QueueStats(
+            pending=int(payload["pending"]),
+            claimed=int(payload["claimed"]),
+            done=int(payload["done"]),
+            failed=int(payload["failed"]),
+        )
+
+    def fleet(self) -> dict[str, dict]:
+        """Last-known worker heartbeats, as ``/stats`` reports them."""
+        return dict(self._request("GET", "/stats")["workers"])
+
+    def finished_ids(self) -> set[str]:
+        return set(self._request("GET", "/finished")["finished"])
+
+    def results_page(
+        self, *, after: str | None = None, limit: int = 100
+    ) -> tuple[dict[str, dict], str | None]:
+        payload = self._request(
+            "GET", "/results", query={"after": after, "limit": limit}
+        )
+        return dict(payload["results"]), payload.get("next")
+
+    def results(self) -> dict[str, dict]:
+        """Drain every result — by page, so the server never has to
+        serialize the whole result set into one response."""
+        out: dict[str, dict] = {}
+        cursor: str | None = None
+        while True:
+            page, cursor = self.results_page(after=cursor, limit=100)
+            if not page:
+                return out
+            out.update(page)
+
+    def failures(self) -> dict[str, str]:
+        return dict(self._request("GET", "/failures")["failures"])
+
+    # -- extras -------------------------------------------------------
+    def heartbeat(self, beat: Heartbeat | dict) -> None:
+        """Report worker liveness to the server (``/stats`` surfaces it)."""
+        document = beat.to_dict() if isinstance(beat, Heartbeat) else dict(beat)
+        self._request("POST", "/heartbeat", document)
+
+    def health(self) -> dict:
+        """Server liveness probe: ``{"ok": true, "backend": ...}``."""
+        return self._request("GET", "/health")
+
+
+# -- worker entry point -----------------------------------------------------
+def http_worker_entry(
+    queue_url: str,
+    worker_id: str | None = None,
+    *,
+    lease_seconds: float = 60.0,
+    poll_seconds: float = 0.05,
+    max_jobs: int | None = None,
+    stop_when_drained: bool = True,
+    timeout: float = 10.0,
+    retries: int = 5,
+) -> int:
+    """Process entry point: join a fleet over the network and work.
+
+    The HTTP sibling of
+    :func:`~repro.pipeline.dist.worker.worker_entry` — what
+    ``repro worker --queue-url`` runs on a remote host, and what
+    :class:`~repro.pipeline.dist.sweep.QueueRunner` and the
+    :class:`~repro.pipeline.dist.autoscale.Autoscaler` spawn locally
+    for an :class:`HttpJobQueue`.  Heartbeats are wired to the server
+    automatically (best-effort: a lost heartbeat never kills the
+    worker — the queue's lease machinery is the real liveness truth).
+
+    Top-level (picklable) on purpose, so it works under both the
+    ``fork`` and ``spawn`` multiprocessing start methods.
+    """
+    queue = HttpJobQueue(queue_url, timeout=timeout, retries=retries)
+    if worker_id is None:
+        worker_id = default_worker_id()
+
+    def on_heartbeat(beat: Heartbeat) -> None:
+        try:
+            queue.heartbeat(beat)
+        except HttpQueueError:
+            pass  # liveness is best-effort; the next claim re-proves it
+
+    return run_worker(
+        queue,
+        worker_id,
+        lease_seconds=lease_seconds,
+        poll_seconds=poll_seconds,
+        max_jobs=max_jobs,
+        stop_when_drained=stop_when_drained,
+        on_heartbeat=on_heartbeat,
+    )

@@ -29,17 +29,26 @@ spec content, making resubmission idempotent).  Lease deadlines and
 attempt counters ride in the *filename* of a claimed job, so every
 state transition is a single atomic rename with no read-modify-write
 window.
+
+A third implementation lives in :mod:`repro.pipeline.dist.net`:
+:class:`~repro.pipeline.dist.net.HttpJobQueue` speaks this same
+protocol over JSON/HTTP to a :class:`~repro.pipeline.dist.net.QueueServer`
+wrapping either queue above, so workers need no shared filesystem at
+all.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import os
 import re
 import threading
 import time
 from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
+
+_LOG = logging.getLogger(__name__)
 
 __all__ = [
     "DirectoryJobQueue",
@@ -101,18 +110,30 @@ class JobQueue(Protocol):
     * ``claim`` transfers one pending job to the caller under a lease;
       ``None`` means nothing is pending right now (work may still be
       claimed by others — check :meth:`stats`).
-    * ``ack`` finishes a claimed job with its result document.
+    * ``ack`` finishes a claimed job with its result document and
+      returns ``True``.  A **stale** ack — the job's lease was already
+      reaped (and possibly reassigned to another worker, when
+      ``worker_id`` is given), or the job already finished — is
+      *rejected*: ``ack`` returns ``False``, the existing state is
+      untouched, and nothing double-aggregates.  Rejection is clean,
+      never an exception, so a straggler worker just moves on.
     * ``fail`` records an error; the job returns to pending until it
       has been attempted ``max_attempts`` times, then dead-letters.
     * ``reap_expired`` requeues every claimed job whose lease deadline
       passed (the crashed-worker recovery path).
+    * ``results_page`` reads one lexicographic page of completed
+      results after a cursor, so huge grids drain incrementally
+      instead of materializing every payload at once (``results`` is
+      the drain-everything convenience).
     """
 
     def submit(self, spec: dict, *, job_id: str) -> str: ...
 
     def claim(self, worker_id: str, *, lease_seconds: float) -> Job | None: ...
 
-    def ack(self, job_id: str, result: dict) -> None: ...
+    def ack(
+        self, job_id: str, result: dict, *, worker_id: str | None = None
+    ) -> bool: ...
 
     def fail(self, job_id: str, error: str) -> None: ...
 
@@ -123,6 +144,10 @@ class JobQueue(Protocol):
     def finished_ids(self) -> set[str]: ...
 
     def results(self) -> dict[str, dict]: ...
+
+    def results_page(
+        self, *, after: str | None = None, limit: int = 100
+    ) -> tuple[dict[str, dict], str | None]: ...
 
     def failures(self) -> dict[str, str]: ...
 
@@ -169,10 +194,22 @@ class MemoryJobQueue:
             )
             return Job(job_id, dict(self._specs[job_id]), self._attempts[job_id])
 
-    def ack(self, job_id: str, result: dict) -> None:
+    def ack(
+        self, job_id: str, result: dict, *, worker_id: str | None = None
+    ) -> bool:
         with self._lock:
-            self._claimed.pop(job_id, None)
+            lease = self._claimed.get(job_id)
+            if lease is None:
+                # Stale: the lease was reaped (job is pending again or
+                # already finished elsewhere).  Reject; state untouched.
+                return False
+            if worker_id is not None and lease[0] != _sanitize(worker_id):
+                # Stale: reaped *and* reassigned — the current claim
+                # belongs to another worker now.
+                return False
+            del self._claimed[job_id]
             self._done[job_id] = result
+            return True
 
     def fail(self, job_id: str, error: str) -> None:
         with self._lock:
@@ -222,6 +259,26 @@ class MemoryJobQueue:
         with self._lock:
             return dict(self._done)
 
+    def results_page(
+        self, *, after: str | None = None, limit: int = 100
+    ) -> tuple[dict[str, dict], str | None]:
+        """One lexicographic page of results with ids after ``after``.
+
+        Returns ``(page, cursor)``; ``cursor`` is the last id of the
+        page (pass it back as ``after``) or ``None`` when the page is
+        empty.  Pagination is stable because job ids only ever *enter*
+        the done set.
+        """
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        with self._lock:
+            ids = sorted(
+                job_id for job_id in self._done
+                if after is None or job_id > after
+            )[:limit]
+            page = {job_id: self._done[job_id] for job_id in ids}
+        return page, (ids[-1] if ids else None)
+
     def failures(self) -> dict[str, str]:
         with self._lock:
             return dict(self._failed)
@@ -258,6 +315,9 @@ class DirectoryJobQueue:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
         self.root = os.fspath(root)
         self.max_attempts = max_attempts
+        #: malformed filenames already warned about (warn once each —
+        #: every scan revisits them, and a stray file must not spam).
+        self._warned: set[str] = set()
         for state in self._STATES:
             os.makedirs(os.path.join(self.root, state), exist_ok=True)
 
@@ -276,6 +336,40 @@ class DirectoryJobQueue:
     @staticmethod
     def _parse_name(name: str) -> list[str]:
         return name[: -len(".json")].split(_SEP)
+
+    def _warn_malformed(self, state: str, name: str, why: str) -> None:
+        key = f"{state}/{name}"
+        if key not in self._warned:
+            self._warned.add(key)
+            _LOG.warning(
+                "skipping malformed job file %s in %s: %s "
+                "(not produced by this queue; remove it to silence this)",
+                name, os.path.join(self.root, state), why,
+            )
+
+    def _parse_pending(self, name: str) -> tuple[str, int] | None:
+        """``{id}~~{attempts}.json`` -> (id, attempts), or ``None``
+        (with a one-time warning) for a file this queue never wrote —
+        a corrupt or foreign filename must never abort a whole scan."""
+        parts = self._parse_name(name)
+        if len(parts) == 2 and parts[1].isdigit():
+            return parts[0], int(parts[1])
+        self._warn_malformed(
+            "pending", name, "want {id}~~{attempts}.json"
+        )
+        return None
+
+    def _parse_claimed(self, name: str) -> tuple[str, int, int, str] | None:
+        """``{id}~~{attempts}~~{deadline_ms}~~{worker}.json`` parsed,
+        or ``None`` (with a one-time warning) when malformed."""
+        parts = self._parse_name(name)
+        if len(parts) == 4 and parts[1].isdigit() and parts[2].isdigit():
+            return parts[0], int(parts[1]), int(parts[2]), parts[3]
+        self._warn_malformed(
+            "claimed", name,
+            "want {id}~~{attempts}~~{deadline_ms}~~{worker}.json",
+        )
+        return None
 
     def _find_job(self, state: str, job_id: str) -> str | None:
         prefix = f"{job_id}{_SEP}"
@@ -313,7 +407,10 @@ class DirectoryJobQueue:
         for name in sorted(os.listdir(self._dir("pending"))):
             if not name.endswith(".json") or ".tmp." in name:
                 continue
-            job_id, attempts = self._parse_name(name)
+            parsed = self._parse_pending(name)
+            if parsed is None:
+                continue  # junk file; warned, skip, keep scanning
+            job_id, attempts = parsed
             deadline_ms = int((time.time() + lease_seconds) * 1000)
             target = os.path.join(
                 self._dir("claimed"),
@@ -329,14 +426,27 @@ class DirectoryJobQueue:
             return Job(job_id, spec, int(attempts))
         return None
 
-    def ack(self, job_id: str, result: dict) -> None:
-        self._write_json(self._terminal_path("done", job_id), result)
+    def ack(
+        self, job_id: str, result: dict, *, worker_id: str | None = None
+    ) -> bool:
         claimed = self._find_job("claimed", job_id)
-        if claimed:
-            try:
-                os.unlink(os.path.join(self._dir("claimed"), claimed))
-            except FileNotFoundError:
-                pass
+        if claimed is None:
+            # Stale ack: the lease was reaped (job pending again) or
+            # the job already finished.  Reject cleanly; whatever state
+            # exists — including a result acked by the re-run — stands.
+            return False
+        if worker_id is not None:
+            parsed = self._parse_claimed(claimed)
+            if parsed is not None and parsed[3] != _sanitize(worker_id):
+                # Stale: reaped *and* reassigned; the claim belongs to
+                # another worker now.
+                return False
+        self._write_json(self._terminal_path("done", job_id), result)
+        try:
+            os.unlink(os.path.join(self._dir("claimed"), claimed))
+        except FileNotFoundError:
+            pass
+        return True
 
     def fail(self, job_id: str, error: str) -> None:
         claimed = self._find_job("claimed", job_id)
@@ -345,8 +455,10 @@ class DirectoryJobQueue:
         ):
             return
         path = os.path.join(self._dir("claimed"), claimed)
-        _, attempts, _, _ = self._parse_name(claimed)
-        attempts = int(attempts) + 1
+        parsed = self._parse_claimed(claimed)
+        if parsed is None:
+            return  # junk file matching the id prefix; never ours
+        attempts = parsed[1] + 1
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 spec = json.load(handle)
@@ -373,11 +485,14 @@ class DirectoryJobQueue:
         for name in os.listdir(self._dir("claimed")):
             if not name.endswith(".json") or ".tmp." in name:
                 continue
-            job_id, attempts, deadline_ms, worker = self._parse_name(name)
-            if int(deadline_ms) > now_ms:
+            parsed = self._parse_claimed(name)
+            if parsed is None:
+                continue  # junk file; warned, skip, keep scanning
+            job_id, attempts, deadline_ms, worker = parsed
+            if deadline_ms > now_ms:
                 continue
             path = os.path.join(self._dir("claimed"), name)
-            attempts = int(attempts) + 1
+            attempts = attempts + 1
             if attempts >= self.max_attempts:
                 try:
                     with open(path, "r", encoding="utf-8") as handle:
@@ -442,6 +557,37 @@ class DirectoryJobQueue:
 
     def results(self) -> dict[str, dict]:
         return self._load_terminal("done")
+
+    def results_page(
+        self, *, after: str | None = None, limit: int = 100
+    ) -> tuple[dict[str, dict], str | None]:
+        """One lexicographic page of results with ids after ``after``
+        — only the page's files are opened, so a runner can drain a
+        huge grid without ever loading every payload at once.
+
+        Returns ``(page, cursor)``; ``cursor`` is the last id of the
+        page (pass it back as ``after``) or ``None`` when empty.
+        """
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        directory = self._dir("done")
+        ids = sorted(
+            name[: -len(".json")]
+            for name in os.listdir(directory)
+            if name.endswith(".json") and ".tmp." not in name
+            and (after is None or name[: -len(".json")] > after)
+        )[:limit]
+        page: dict[str, dict] = {}
+        for job_id in ids:
+            try:
+                with open(
+                    os.path.join(directory, f"{job_id}.json"),
+                    encoding="utf-8",
+                ) as handle:
+                    page[job_id] = json.load(handle)
+            except FileNotFoundError:
+                continue  # raced with nothing we mind about
+        return page, (ids[-1] if ids else None)
 
     def failures(self) -> dict[str, str]:
         return {

@@ -44,6 +44,7 @@ from dataclasses import dataclass, field
 
 from repro.metrics import RDCurve, bd_rate_table, curves_from_reports
 
+from .net import HttpJobQueue, http_worker_entry
 from .queues import DirectoryJobQueue, JobQueue, MemoryJobQueue, QueueStats
 from .worker import run_worker, worker_entry
 
@@ -178,6 +179,11 @@ class QueueRunner:
       hosts may attach to the same directory with
       :func:`~repro.pipeline.dist.worker.worker_entry` and the runner
       simply sees jobs complete faster.
+    * ``HttpJobQueue`` (pass a client pointed at a ``repro serve``
+      daemon) — ``workers`` local child processes talking to the
+      server over the wire; remote hosts join the same fleet with
+      ``repro worker --queue-url``.  Results drain incrementally
+      through the paginated ``results`` endpoint as jobs finish.
 
     ``lease_seconds`` must comfortably exceed the slowest single job:
     an expired lease is treated as a dead worker and the job re-runs
@@ -210,6 +216,9 @@ class QueueRunner:
         self.workers = workers
         self.lease_seconds = lease_seconds
         self.job_ids: list[str] = []
+        # incremental result drain state (results_page cursor + cache)
+        self._drained: dict[str, dict] = {}
+        self._results_cursor: str | None = None
 
     def submit(self) -> list[str]:
         """Submit every spec (idempotent: ids derive from content, so a
@@ -222,16 +231,24 @@ class QueueRunner:
 
     # -- worker fleet -------------------------------------------------
     def _spawn_process(self, index: int):
-        assert isinstance(self.queue, DirectoryJobQueue)
-        process = multiprocessing.Process(
-            target=worker_entry,
-            args=(self.queue.root,),
-            kwargs={
+        if isinstance(self.queue, HttpJobQueue):
+            target = http_worker_entry
+            args = (self.queue.url,)
+            kwargs = {
+                "worker_id": f"sweep-w{index}-{os.getpid()}",
+                "lease_seconds": self.lease_seconds,
+            }
+        else:
+            assert isinstance(self.queue, DirectoryJobQueue)
+            target = worker_entry
+            args = (self.queue.root,)
+            kwargs = {
                 "worker_id": f"sweep-w{index}-{os.getpid()}",
                 "max_attempts": self.queue.max_attempts,
                 "lease_seconds": self.lease_seconds,
-            },
-            daemon=True,
+            }
+        process = multiprocessing.Process(
+            target=target, args=args, kwargs=kwargs, daemon=True
         )
         process.start()
         return process
@@ -246,13 +263,54 @@ class QueueRunner:
         thread.start()
         return thread
 
+    def _drain_results(self, page_size: int = 100) -> None:
+        """Pull any newly finished result pages into the local cache.
+
+        Runs every poll, so results cross the queue boundary (one page
+        of jobs at a time) as they finish — a server never has to
+        buffer a whole sweep's reports into a single response, and by
+        the time the grid completes the aggregation inputs are already
+        local.
+
+        Pages are id-ordered but jobs *finish* out of order, so the
+        durable cursor is a low-water mark: it only advances across
+        the contiguous prefix of submitted ids that are already
+        drained.  Everything past the mark is re-scanned next poll —
+        a small window bounded by how far completion order strays
+        from submission order — so a job that finishes late but sorts
+        early is never skipped.
+        """
+        if not hasattr(self.queue, "results_page"):
+            return  # custom queue predating pagination: full read later
+        cursor = self._results_cursor
+        while True:
+            page, last = self.queue.results_page(
+                after=cursor, limit=page_size
+            )
+            if not page:
+                break
+            self._drained.update(page)
+            cursor = last
+        watermark = self._results_cursor
+        for job_id in sorted(set(self.job_ids)):
+            if watermark is not None and job_id <= watermark:
+                continue
+            if job_id not in self._drained:
+                break  # pending, in flight, or failed: re-scan from here
+            watermark = job_id
+        self._results_cursor = watermark
+
     def _load_finished(self) -> tuple[dict[str, dict], dict[str, str]]:
-        """Terminal payloads for this sweep's jobs (one-time full read;
-        the polling loop watches the cheap ``finished_ids`` instead)."""
+        """Terminal payloads for this sweep's jobs (final drain of the
+        incremental cache, or a one-time full read for queues without
+        ``results_page``)."""
         wanted = set(self.job_ids)
-        results = {
-            k: v for k, v in self.queue.results().items() if k in wanted
-        }
+        if hasattr(self.queue, "results_page"):
+            self._drain_results()
+            everything = self._drained
+        else:
+            everything = self.queue.results()
+        results = {k: v for k, v in everything.items() if k in wanted}
         failures = {
             k: v for k, v in self.queue.failures().items() if k in wanted
         }
@@ -270,7 +328,9 @@ class QueueRunner:
         if not self.job_ids:
             self.submit()
         start = time.monotonic()
-        use_processes = isinstance(self.queue, DirectoryJobQueue)
+        use_processes = isinstance(
+            self.queue, (DirectoryJobQueue, HttpJobQueue)
+        )
         fleet: list = []
         spawned = 0
         if self.workers == 0:
@@ -284,6 +344,7 @@ class QueueRunner:
         try:
             while True:
                 self.queue.reap_expired()
+                self._drain_results()
                 if progress is not None:
                     progress(self.queue.stats())
                 if wanted <= self.queue.finished_ids():

@@ -24,6 +24,7 @@ orphaning its lease.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import socket
 import time
@@ -31,13 +32,36 @@ import traceback
 
 from .queues import DirectoryJobQueue, Job, JobQueue
 
-__all__ = ["default_worker_id", "run_worker", "worker_entry"]
+__all__ = ["Heartbeat", "default_worker_id", "run_worker", "worker_entry"]
 
 
 def default_worker_id() -> str:
     """``host-pid`` — unique enough to attribute leases in a shared
     queue directory."""
     return f"{socket.gethostname()}-{os.getpid()}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Heartbeat:
+    """One structured liveness report from a worker loop.
+
+    Emitted through ``run_worker``'s ``on_heartbeat`` callback at
+    startup and after every job outcome, so a fleet supervisor — the
+    :class:`~repro.pipeline.dist.autoscale.Autoscaler`, or a
+    :class:`~repro.pipeline.dist.net.QueueServer` reporting fleet
+    liveness under ``/stats`` — can see progress without scraping
+    queue state.  ``last_job_id`` is ``None`` until the first job
+    finishes (either way).
+    """
+
+    worker_id: str
+    completed: int
+    failed: int
+    last_job_id: str | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-ready document (the ``/heartbeat`` wire form)."""
+        return dataclasses.asdict(self)
 
 
 def execute_job(job: Job) -> dict:
@@ -62,6 +86,7 @@ def run_worker(
     max_jobs: int | None = None,
     stop_when_drained: bool = True,
     execute=execute_job,
+    on_heartbeat=None,
 ) -> int:
     """Drain jobs from ``queue``; returns how many this worker completed.
 
@@ -72,10 +97,34 @@ def run_worker(
     ``stop_when_drained=False`` keeps the worker polling forever (a
     long-lived fleet fed by an external submitter).  ``execute`` is the
     job body, injectable for tests.
+
+    ``on_heartbeat`` receives a :class:`Heartbeat` at startup and after
+    every job outcome (ack or fail); the default is a no-op.  A raising
+    callback kills the worker — wrap best-effort reporting (e.g. over a
+    flaky network) in its own try/except.
+
+    Acks carry this worker's id, so a straggler whose lease was reaped
+    and whose job was re-run elsewhere gets a clean stale-ack rejection
+    instead of silently double-recording the result.
     """
     if worker_id is None:
         worker_id = default_worker_id()
     completed = 0
+    failed = 0
+    last_job_id: str | None = None
+
+    def beat() -> None:
+        if on_heartbeat is not None:
+            on_heartbeat(
+                Heartbeat(
+                    worker_id=worker_id,
+                    completed=completed,
+                    failed=failed,
+                    last_job_id=last_job_id,
+                )
+            )
+
+    beat()
     while max_jobs is None or completed < max_jobs:
         job = queue.claim(worker_id, lease_seconds=lease_seconds)
         if job is None:
@@ -93,9 +142,16 @@ def run_worker(
             result = execute(job)
         except Exception:
             queue.fail(job.job_id, traceback.format_exc())
+            failed += 1
+            last_job_id = job.job_id
+            beat()
             continue
-        queue.ack(job.job_id, result)
-        completed += 1
+        if queue.ack(job.job_id, result, worker_id=worker_id):
+            completed += 1
+        # else: stale ack — the lease expired and someone else owns the
+        # job now; drop the result and move on.
+        last_job_id = job.job_id
+        beat()
     return completed
 
 
@@ -106,6 +162,8 @@ def worker_entry(
     max_attempts: int = 3,
     lease_seconds: float = 60.0,
     max_jobs: int | None = None,
+    poll_seconds: float = 0.05,
+    stop_when_drained: bool = True,
 ) -> int:
     """Process entry point: attach to a queue directory and work it.
 
@@ -121,5 +179,10 @@ def worker_entry(
     """
     queue = DirectoryJobQueue(queue_dir, max_attempts=max_attempts)
     return run_worker(
-        queue, worker_id, lease_seconds=lease_seconds, max_jobs=max_jobs
+        queue,
+        worker_id,
+        lease_seconds=lease_seconds,
+        max_jobs=max_jobs,
+        poll_seconds=poll_seconds,
+        stop_when_drained=stop_when_drained,
     )

@@ -628,6 +628,7 @@ def run_many(
     processes: int | None = None,
     backend: str | None = None,
     queue_dir=None,
+    queue_url: str | None = None,
     workers: int | None = None,
     lease_seconds: float = 120.0,
     max_attempts: int = 3,
@@ -672,9 +673,10 @@ def run_many(
       (:class:`repro.pipeline.dist.SweepRunner`): ``workers`` worker
       threads (in-memory queue) or processes (pass ``queue_dir`` for
       the directory-backed queue, which other hosts can join and
-      ``repro sweep --resume`` can continue).  Dead workers lose their
-      lease and their jobs are retried up to ``max_attempts`` times;
-      see ``docs/distributed.md``.
+      ``repro sweep --resume`` can continue, or ``queue_url`` to run
+      the grid through a ``repro serve`` daemon over HTTP).  Dead
+      workers lose their lease and their jobs are retried up to
+      ``max_attempts`` times; see ``docs/distributed.md``.
 
     Every backend returns the same thing: one typed report per job —
     :class:`EncodeReport`, :class:`~repro.pipeline.PlatformReport`, or
@@ -702,11 +704,19 @@ def run_many(
         resolutions=resolutions,
     )
 
+    if queue_url is not None and backend != "queue":
+        raise ValueError("queue_url only applies to backend='queue'")
     if backend == "queue":
-        from .dist import SweepRunner
+        from .dist import HttpJobQueue, SweepRunner
 
+        queue = None
+        if queue_url is not None:
+            if queue_dir is not None:
+                raise ValueError("pass queue_url or queue_dir, not both")
+            queue = HttpJobQueue(queue_url)
         runner = SweepRunner(
             specs,
+            queue=queue,
             queue_dir=queue_dir,
             workers=workers if workers is not None else (processes or 2),
             lease_seconds=lease_seconds,

@@ -284,6 +284,102 @@ class TestSweepCLI:
         assert "Traceback" not in result.stderr
 
 
+class TestNetworkCLI:
+    GRID = [
+        "--codecs", "classical", "--qps", "8,16", "--seeds", "0",
+        "--height", "32", "--width", "48", "--frames", "2",
+    ]
+
+    def _start_server(self, *extra):
+        """Launch ``repro serve --port 0`` and scrape the printed URL."""
+        import re
+
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0", *extra],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            cwd=REPO,
+        )
+        line = proc.stdout.readline()
+        match = re.search(r"serving on (http://\S+)", line)
+        assert match, f"no serve banner in {line!r}"
+        return proc, match.group(1)
+
+    def test_serve_then_sweep_over_queue_url(self, tmp_path):
+        serial = run_cli("sweep", *self.GRID, "--workers", "0", "--json")
+        assert serial.returncode == 0, serial.stderr[-2000:]
+        queue_dir = tmp_path / "q"
+        server, url = self._start_server("--queue-dir", str(queue_dir))
+        try:
+            net = run_cli(
+                "sweep", *self.GRID, "--queue-url", url,
+                "--workers", "2", "--json",
+            )
+            assert net.returncode == 0, net.stderr[-2000:]
+            # a second non-resume run against the now-populated server
+            # must refuse, mirroring the --queue-dir hygiene
+            refused = run_cli(
+                "sweep", *self.GRID, "--queue-url", url, "--workers", "2",
+            )
+            assert refused.returncode == 2
+            assert "--resume" in refused.stderr
+        finally:
+            server.terminate()
+            server.wait(timeout=20)
+        a, b = json.loads(net.stdout), json.loads(serial.stdout)
+        assert a["jobs"] == a["completed"] == 2 and not a["failed"]
+        for key in ("curves", "bd_rate"):
+            assert json.dumps(a[key], sort_keys=True) == json.dumps(
+                b[key], sort_keys=True
+            )
+        # the HTTP transport wrote through to the durable backend
+        assert len(list((queue_dir / "done").glob("*.json"))) == 2
+
+    def test_queue_url_and_queue_dir_are_mutually_exclusive(self):
+        result = run_cli(
+            "sweep", *self.GRID, "--queue-url", "http://127.0.0.1:1",
+            "--queue-dir", "somewhere",
+        )
+        assert result.returncode == 2
+        assert "not both" in result.stderr
+
+    def test_unreachable_queue_url_is_clean_error(self):
+        result = run_cli(
+            "sweep", *self.GRID, "--queue-url", "http://127.0.0.1:9",
+        )
+        assert result.returncode == 1
+        assert "cannot reach" in result.stderr
+        assert "Traceback" not in result.stderr
+
+    def test_worker_drains_directory_queue(self, tmp_path):
+        from repro.pipeline.dist import DirectoryJobQueue, job_id_for_spec
+        from repro.pipeline.dse import dse_grid
+        from repro.pipeline.tasks import normalize_spec
+
+        queue = DirectoryJobQueue(tmp_path / "wq")
+        specs = [
+            normalize_spec(spec)
+            for spec in dse_grid("geometry", values=((6, 6), (12, 12)))
+        ]
+        for index, spec in enumerate(specs):
+            queue.submit(spec, job_id=job_id_for_spec(index, spec))
+        result = run_cli("worker", "--queue-dir", str(tmp_path / "wq"))
+        assert result.returncode == 0, result.stderr[-2000:]
+        assert "completed 2 job(s)" in result.stdout
+        assert queue.stats().done == 2
+
+    def test_worker_requires_exactly_one_queue_flag(self):
+        neither = run_cli("worker")
+        assert neither.returncode == 2
+        assert "exactly one" in neither.stderr
+        both = run_cli(
+            "worker", "--queue-url", "http://127.0.0.1:1",
+            "--queue-dir", "somewhere",
+        )
+        assert both.returncode == 2
+
+
 class TestExamples:
     @pytest.mark.parametrize(
         "script",
@@ -294,6 +390,7 @@ class TestExamples:
             "streaming.py",
             "sweep_rd_curves.py",
             "dse_pareto.py",
+            "network_sweep.py",
         ],
     )
     def test_example_runs(self, script):

@@ -114,6 +114,7 @@ class TestDirectoryQueue:
         root = tmp_path / "q"
         queue = DirectoryJobQueue(root)
         queue.submit({"x": 1}, job_id="persist")
+        queue.claim("w1", lease_seconds=30.0)
         queue.ack("persist", {"bpp": 1.0})
         # a fresh instance (fresh process, resumed sweep) sees the result
         again = DirectoryJobQueue(root)
@@ -127,6 +128,48 @@ class TestDirectoryQueue:
         b = queue.claim("w2", lease_seconds=30.0)
         assert (a is None) != (b is None)  # exactly one winner
 
+    def test_junk_file_in_claimed_is_skipped_with_warning(
+        self, tmp_path, caplog
+    ):
+        """A malformed filename in claimed/ (crashed writer, stray
+        editor file) must not crash claim/reap scans — skip + warn,
+        and real jobs keep flowing."""
+        import logging
+
+        queue = DirectoryJobQueue(tmp_path / "q")
+        queue.submit({"x": 1}, job_id="good")
+        job = queue.claim("w1", lease_seconds=0.01)
+        assert job is not None
+        # plant junk alongside the legitimate lease
+        claimed_dir = tmp_path / "q" / "claimed"
+        (claimed_dir / "not-a-lease.json").write_text("{}")
+        (claimed_dir / "good.abc.def.json").write_text("{}")
+        time.sleep(0.03)
+        with caplog.at_level(logging.WARNING, "repro.pipeline.dist.queues"):
+            assert queue.reap_expired() == ["good"]  # junk skipped
+            rejob = queue.claim("w2", lease_seconds=30.0)
+        assert rejob.job_id == "good" and rejob.attempts == 1
+        assert any("malformed" in r.message for r in caplog.records)
+        # one-time warning: a second scan stays quiet
+        count = len(caplog.records)
+        queue.reap_expired()
+        assert len(caplog.records) == count
+        queue.ack("good", {"ok": True}, worker_id="w2")
+        assert queue.results() == {"good": {"ok": True}}
+
+    def test_junk_file_in_pending_is_skipped_with_warning(
+        self, tmp_path, caplog
+    ):
+        import logging
+
+        queue = DirectoryJobQueue(tmp_path / "q")
+        (tmp_path / "q" / "pending" / "nonsense.json").write_text("{}")
+        queue.submit({"x": 1}, job_id="real")
+        with caplog.at_level(logging.WARNING, "repro.pipeline.dist.queues"):
+            job = queue.claim("w1", lease_seconds=30.0)
+        assert job is not None and job.job_id == "real"
+        assert any("malformed" in r.message for r in caplog.records)
+
     def test_late_ack_after_expiry_still_lands(self, tmp_path):
         # Straggler semantics: the job re-runs elsewhere, but the slow
         # worker's eventual ack must not be lost or crash.
@@ -139,6 +182,46 @@ class TestDirectoryQueue:
         queue.ack(job2.job_id, {"from": "w2"})
         queue.ack(job.job_id, {"from": "w1"})  # straggler returns
         assert queue.stats().done == 1
+
+
+class TestHeartbeat:
+    def test_worker_emits_structured_heartbeats(self):
+        queue = MemoryJobQueue(max_attempts=2)
+        queue.submit({"x": 1}, job_id="00000-ok")
+        queue.submit({"x": 2}, job_id="00001-boom")
+        beats = []
+
+        def execute(job):
+            if "boom" in job.job_id:
+                raise RuntimeError("injected")
+            return {"ok": True}
+
+        completed = run_worker(
+            queue, "hb-worker", lease_seconds=30.0, execute=execute,
+            on_heartbeat=beats.append,
+        )
+        assert completed == 1
+        # startup beat + one per outcome (1 ack + max_attempts fails)
+        assert len(beats) == 4
+        first, last = beats[0], beats[-1]
+        assert first.worker_id == "hb-worker"
+        assert (first.completed, first.failed, first.last_job_id) == (0, 0, None)
+        assert last.worker_id == "hb-worker"
+        assert last.completed == 1 and last.failed == 2
+        assert last.last_job_id == "00001-boom"
+        assert last.to_dict() == {
+            "worker_id": "hb-worker", "completed": 1, "failed": 2,
+            "last_job_id": "00001-boom",
+        }
+
+    def test_default_is_no_heartbeat_callback(self):
+        queue = MemoryJobQueue()
+        queue.submit({"x": 1}, job_id="quiet")
+        completed = run_worker(
+            queue, "w", lease_seconds=30.0,
+            execute=lambda job: {"ok": True},
+        )
+        assert completed == 1
 
 
 class TestWorkerDeath:

@@ -1,0 +1,476 @@
+"""Network job transport: the HTTP queue protocol end to end —
+wire-level semantics, stale-ack rejection across every queue backend,
+sweep/DSE parity over HTTP worker processes (including a killed
+worker), server restart + resume over a durable backend, and the
+autoscaler's scaling decisions."""
+
+import json
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.pipeline import run_many
+from repro.pipeline.dist import (
+    Autoscaler,
+    DirectoryJobQueue,
+    HttpJobQueue,
+    HttpQueueError,
+    MemoryJobQueue,
+    QueueServer,
+    SweepRunner,
+    job_id_for_spec,
+    run_worker,
+)
+from repro.pipeline.dse import DSERunner, dse_grid
+
+SCENE = {"height": 32, "width": 48, "frames": 2}
+
+
+def _mp_context():
+    return multiprocessing.get_context(
+        "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+    )
+
+
+def _claim_and_die_http(url, lease_seconds):
+    """Worker that dies mid-job over the wire: claims, never acks."""
+    queue = HttpJobQueue(url)
+    job = queue.claim("doomed-http", lease_seconds=lease_seconds)
+    assert job is not None
+    os._exit(1)
+
+
+@pytest.fixture
+def http_queue():
+    """An HttpJobQueue talking to an in-process server over loopback."""
+    with QueueServer(MemoryJobQueue(max_attempts=2)) as server:
+        yield HttpJobQueue(server.url)
+
+
+@pytest.fixture(params=["memory", "directory", "http"])
+def any_queue(request, tmp_path):
+    """One queue per backend, same protocol — the parametrization the
+    stale-ack race contract is pinned across."""
+    if request.param == "memory":
+        yield MemoryJobQueue(max_attempts=3)
+    elif request.param == "directory":
+        yield DirectoryJobQueue(tmp_path / "q", max_attempts=3)
+    else:
+        with QueueServer(MemoryJobQueue(max_attempts=3)) as server:
+            yield HttpJobQueue(server.url)
+
+
+class TestHttpProtocol:
+    def test_submit_claim_ack_cycle(self, http_queue):
+        job_id = http_queue.submit({"x": 1}, job_id="job-a")
+        assert http_queue.stats().pending == 1
+        job = http_queue.claim("w1", lease_seconds=30.0)
+        assert job.job_id == job_id and job.spec == {"x": 1}
+        assert job.attempts == 0
+        assert http_queue.claim("w2", lease_seconds=30.0) is None
+        assert http_queue.ack(job_id, {"ok": True}, worker_id="w1")
+        stats = http_queue.stats()
+        assert (stats.pending, stats.claimed, stats.done) == (0, 0, 1)
+        assert http_queue.results() == {job_id: {"ok": True}}
+        assert http_queue.finished_ids() == {job_id}
+
+    def test_submit_is_idempotent(self, http_queue):
+        http_queue.submit({"x": 1}, job_id="dup")
+        http_queue.submit({"x": 2}, job_id="dup")
+        assert http_queue.stats().pending == 1
+        assert http_queue.claim("w", lease_seconds=30.0).spec == {"x": 1}
+
+    def test_fail_requeues_then_dead_letters(self, http_queue):
+        http_queue.submit({"x": 1}, job_id="flaky")  # max_attempts=2
+        job = http_queue.claim("w", lease_seconds=30.0)
+        http_queue.fail(job.job_id, "boom 1")
+        assert http_queue.stats().pending == 1
+        job = http_queue.claim("w", lease_seconds=30.0)
+        assert job.attempts == 1
+        http_queue.fail(job.job_id, "boom 2")
+        stats = http_queue.stats()
+        assert (stats.pending, stats.failed) == (0, 1)
+        assert "boom 2" in http_queue.failures()["flaky"]
+
+    def test_lease_expiry_reaps_over_the_wire(self, http_queue):
+        http_queue.submit({"x": 1}, job_id="leased")
+        assert http_queue.claim("w1", lease_seconds=0.05) is not None
+        time.sleep(0.08)
+        assert http_queue.reap_expired() == ["leased"]
+        job = http_queue.claim("w2", lease_seconds=30.0)
+        assert job.job_id == "leased" and job.attempts == 1
+
+    def test_results_paginate(self, http_queue):
+        for i in range(7):
+            job_id = http_queue.submit({"n": i}, job_id=f"{i:05d}-x")
+            job = http_queue.claim("w", lease_seconds=30.0)
+            http_queue.ack(job.job_id, {"n": job.spec["n"]})
+        page, cursor = http_queue.results_page(limit=3)
+        assert sorted(page) == ["00000-x", "00001-x", "00002-x"]
+        assert cursor == "00002-x"
+        page, cursor = http_queue.results_page(after=cursor, limit=3)
+        assert sorted(page) == ["00003-x", "00004-x", "00005-x"]
+        # drained via pages, reassembled complete
+        assert len(http_queue.results()) == 7
+
+    def test_health_and_heartbeat_feed_stats(self, http_queue):
+        health = http_queue.health()
+        assert health["ok"] and health["backend"] == "MemoryJobQueue"
+        http_queue.heartbeat(
+            {"worker_id": "w9", "completed": 3, "failed": 1,
+             "last_job_id": "00002-x"}
+        )
+        fleet = http_queue.fleet()
+        assert fleet["w9"]["completed"] == 3
+        assert fleet["w9"]["failed"] == 1
+        assert fleet["w9"]["last_seen_unix"] > 0
+
+    def test_unknown_endpoint_and_bad_body_are_clean_errors(self, http_queue):
+        with pytest.raises(HttpQueueError, match="404"):
+            http_queue._request("GET", "/nope")
+        with pytest.raises(HttpQueueError, match="400"):
+            http_queue._request("POST", "/submit", {"spec": {"x": 1}})  # no id
+
+    def test_unreachable_server_raises_after_bounded_retries(self):
+        queue = HttpJobQueue(
+            "http://127.0.0.1:9", timeout=0.5, retries=2,
+            backoff_seconds=0.01,
+        )
+        start = time.monotonic()
+        with pytest.raises(HttpQueueError, match="cannot reach"):
+            queue.stats()
+        assert time.monotonic() - start < 5.0  # bounded, not hung
+
+    def test_rejects_non_http_urls(self):
+        with pytest.raises(ValueError, match="plain http"):
+            HttpJobQueue("https://example.com:8642")
+
+
+class TestStaleAck:
+    def test_ack_after_reap_is_rejected(self, any_queue):
+        """The lease-expiry race: a straggler whose job was reaped and
+        re-acked elsewhere must get a clean rejection — idempotent, no
+        double-aggregation."""
+        queue = any_queue
+        queue.submit({"x": 1}, job_id="raced")
+        slow = queue.claim("w1", lease_seconds=0.05)
+        time.sleep(0.08)
+        assert queue.reap_expired() == ["raced"]
+        fast = queue.claim("w2", lease_seconds=30.0)
+        assert queue.ack(fast.job_id, {"from": "w2"}, worker_id="w2") is True
+        # the straggler returns: job is already terminal
+        assert queue.ack(slow.job_id, {"from": "w1"}, worker_id="w1") is False
+        assert queue.stats().done == 1
+        assert queue.results()["raced"] == {"from": "w2"}
+
+    def test_ack_after_reassignment_is_rejected(self, any_queue):
+        """Straggler acks while the *new* owner still holds the claim:
+        the worker-id check must refuse the old owner's result."""
+        queue = any_queue
+        queue.submit({"x": 1}, job_id="stolen")
+        stale = queue.claim("w1", lease_seconds=0.05)
+        time.sleep(0.08)
+        queue.reap_expired()
+        assert queue.claim("w2", lease_seconds=30.0) is not None
+        assert queue.ack(stale.job_id, {"from": "w1"}, worker_id="w1") is False
+        stats = queue.stats()
+        assert (stats.claimed, stats.done) == (1, 0)  # w2 still owns it
+        assert queue.ack(stale.job_id, {"from": "w2"}, worker_id="w2") is True
+        assert queue.results()["stolen"] == {"from": "w2"}
+
+    def test_worker_loop_drops_stale_ack(self, any_queue):
+        """run_worker itself must not count a stale ack as completed."""
+        queue = any_queue
+        queue.submit({"x": 1}, job_id="slowjob")
+
+        done_elsewhere = {}
+
+        def slow_execute(job):
+            # w1 outlives its lease; meanwhile w2 takes and finishes
+            # the job, so w1's eventual ack must be stale
+            time.sleep(0.08)
+            queue.reap_expired()
+            stolen = queue.claim("w2", lease_seconds=30.0)
+            if stolen is not None:
+                queue.ack(stolen.job_id, {"late": False}, worker_id="w2")
+                done_elsewhere[stolen.job_id] = True
+            return {"late": True}
+
+        completed = run_worker(
+            queue, "w1", lease_seconds=0.05, max_jobs=1,
+            execute=slow_execute,
+        )
+        assert done_elsewhere  # the race actually happened
+        assert completed == 0  # w1's ack was stale, not counted
+        assert queue.results()["slowjob"] == {"late": False}
+
+
+class TestHttpSweepParity:
+    GRID = dict(
+        codecs=["classical", "ctvc"],
+        codec_configs=[{"qp": 8.0, "qstep": 8.0, "channels": 8}],
+        scenes=[SCENE],
+        anchor="classical",
+    )
+
+    def canon(self, result):
+        payload = result.to_dict()
+        return (
+            json.dumps(payload["curves"], sort_keys=True),
+            json.dumps(payload["bd_rate"], sort_keys=True),
+        )
+
+    def test_http_workers_match_serial(self):
+        serial = SweepRunner(workers=0, **self.GRID).run()
+        assert serial.ok
+        with QueueServer(MemoryJobQueue()) as server:
+            net = SweepRunner(
+                queue=HttpJobQueue(server.url), workers=2,
+                lease_seconds=60.0, **self.GRID,
+            ).run()
+        assert net.ok, net.failures
+        assert self.canon(net) == self.canon(serial)
+
+    def test_http_sweep_survives_killed_worker(self):
+        """One worker claims over the wire and dies; the sweep still
+        completes byte-identically."""
+        serial = SweepRunner(
+            codecs=["classical"],
+            codec_configs=[{"qp": 8.0}, {"qp": 16.0}, {"qp": 32.0}],
+            scenes=[SCENE], workers=0,
+        ).run()
+        with QueueServer(MemoryJobQueue()) as server:
+            runner = SweepRunner(
+                codecs=["classical"],
+                codec_configs=[{"qp": 8.0}, {"qp": 16.0}, {"qp": 32.0}],
+                scenes=[SCENE],
+                queue=HttpJobQueue(server.url),
+                workers=2,
+                lease_seconds=0.3,
+            )
+            runner.submit()
+            victim = _mp_context().Process(
+                target=_claim_and_die_http, args=(server.url, 0.3)
+            )
+            victim.start()
+            victim.join(timeout=30)
+            assert victim.exitcode == 1
+            result = runner.run()
+        assert result.ok, result.failures
+        assert len(result.reports) == 3
+        assert self.canon(result) == self.canon(serial)
+
+    def test_run_many_queue_url_matches_inline(self):
+        inline = run_many(codecs=["classical"],
+                          codec_configs=[{"qp": 8.0}, {"qp": 16.0}],
+                          scenes=[SCENE])
+        with QueueServer(MemoryJobQueue()) as server:
+            queued = run_many(codecs=["classical"],
+                              codec_configs=[{"qp": 8.0}, {"qp": 16.0}],
+                              scenes=[SCENE],
+                              backend="queue", workers=2,
+                              queue_url=server.url)
+        for a, b in zip(inline, queued):
+            a_dict, b_dict = a.to_dict(), b.to_dict()
+            for key in ("encode_seconds", "decode_seconds"):
+                a_dict.pop(key), b_dict.pop(key)
+            assert a_dict == b_dict
+
+    def test_queue_url_demands_queue_backend(self):
+        with pytest.raises(ValueError, match="queue_url"):
+            run_many(codecs=["classical"], scenes=[SCENE],
+                     queue_url="http://127.0.0.1:1")
+
+
+class TestHttpDSEParity:
+    def test_dse_grid_over_http_matches_serial(self):
+        specs = dse_grid("geometry", values=((6, 6), (12, 12), (18, 18)))
+        serial = DSERunner(specs, workers=0).run()
+        assert serial.ok
+        with QueueServer(MemoryJobQueue()) as server:
+            net = DSERunner(
+                specs, queue=HttpJobQueue(server.url), workers=2,
+                lease_seconds=60.0,
+            ).run()
+        assert net.ok, net.failures
+
+        def canon(result):
+            payload = result.to_dict()
+            return json.dumps(
+                {"points": payload["points"], "pareto": payload["pareto"]},
+                sort_keys=True,
+            )
+
+        assert canon(net) == canon(serial)
+
+
+class TestServerRestartResume:
+    def test_directory_backend_survives_server_restart(self, tmp_path):
+        """Durable state lives in the backing queue, not the server: a
+        new server over the same directory resumes the grid."""
+        root = str(tmp_path / "q")
+        grid = dict(
+            codecs=["classical"],
+            codec_configs=[{"qp": 8.0}, {"qp": 16.0}],
+            scenes=[SCENE],
+        )
+        server = QueueServer(
+            DirectoryJobQueue(root, max_attempts=3)
+        ).start()
+        try:
+            runner = SweepRunner(
+                queue=HttpJobQueue(server.url), workers=0, **grid
+            )
+            runner.submit()
+            # complete exactly one job through the first server
+            run_worker(runner.queue, "w1", lease_seconds=60.0, max_jobs=1)
+            assert runner.queue.stats().done == 1
+        finally:
+            server.stop()
+
+        # first server is gone; its client now fails fast
+        with pytest.raises(HttpQueueError):
+            HttpJobQueue(server.url, retries=0, timeout=0.5).stats()
+
+        restarted = QueueServer(
+            DirectoryJobQueue(root, max_attempts=3)
+        ).start()
+        try:
+            queue = HttpJobQueue(restarted.url)
+            assert queue.stats().done == 1  # state survived
+            resumed = SweepRunner(queue=queue, workers=0, **grid)
+            result = resumed.run()
+        finally:
+            restarted.stop()
+        assert result.ok, result.failures
+        assert len(result.reports) == 2
+        serial = SweepRunner(workers=0, **grid).run()
+        assert json.dumps(result.to_dict()["curves"], sort_keys=True) == \
+            json.dumps(serial.to_dict()["curves"], sort_keys=True)
+
+
+class _FakeWorker:
+    def __init__(self):
+        self.alive = True
+        self.terminated = False
+
+    def is_alive(self):
+        return self.alive
+
+    def terminate(self):
+        self.alive = False
+        self.terminated = True
+
+    def join(self, timeout=None):
+        pass
+
+
+class TestAutoscaler:
+    def test_desired_workers_decision_table(self):
+        scaler = Autoscaler(
+            min_workers=0, max_workers=4, backlog_per_worker=4
+        )
+        assert scaler.desired_workers(pending=0, claimed=0) == 0
+        assert scaler.desired_workers(pending=1, claimed=0) == 1
+        assert scaler.desired_workers(pending=8, claimed=0) == 2
+        assert scaler.desired_workers(pending=100, claimed=0) == 4  # clamp
+        assert scaler.desired_workers(pending=0, claimed=1) == 1
+        # a freshly expired lease asks for an extra hand
+        assert scaler.desired_workers(pending=4, claimed=0, expired=1) == 2
+        floor = Autoscaler(min_workers=2, max_workers=4)
+        assert floor.desired_workers(pending=0, claimed=0) == 2
+
+    def test_step_scales_up_then_down_when_idle(self):
+        queue = MemoryJobQueue()
+        for i in range(8):
+            queue.submit({"n": i}, job_id=f"{i:05d}-x")
+        clock = {"t": 0.0}
+        scaler = Autoscaler(
+            queue, _FakeWorker,
+            min_workers=0, max_workers=4, backlog_per_worker=4,
+            cooldown_seconds=10.0, clock=lambda: clock["t"],
+        )
+        summary = scaler.step()
+        assert summary["action"] == "scale-up:2"
+        assert len(scaler.workers) == 2
+        # cooldown holds even though depth would ask for more
+        for i in range(8, 16):
+            queue.submit({"n": i}, job_id=f"{i:05d}-x")
+        assert scaler.step()["action"] == "hold"
+        clock["t"] = 11.0
+        assert scaler.step()["action"] == "scale-up:2"
+        # drain the queue; idle fleet scales to nothing after cooldown
+        while True:
+            job = queue.claim("w", lease_seconds=30.0)
+            if job is None:
+                break
+            queue.ack(job.job_id, {})
+        clock["t"] = 30.0
+        summary = scaler.step()
+        assert summary["action"] == "scale-down:4"
+        assert scaler.workers == []
+
+    def test_no_scale_down_while_jobs_in_flight(self):
+        queue = MemoryJobQueue()
+        queue.submit({"n": 0}, job_id="00000-x")
+        clock = {"t": 0.0}
+        scaler = Autoscaler(
+            queue, _FakeWorker, min_workers=0, max_workers=2,
+            cooldown_seconds=0.0, clock=lambda: clock["t"],
+        )
+        scaler.step()
+        assert len(scaler.workers) == 1
+        assert queue.claim("w", lease_seconds=30.0) is not None
+        clock["t"] = 100.0
+        # claimed=1 keeps desired at 1 and forbids termination
+        assert scaler.step()["action"] == "hold"
+        assert len(scaler.workers) == 1
+
+    def test_shutdown_terminates_fleet(self):
+        queue = MemoryJobQueue()
+        queue.submit({"n": 0}, job_id="00000-x")
+        scaler = Autoscaler(queue, _FakeWorker, cooldown_seconds=0.0)
+        scaler.step()
+        workers = scaler.workers
+        assert workers
+        scaler.shutdown()
+        assert scaler.workers == []
+        assert all(w.terminated for w in workers)
+
+    def test_autoscaled_http_fleet_drains_a_real_grid(self):
+        """End to end: server + autoscaler-spawned HTTP worker
+        processes complete a queue nobody else is draining."""
+        backing = MemoryJobQueue()
+        with QueueServer(backing) as server:
+            from repro.pipeline.dist import spawn_http_worker
+            from repro.pipeline.tasks import normalize_spec
+
+            specs = [
+                normalize_spec(spec)
+                for spec in dse_grid(
+                    "geometry", values=((6, 6), (12, 12))
+                )
+            ]
+            queue = HttpJobQueue(server.url)
+            for index, spec in enumerate(specs):
+                queue.submit(spec, job_id=job_id_for_spec(index, spec))
+            scaler = Autoscaler(
+                queue,
+                lambda: spawn_http_worker(server.url, lease_seconds=30.0),
+                min_workers=0, max_workers=2, backlog_per_worker=1,
+                cooldown_seconds=0.0,
+            )
+            try:
+                deadline = time.time() + 60
+                while queue.stats().done < len(specs):
+                    scaler.step()
+                    assert time.time() < deadline, "fleet never drained grid"
+                    time.sleep(0.05)
+            finally:
+                scaler.shutdown()
+            assert queue.stats().done == len(specs)
+            assert len(queue.results()) == len(specs)
+            # heartbeats from the autoscaled workers reached /stats
+            assert queue.fleet()
