@@ -21,6 +21,10 @@ Measures, on the bench_codec scene (64x96, 3 frames, seed 7):
   stream, round-trip verified.
 * **kernels** — conv2d / conv_transpose2d / bilinear warp /
   block-match / 8x8 DCT timings of the NumPy substrate.
+* **container** — the integrity tax: write/read wall time of the same
+  packet list through the version-3 (CRC-free) and version-4
+  (header + per-packet CRC32) stream containers, with the byte
+  overhead asserted to be exactly ``4 * (1 + num_packets)``.
 * **sweep** — grid throughput (jobs/s) of ``run_many`` per execution
   backend: inline, thread workers over the in-memory queue, and
   process workers over the directory-backed queue, on a fixed
@@ -287,6 +291,51 @@ def bench_kernels(repeats: int) -> dict:
     return report
 
 
+def bench_container(frames, repeats: int) -> dict:
+    """CRC32 integrity cost: v4 (checksummed) vs v3 container I/O."""
+    import io
+
+    from repro.codec import StreamReader, StreamWriter
+
+    codec = ClassicalCodec(ClassicalCodecConfig(qp=8.0, entropy_backend="rans"))
+    stream = codec.encode_sequence(frames)
+    report: dict = {"num_packets": len(stream.packets)}
+    blobs: dict[int, bytes] = {}
+    for version in (3, 4):
+
+        def write(version=version):
+            buffer = io.BytesIO()
+            writer = StreamWriter(buffer, stream.header, version=version)
+            for packet in stream.packets:
+                writer.write_packet(packet)
+            writer.finalize()
+            return buffer.getvalue()
+
+        write_s, blob = _time(write, repeats)
+        read_s, packets = _time(
+            lambda: list(StreamReader(io.BytesIO(blob))), repeats
+        )
+        assert [p.serialize() for p in packets] == [
+            p.serialize() for p in stream.packets
+        ], f"v{version}: container round-trip mismatch"
+        blobs[version] = blob
+        report[f"v{version}"] = {
+            "write_ms": write_s * 1e3,
+            "read_ms": read_s * 1e3,
+            "stream_bytes": len(blob),
+        }
+    # v4 costs the header CRC word plus one word per packet, nothing else
+    assert len(blobs[4]) == len(blobs[3]) + 4 * (1 + len(stream.packets))
+    report["crc_bytes"] = len(blobs[4]) - len(blobs[3])
+    report["crc_write_overhead"] = (
+        report["v4"]["write_ms"] / report["v3"]["write_ms"] - 1.0
+    )
+    report["crc_read_overhead"] = (
+        report["v4"]["read_ms"] / report["v3"]["read_ms"] - 1.0
+    )
+    return report
+
+
 def bench_sweep(repeats: int) -> dict:
     """Sweep-executor throughput on a fixed 4-job classical grid."""
     import tempfile
@@ -448,6 +497,20 @@ def main(argv=None) -> int:
         for name, row in kernels.items():
             print(f"  {name:24s} {row['ms']:8.3f} ms")
 
+        print("== container integrity (v4 CRC32 vs v3) ==")
+        container = bench_container(frames, repeats)
+        for version in ("v3", "v4"):
+            row = container[version]
+            print(
+                f"  {version:4s} write {row['write_ms']:7.2f} ms  "
+                f"read {row['read_ms']:7.2f} ms  {row['stream_bytes']:6d}B"
+            )
+        print(
+            f"  crc tax: +{container['crc_bytes']}B, "
+            f"write {100 * container['crc_write_overhead']:+.1f}%, "
+            f"read {100 * container['crc_read_overhead']:+.1f}%"
+        )
+
         print("== sweep executor (4-job classical grid) ==")
         sweep = bench_sweep(repeats)
         for backend in (
@@ -493,6 +556,7 @@ def main(argv=None) -> int:
         "codecs": codecs,
         "entropy": entropy,
         "kernels": kernels,
+        "container": container,
         "sweep": sweep,
         "hardware": hardware,
     }

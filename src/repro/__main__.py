@@ -27,7 +27,14 @@ Subcommands:
 * ``worker``     — join a fleet: drain jobs from a ``repro serve``
                    daemon (``--queue-url``) or a shared queue
                    directory (``--queue-dir``) until empty, or
-                   ``--forever``.
+                   ``--forever``; ``--job-timeout`` arms a per-job
+                   wall-clock watchdog.
+* ``failures``   — list a queue's dead-letter ledger: every failed
+                   job with attempts, quarantine flag, and error
+                   (``-v`` for full tracebacks).
+* ``retry``      — resubmit dead-lettered jobs (by id or ``--all``)
+                   with a fresh attempt budget; the specs ride in the
+                   failed records, so replay needs no other input.
 * ``hardware``   — analyze a registered accelerator platform:
                    ``--platform nvca`` (default) runs the full NVCA
                    performance/energy/area roll-up with the operating
@@ -218,7 +225,7 @@ def _cmd_decode(args) -> int:
     wire_names = {"ctvc-net": "ctvc", "classical-dct": "classical"}
     start = time.perf_counter()
     with open(args.bitstream, "rb") as handle:
-        reader = StreamReader(handle)
+        reader = StreamReader(handle, on_error=args.on_error)
         header = reader.header
         codec_name = args.codec or header.get("registry")
         if codec_name is None:
@@ -293,6 +300,7 @@ def _cmd_decode(args) -> int:
         "codec": codec_name,
         "container_version": reader.version,
         "bitstream": args.bitstream,
+        "packets_skipped": reader.packets_skipped,
         "frames": count,
         "height": height,
         "width": width,
@@ -309,6 +317,8 @@ def _cmd_decode(args) -> int:
     )
     if psnrs:
         text += f", {payload['mean_psnr']:.2f} dB PSNR"
+    if reader.packets_skipped:
+        text += f"\n  WARNING: {reader.packets_skipped} corrupt packet(s) skipped"
     if args.output:
         text += f"\n  reconstruction: {args.output}"
     print(json.dumps(payload, indent=2, sort_keys=True) if args.json else text)
@@ -705,6 +715,7 @@ def _cmd_worker(args) -> int:
                 poll_seconds=args.poll,
                 max_jobs=args.max_jobs,
                 stop_when_drained=not args.forever,
+                job_timeout_seconds=args.job_timeout,
             )
         else:
             queue = DirectoryJobQueue(
@@ -717,12 +728,100 @@ def _cmd_worker(args) -> int:
                 poll_seconds=args.poll,
                 max_jobs=args.max_jobs,
                 stop_when_drained=not args.forever,
+                job_timeout_seconds=args.job_timeout,
             )
     except KeyboardInterrupt:
         print(f"worker {worker_id}: interrupted", file=sys.stderr)
         return 130
     print(f"worker {worker_id}: completed {completed} job(s)")
     return 0
+
+
+def _attach_queue(args, command: str):
+    """Attach to *existing* queue state for inspection commands
+    (``repro failures`` / ``repro retry``) — no emptiness hygiene: the
+    whole point is to look at what a finished or wedged run left
+    behind."""
+    from repro.pipeline.dist import DirectoryJobQueue, HttpJobQueue
+
+    if bool(args.queue_url) == bool(args.queue_dir):
+        print(
+            f"repro {command}: pass exactly one of --queue-url (a repro "
+            "serve daemon) or --queue-dir (a queue directory)",
+            file=sys.stderr,
+        )
+        return None
+    if args.queue_url:
+        return HttpJobQueue(args.queue_url)
+    if not os.path.isdir(args.queue_dir):
+        print(
+            f"repro {command}: no queue directory at {args.queue_dir!r}",
+            file=sys.stderr,
+        )
+        return None
+    return DirectoryJobQueue(args.queue_dir)
+
+
+def _cmd_failures(args) -> int:
+    """List a queue's dead-letter ledger: every failed job with its
+    attempts, quarantine flag, and error (traceback with -v)."""
+    queue = _attach_queue(args, "failures")
+    if queue is None:
+        return 2
+    details = queue.failure_details()
+    payload = {
+        "failed": len(details),
+        "jobs": [
+            {"job_id": job_id, **record}
+            for job_id, record in sorted(details.items())
+        ],
+    }
+    if not details:
+        return _emit(args, "no dead-lettered jobs", payload)
+    lines = [f"{len(details)} dead-lettered job(s):"]
+    for job_id, record in sorted(details.items()):
+        flag = "  [quarantined]" if record.get("quarantined") else ""
+        error = str(record.get("error", "")).strip()
+        last_line = error.splitlines()[-1] if error else "(no error recorded)"
+        lines.append(
+            f"  {job_id}{flag}  attempts={record.get('attempts', 0)}"
+        )
+        if args.verbose and error:
+            lines.extend("    | " + ln for ln in error.splitlines())
+        else:
+            lines.append(f"    {last_line}")
+    source = (
+        f"--queue-url {args.queue_url}" if args.queue_url
+        else f"--queue-dir {args.queue_dir}"
+    )
+    lines.append(f"replay with: repro retry {source} --all (or job ids)")
+    return _emit(args, "\n".join(lines), payload)
+
+
+def _cmd_retry(args) -> int:
+    """Resubmit dead-lettered jobs: back to pending with a fresh
+    attempt budget (their specs ride in the failed records)."""
+    queue = _attach_queue(args, "retry")
+    if queue is None:
+        return 2
+    if bool(args.job_ids) == bool(args.all):
+        print(
+            "repro retry: pass job ids (see 'repro failures') or --all",
+            file=sys.stderr,
+        )
+        return 2
+    job_ids = sorted(queue.failures()) if args.all else list(args.job_ids)
+    retried, missing = [], []
+    for job_id in job_ids:
+        (retried if queue.retry(job_id) else missing).append(job_id)
+    payload = {"retried": retried, "missing": missing}
+    lines = [f"resubmitted {len(retried)} job(s)"]
+    lines.extend(f"  {job_id}" for job_id in retried)
+    for job_id in missing:
+        lines.append(f"  {job_id}: not in the dead-letter ledger (already "
+                     "retried, finished, or never existed)")
+    _emit(args, "\n".join(lines), payload)
+    return 0 if not missing else 1
 
 
 def main(argv=None) -> int:
@@ -799,6 +898,15 @@ def main(argv=None) -> int:
         default=None,
         help="raw YUV 4:2:0 reference for PSNR (default: the scene recorded "
         "in a version-3 header, if any)",
+    )
+    dec.add_argument(
+        "--on-error",
+        choices=["raise", "skip"],
+        default="raise",
+        help="corrupt-packet policy for version-4 containers: 'raise' "
+        "(default) stops with the packet index; 'skip' drops damaged "
+        "packets, resyncs at the next length prefix, and reports how "
+        "many were lost",
     )
     dec.add_argument(
         "--progress",
@@ -1117,7 +1225,60 @@ def main(argv=None) -> int:
         help="tries per job before dead-letter (--queue-dir only; the "
         "server's backing queue owns this over HTTP)",
     )
+    wrk.add_argument(
+        "--job-timeout", type=float, default=None,
+        help="per-job wall-clock watchdog in seconds: a job still running "
+        "after this long is failed with a JobTimeoutError and the worker "
+        "moves on (size it below --lease; default: no watchdog)",
+    )
     wrk.set_defaults(func=_cmd_worker, json=False, output=None)
+
+    fls = sub.add_parser(
+        "failures",
+        help="list a queue's dead-lettered jobs (tracebacks, attempts, "
+        "quarantine flags)",
+    )
+    fls.add_argument(
+        "--queue-dir", default=None,
+        help="queue directory to inspect (a finished or wedged sweep's "
+        "--queue-dir)",
+    )
+    fls.add_argument(
+        "--queue-url", default=None,
+        help="repro serve daemon to inspect instead of a directory",
+    )
+    fls.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="show full tracebacks instead of the last line of each error",
+    )
+    fls.add_argument("-o", "--output", default=None)
+    fls.add_argument("--json", action="store_true",
+                     help="emit structured JSON")
+    fls.set_defaults(func=_cmd_failures)
+
+    rty = sub.add_parser(
+        "retry",
+        help="resubmit dead-lettered jobs (fresh attempt budget; specs "
+        "come from the failed records)",
+    )
+    rty.add_argument(
+        "job_ids", nargs="*",
+        help="job ids to resubmit (from 'repro failures')",
+    )
+    rty.add_argument("--all", action="store_true",
+                     help="resubmit every dead-lettered job")
+    rty.add_argument(
+        "--queue-dir", default=None,
+        help="queue directory holding the dead letters",
+    )
+    rty.add_argument(
+        "--queue-url", default=None,
+        help="repro serve daemon holding the dead letters",
+    )
+    rty.add_argument("-o", "--output", default=None)
+    rty.add_argument("--json", action="store_true",
+                     help="emit structured JSON")
+    rty.set_defaults(func=_cmd_retry)
 
     from repro.pipeline import CodecRegistryError
     from repro.pipeline.dist import HttpQueueError

@@ -24,17 +24,33 @@ Format versions:
   from their own configuration.
 * **3** (streaming) — the header drops ``num_frames`` (unknowable
   while encoding live) and every packet is length-prefixed
-  (``u32 size | packet bytes``), terminated by a zero-size sentinel.
-  This is what :class:`StreamWriter` emits incrementally and
-  :class:`StreamReader` consumes packet by packet, so file-to-file
-  transcoding needs O(1) frame memory.
+  (``u32 size | packet bytes``), terminated by a zero-size sentinel,
+  so file-to-file transcoding needs O(1) frame memory.
+* **4** (streaming + integrity) — version 3's framing plus end-to-end
+  integrity checking: a CRC32 of the header JSON follows the header
+  (``u32``), and every packet carries a CRC32 of its body
+  (``u32 size | u32 crc | packet bytes``).  A flipped bit anywhere is
+  *detected* — :class:`StreamReader` raises
+  :class:`StreamCorruptionError` naming the packet — instead of
+  decoding garbage.  This is what :class:`StreamWriter` emits by
+  default; pass ``version=3`` for the checksum-free legacy framing.
 
 ``parse`` accepts every version and records which one it saw in
 ``SequenceBitstream.version``, so version-1 streams remain decodable
-(the codecs keep a legacy symbol-order path for them) and version-3
+(the codecs keep a legacy symbol-order path for them) and version-3/4
 files round-trip through the in-memory API too.  The batch encoders
 keep writing version 2 — byte-compatible with every pre-streaming
-consumer — while the streaming paths write version 3.
+consumer — while the streaming paths write version 4.
+
+Corruption handling: every parse/read failure — truncation, bad
+framing, CRC mismatch, malformed meta JSON — raises
+:class:`StreamCorruptionError` (a :class:`ValueError`) carrying the
+zero-based ``packet_index`` when one is attributable.  Readers over
+framed streams (versions 3/4) can instead *resync and skip* corrupt
+packets (``StreamReader(fileobj, on_error="skip")``): the intact
+length prefix locates the next packet, the bad one is counted in
+``packets_skipped``, and decoding continues — the streaming analogue
+of a decoder concealing a damaged frame.
 
 Floating-point side information (e.g. Laplacian scales) must be passed
 through :func:`as_f32` before use on the *encoder* side too, so encoder
@@ -45,6 +61,7 @@ from __future__ import annotations
 
 import json
 import struct
+import zlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -52,6 +69,7 @@ import numpy as np
 __all__ = [
     "FramePacket",
     "SequenceBitstream",
+    "StreamCorruptionError",
     "StreamReader",
     "StreamWriter",
     "as_f32",
@@ -63,11 +81,33 @@ __all__ = [
 
 _MAGIC = b"NVCA"
 _VERSION = 2
-#: Version the incremental (length-prefixed) container writes.
-STREAM_VERSION = 3
-_SUPPORTED_VERSIONS = (1, 2, 3)
-#: Zero-size packet sentinel ending a version-3 stream.
+#: Version the incremental (length-prefixed) container writes by default.
+STREAM_VERSION = 4
+#: First framed (length-prefixed packets + sentinel) container version.
+_FIRST_FRAMED_VERSION = 3
+#: First version with CRC32 integrity checking (header + per packet).
+_CRC_VERSION = 4
+_SUPPORTED_VERSIONS = (1, 2, 3, 4)
+#: Zero-size packet sentinel ending a framed (version >= 3) stream.
 _END_OF_STREAM = struct.pack("<I", 0)
+
+
+class StreamCorruptionError(ValueError):
+    """A bitstream failed validation: truncated, mis-framed, CRC
+    mismatch, or malformed metadata.
+
+    ``packet_index`` is the zero-based index of the offending packet
+    when the failure is attributable to one (``None`` for prelude,
+    header, or sentinel damage).  Subclasses :class:`ValueError`, so
+    every pre-existing ``except ValueError`` consumer keeps working —
+    this type adds attribution, it does not change the contract.
+    """
+
+    def __init__(self, message: str, *, packet_index: int | None = None):
+        if packet_index is not None:
+            message = f"{message} (packet {packet_index})"
+        super().__init__(message)
+        self.packet_index = packet_index
 
 
 def as_f32(value: float) -> float:
@@ -97,6 +137,22 @@ def f16_bits(value: float) -> int:
 def f16_from_bits(bits: int) -> float:
     """Inverse of :func:`f16_bits`."""
     return float(np.uint16(bits).view(np.float16))
+
+
+def _parse_meta(blob: bytes) -> dict:
+    """Decode a packet meta blob, mapping malformed bytes — invalid
+    UTF-8, broken JSON, a non-object document, missing keys — to
+    :class:`StreamCorruptionError` instead of leaking codec-agnostic
+    exceptions at the decoder."""
+    try:
+        record = json.loads(blob.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise StreamCorruptionError(f"malformed packet meta: {exc}") from exc
+    if not isinstance(record, dict) or not {"t", "m", "n", "z"} <= set(record):
+        raise StreamCorruptionError(
+            "malformed packet meta: expected an object with keys t/m/n/z"
+        )
+    return record
 
 
 @dataclass
@@ -137,12 +193,26 @@ class FramePacket:
 
     @classmethod
     def parse(cls, buffer: bytes, offset: int) -> tuple["FramePacket", int]:
+        if offset + 4 > len(buffer):
+            raise StreamCorruptionError(
+                "truncated bitstream: packet meta length overruns the buffer"
+            )
         (meta_len,) = struct.unpack_from("<I", buffer, offset)
         offset += 4
-        record = json.loads(buffer[offset : offset + meta_len].decode("utf-8"))
+        if offset + meta_len > len(buffer):
+            raise StreamCorruptionError(
+                f"truncated bitstream: packet meta of {meta_len} bytes "
+                "overruns the buffer"
+            )
+        record = _parse_meta(bytes(buffer[offset : offset + meta_len]))
         offset += meta_len
         packet = cls(frame_type=record["t"], meta=record["m"])
         for name, size in zip(record["n"], record["z"]):
+            if offset + size > len(buffer):
+                raise StreamCorruptionError(
+                    f"truncated bitstream: chunk {name!r} of {size} bytes "
+                    "overruns the buffer"
+                )
             packet.chunks[name] = bytes(buffer[offset : offset + size])
             offset += size
         return packet, offset
@@ -153,7 +223,7 @@ class FramePacket:
         is self-describing: chunk names and sizes ride in the meta
         blob, so no container-level length prefix is needed)."""
         (meta_len,) = struct.unpack("<I", _read_exact(fileobj, 4))
-        record = json.loads(_read_exact(fileobj, meta_len).decode("utf-8"))
+        record = _parse_meta(_read_exact(fileobj, meta_len))
         packet = cls(frame_type=record["t"], meta=record["m"])
         for name, size in zip(record["n"], record["z"]):
             packet.chunks[name] = _read_exact(fileobj, size)
@@ -163,7 +233,7 @@ class FramePacket:
 def _read_exact(fileobj, size: int) -> bytes:
     data = fileobj.read(size)
     if len(data) != size:
-        raise ValueError(
+        raise StreamCorruptionError(
             f"truncated bitstream: wanted {size} bytes, got {len(data)}"
         )
     return bytes(data)
@@ -186,7 +256,9 @@ class SequenceBitstream:
         self.packets.append(packet)
 
     def num_bits(self) -> int:
-        """Total bits of the serialized stream (container included)."""
+        """Total bits of the serialized stream (container included —
+        for version 4 that includes every CRC word; integrity is paid
+        for in the measured rate, not hidden)."""
         return 8 * len(self.serialize())
 
     def bits_per_pixel(self, height: int, width: int) -> float:
@@ -196,11 +268,13 @@ class SequenceBitstream:
     def serialize(self) -> bytes:
         if self.version not in _SUPPORTED_VERSIONS:
             raise ValueError(f"unsupported bitstream version {self.version}")
-        if self.version == STREAM_VERSION:
-            out = bytearray(_stream_header_bytes(self.header))
+        if self.version >= _FIRST_FRAMED_VERSION:
+            out = bytearray(_stream_header_bytes(self.header, self.version))
             for packet in self.packets:
                 blob = packet.serialize()
                 out.extend(struct.pack("<I", len(blob)))
+                if self.version >= _CRC_VERSION:
+                    out.extend(struct.pack("<I", zlib.crc32(blob)))
                 out.extend(blob)
             out.extend(_END_OF_STREAM)
             return bytes(out)
@@ -220,63 +294,138 @@ class SequenceBitstream:
 
     @classmethod
     def parse(cls, buffer: bytes) -> "SequenceBitstream":
+        if len(buffer) < 10:
+            raise StreamCorruptionError(
+                "truncated bitstream: missing container prelude"
+            )
         if buffer[:4] != _MAGIC:
-            raise ValueError("not an NVCA bitstream (bad magic)")
+            raise StreamCorruptionError("not an NVCA bitstream (bad magic)")
         (version,) = struct.unpack_from("<H", buffer, 4)
         if version not in _SUPPORTED_VERSIONS:
             raise ValueError(f"unsupported bitstream version {version}")
         (header_len,) = struct.unpack_from("<I", buffer, 6)
         offset = 10
-        record = json.loads(buffer[offset : offset + header_len].decode("utf-8"))
+        if offset + header_len > len(buffer):
+            raise StreamCorruptionError(
+                f"truncated bitstream: header of {header_len} bytes "
+                "overruns the buffer"
+            )
+        header_blob = buffer[offset : offset + header_len]
+        try:
+            record = json.loads(header_blob.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise StreamCorruptionError(
+                f"malformed bitstream header: {exc}"
+            ) from exc
         offset += header_len
+        if version >= _CRC_VERSION:
+            if offset + 4 > len(buffer):
+                raise StreamCorruptionError(
+                    "truncated bitstream: missing header CRC"
+                )
+            (expected,) = struct.unpack_from("<I", buffer, offset)
+            offset += 4
+            actual = zlib.crc32(header_blob)
+            if actual != expected:
+                raise StreamCorruptionError(
+                    f"header CRC mismatch: stream says {expected:#010x}, "
+                    f"bytes hash to {actual:#010x}"
+                )
         stream = cls(header=record["header"], version=version)
-        if version == STREAM_VERSION:
+        if version >= _FIRST_FRAMED_VERSION:
+            index = 0
             while True:
                 if offset + 4 > len(buffer):
-                    raise ValueError(
-                        "truncated version-3 bitstream "
+                    raise StreamCorruptionError(
+                        f"truncated version-{version} bitstream "
                         "(missing end-of-stream sentinel)"
                     )
                 (size,) = struct.unpack_from("<I", buffer, offset)
                 offset += 4
                 if size == 0:
                     break
+                if version >= _CRC_VERSION:
+                    if offset + 4 > len(buffer):
+                        raise StreamCorruptionError(
+                            "truncated bitstream: missing packet CRC",
+                            packet_index=index,
+                        )
+                    (expected,) = struct.unpack_from("<I", buffer, offset)
+                    offset += 4
                 if offset + size > len(buffer):
-                    raise ValueError(
-                        "truncated version-3 bitstream "
-                        f"(packet of {size} bytes overruns the buffer)"
+                    raise StreamCorruptionError(
+                        f"truncated version-{version} bitstream "
+                        f"(packet of {size} bytes overruns the buffer)",
+                        packet_index=index,
                     )
-                packet, end = FramePacket.parse(buffer, offset)
-                if end - offset != size:
-                    raise ValueError(
-                        f"corrupt version-3 bitstream: packet framed as "
-                        f"{size} bytes but its body spans {end - offset}"
-                    )
-                offset = end
+                body = bytes(buffer[offset : offset + size])
+                if version >= _CRC_VERSION:
+                    actual = zlib.crc32(body)
+                    if actual != expected:
+                        raise StreamCorruptionError(
+                            f"packet CRC mismatch: stream says "
+                            f"{expected:#010x}, bytes hash to {actual:#010x}",
+                            packet_index=index,
+                        )
+                packet, end = _parse_framed_packet(body, size, index)
+                offset += size
                 stream.add_packet(packet)
+                index += 1
             return stream
-        for _ in range(record["num_frames"]):
-            packet, offset = FramePacket.parse(buffer, offset)
+        for index in range(record["num_frames"]):
+            try:
+                packet, offset = FramePacket.parse(buffer, offset)
+            except StreamCorruptionError as exc:
+                raise _attribute(exc, index) from exc
             stream.add_packet(packet)
         return stream
 
 
-def _stream_header_bytes(header: dict) -> bytes:
-    """Magic + version 3 + header JSON (no frame count — unknowable
-    while encoding live)."""
+def _parse_framed_packet(
+    body: bytes, size: int, index: int
+) -> tuple[FramePacket, int]:
+    """Parse one framed packet body, attributing every failure —
+    including a body that does not span exactly its framed size — to
+    the packet's index."""
+    try:
+        packet, end = FramePacket.parse(body, 0)
+    except StreamCorruptionError as exc:
+        raise _attribute(exc, index) from exc
+    if end != size:
+        raise StreamCorruptionError(
+            f"corrupt bitstream: packet framed as {size} bytes but its "
+            f"body spans {end}",
+            packet_index=index,
+        )
+    return packet, end
+
+
+def _attribute(exc: StreamCorruptionError, index: int) -> StreamCorruptionError:
+    """Attach a packet index to a corruption error that lacks one."""
+    if exc.packet_index is not None:
+        return exc
+    return StreamCorruptionError(str(exc), packet_index=index)
+
+
+def _stream_header_bytes(header: dict, version: int = STREAM_VERSION) -> bytes:
+    """Magic + version + header JSON (no frame count — unknowable while
+    encoding live); version 4 appends a CRC32 of the header blob."""
     blob = json.dumps(
         {"header": header}, sort_keys=True, separators=(",", ":")
     ).encode("utf-8")
-    return (
+    out = (
         _MAGIC
-        + struct.pack("<H", STREAM_VERSION)
+        + struct.pack("<H", version)
         + struct.pack("<I", len(blob))
         + blob
     )
+    if version >= _CRC_VERSION:
+        out += struct.pack("<I", zlib.crc32(blob))
+    return out
 
 
 class StreamWriter:
-    """Incremental version-3 container writer over a binary file object.
+    """Incremental framed-container writer over a binary file object.
 
     Packets leave the process as they are produced — nothing buffers —
     so encode memory is independent of sequence length:
@@ -285,14 +434,31 @@ class StreamWriter:
     >>> writer.write_packet(packet)                    # per frame
     >>> writer.finalize()                              # end-of-stream
 
+    Writes container version 4 by default (per-packet CRC32 + header
+    checksum, ~4 bytes/packet of rate); ``version=3`` selects the
+    checksum-free legacy framing for byte-compatibility with
+    pre-integrity consumers.
+
     The caller owns the file object (``finalize`` writes the
     end-of-stream sentinel but does not close the file).  Used as a
     context manager, ``finalize`` runs on clean exit.
     """
 
-    def __init__(self, fileobj, header: dict | None = None):
+    def __init__(
+        self,
+        fileobj,
+        header: dict | None = None,
+        *,
+        version: int = STREAM_VERSION,
+    ):
+        if version < _FIRST_FRAMED_VERSION or version not in _SUPPORTED_VERSIONS:
+            raise ValueError(
+                f"StreamWriter writes framed containers "
+                f"(versions >= {_FIRST_FRAMED_VERSION}), got {version}"
+            )
         self._file = fileobj
         self._finalized = False
+        self.version = version
         self.header: dict | None = None
         self.packets_written = 0
         self.bytes_written = 0
@@ -303,7 +469,7 @@ class StreamWriter:
         """Write magic/version/header; must happen before any packet."""
         if self.header is not None:
             raise ValueError("stream header already written")
-        blob = _stream_header_bytes(header)
+        blob = _stream_header_bytes(header, self.version)
         self._file.write(blob)
         self.header = dict(header)
         self.bytes_written += len(blob)
@@ -316,11 +482,15 @@ class StreamWriter:
         if self._finalized:
             raise ValueError("stream is finalized")
         blob = packet.serialize()
+        written = 4 + len(blob)
         self._file.write(struct.pack("<I", len(blob)))
+        if self.version >= _CRC_VERSION:
+            self._file.write(struct.pack("<I", zlib.crc32(blob)))
+            written += 4
         self._file.write(blob)
         self.packets_written += 1
-        self.bytes_written += 4 + len(blob)
-        return 4 + len(blob)
+        self.bytes_written += written
+        return written
 
     def finalize(self) -> int:
         """Write the end-of-stream sentinel; returns total bytes
@@ -345,28 +515,67 @@ class StreamReader:
     """Incremental container reader: any supported version, packet at
     a time, from a binary file object.
 
-    The header parses on construction (``.header``, ``.version``);
+    The header parses on construction (``.header``, ``.version``; a
+    version-4 header is CRC-verified before anything else is trusted);
     :meth:`read_packet` returns packets in stream order and ``None`` at
     end of stream.  Version 1/2 files end after the frame count their
-    header promised; version-3 files end at the zero-size sentinel.
+    header promised; framed files (3/4) end at the zero-size sentinel.
     Iterating the reader yields every remaining packet.
+
+    Corruption policy, per ``on_error``:
+
+    * ``"raise"`` (default) — any damage raises
+      :class:`StreamCorruptionError` carrying the zero-based packet
+      index when one packet is to blame.
+    * ``"skip"`` — a framed packet whose *body* fails validation (CRC
+      mismatch, malformed meta) is dropped and reading resyncs at the
+      next length prefix; ``packets_skipped`` counts the casualties.
+      Damage that destroys the framing itself — truncation, a corrupt
+      length prefix — still raises: there is nothing to resync on.
+      Versions 1/2 have no framing to resync on, so ``"skip"`` behaves
+      like ``"raise"`` for them.
     """
 
-    def __init__(self, fileobj):
+    def __init__(self, fileobj, *, on_error: str = "raise"):
+        if on_error not in ("raise", "skip"):
+            raise ValueError(
+                f'on_error must be "raise" or "skip", got {on_error!r}'
+            )
         self._file = fileobj
+        self._on_error = on_error
         magic = _read_exact(fileobj, 4)
         if magic != _MAGIC:
-            raise ValueError("not an NVCA bitstream (bad magic)")
+            raise StreamCorruptionError("not an NVCA bitstream (bad magic)")
         (version,) = struct.unpack("<H", _read_exact(fileobj, 2))
         if version not in _SUPPORTED_VERSIONS:
             raise ValueError(f"unsupported bitstream version {version}")
         (header_len,) = struct.unpack("<I", _read_exact(fileobj, 4))
-        record = json.loads(_read_exact(fileobj, header_len).decode("utf-8"))
+        header_blob = _read_exact(fileobj, header_len)
+        try:
+            record = json.loads(header_blob.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise StreamCorruptionError(
+                f"malformed bitstream header: {exc}"
+            ) from exc
+        if version >= _CRC_VERSION:
+            (expected,) = struct.unpack("<I", _read_exact(fileobj, 4))
+            actual = zlib.crc32(header_blob)
+            if actual != expected:
+                raise StreamCorruptionError(
+                    f"header CRC mismatch: stream says {expected:#010x}, "
+                    f"bytes hash to {actual:#010x}"
+                )
         self.version = version
         self.header: dict = record["header"]
+        #: zero-based index of the next packet to be read.
+        self.packet_index = 0
+        #: corrupt packets dropped so far (``on_error="skip"`` only).
+        self.packets_skipped = 0
         #: packets left to read for v1/v2; None means "until sentinel".
         self._remaining = (
-            None if version == STREAM_VERSION else int(record["num_frames"])
+            None
+            if version >= _FIRST_FRAMED_VERSION
+            else int(record["num_frames"])
         )
         self._done = False
 
@@ -379,18 +588,42 @@ class StreamReader:
                 self._done = True
                 return None
             self._remaining -= 1
-            return FramePacket.read_from(self._file)
-        (size,) = struct.unpack("<I", _read_exact(self._file, 4))
-        if size == 0:
-            self._done = True
-            return None
-        packet, end = FramePacket.parse(_read_exact(self._file, size), 0)
-        if end != size:
-            raise ValueError(
-                f"corrupt version-3 bitstream: packet framed as {size} "
-                f"bytes but its body spans {end}"
-            )
-        return packet
+            index = self.packet_index
+            self.packet_index += 1
+            try:
+                return FramePacket.read_from(self._file)
+            except StreamCorruptionError as exc:
+                raise _attribute(exc, index) from exc
+        while True:
+            (size,) = struct.unpack("<I", _read_exact(self._file, 4))
+            if size == 0:
+                self._done = True
+                return None
+            index = self.packet_index
+            self.packet_index += 1
+            expected: int | None = None
+            if self.version >= _CRC_VERSION:
+                (expected,) = struct.unpack("<I", _read_exact(self._file, 4))
+            body = _read_exact(self._file, size)
+            try:
+                if expected is not None:
+                    actual = zlib.crc32(body)
+                    if actual != expected:
+                        raise StreamCorruptionError(
+                            f"packet CRC mismatch: stream says "
+                            f"{expected:#010x}, bytes hash to {actual:#010x}",
+                            packet_index=index,
+                        )
+                packet, _ = _parse_framed_packet(body, size, index)
+            except StreamCorruptionError:
+                if self._on_error == "skip":
+                    # The length prefix was intact, so the stream
+                    # position is already at the next packet: resync
+                    # costs nothing beyond the packet we just dropped.
+                    self.packets_skipped += 1
+                    continue
+                raise
+            return packet
 
     def __iter__(self):
         while True:

@@ -26,11 +26,20 @@ package is that seam made real.  Three layers, bottom up:
   depth and lease-expiry rate.
 * :mod:`~repro.pipeline.dist.sweep` — :class:`QueueRunner`: submit a
   spec list, babysit the fleet (lease reaping, crash respawns), drain
-  results incrementally, and hand terminal payloads to an
+  results incrementally (verifying each result's checksum), quarantine
+  poison jobs via a circuit breaker, and hand terminal payloads to an
   aggregation.  :class:`SweepRunner` folds encode reports into
   per-(codec, scene) :class:`~repro.metrics.RDCurve` objects with
   BD-rate deltas; :class:`~repro.pipeline.dse.DSERunner` folds design
   points into Pareto fronts.
+* :mod:`~repro.pipeline.dist.chaos` — fault injection for all of the
+  above: :class:`ChaosQueue` (queue-level faults: dropped/duplicated
+  acks, stolen leases), :class:`ChaosTransport` (wire-level faults for
+  :class:`HttpJobQueue`), :class:`CrashPlan` (kill workers at
+  scheduled checkpoints via :class:`InjectedCrash`), and the
+  ``"chaos-poison"`` task kind.  All seeded and budgeted, so a chaos
+  run is deterministic enough to pin in CI: faults on, byte-identical
+  curves out.
 
 Front doors: ``run_many(backend="queue", ...)`` and the ``repro
 serve`` / ``repro worker`` / ``repro sweep`` / ``repro dse`` CLI
@@ -39,30 +48,61 @@ wire schema are documented in ``docs/distributed.md``.
 """
 
 from .autoscale import Autoscaler, spawn_directory_worker, spawn_http_worker
+from .chaos import (
+    POISON_KIND,
+    ChaosPlan,
+    ChaosQueue,
+    ChaosTransport,
+    CrashPlan,
+    InjectedCrash,
+    poison_spec,
+    register_poison_task,
+)
 from .net import HttpJobQueue, HttpQueueError, QueueServer, http_worker_entry
 from .queues import DirectoryJobQueue, Job, JobQueue, MemoryJobQueue, QueueStats
 from .sweep import QueueRunner, SweepResult, SweepRunner, job_id_for_spec
-from .worker import Heartbeat, default_worker_id, run_worker, worker_entry
+from .worker import (
+    Heartbeat,
+    JobTimeoutError,
+    attach_result_checksum,
+    default_worker_id,
+    result_checksum,
+    run_worker,
+    verify_result_checksum,
+    worker_entry,
+)
 
 __all__ = [
     "Autoscaler",
+    "ChaosPlan",
+    "ChaosQueue",
+    "ChaosTransport",
+    "CrashPlan",
     "DirectoryJobQueue",
     "Heartbeat",
     "HttpJobQueue",
     "HttpQueueError",
+    "InjectedCrash",
     "Job",
     "JobQueue",
+    "JobTimeoutError",
     "MemoryJobQueue",
+    "POISON_KIND",
     "QueueRunner",
     "QueueServer",
     "QueueStats",
     "SweepResult",
     "SweepRunner",
+    "attach_result_checksum",
     "default_worker_id",
     "http_worker_entry",
     "job_id_for_spec",
+    "poison_spec",
+    "register_poison_task",
+    "result_checksum",
     "run_worker",
     "spawn_directory_worker",
     "spawn_http_worker",
+    "verify_result_checksum",
     "worker_entry",
 ]

@@ -42,18 +42,33 @@ failure 500 — all with ``{"error": ...}``.
 | ``POST /ack``     | ``{"job_id", "result", "worker_id"?}``       | ``{"accepted": bool}`` |
 | ``POST /fail``    | ``{"job_id", "error"}``                      | ``{"ok": true}`` |
 | ``POST /reap``    | ``{}``                                       | ``{"reaped": [ids]}`` |
+| ``GET /attempts`` | ``?job_id=<id>``                             | ``{"attempts": n}`` |
 | ``POST /heartbeat`` | worker heartbeat document                  | ``{"ok": true}`` |
 | ``GET /stats``    | —                                            | ``{"pending", "claimed", "done", "failed", "workers"}`` |
 | ``GET /finished`` | —                                            | ``{"finished": [ids]}`` |
 | ``GET /results``  | ``?after=<id>&limit=<n>``                    | ``{"results": {id: doc}, "next": id | null}`` |
 | ``GET /failures`` | —                                            | ``{"failures": {id: error}}`` |
+| ``GET /failure-details`` | —                                     | ``{"failures": {id: {"error", "attempts", "spec", "quarantined"?}}}`` |
+| ``POST /retry``   | ``{"job_id": "..."}``                        | ``{"retried": bool}`` |
+| ``POST /quarantine`` | ``{"job_id": "...", "reason"?: "..."}``   | ``{"quarantined": bool}`` |
 | ``GET /health``   | —                                            | ``{"ok": true, "backend": "..."}`` |
 
 Semantics are exactly the queue protocol's (``docs/distributed.md``):
-at-least-once with idempotent submission and stale-ack rejection.  One
+at-least-once with idempotent submission and stale-ack rejection.
+``/submit`` in particular is **idempotent server-side**: resubmitting
+a job id that is already pending, claimed, done, or failed is a 200
+no-op returning the id — which is what makes the client's
+connection-error retry of ``/submit`` safe (a lost *response* just
+resubmits, and the queue keeps the original job).  One
 transport-specific caveat: a retried ``/claim`` whose first attempt
 succeeded server-side but whose response was lost can leave an
 orphaned lease — it expires and is reaped like any dead worker's.
+
+Request hardening: a body that is not a JSON object, an unparseable or
+negative ``Content-Length``, or a body larger than 16 MiB is a clean
+400 ``{"error": ...}`` (never an unhandled traceback in the handler
+thread), and the connection is closed so a half-sent oversized body
+cannot poison the next keep-alive request.
 """
 
 from __future__ import annotations
@@ -79,6 +94,10 @@ __all__ = [
 
 _LOG = logging.getLogger(__name__)
 
+#: hard cap on POST bodies — far above any job spec or result document,
+#: far below anything that could exhaust a handler thread.
+_MAX_BODY_BYTES = 16 * 1024 * 1024
+
 
 class HttpQueueError(RuntimeError):
     """The queue server rejected a request or cannot be reached."""
@@ -90,6 +109,9 @@ def _ep_health(server: "QueueServer", body: dict) -> dict:
 
 
 def _ep_submit(server: "QueueServer", body: dict) -> dict:
+    # Idempotent by the queue protocol: an id already pending, claimed,
+    # done, or failed is a no-op returning the id, so a client retrying
+    # a lost /submit response can never double-submit.
     job_id = server.queue.submit(dict(body["spec"]), job_id=str(body["job_id"]))
     return {"job_id": job_id}
 
@@ -124,6 +146,12 @@ def _ep_fail(server: "QueueServer", body: dict) -> dict:
 
 def _ep_reap(server: "QueueServer", body: dict) -> dict:
     return {"reaped": list(server.queue.reap_expired())}
+
+
+def _ep_attempts(server: "QueueServer", body: dict) -> dict:
+    if not hasattr(server.queue, "attempts"):
+        return {"attempts": 0}  # custom queue without the counter
+    return {"attempts": int(server.queue.attempts(str(body["job_id"])))}
 
 
 def _ep_heartbeat(server: "QueueServer", body: dict) -> dict:
@@ -166,17 +194,57 @@ def _ep_failures(server: "QueueServer", body: dict) -> dict:
     return {"failures": dict(server.queue.failures())}
 
 
+def _ep_failure_details(server: "QueueServer", body: dict) -> dict:
+    if hasattr(server.queue, "failure_details"):
+        return {"failures": dict(server.queue.failure_details())}
+    # custom queue predating the dead-letter ledger: degrade to errors
+    return {
+        "failures": {
+            job_id: {"error": error, "attempts": 0, "spec": {}}
+            for job_id, error in server.queue.failures().items()
+        }
+    }
+
+
+def _ep_retry(server: "QueueServer", body: dict) -> dict:
+    if not hasattr(server.queue, "retry"):
+        raise ValueError(
+            f"backend {type(server.queue).__name__} does not support retry"
+        )
+    return {"retried": bool(server.queue.retry(str(body["job_id"])))}
+
+
+def _ep_quarantine(server: "QueueServer", body: dict) -> dict:
+    if not hasattr(server.queue, "quarantine"):
+        raise ValueError(
+            f"backend {type(server.queue).__name__} does not support "
+            "quarantine"
+        )
+    return {
+        "quarantined": bool(
+            server.queue.quarantine(
+                str(body["job_id"]),
+                str(body.get("reason", "quarantined over the wire")),
+            )
+        )
+    }
+
+
 _ROUTES = {
     ("GET", "/health"): _ep_health,
     ("GET", "/stats"): _ep_stats,
     ("GET", "/finished"): _ep_finished,
     ("GET", "/results"): _ep_results,
+    ("GET", "/attempts"): _ep_attempts,
     ("GET", "/failures"): _ep_failures,
+    ("GET", "/failure-details"): _ep_failure_details,
     ("POST", "/submit"): _ep_submit,
     ("POST", "/claim"): _ep_claim,
     ("POST", "/ack"): _ep_ack,
     ("POST", "/fail"): _ep_fail,
     ("POST", "/reap"): _ep_reap,
+    ("POST", "/retry"): _ep_retry,
+    ("POST", "/quarantine"): _ep_quarantine,
     ("POST", "/heartbeat"): _ep_heartbeat,
 }
 
@@ -221,7 +289,20 @@ class _QueueRequestHandler(BaseHTTPRequestHandler):
             return
         try:
             if method == "POST":
-                length = int(self.headers.get("Content-Length") or 0)
+                raw_length = self.headers.get("Content-Length") or "0"
+                try:
+                    length = int(raw_length)
+                except ValueError:
+                    raise ValueError(
+                        f"unparseable Content-Length: {raw_length!r}"
+                    ) from None
+                if length < 0:
+                    raise ValueError(f"negative Content-Length: {length}")
+                if length > _MAX_BODY_BYTES:
+                    raise ValueError(
+                        f"request body of {length} bytes exceeds the "
+                        f"{_MAX_BODY_BYTES}-byte cap"
+                    )
                 raw = self.rfile.read(length) if length else b""
                 body = json.loads(raw) if raw else {}
                 if not isinstance(body, dict):
@@ -232,6 +313,10 @@ class _QueueRequestHandler(BaseHTTPRequestHandler):
             else:
                 body = {k: v[-1] for k, v in parse_qs(url.query).items()}
         except (ValueError, json.JSONDecodeError) as exc:
+            # The body may be unread (oversized) or half-read (garbage
+            # framing) — drop the connection so the leftovers cannot be
+            # misparsed as the next keep-alive request.
+            self.close_connection = True
             self._send(400, {"error": f"bad request body: {exc}"})
             return
         try:
@@ -365,6 +450,21 @@ class HttpJobQueue:
     Retrying ``claim`` is not idempotent — if the response (not the
     request) was lost, a lease is orphaned server-side and recovered
     by normal expiry.  All other verbs are idempotent by protocol.
+
+    A 200 response whose body is not valid JSON raises
+    :class:`HttpQueueError` immediately (no retry: the server already
+    executed the request, and blind re-execution of a ``claim`` would
+    double-lease) — a garbling middlebox surfaces as a clean typed
+    error, never a ``KeyError`` three frames later.
+
+    ``transport_hook(method, path, attempt)`` is the fault-injection
+    seam used by :class:`~repro.pipeline.dist.chaos.ChaosTransport`:
+    called before each attempt, it may return ``"drop"`` (simulate a
+    connection failure before the request leaves), ``"lose-response"``
+    (deliver the request, then lose the response — exercising exactly
+    the retry-idempotency semantics above), ``"garble"`` (corrupt the
+    response body), ``"delay"`` (stall briefly), or ``None``/``"ok"``.
+    Leave it ``None`` in production; it costs nothing.
     """
 
     def __init__(
@@ -375,6 +475,7 @@ class HttpJobQueue:
         retries: int = 5,
         backoff_seconds: float = 0.05,
         max_backoff_seconds: float = 2.0,
+        transport_hook=None,
     ):
         parts = urlsplit(url if "//" in url else f"http://{url}")
         if parts.scheme not in ("", "http"):
@@ -394,6 +495,7 @@ class HttpJobQueue:
         self.retries = int(retries)
         self.backoff_seconds = float(backoff_seconds)
         self.max_backoff_seconds = float(max_backoff_seconds)
+        self.transport_hook = transport_hook
         self._local = threading.local()
 
     # -- transport ----------------------------------------------------
@@ -439,9 +541,36 @@ class HttpJobQueue:
                         self.max_backoff_seconds,
                     )
                 )
+            action = (
+                self.transport_hook(method, path, attempt)
+                if self.transport_hook is not None
+                else None
+            )
+            if action == "drop":
+                # Simulated connection failure before the request ever
+                # reaches the server: reconnect and retry, exactly like
+                # a real refused/reset connection.
+                self._drop_connection()
+                last_error = ConnectionError(
+                    f"chaos: dropped {method} {path} (attempt {attempt})"
+                )
+                continue
+            if action == "delay":
+                time.sleep(min(self.backoff_seconds, 0.05))
             try:
                 connection = self._connection()
                 connection.request(method, target, body=payload, headers=headers)
+                if action == "lose-response":
+                    # The request reached the server (and executed!) but
+                    # the response never comes back — the dangerous half
+                    # of a retry, which is why submit/ack must be
+                    # idempotent server-side.
+                    self._drop_connection()
+                    last_error = ConnectionError(
+                        f"chaos: lost response for {method} {path} "
+                        f"(attempt {attempt})"
+                    )
+                    continue
                 response = connection.getresponse()
                 raw = response.read()
                 status = response.status
@@ -450,16 +579,27 @@ class HttpJobQueue:
                 self._drop_connection()
                 last_error = exc
                 continue
+            if action == "garble":
+                raw = b"\xff\x00chaos" + raw[: len(raw) // 2]
+            if status == 200:
+                try:
+                    return json.loads(raw) if raw else {}
+                except json.JSONDecodeError as exc:
+                    # The server answered 200 but the body is damaged.
+                    # No retry: the request already executed server-side
+                    # and re-running a claim would double-lease.
+                    raise HttpQueueError(
+                        f"{method} {path} -> malformed response body: "
+                        f"{exc} ({raw[:120]!r})"
+                    ) from exc
             try:
                 document = json.loads(raw) if raw else {}
             except json.JSONDecodeError:
                 document = {"error": raw.decode("utf-8", "replace")}
-            if status != 200:
-                detail = document.get("error", repr(raw[:200]))
-                raise HttpQueueError(
-                    f"{method} {path} -> HTTP {status}: {detail}"
-                )
-            return document
+            detail = document.get("error", repr(raw[:200]))
+            raise HttpQueueError(
+                f"{method} {path} -> HTTP {status}: {detail}"
+            )
         raise HttpQueueError(
             f"cannot reach queue server at {self.url} "
             f"({method} {path} failed {self.retries + 1} times; "
@@ -501,6 +641,14 @@ class HttpJobQueue:
     def reap_expired(self) -> list[str]:
         return list(self._request("POST", "/reap", {})["reaped"])
 
+    def attempts(self, job_id: str) -> int:
+        """How many attempts this job has burned (reaps + failures)."""
+        return int(
+            self._request("GET", "/attempts", query={"job_id": job_id})[
+                "attempts"
+            ]
+        )
+
     def stats(self) -> QueueStats:
         payload = self._request("GET", "/stats")
         return QueueStats(
@@ -539,6 +687,24 @@ class HttpJobQueue:
     def failures(self) -> dict[str, str]:
         return dict(self._request("GET", "/failures")["failures"])
 
+    def failure_details(self) -> dict[str, dict]:
+        """Dead-letter ledger: error, attempts, spec per failed job."""
+        return dict(self._request("GET", "/failure-details")["failures"])
+
+    def retry(self, job_id: str) -> bool:
+        """Move one dead-lettered job back to pending, attempts reset."""
+        return bool(
+            self._request("POST", "/retry", {"job_id": job_id})["retried"]
+        )
+
+    def quarantine(self, job_id: str, reason: str) -> bool:
+        """Dead-letter a pending or claimed job immediately."""
+        return bool(
+            self._request(
+                "POST", "/quarantine", {"job_id": job_id, "reason": reason}
+            )["quarantined"]
+        )
+
     # -- extras -------------------------------------------------------
     def heartbeat(self, beat: Heartbeat | dict) -> None:
         """Report worker liveness to the server (``/stats`` surfaces it)."""
@@ -561,6 +727,7 @@ def http_worker_entry(
     stop_when_drained: bool = True,
     timeout: float = 10.0,
     retries: int = 5,
+    job_timeout_seconds: float | None = None,
 ) -> int:
     """Process entry point: join a fleet over the network and work.
 
@@ -594,4 +761,5 @@ def http_worker_entry(
         max_jobs=max_jobs,
         stop_when_drained=stop_when_drained,
         on_heartbeat=on_heartbeat,
+        job_timeout_seconds=job_timeout_seconds,
     )

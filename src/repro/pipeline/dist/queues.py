@@ -121,10 +121,27 @@ class JobQueue(Protocol):
       has been attempted ``max_attempts`` times, then dead-letters.
     * ``reap_expired`` requeues every claimed job whose lease deadline
       passed (the crashed-worker recovery path).
+    * ``attempts`` reads one job's attempt counter: how many times it
+      has been handed out and lost (lease reaps and recorded failures
+      both bump it, whoever triggers them).  Monotonic until ``retry``
+      resets it — which makes it the poison-job circuit breaker's
+      evidence: the runner can see a job churning through workers even
+      when worker threads win every ``reap_expired`` race.
     * ``results_page`` reads one lexicographic page of completed
       results after a cursor, so huge grids drain incrementally
       instead of materializing every payload at once (``results`` is
       the drain-everything convenience).
+    * ``quarantine`` force-dead-letters a pending or claimed job
+      *now*, skipping the remaining attempts — the circuit breaker's
+      verb for a poison job that keeps killing its workers.  Returns
+      ``False`` if the job is unknown or already terminal.
+    * ``failure_details`` is the dead-letter ledger: every failed job
+      with its error text, attempt count, original spec, and a
+      ``quarantined`` marker — enough to triage (``repro failures``)
+      and to resubmit.
+    * ``retry`` moves one dead-lettered job back to pending with a
+      fresh attempt budget (``repro retry``); ``False`` if the id is
+      not in the failed set.
     """
 
     def submit(self, spec: dict, *, job_id: str) -> str: ...
@@ -139,6 +156,8 @@ class JobQueue(Protocol):
 
     def reap_expired(self) -> list[str]: ...
 
+    def attempts(self, job_id: str) -> int: ...
+
     def stats(self) -> QueueStats: ...
 
     def finished_ids(self) -> set[str]: ...
@@ -150,6 +169,12 @@ class JobQueue(Protocol):
     ) -> tuple[dict[str, dict], str | None]: ...
 
     def failures(self) -> dict[str, str]: ...
+
+    def failure_details(self) -> dict[str, dict]: ...
+
+    def retry(self, job_id: str) -> bool: ...
+
+    def quarantine(self, job_id: str, reason: str) -> bool: ...
 
 
 class MemoryJobQueue:
@@ -173,6 +198,7 @@ class MemoryJobQueue:
         self._claimed: dict[str, tuple[str, float]] = {}
         self._done: dict[str, dict] = {}
         self._failed: dict[str, str] = {}
+        self._quarantined: set[str] = set()
 
     def submit(self, spec: dict, *, job_id: str) -> str:
         job_id = _sanitize(job_id)
@@ -241,6 +267,11 @@ class MemoryJobQueue:
                 reaped.append(job_id)
         return reaped
 
+    def attempts(self, job_id: str) -> int:
+        """How many attempts this job has burned (reaps + failures)."""
+        with self._lock:
+            return self._attempts.get(_sanitize(job_id), 0)
+
     def stats(self) -> QueueStats:
         with self._lock:
             return QueueStats(
@@ -282,6 +313,58 @@ class MemoryJobQueue:
     def failures(self) -> dict[str, str]:
         with self._lock:
             return dict(self._failed)
+
+    def failure_details(self) -> dict[str, dict]:
+        """Dead-letter ledger: error, attempts, spec per failed job."""
+        with self._lock:
+            out: dict[str, dict] = {}
+            for job_id, error in self._failed.items():
+                record = {
+                    "error": error,
+                    "attempts": self._attempts.get(job_id, 0),
+                    "spec": dict(self._specs.get(job_id, {})),
+                }
+                if job_id in self._quarantined:
+                    record["quarantined"] = True
+                out[job_id] = record
+            return out
+
+    def retry(self, job_id: str) -> bool:
+        """Move one dead-lettered job back to pending, attempts reset."""
+        job_id = _sanitize(job_id)
+        with self._lock:
+            if job_id not in self._failed:
+                return False
+            del self._failed[job_id]
+            self._quarantined.discard(job_id)
+            self._attempts[job_id] = 0
+            self._pending.append(job_id)
+            return True
+
+    def quarantine(self, job_id: str, reason: str) -> bool:
+        """Dead-letter a pending or claimed job immediately (the
+        poison-job circuit breaker's verb — no more attempts).  A job
+        already dead-lettered is *upgraded* in place — the breaker's
+        diagnosis replaces a generic lease-expiry error — so the
+        record reads the same whichever race the breaker won.  Only a
+        completed job refuses quarantine."""
+        job_id = _sanitize(job_id)
+        with self._lock:
+            if job_id in self._done:
+                return False
+            if job_id in self._failed:
+                self._failed[job_id] = reason
+                self._quarantined.add(job_id)
+                return True
+            if job_id in self._claimed:
+                del self._claimed[job_id]
+            elif job_id in self._pending:
+                self._pending.remove(job_id)
+            elif job_id not in self._specs:
+                return False
+            self._failed[job_id] = reason
+            self._quarantined.add(job_id)
+            return True
 
 
 class DirectoryJobQueue:
@@ -519,6 +602,32 @@ class DirectoryJobQueue:
             reaped.append(job_id)
         return reaped
 
+    def attempts(self, job_id: str) -> int:
+        """How many attempts this job has burned (reaps + failures).
+
+        Free to answer: the counter rides in the pending/claimed
+        filename and in the failed record, so no state is added — any
+        process sharing the directory sees the same number."""
+        job_id = _sanitize(job_id)
+        for state in ("pending", "claimed"):
+            name = self._find_job(state, job_id)
+            if name is None:
+                continue
+            parsed = (
+                self._parse_pending(name)
+                if state == "pending"
+                else self._parse_claimed(name)
+            )
+            if parsed is not None:
+                return int(parsed[1])
+        try:
+            with open(
+                self._terminal_path("failed", job_id), encoding="utf-8"
+            ) as handle:
+                return int(json.load(handle).get("attempts", 0))
+        except (FileNotFoundError, json.JSONDecodeError, TypeError, ValueError):
+            return 0  # unknown or done: no attempt churn worth reporting
+
     def _count(self, state: str) -> int:
         return sum(
             1
@@ -594,3 +703,103 @@ class DirectoryJobQueue:
             job_id: record.get("error", "unknown error")
             for job_id, record in self._load_terminal("failed").items()
         }
+
+    def failure_details(self) -> dict[str, dict]:
+        """Dead-letter ledger: error, attempts, spec per failed job
+        (``failed/{id}.json`` already stores all three)."""
+        out: dict[str, dict] = {}
+        for job_id, record in self._load_terminal("failed").items():
+            detail = {
+                "error": record.get("error", "unknown error"),
+                "attempts": int(record.get("attempts", 0)),
+                "spec": record.get("spec") or {},
+            }
+            if record.get("quarantined"):
+                detail["quarantined"] = True
+            out[job_id] = detail
+        return out
+
+    def retry(self, job_id: str) -> bool:
+        """Move one dead-lettered job back to pending, attempts reset.
+
+        The failed record keeps the original spec, so replay needs no
+        other source of truth; concurrent retries of the same id
+        converge (the pending write is idempotent, one unlink wins).
+        """
+        job_id = _sanitize(job_id)
+        path = self._terminal_path("failed", job_id)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                record = json.load(handle)
+        except FileNotFoundError:
+            return False
+        self._write_json(
+            self._pending_path(job_id, 0), dict(record.get("spec") or {})
+        )
+        try:
+            os.unlink(path)
+        except FileNotFoundError:
+            pass  # lost a retry race; the pending file stands either way
+        return True
+
+    def quarantine(self, job_id: str, reason: str) -> bool:
+        """Dead-letter a pending or claimed job immediately (the
+        poison-job circuit breaker's verb — no more attempts).  A job
+        already dead-lettered is *upgraded* in place — the breaker's
+        diagnosis replaces a generic lease-expiry error — so the
+        record reads the same whichever race the breaker won.  Only a
+        completed job refuses quarantine."""
+        job_id = _sanitize(job_id)
+        if os.path.exists(self._terminal_path("done", job_id)):
+            return False
+        failed_path = self._terminal_path("failed", job_id)
+        try:
+            with open(failed_path, encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            record = None
+        if record is not None:
+            record["error"] = reason
+            record["quarantined"] = True
+            self._write_json(failed_path, record)
+            return True
+        for state in ("pending", "claimed"):
+            name = self._find_job(state, job_id)
+            if name is None:
+                continue
+            parsed = (
+                self._parse_pending(name)
+                if state == "pending"
+                else self._parse_claimed(name)
+            )
+            if parsed is None:
+                continue  # junk file matching the id prefix; never ours
+            path = os.path.join(self._dir(state), name)
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    spec = json.load(handle)
+            except FileNotFoundError:
+                continue  # raced with a claim/ack; check the other state
+            self._write_json(
+                self._terminal_path("failed", job_id),
+                {
+                    "error": reason,
+                    "attempts": int(parsed[1]),
+                    "spec": spec,
+                    "quarantined": True,
+                },
+            )
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                pass
+            if os.path.exists(self._terminal_path("done", job_id)):
+                # The claimer acked inside our race window; its result
+                # wins — withdraw the quarantine record.
+                try:
+                    os.unlink(self._terminal_path("failed", job_id))
+                except FileNotFoundError:
+                    pass
+                return False
+            return True
+        return False

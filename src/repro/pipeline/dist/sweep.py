@@ -28,8 +28,26 @@ worker count.  The CI distributed smoke step pins exactly that.
 Failure tolerance: a worker that dies mid-job loses its lease and the
 job is retried elsewhere (``max_attempts`` total tries); a job whose
 spec itself is broken dead-letters with its traceback into
-``SweepResult.failures`` instead of sinking the sweep.  Dead worker
-*processes* are respawned while work remains.
+``SweepResult.failures`` instead of sinking the sweep.  Dead workers
+— processes *or* threads — are respawned while work remains.
+
+Integrity and poison handling (this runner is the last line of
+defense before aggregation):
+
+* every drained result's CRC32 (attached worker-side by
+  :func:`~repro.pipeline.dist.worker.attach_result_checksum`) is
+  verified and stripped; a mismatch lands in ``failures`` as a
+  checksum error instead of poisoning the curves.
+* a **poison job** — one that kills every worker that claims it, so
+  it never fails cleanly, just leaves a trail of expired leases — is
+  quarantined by a circuit breaker once it has burned
+  ``poison_threshold`` attempts (the queue's own monotonic per-job
+  counter, bumped by every reap no matter who reaps).  A job that
+  dead-letters by lease-expiry exhaustion first is upgraded to
+  quarantined retroactively (same diagnosis, different race winner).
+  Either way
+  ``repro failures`` shows it flagged and ``repro retry`` can
+  resubmit it once the underlying cause is fixed.
 """
 
 from __future__ import annotations
@@ -44,9 +62,10 @@ from dataclasses import dataclass, field
 
 from repro.metrics import RDCurve, bd_rate_table, curves_from_reports
 
-from .net import HttpJobQueue, http_worker_entry
+from .chaos import InjectedCrash
+from .net import HttpJobQueue, HttpQueueError, http_worker_entry
 from .queues import DirectoryJobQueue, JobQueue, MemoryJobQueue, QueueStats
-from .worker import run_worker, worker_entry
+from .worker import run_worker, verify_result_checksum, worker_entry
 
 __all__ = ["QueueRunner", "SweepResult", "SweepRunner", "job_id_for_spec"]
 
@@ -189,6 +208,21 @@ class QueueRunner:
     an expired lease is treated as a dead worker and the job re-runs
     (at-least-once semantics; results are idempotent because jobs are
     pure functions of their spec).
+
+    ``poison_threshold`` arms the poison-job circuit breaker: a job
+    that burns that many attempts without finishing — a job that
+    *kills* workers instead of failing, so no traceback is ever
+    recorded, just lease expiry after lease expiry — is quarantined
+    rather than allowed to grind through the rest of the fleet.  The
+    evidence is the queue's own per-job attempt counter
+    (``queue.attempts``), which rises on every reap no matter who
+    performs it.  Keep the threshold above the attempt churn a
+    *recoverable* job can accumulate (worker crashes plus injected
+    faults under chaos testing reach three).  ``job_timeout_seconds`` arms the per-job
+    watchdog in every worker this runner spawns; ``checkpoint`` is the
+    fault-injection seam passed to thread workers and the serial
+    worker (a :class:`~repro.pipeline.dist.chaos.CrashPlan` hook —
+    not picklable, so process fleets ignore it).
     """
 
     def __init__(
@@ -200,6 +234,9 @@ class QueueRunner:
         workers: int = 2,
         lease_seconds: float = 120.0,
         max_attempts: int = 3,
+        poison_threshold: int = 5,
+        job_timeout_seconds: float | None = None,
+        checkpoint=None,
     ):
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
@@ -215,10 +252,18 @@ class QueueRunner:
         self.queue = queue
         self.workers = workers
         self.lease_seconds = lease_seconds
+        self.poison_threshold = poison_threshold
+        self.job_timeout_seconds = job_timeout_seconds
+        self.checkpoint = checkpoint
         self.job_ids: list[str] = []
         # incremental result drain state (results_page cursor + cache)
         self._drained: dict[str, dict] = {}
         self._results_cursor: str | None = None
+        # robustness ledgers: lease expiries seen per job (the poison
+        # breaker's evidence), checksum-failed drains, quarantined ids
+        self._lease_expiries: dict[str, int] = {}
+        self._checksum_failures: dict[str, str] = {}
+        self.quarantined: list[str] = []
 
     def submit(self) -> list[str]:
         """Submit every spec (idempotent: ids derive from content, so a
@@ -237,6 +282,7 @@ class QueueRunner:
             kwargs = {
                 "worker_id": f"sweep-w{index}-{os.getpid()}",
                 "lease_seconds": self.lease_seconds,
+                "job_timeout_seconds": self.job_timeout_seconds,
             }
         else:
             assert isinstance(self.queue, DirectoryJobQueue)
@@ -246,6 +292,7 @@ class QueueRunner:
                 "worker_id": f"sweep-w{index}-{os.getpid()}",
                 "max_attempts": self.queue.max_attempts,
                 "lease_seconds": self.lease_seconds,
+                "job_timeout_seconds": self.job_timeout_seconds,
             }
         process = multiprocessing.Process(
             target=target, args=args, kwargs=kwargs, daemon=True
@@ -253,15 +300,52 @@ class QueueRunner:
         process.start()
         return process
 
+    def _thread_body(self, index: int) -> None:
+        """One thread worker, with simulated deaths contained.
+
+        An :class:`~repro.pipeline.dist.chaos.InjectedCrash` (from a
+        crash plan's checkpoint or a poison job) and a transport error
+        that escapes the worker loop both mean the same thing a dead
+        process means — this worker is gone, its lease will expire,
+        the respawn loop owns replacement.  Containing them here keeps
+        a *simulated* death from spraying a traceback over the run.
+        """
+        try:
+            run_worker(
+                self.queue,
+                f"sweep-t{index}",
+                lease_seconds=self.lease_seconds,
+                checkpoint=self.checkpoint,
+                job_timeout_seconds=self.job_timeout_seconds,
+            )
+        except (InjectedCrash, HttpQueueError):
+            pass  # worker died; lease recovery + respawn take over
+
     def _spawn_thread(self, index: int):
         thread = threading.Thread(
-            target=run_worker,
-            args=(self.queue, f"sweep-t{index}"),
-            kwargs={"lease_seconds": self.lease_seconds},
-            daemon=True,
+            target=self._thread_body, args=(index,), daemon=True
         )
         thread.start()
         return thread
+
+    def _admit(self, job_id: str, doc: dict) -> None:
+        """Verify one drained result's checksum; admit the stripped
+        payload to the local cache, or dead-letter the job locally.
+
+        A result corrupted between the worker's ack and this drain —
+        on disk, over the wire, by a buggy proxy — is recorded as a
+        failure instead of flowing into the aggregation.  Documents
+        without a checksum (pre-integrity workers) verify trivially.
+        """
+        payload, ok = verify_result_checksum(doc)
+        if ok:
+            self._drained[job_id] = payload
+        else:
+            self._checksum_failures[job_id] = (
+                "result checksum mismatch: the acked document was "
+                "corrupted in transit or at rest; discarded before "
+                "aggregation"
+            )
 
     def _drain_results(self, page_size: int = 100) -> None:
         """Pull any newly finished result pages into the local cache.
@@ -289,7 +373,8 @@ class QueueRunner:
             )
             if not page:
                 break
-            self._drained.update(page)
+            for job_id, doc in page.items():
+                self._admit(job_id, doc)
             cursor = last
         watermark = self._results_cursor
         for job_id in sorted(set(self.job_ids)):
@@ -307,14 +392,107 @@ class QueueRunner:
         wanted = set(self.job_ids)
         if hasattr(self.queue, "results_page"):
             self._drain_results()
-            everything = self._drained
         else:
-            everything = self.queue.results()
-        results = {k: v for k, v in everything.items() if k in wanted}
+            for job_id, doc in self.queue.results().items():
+                if job_id in wanted:
+                    self._admit(job_id, doc)
+        results = {
+            k: v for k, v in self._drained.items() if k in wanted
+        }
         failures = {
             k: v for k, v in self.queue.failures().items() if k in wanted
         }
+        for job_id, error in self._checksum_failures.items():
+            if job_id in wanted:
+                failures.setdefault(job_id, error)
         return results, failures
+
+    def _poison_attempts(self, job_id: str) -> int:
+        """The breaker's evidence for one job: the queue's monotonic
+        attempt counter when the queue exposes it, else the runner's
+        own count of reaps it happened to win.
+
+        The queue-side counter is the reliable source — idle workers
+        race the runner for ``reap_expired`` and systematically win it
+        (a worker's reap restarts the lease on the worker's own poll
+        cadence, phase-locking every expiry to a worker poll), so a
+        runner that only counts its *own* reaps can watch a poison job
+        kill the entire fleet while observing zero expiries.
+        """
+        if hasattr(self.queue, "attempts"):
+            return max(
+                self.queue.attempts(job_id),
+                self._lease_expiries.get(job_id, 0),
+            )
+        return self._lease_expiries.get(job_id, 0)
+
+    def _break_poison_jobs(self) -> None:
+        """The poison-job circuit breaker.
+
+        A poison job kills every worker that claims it, so it never
+        ``fail()``s with a traceback — its only trace is lease expiry
+        after lease expiry, each one bumping the job's attempt counter.
+        Proactively: once a still-unfinished job has burned
+        ``poison_threshold`` attempts (read from the queue itself — see
+        :meth:`_poison_attempts` for why runner-observed reaps are not
+        trustworthy evidence), it is quarantined (terminal, excluded
+        from claiming) before it can grind through more of the fleet.
+        Retroactively: a poison job can exhaust the queue's
+        ``max_attempts`` and dead-letter as a plain lease-expiry
+        failure before the threshold is reached — any of this sweep's
+        jobs that dead-lettered purely by lease expiry (the poison
+        signature: workers died, no traceback was ever recorded) is
+        upgraded to quarantined, so the diagnosis reads the same
+        whichever race was won.
+        """
+        if not hasattr(self.queue, "quarantine"):
+            return
+        wanted = set(self.job_ids)
+        for job_id in sorted(wanted - self.queue.finished_ids()):
+            if job_id in self.quarantined:
+                continue
+            count = self._poison_attempts(job_id)
+            if count < self.poison_threshold:
+                continue
+            reason = (
+                f"poison job: burned {count} attempts with no result and "
+                "no failure ever recorded — it keeps killing its workers; "
+                "quarantined by the runner's circuit breaker"
+            )
+            if self.queue.quarantine(job_id, reason):
+                self.quarantined.append(job_id)
+        for job_id, error in self.queue.failures().items():
+            if job_id not in wanted or job_id in self.quarantined:
+                continue
+            if not error.startswith("lease expired"):
+                continue  # a real traceback: broken spec, not poison
+            reason = (
+                f"poison job: {error.strip()}, no failure ever recorded "
+                "— its workers died instead; quarantined by the "
+                "runner's circuit breaker"
+            )
+            if self.queue.quarantine(job_id, reason):
+                self.quarantined.append(job_id)
+
+    def _quarantine_unrunnable(self, wanted: set[str]) -> None:
+        """Terminal-state the jobs a dead fleet can never run (the
+        circuit breaker's backstop — reachable only when every worker
+        died *and* the respawn budget is spent, i.e. something is
+        systematically killing workers faster than one poison job)."""
+        if not hasattr(self.queue, "quarantine"):
+            return
+        finished = self.queue.finished_ids()
+        for job_id in sorted(wanted - finished):
+            if job_id in self.quarantined:
+                continue
+            attempts = self._poison_attempts(job_id)
+            if self.queue.quarantine(
+                job_id,
+                "worker fleet exhausted: all workers dead and the "
+                f"respawn budget spent with this job unfinished "
+                f"({attempts} attempts burned)",
+            ):
+                self.quarantined.append(job_id)
 
     def run(self, progress=None, *, poll_seconds: float = 0.05) -> SweepResult:
         """Run the sweep to completion and aggregate.
@@ -333,34 +511,61 @@ class QueueRunner:
         )
         fleet: list = []
         spawned = 0
+        spawn = self._spawn_process if use_processes else self._spawn_thread
         if self.workers == 0:
-            run_worker(self.queue, "sweep-serial",
-                       lease_seconds=self.lease_seconds)
+            run_worker(
+                self.queue,
+                "sweep-serial",
+                lease_seconds=self.lease_seconds,
+                checkpoint=self.checkpoint,
+                job_timeout_seconds=self.job_timeout_seconds,
+            )
         else:
-            spawn = self._spawn_process if use_processes else self._spawn_thread
             fleet = [spawn(i) for i in range(self.workers)]
             spawned = self.workers
         wanted = set(self.job_ids)
         try:
             while True:
-                self.queue.reap_expired()
+                for job_id in self.queue.reap_expired():
+                    if job_id in wanted:
+                        self._lease_expiries[job_id] = (
+                            self._lease_expiries.get(job_id, 0) + 1
+                        )
+                self._break_poison_jobs()
                 self._drain_results()
                 if progress is not None:
                     progress(self.queue.stats())
                 if wanted <= self.queue.finished_ids():
                     break
-                if use_processes and self.workers > 0:
+                if self.workers > 0:
+                    # Babysit the fleet: join the dead, respawn while
+                    # work remains and the respawn budget holds (threads
+                    # die too now — injected crashes, poison jobs).
                     stats = self.queue.stats()
-                    for i, proc in enumerate(fleet):
-                        if proc.is_alive():
+                    alive = 0
+                    for i, worker in enumerate(fleet):
+                        if worker.is_alive():
+                            alive += 1
                             continue
-                        proc.join()
+                        worker.join()
                         if (
                             stats.pending + stats.claimed > 0
                             and spawned < self.workers + _MAX_RESPAWNS
                         ):
-                            fleet[i] = self._spawn_process(spawned)
+                            fleet[i] = spawn(spawned)
                             spawned += 1
+                            alive += 1
+                    if (
+                        alive == 0
+                        and stats.pending + stats.claimed > 0
+                        and spawned >= self.workers + _MAX_RESPAWNS
+                    ):
+                        # Fleet exhausted: every worker is dead and the
+                        # respawn budget is spent, so the remaining jobs
+                        # can never run.  Quarantine them (terminal) so
+                        # the sweep ends with an honest dead-letter
+                        # record instead of spinning forever.
+                        self._quarantine_unrunnable(wanted)
                 time.sleep(poll_seconds)
         finally:
             for worker in fleet:
@@ -419,6 +624,9 @@ class SweepRunner(QueueRunner):
         workers: int = 2,
         lease_seconds: float = 120.0,
         max_attempts: int = 3,
+        poison_threshold: int = 5,
+        job_timeout_seconds: float | None = None,
+        checkpoint=None,
         metric: str = "psnr",
         anchor: str | None = None,
     ):
@@ -441,6 +649,9 @@ class SweepRunner(QueueRunner):
             workers=workers,
             lease_seconds=lease_seconds,
             max_attempts=max_attempts,
+            poison_threshold=poison_threshold,
+            job_timeout_seconds=job_timeout_seconds,
+            checkpoint=checkpoint,
         )
         self.metric = metric
         self.anchor = anchor

@@ -20,25 +20,89 @@ the worker itself keeps going.  Workers exit when the queue is fully
 drained (nothing pending *and* nothing claimed), so a straggler's
 death can still be recovered by the remaining workers rather than
 orphaning its lease.
+
+Hardening seams (all opt-in, all default-off):
+
+* **watchdog** — ``job_timeout_seconds`` bounds one job's wall clock;
+  a job that blows the budget is failed with a
+  :class:`JobTimeoutError` traceback instead of silently eating the
+  whole lease (and then the next lease, and the next).
+* **result checksums** — every acked result document carries a CRC32
+  of its canonical JSON (:func:`attach_result_checksum`); the runner
+  verifies and strips it on drain, so a result corrupted in transit
+  or at rest is caught before it poisons an aggregation.
+* **checkpoints** — ``checkpoint(stage, job)`` fires at
+  ``"after-claim"``, ``"mid-encode"`` (inside the execution
+  envelope), ``"before-ack"``, and ``"after-ack"``.  This is the
+  fault-injection seam: a
+  :class:`~repro.pipeline.dist.chaos.CrashPlan` raises
+  :class:`~repro.pipeline.dist.chaos.InjectedCrash` (a
+  ``BaseException``, deliberately *not* caught by the job-failure
+  handler below) at a scheduled checkpoint to simulate a worker dying
+  at exactly that point in the claim/execute/ack cycle.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import json
 import os
 import socket
+import threading
 import time
 import traceback
+import zlib
 
 from .queues import DirectoryJobQueue, Job, JobQueue
 
-__all__ = ["Heartbeat", "default_worker_id", "run_worker", "worker_entry"]
+__all__ = [
+    "Heartbeat",
+    "JobTimeoutError",
+    "attach_result_checksum",
+    "default_worker_id",
+    "result_checksum",
+    "run_worker",
+    "verify_result_checksum",
+    "worker_entry",
+]
+
+#: key under which a result document carries its own CRC32.
+_CHECKSUM_KEY = "_crc32"
+
+
+class JobTimeoutError(RuntimeError):
+    """A job blew its per-job wall-clock budget (the watchdog fired)."""
 
 
 def default_worker_id() -> str:
     """``host-pid`` — unique enough to attribute leases in a shared
     queue directory."""
     return f"{socket.gethostname()}-{os.getpid()}"
+
+
+# -- result integrity -------------------------------------------------------
+def result_checksum(doc: dict) -> int:
+    """CRC32 of a result document's canonical JSON (checksum field
+    excluded), so both sides of any transport agree on the bytes."""
+    payload = {k: v for k, v in doc.items() if k != _CHECKSUM_KEY}
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(canonical.encode("utf-8"))
+
+
+def attach_result_checksum(doc: dict) -> dict:
+    """Copy of ``doc`` carrying its own CRC32 under ``"_crc32"``."""
+    return {**doc, _CHECKSUM_KEY: result_checksum(doc)}
+
+
+def verify_result_checksum(doc: dict) -> tuple[dict, bool]:
+    """``(payload, ok)``: the document with its checksum stripped, and
+    whether the checksum matched.  A document without a checksum — a
+    pre-integrity worker's, or a hand-written one — verifies trivially
+    (there is nothing to check against)."""
+    if _CHECKSUM_KEY not in doc:
+        return dict(doc), True
+    payload = {k: v for k, v in doc.items() if k != _CHECKSUM_KEY}
+    return payload, int(doc[_CHECKSUM_KEY]) == result_checksum(payload)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -77,6 +141,39 @@ def execute_job(job: Job) -> dict:
     return run_task(job.spec)
 
 
+def _execute_with_watchdog(execute, job: Job, timeout_seconds: float):
+    """Run ``execute(job)`` on a watched thread; raise
+    :class:`JobTimeoutError` if it outlives ``timeout_seconds``.
+
+    The hung thread is daemonic and abandoned — Python cannot safely
+    kill it — so its (eventual) result is discarded: by the time it
+    finishes, the job has been failed and possibly re-leased, and a
+    late ack would be rejected as stale anyway.
+    """
+    outcome: dict = {}
+
+    def body() -> None:
+        try:
+            outcome["result"] = execute(job)
+        except BaseException as exc:  # relayed to the worker thread
+            outcome["error"] = exc
+
+    thread = threading.Thread(
+        target=body, name=f"watchdog-{job.job_id}", daemon=True
+    )
+    thread.start()
+    thread.join(timeout_seconds)
+    if thread.is_alive():
+        raise JobTimeoutError(
+            f"watchdog: job {job.job_id} exceeded its {timeout_seconds}s "
+            "wall-clock budget (worker abandoned it; the lease machinery "
+            "owns any re-run)"
+        )
+    if "error" in outcome:
+        raise outcome["error"]
+    return outcome["result"]
+
+
 def run_worker(
     queue: JobQueue,
     worker_id: str | None = None,
@@ -87,6 +184,8 @@ def run_worker(
     stop_when_drained: bool = True,
     execute=execute_job,
     on_heartbeat=None,
+    checkpoint=None,
+    job_timeout_seconds: float | None = None,
 ) -> int:
     """Drain jobs from ``queue``; returns how many this worker completed.
 
@@ -98,14 +197,27 @@ def run_worker(
     long-lived fleet fed by an external submitter).  ``execute`` is the
     job body, injectable for tests.
 
+    ``job_timeout_seconds`` arms the per-job watchdog: a job still
+    running after that many wall-clock seconds is failed with a
+    :class:`JobTimeoutError` traceback and the worker moves on, instead
+    of a hung job silently consuming lease after lease.  Size it below
+    ``lease_seconds`` so the failure is recorded by *this* worker
+    rather than by lease expiry.
+
     ``on_heartbeat`` receives a :class:`Heartbeat` at startup and after
     every job outcome (ack or fail); the default is a no-op.  A raising
     callback kills the worker — wrap best-effort reporting (e.g. over a
     flaky network) in its own try/except.
 
+    ``checkpoint(stage, job)`` is the fault-injection seam (see the
+    module docstring for the stages); ``None`` costs nothing.
+
     Acks carry this worker's id, so a straggler whose lease was reaped
     and whose job was re-run elsewhere gets a clean stale-ack rejection
-    instead of silently double-recording the result.
+    instead of silently double-recording the result.  Every acked
+    result carries a CRC32 of its canonical JSON (stripped and
+    verified runner-side), so transport or at-rest corruption is
+    detected before aggregation.
     """
     if worker_id is None:
         worker_id = default_worker_id()
@@ -138,18 +250,32 @@ def run_worker(
                 break
             time.sleep(poll_seconds)
             continue
+        if checkpoint is not None:
+            checkpoint("after-claim", job)
         try:
-            result = execute(job)
+            if checkpoint is not None:
+                checkpoint("mid-encode", job)
+            if job_timeout_seconds is None:
+                result = execute(job)
+            else:
+                result = _execute_with_watchdog(
+                    execute, job, job_timeout_seconds
+                )
         except Exception:
             queue.fail(job.job_id, traceback.format_exc())
             failed += 1
             last_job_id = job.job_id
             beat()
             continue
+        result = attach_result_checksum(result)
+        if checkpoint is not None:
+            checkpoint("before-ack", job)
         if queue.ack(job.job_id, result, worker_id=worker_id):
             completed += 1
         # else: stale ack — the lease expired and someone else owns the
         # job now; drop the result and move on.
+        if checkpoint is not None:
+            checkpoint("after-ack", job)
         last_job_id = job.job_id
         beat()
     return completed
@@ -164,6 +290,7 @@ def worker_entry(
     max_jobs: int | None = None,
     poll_seconds: float = 0.05,
     stop_when_drained: bool = True,
+    job_timeout_seconds: float | None = None,
 ) -> int:
     """Process entry point: attach to a queue directory and work it.
 
@@ -185,4 +312,5 @@ def worker_entry(
         max_jobs=max_jobs,
         poll_seconds=poll_seconds,
         stop_when_drained=stop_when_drained,
+        job_timeout_seconds=job_timeout_seconds,
     )

@@ -123,7 +123,7 @@ class TestStreamingCLI:
         dec = run_cli("decode", str(container), "--json")
         assert dec.returncode == 0, dec.stderr[-2000:]
         dec_report = json.loads(dec.stdout)
-        assert dec_report["container_version"] == 3
+        assert dec_report["container_version"] == 4
         assert dec_report["psnr_per_frame"] == batch_report["psnr_per_frame"]
 
     def test_yuv_file_to_file_round_trip(self, tmp_path):

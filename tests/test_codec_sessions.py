@@ -180,7 +180,7 @@ class TestV3Container:
         assert writer.packets_written == len(stream.packets)
         buffer.seek(0)
         reader = StreamReader(buffer)
-        assert (reader.version, reader.header) == (3, stream.header)
+        assert (reader.version, reader.header) == (4, stream.header)
         assert [p.serialize() for p in reader] == [
             p.serialize() for p in stream.packets
         ]
@@ -376,7 +376,7 @@ class TestFacadeStreamingMode:
         session = Pipeline("classical", {"qp": 16.0}, scene=self.SCENE).session()
         session.encode(output=buffer)
         buffer.seek(0)
-        assert StreamReader(buffer).version == 3
+        assert StreamReader(buffer).version == 4
 
     def test_decode_after_file_object_stream_requires_source(self):
         # The streamed container lives in a caller-owned file object;

@@ -17,6 +17,7 @@ from repro.pipeline.dist import (
     SweepRunner,
     job_id_for_spec,
     run_worker,
+    verify_result_checksum,
 )
 from repro.pipeline.registry import register_codec, unregister_codec
 from repro.codec import ClassicalCodecConfig
@@ -261,6 +262,9 @@ class TestWorkerDeath:
              for qp in (8.0, 16.0)]
         )}
         for result in results.values():
+            # acked results carry their own CRC32; verify and strip it
+            result, checksum_ok = verify_result_checksum(result)
+            assert checksum_ok
             expected = serial[result["codec_config"]["qp"]].to_dict()
             for volatile in ("encode_seconds", "decode_seconds"):
                 result.pop(volatile), expected.pop(volatile)
