@@ -35,6 +35,12 @@ Subcommands:
 * ``retry``      — resubmit dead-lettered jobs (by id or ``--all``)
                    with a fresh attempt budget; the specs ride in the
                    failed records, so replay needs no other input.
+* ``ladder``     — build an ABR ladder (renditions = resolution ×
+                   target bitrate) as a fleet workload on the same
+                   work-queue backend as ``sweep``; each rung is a
+                   rate-controlled encode (``--rate-control``,
+                   default ``calibrated``) reporting achieved kbps,
+                   overshoot %, and budget violations.
 * ``hardware``   — analyze a registered accelerator platform:
                    ``--platform nvca`` (default) runs the full NVCA
                    performance/energy/area roll-up with the operating
@@ -107,12 +113,20 @@ def _cmd_encode(args) -> int:
     # Map the generic CLI knobs onto whatever the codec's config calls
     # them (``--qp`` drives CTVC's latent qstep and classical's QP).
     fields = {f.name for f in dataclasses.fields(config_cls)}
+    # --target-kbps alone implies a controller; "abr" needs no
+    # calibration, so it is the sensible default.
+    rate_control = args.rate_control
+    if rate_control is None and args.target_kbps is not None:
+        rate_control = "abr"
     overrides = {}
     for name, value in (
         ("qstep", args.qp),
         ("qp", None if "qstep" in fields else args.qp),
         ("channels", args.channels),
         ("entropy_backend", args.entropy_backend),
+        ("rate_control", rate_control),
+        ("target_kbps", args.target_kbps),
+        ("fps", args.fps),
     ):
         if value is not None and name in fields:
             overrides[name] = value
@@ -427,6 +441,116 @@ def _cmd_sweep(args) -> int:
     if args.csv:
         with open(args.csv, "w", newline="", encoding="utf-8") as handle:
             csv.writer(handle).writerows(_csv_rows(result))
+    _emit(args, result.render(), result.to_dict())
+    return 0 if result.ok else 1
+
+
+def _parse_renditions(text: str):
+    """Parse ``WxH:KBPS,...`` rendition tokens into Rendition objects."""
+    from repro.pipeline import Rendition
+
+    renditions = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        geometry, sep, kbps = token.partition(":")
+        width, wh_sep, height = geometry.partition("x")
+        if not sep or not wh_sep:
+            raise ValueError(f"{token!r} is not of the form WxH:KBPS")
+        renditions.append(
+            Rendition(
+                height=int(height),
+                width=int(width),
+                target_kbps=float(kbps),
+            )
+        )
+    return renditions
+
+
+_LADDER_CSV_COLUMNS = (
+    "label", "width", "height", "target_kbps", "achieved_kbps",
+    "overshoot_pct", "budget_violations", "mean_psnr", "bpp",
+    "stream_bytes", "frames",
+)
+
+
+def _cmd_ladder(args) -> int:
+    import csv
+
+    from repro.pipeline import (
+        CodecRegistryError,
+        LadderRunner,
+        LadderSpec,
+        codec_spec,
+    )
+
+    try:
+        renditions = _parse_renditions(args.renditions)
+    except ValueError as exc:
+        print(f"repro ladder: bad --renditions ({exc})", file=sys.stderr)
+        return 2
+    try:
+        config_cls = codec_spec(args.codec).config_cls
+    except CodecRegistryError as exc:
+        print(f"repro ladder: {exc}", file=sys.stderr)
+        return 2
+    # Same generic-knob mapping as encode: --qp drives whatever the
+    # codec's config calls its quantization field.
+    config = dict(json.loads(args.config)) if args.config else {}
+    fields = {f.name for f in dataclasses.fields(config_cls)}
+    for name, value in (
+        ("qstep", args.qp),
+        ("qp", None if "qstep" in fields else args.qp),
+        ("entropy_backend", args.entropy_backend),
+    ):
+        if value is not None and name in fields:
+            config[name] = value
+
+    status = _check_queue_dir(args, "ladder")
+    if status:
+        return status
+    queue = None
+    if args.queue_url:
+        queue, status = _remote_queue(args, "ladder")
+        if status:
+            return status
+
+    spec = LadderSpec(
+        renditions,
+        codec=args.codec,
+        codec_config=config,
+        scene={"frames": args.frames, "seed": args.seed},
+        rate_control=args.rate_control,
+        fps=args.fps,
+        compute_msssim=args.msssim,
+    )
+    runner = LadderRunner(
+        spec,
+        queue=queue,
+        queue_dir=args.queue_dir,
+        workers=args.workers,
+        lease_seconds=args.lease,
+        max_attempts=args.max_attempts,
+    )
+    progress = None
+    if args.progress:
+        def progress(stats):
+            print(
+                f"  pending {stats.pending}  claimed {stats.claimed}  "
+                f"done {stats.done}  failed {stats.failed}",
+                file=sys.stderr,
+            )
+    result = runner.run(progress)
+    if args.csv:
+        rows = [list(_LADDER_CSV_COLUMNS)]
+        for row in result.table():
+            rows.append([
+                "" if row[column] is None else row[column]
+                for column in _LADDER_CSV_COLUMNS
+            ])
+        with open(args.csv, "w", newline="", encoding="utf-8") as handle:
+            csv.writer(handle).writerows(rows)
     _emit(args, result.render(), result.to_dict())
     return 0 if result.ok else 1
 
@@ -851,6 +975,22 @@ def main(argv=None) -> int:
         help="entropy coder for the codec ('rans' fast path, 'cacm' reference; "
         "default: the codec config's default)",
     )
+    enc.add_argument(
+        "--target-kbps", type=float, default=None,
+        help="bitrate budget: engage a rate controller (default 'abr' "
+        "when only this flag is given) steering per-frame QP toward "
+        "this average rate",
+    )
+    enc.add_argument(
+        "--rate-control", default=None,
+        help="rate controller name ('cqp' fixed QP, 'abr' running-average "
+        "budget tracking, 'calibrated' QP->bits table inversion; see "
+        "available_rate_controllers())",
+    )
+    enc.add_argument(
+        "--fps", type=float, default=None,
+        help="frame rate the bitrate budget is metered at (default 30)",
+    )
     enc.add_argument("--msssim", action="store_true", help="also compute MS-SSIM")
     enc.add_argument(
         "--stream",
@@ -1014,6 +1154,84 @@ def main(argv=None) -> int:
     swp.add_argument("-o", "--output", default=None, help="report file")
     swp.add_argument("--json", action="store_true", help="emit structured JSON")
     swp.set_defaults(func=_cmd_sweep)
+
+    lad = sub.add_parser(
+        "ladder",
+        help="build an ABR ladder (rate-controlled renditions) on the "
+        "work-queue backend",
+    )
+    lad.add_argument(
+        "--renditions",
+        default="96x64:30,96x64:60,48x32:8,48x32:16",
+        help="comma-separated WxH:KBPS rungs (resolution encoded to a "
+        "target bitrate)",
+    )
+    lad.add_argument("--codec", default="classical",
+                     help="registered codec name every rung runs through")
+    lad.add_argument(
+        "--rate-control", default="calibrated",
+        help="rate controller steering each rung ('cqp', 'abr', "
+        "'calibrated')",
+    )
+    lad.add_argument("--fps", type=float, default=30.0,
+                     help="frame rate the bitrate budgets are metered at")
+    lad.add_argument("--frames", type=int, default=8)
+    lad.add_argument("--seed", type=int, default=0,
+                     help="scene seed (one source, many rates)")
+    lad.add_argument("--qp", type=float, default=None,
+                     help="base quantization the controller adapts around "
+                     "(default: the codec config's default)")
+    lad.add_argument(
+        "--entropy-backend", default=None,
+        help="entropy coder override for codecs that take one",
+    )
+    lad.add_argument(
+        "--config", default=None,
+        help="JSON codec-config overrides applied to every rung "
+        "(e.g. '{\"method\": \"h265\"}' for --codec rd-model)",
+    )
+    lad.add_argument("--msssim", action="store_true",
+                     help="also compute MS-SSIM per rung")
+    lad.add_argument(
+        "--workers", type=int, default=2,
+        help="worker count: 0 runs serially in-process; with --queue-dir "
+        "workers are processes, otherwise threads",
+    )
+    lad.add_argument(
+        "--queue-dir", default=None,
+        help="directory-backed job queue (durable state; other hosts "
+        "sharing the filesystem can attach workers; enables --resume)",
+    )
+    lad.add_argument(
+        "--queue-url", default=None,
+        help="run the ladder through a repro serve daemon at this URL; "
+        "workers are local processes talking HTTP, and remote hosts can "
+        "join with 'repro worker --queue-url'",
+    )
+    lad.add_argument(
+        "--resume", action="store_true",
+        help="continue an interrupted ladder from --queue-dir or "
+        "--queue-url (finished rungs are not re-run)",
+    )
+    lad.add_argument(
+        "--lease", type=float, default=120.0,
+        help="per-rung lease seconds before a silent worker is presumed "
+        "dead and its rung is retried",
+    )
+    lad.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="tries per rung before it dead-letters into the failure report",
+    )
+    lad.add_argument(
+        "--csv", default=None, help="also write per-rung rows as CSV here"
+    )
+    lad.add_argument(
+        "--progress", action="store_true",
+        help="print queue progress snapshots to stderr",
+    )
+    lad.add_argument("-o", "--output", default=None, help="report file")
+    lad.add_argument("--json", action="store_true", help="emit structured JSON")
+    lad.set_defaults(func=_cmd_ladder)
 
     hw = sub.add_parser(
         "hardware",

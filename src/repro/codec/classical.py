@@ -38,6 +38,7 @@ from .entropy import (
     get_entropy_backend,
 )
 from .modules import block_match, dense_motion_field
+from .rate_control import create_rate_controller, validate_rate_fields
 from .sessions import (
     DecoderSession,
     EncoderSession,
@@ -84,9 +85,17 @@ class ClassicalCodecConfig(SerializableConfig):
     #: entropy coder for coefficients and motion ("rans" is the fast
     #: vectorized default, "cacm" the paper-exact reference).
     entropy_backend: str = "rans"
+    #: rate controller name ("cqp" / "abr" / "calibrated"; see
+    #: :mod:`repro.codec.rate_control`) or None for plain fixed-QP.
+    rate_control: str | None = None
+    #: bitrate budget in kilobits per second (needs a rate controller).
+    target_kbps: float | None = None
+    #: frame rate the bitrate budget is measured against.
+    fps: float = 30.0
 
     def __post_init__(self):
         get_entropy_backend(self.entropy_backend)  # fail fast on unknown names
+        validate_rate_fields(self.rate_control, self.target_kbps, self.fps)
 
 
 def _pad_to_blocks(plane: np.ndarray) -> np.ndarray:
@@ -224,6 +233,22 @@ class ClassicalCodec:
     def __init__(self, config: ClassicalCodecConfig | None = None):
         self.config = config or ClassicalCodecConfig()
         self.entropy = get_entropy_backend(self.config.entropy_backend)
+        #: per-frame QP override set by a rate controller (None = use
+        #: the config QP).  f16-quantized so the value the encoder
+        #: quantizes with is exactly the value the packet meta carries.
+        self._frame_qp: float | None = None
+
+    def set_frame_qp(self, qp: float | None) -> None:
+        """Override the QP for subsequent frames (rate-control hook).
+
+        ``None`` clears the override.  The value is snapped to its f16
+        bit pattern so the encoder-side quantizer and the decoder-side
+        reconstruction (driven by the ``"rq"`` packet meta) agree
+        exactly."""
+        if qp is None:
+            self._frame_qp = None
+        else:
+            self._frame_qp = f16_from_bits(f16_bits(float(qp)))
 
     # -- plane helpers --------------------------------------------------
     def _planes(self, frame: np.ndarray):
@@ -233,11 +258,17 @@ class ClassicalCodec:
     def _frame_from_planes(self, y, cb, cr) -> np.ndarray:
         return np.clip(ycbcr_to_rgb(upsample_420(y, cb, cr)), 0.0, 255.0)
 
-    def _plane_coders(self, entropy: EntropyBackend | None = None):
+    def _plane_coders(
+        self,
+        entropy: EntropyBackend | None = None,
+        qp: float | None = None,
+    ):
         cfg = self.config
         entropy = entropy or self.entropy
-        luma = _PlaneCoder(cfg.qp, cfg.support, entropy)
-        chroma = _PlaneCoder(cfg.qp * cfg.chroma_qp_scale, cfg.support, entropy)
+        if qp is None:
+            qp = cfg.qp if self._frame_qp is None else self._frame_qp
+        luma = _PlaneCoder(qp, cfg.support, entropy)
+        chroma = _PlaneCoder(qp * cfg.chroma_qp_scale, cfg.support, entropy)
         return luma, chroma
 
     # -- intra ----------------------------------------------------------
@@ -258,6 +289,8 @@ class ClassicalCodec:
             metas.append({"p": name, "sd": side, "hw": list(plane.shape)})
             recon_planes.append(recon + 128.0)
         packet.meta["P"] = metas
+        if self._frame_qp is not None:
+            packet.meta["rq"] = f16_bits(self._frame_qp)
         recon = self._frame_from_planes(*recon_planes)
         return packet, recon
 
@@ -268,7 +301,9 @@ class ClassicalCodec:
         entropy: EntropyBackend | None = None,
         legacy_order: bool = False,
     ) -> np.ndarray:
-        luma_coder, chroma_coder = self._plane_coders(entropy)
+        luma_coder, chroma_coder = self._plane_coders(
+            entropy, qp=self._packet_qp(packet)
+        )
         planes = []
         for meta in packet.meta["P"]:
             coder = luma_coder if meta["p"] == "y" else chroma_coder
@@ -278,6 +313,15 @@ class ClassicalCodec:
             )
             planes.append(plane + 128.0)
         return self._frame_from_planes(*planes)
+
+    def _packet_qp(self, packet: FramePacket) -> float:
+        """QP one packet was coded with: the per-frame override a
+        rate-controlled stream carries in packet meta (``"rq"``, an f16
+        bit pattern) when present, the config QP otherwise.  Decode
+        always passes this explicitly so it follows the stream, never
+        this instance's encoder-side override state."""
+        rq = packet.meta.get("rq")
+        return self.config.qp if rq is None else f16_from_bits(rq)
 
     # -- inter ----------------------------------------------------------
     @property
@@ -411,6 +455,8 @@ class ClassicalCodec:
                 np.clip(prediction + residual_recon, 0.0, 255.0)
             )
         packet.meta["P"] = metas
+        if self._frame_qp is not None:
+            packet.meta["rq"] = f16_bits(self._frame_qp)
         recon = self._frame_from_planes(*recon_planes)
         return packet, recon
 
@@ -428,7 +474,9 @@ class ClassicalCodec:
             )
         ry, rcb, rcr = self._planes(reference)
         mv = self._decode_motion(packet.chunks["mv"], packet.meta, entropy)
-        luma_coder, chroma_coder = self._plane_coders(entropy)
+        luma_coder, chroma_coder = self._plane_coders(
+            entropy, qp=self._packet_qp(packet)
+        )
         planes = []
         for meta, ref, coder, chroma in zip(
             packet.meta["P"],
@@ -449,22 +497,40 @@ class ClassicalCodec:
         """Streaming encoder: ``push(frame)`` yields packets as frames
         arrive (see :mod:`repro.codec.sessions`)."""
 
+        cfg = self.config
+
         def make_header(frame: np.ndarray) -> dict:
             _, h, w = frame.shape
-            return {
+            header = {
                 "codec": "classical-dct",
                 "height": h,
                 "width": w,
-                "qp": self.config.qp,
-                "gop": self.config.gop,
+                "qp": cfg.qp,
+                "gop": cfg.gop,
                 "entropy": self.entropy.name,
+                "rate_control": cfg.rate_control or "cqp",
             }
+            if cfg.target_kbps is not None:
+                header["target_kbps"] = cfg.target_kbps
+                header["fps"] = cfg.fps
+            return header
 
+        self.set_frame_qp(None)  # a fresh session starts at the config QP
+        controller = None
+        if cfg.rate_control is not None:
+            controller = create_rate_controller(
+                cfg.rate_control,
+                base_qp=cfg.qp,
+                target_kbps=cfg.target_kbps,
+                fps=cfg.fps,
+            )
         return GopEncoderSession(
             intra=self.encode_intra,
             inter=self.encode_inter,
-            gop=self.config.gop,
+            gop=cfg.gop,
             make_header=make_header,
+            rate_control=controller,
+            apply_qp=self.set_frame_qp,
         )
 
     def open_decoder(

@@ -49,6 +49,7 @@ from .entropy import (
     cached_laplacian,
     get_entropy_backend,
 )
+from .rate_control import create_rate_controller, validate_rate_fields
 from .sessions import (
     DecoderSession,
     EncoderSession,
@@ -87,9 +88,17 @@ class CTVCConfig(SerializableConfig):
     #: entropy coder for latents and intra planes ("rans" is the fast
     #: vectorized default, "cacm" the paper-exact reference).
     entropy_backend: str = "rans"
+    #: rate controller name ("cqp" / "abr" / "calibrated"; see
+    #: :mod:`repro.codec.rate_control`) or None for plain fixed-qstep.
+    rate_control: str | None = None
+    #: bitrate budget in kilobits per second (needs a rate controller).
+    target_kbps: float | None = None
+    #: frame rate the bitrate budget is measured against.
+    fps: float = 30.0
 
     def __post_init__(self):
         get_entropy_backend(self.entropy_backend)  # fail fast on unknown names
+        validate_rate_fields(self.rate_control, self.target_kbps, self.fps)
 
     def derived_intra_qp(self) -> float:
         """I-frame QP tracking the latent quantization step."""
@@ -135,6 +144,23 @@ class CTVCNet:
         )
         self.entropy = get_entropy_backend(cfg.entropy_backend)
         self.variant = "fp"
+        #: per-frame qstep override set by a rate controller (None =
+        #: use the config qstep).  P-frame latents are already
+        #: self-describing (meta ``"q"``), so decode needs no extra
+        #: side info.
+        self._frame_qstep: float | None = None
+
+    def set_frame_qp(self, qp: float | None) -> None:
+        """Override the latent qstep for subsequent frames (rate-control
+        hook).  The classical intra coder tracks proportionally, keeping
+        the I/P quality relationship of ``derived_intra_qp``."""
+        if qp is None:
+            self._frame_qstep = None
+            self.intra_codec.set_frame_qp(None)
+            return
+        self._frame_qstep = float(qp)
+        scale = self.config.derived_intra_qp() / self.config.qstep
+        self.intra_codec.set_frame_qp(float(qp) * scale)
 
     # -- module traversal ------------------------------------------------
     def decoder_modules(self) -> dict[str, object]:
@@ -186,7 +212,12 @@ class CTVCNet:
         the same order the seed coder used), so any registered backend
         codes the whole tensor with vectorized symbol mapping.
         """
-        qstep = f16_from_bits(f16_bits(self.config.qstep))
+        qstep = (
+            self.config.qstep
+            if self._frame_qstep is None
+            else self._frame_qstep
+        )
+        qstep = f16_from_bits(f16_bits(qstep))
         q = np.round(latent / qstep).astype(np.int64)
         support = int(np.clip(np.max(np.abs(q)), 2, 2048))
         q = np.clip(q, -support, support)
@@ -333,24 +364,42 @@ class CTVCNet:
         arrive; intra/inter reference handling lives in session state,
         so any number of concurrent sessions share this network."""
 
+        cfg = self.config
+
         def make_header(frame: np.ndarray) -> dict:
             _, h, w = frame.shape
-            return {
+            header = {
                 "codec": "ctvc-net",
                 "variant": self.variant,
                 "height": h,
                 "width": w,
-                "channels": self.config.channels,
-                "qstep": self.config.qstep,
-                "gop": self.config.gop,
+                "channels": cfg.channels,
+                "qstep": cfg.qstep,
+                "gop": cfg.gop,
                 "entropy": self.entropy.name,
+                "rate_control": cfg.rate_control or "cqp",
             }
+            if cfg.target_kbps is not None:
+                header["target_kbps"] = cfg.target_kbps
+                header["fps"] = cfg.fps
+            return header
 
+        self.set_frame_qp(None)  # a fresh session starts at the config qstep
+        controller = None
+        if cfg.rate_control is not None:
+            controller = create_rate_controller(
+                cfg.rate_control,
+                base_qp=cfg.qstep,
+                target_kbps=cfg.target_kbps,
+                fps=cfg.fps,
+            )
         return GopEncoderSession(
             intra=self.intra_codec.encode_intra,
             inter=self.encode_inter,
-            gop=self.config.gop,
+            gop=cfg.gop,
             make_header=make_header,
+            rate_control=controller,
+            apply_qp=self.set_frame_qp,
         )
 
     def open_decoder(

@@ -26,6 +26,8 @@ import numpy as np
 from repro.metrics.rd import RDCurve
 from repro.serialization import SerializableConfig
 
+from .rate_control import rate_controller_spec, validate_rate_fields
+
 __all__ = [
     "METHODS",
     "DATASETS",
@@ -221,6 +223,15 @@ class RDModelConfig(SerializableConfig):
     #: curve index in [0, num_points).
     point: int = 2
     num_points: int = 5
+    #: rate controller name (see :mod:`repro.codec.rate_control`).
+    #: With a target, ``simulate`` inverts the method's calibrated RD
+    #: curve to the target rate instead of reading a fixed point — the
+    #: fast calibration path for ladder planning.
+    rate_control: str | None = None
+    #: bitrate budget in kilobits per second (needs a rate controller).
+    target_kbps: float | None = None
+    #: frame rate the bitrate budget is measured against.
+    fps: float = 30.0
 
     def __post_init__(self):
         if self.method not in METHODS:
@@ -234,6 +245,7 @@ class RDModelConfig(SerializableConfig):
             raise ValueError(
                 f"point must be in [0, {self.num_points}), got {self.point}"
             )
+        validate_rate_fields(self.rate_control, self.target_kbps, self.fps)
 
 
 class RDModelCodec:
@@ -270,24 +282,79 @@ class RDModelCodec:
         is a sequence-level calibration, not a per-frame one).
         """
         cfg = self.config
-        point = model_curve(
-            cfg.method, cfg.dataset, "psnr", cfg.num_points
-        ).points[cfg.point]
+        curve = model_curve(cfg.method, cfg.dataset, "psnr", cfg.num_points)
+        bpp, quality = self._operating_point(curve, height, width)
+        stream_bytes = int(round(bpp * height * width * num_frames / 8))
+        total_bits = 8 * stream_bytes
         result = {
-            "stream_bytes": int(round(point.bpp * height * width * num_frames / 8)),
-            "bpp": float(point.bpp),
-            "psnr_per_frame": [float(point.quality)] * num_frames,
-            "mean_psnr": float(point.quality),
+            "stream_bytes": stream_bytes,
+            "bpp": float(bpp),
+            "psnr_per_frame": [float(quality)] * num_frames,
+            "mean_psnr": float(quality),
             "msssim_per_frame": [],
             "mean_msssim": None,
+            "frame_bits": self._split_bits(total_bits, num_frames),
+            "achieved_kbps": total_bits * cfg.fps / (num_frames * 1000.0),
         }
         if compute_msssim:
-            ms = model_curve(
+            ms_curve = model_curve(
                 cfg.method, cfg.dataset, "ms-ssim", cfg.num_points
-            ).points[cfg.point]
-            result["msssim_per_frame"] = [float(ms.quality)] * num_frames
-            result["mean_msssim"] = float(ms.quality)
+            )
+            # the ms-ssim curve has its own bpp geometry: read the same
+            # fixed point off it, and only interpolate when a rate
+            # target moved this encode off the published points
+            if self._rate_targeted():
+                ms = self._quality_at(ms_curve, bpp)
+            else:
+                ms = ms_curve.points[cfg.point].quality
+            result["msssim_per_frame"] = [float(ms)] * num_frames
+            result["mean_msssim"] = float(ms)
         return result
+
+    def _rate_targeted(self) -> bool:
+        """True when an adaptive controller steers toward a target."""
+        cfg = self.config
+        return (
+            cfg.rate_control is not None
+            and cfg.target_kbps is not None
+            and rate_controller_spec(cfg.rate_control).adaptive
+        )
+
+    def _operating_point(
+        self, curve: RDCurve, height: int, width: int
+    ) -> tuple[float, float]:
+        """(bpp, quality) this config operates at on ``curve``.
+
+        With an adaptive rate controller and a target, the calibrated
+        curve is inverted at the target rate (clamped to the curve's
+        published range — the model cannot extrapolate beyond it);
+        otherwise the fixed ``point`` index is read off, and a ``"cqp"``
+        controller deliberately ignores any target it carries.
+        """
+        cfg = self.config
+        if not self._rate_targeted():
+            point = curve.points[cfg.point]
+            return float(point.bpp), float(point.quality)
+        target_bpp = cfg.target_kbps * 1000.0 / (cfg.fps * height * width)
+        bpps = [p.bpp for p in curve.points]
+        bpp = min(max(target_bpp, min(bpps)), max(bpps))
+        return bpp, self._quality_at(curve, bpp)
+
+    @staticmethod
+    def _quality_at(curve: RDCurve, bpp: float) -> float:
+        """Quality at ``bpp``, log-rate interpolated along the curve
+        (the same ln(rate) law the anchors are built from)."""
+        points = sorted(curve.points, key=lambda p: p.bpp)
+        bpps = np.array([p.bpp for p in points])
+        quals = np.array([p.quality for p in points])
+        bpp = float(min(max(bpp, bpps[0]), bpps[-1]))
+        return float(np.interp(np.log(bpp), np.log(bpps), quals))
+
+    @staticmethod
+    def _split_bits(total_bits: int, num_frames: int) -> list[int]:
+        """Per-frame bit counts summing exactly to ``total_bits``."""
+        base, extra = divmod(total_bits, num_frames)
+        return [base + (1 if i < extra else 0) for i in range(num_frames)]
 
     # -- the executable-codec surface deliberately refuses ----------------
     def _refuse(self, api: str):

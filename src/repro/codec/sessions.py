@@ -180,6 +180,16 @@ class GopEncoderSession(EncoderSession):
     ``(packet, reconstruction)``; the reconstruction becomes the next
     reference (the closed loop).  Every GOP boundary re-keys with an
     I-frame.  One packet out per frame in — no lookahead.
+
+    ``rate_control`` hooks a
+    :class:`~repro.codec.rate_control.RateController` into the loop:
+    before each frame the session asks it for a QP (``frame_qp``) and
+    applies it through ``apply_qp`` (the codec's per-frame QP setter);
+    after each frame it feeds back the coded size (``observe``) and the
+    budget ledger.  A non-adaptive controller (``"cqp"``) is bypassed
+    entirely — no ``apply_qp``, no ledger, no ``observe`` — so its
+    packets are byte-identical to running with no controller at all and
+    the encode costs the same.
     """
 
     def __init__(
@@ -189,6 +199,8 @@ class GopEncoderSession(EncoderSession):
         inter: Callable[[np.ndarray, np.ndarray], tuple[FramePacket, np.ndarray]],
         gop: int,
         make_header: Callable[[np.ndarray], dict],
+        rate_control=None,
+        apply_qp: Callable[[float], None] | None = None,
     ):
         super().__init__()
         self._intra = intra
@@ -197,16 +209,46 @@ class GopEncoderSession(EncoderSession):
         self._make_header = make_header
         self._reference: np.ndarray | None = None
         self._index = 0
+        self._rate_control = rate_control
+        self._apply_qp = apply_qp
+        self._budget = rate_control.new_state() if rate_control else None
+        if rate_control is not None and rate_control.adaptive and apply_qp is None:
+            raise SessionError(
+                "an adaptive rate controller needs an apply_qp hook"
+            )
+
+    @property
+    def budget(self):
+        """The :class:`~repro.codec.rate_control.BudgetState` ledger
+        (``None`` when no rate controller is attached)."""
+        return self._budget
 
     def push(self, frame: np.ndarray) -> list[FramePacket]:
         self._check_open()
         if self._header is None:
             self._header = self._make_header(frame)
-        if self._index % self._gop == 0 or self._reference is None:
+        frame_type = (
+            "I" if self._index % self._gop == 0 or self._reference is None
+            else "P"
+        )
+        rc = self._rate_control
+        adaptive = rc is not None and rc.adaptive
+        qp = None
+        if adaptive:
+            qp = rc.frame_qp(frame_type, self._budget)
+            self._apply_qp(qp)
+        if frame_type == "I":
             packet, self._reference = self._intra(frame)
         else:
             packet, self._reference = self._inter(frame, self._reference)
         self._index += 1
+        if adaptive:
+            # charging the ledger costs one extra serialize per packet,
+            # so the non-adaptive path skips the whole feedback loop —
+            # nothing would ever read the budget it maintains.
+            bits = 8 * len(packet.serialize())
+            self._budget.record(frame_type, bits)
+            rc.observe(frame_type, qp, bits)
         return [packet]
 
 

@@ -21,18 +21,21 @@ Layers, designed to be scripted, queued, and sharded:
   work-queue execution layer.
 * **tasks** — distributed jobs are *task-typed*
   (:mod:`repro.pipeline.tasks`): a job spec's ``"kind"`` field names
-  its body — ``"encode"``, ``"hardware"``, ``"dse-point"``, or a
-  :func:`register_task` plugin — and a spec without ``kind`` stays an
-  encode job, so pre-existing queue state keeps working.
+  its body — ``"encode"``, ``"hardware"``, ``"dse-point"``,
+  ``"ladder-rendition"``, or a :func:`register_task` plugin — and a
+  spec without ``kind`` stays an encode job, so pre-existing queue
+  state keeps working.
 * **dist** — sharded execution (:mod:`repro.pipeline.dist`): a
   claim/lease/ack :class:`~repro.pipeline.dist.JobQueue` (in-memory
   or directory-backed, so workers can live in other processes or on
   other hosts sharing a filesystem), the kind-dispatching worker
   loop, and :class:`~repro.pipeline.dist.QueueRunner` fleets —
   :class:`~repro.pipeline.dist.SweepRunner` aggregating RD curves +
-  BD-rate (``repro sweep``) and :class:`DSERunner` aggregating
+  BD-rate (``repro sweep``), :class:`DSERunner` aggregating
   design-point tables + Pareto fronts (``repro dse``,
-  :mod:`repro.pipeline.dse`).  See ``docs/distributed.md`` and
+  :mod:`repro.pipeline.dse`), and :class:`LadderRunner` building ABR
+  ladders rung-by-rung (``repro ladder``,
+  :mod:`repro.pipeline.ladder`).  See ``docs/distributed.md`` and
   ``docs/hardware.md``.
 
 Codecs stream: the :class:`VideoCodec` protocol includes
@@ -70,6 +73,13 @@ from .dist import (
     SweepRunner,
 )
 from .dse import DSEResult, DSERunner, dse_grid, dse_point_spec
+from .ladder import (
+    LadderReport,
+    LadderRunner,
+    LadderSpec,
+    Rendition,
+    RenditionReport,
+)
 from .platforms import (
     AcceleratorModel,
     NVCAModel,
@@ -120,6 +130,9 @@ __all__ = [
     "EncodeSession",
     "HardwareReport",
     "HttpJobQueue",
+    "LadderReport",
+    "LadderRunner",
+    "LadderSpec",
     "NVCAModel",
     "Pipeline",
     "PlatformEntry",
@@ -129,6 +142,8 @@ __all__ = [
     "QueueServer",
     "ReferencePlatform",
     "ReferencePlatformConfig",
+    "Rendition",
+    "RenditionReport",
     "SweepResult",
     "SweepRunner",
     "TaskKind",

@@ -107,6 +107,9 @@ class EncodeSession:
         self.frames_encoded: int | None = None
         self._streamed_psnrs: list[float] | None = None
         self._streamed_msssims: list[float] | None = None
+        #: per-frame serialized packet bits (streaming mode records them
+        #: on whichever side of the round trip runs first).
+        self._frame_bits: list[int] | None = None
         # -- simulated (rd-model) state ----------------------------------
         self.simulated: dict | None = None
 
@@ -184,6 +187,7 @@ class EncodeSession:
             session = self.codec.open_encoder()
             writer = StreamWriter(handle)
             count = 0
+            frame_bits: list[int] = []
             for frame in iter_sequence(spec.scene):
                 packets = session.push(frame)
                 del frame  # the session owns what it needs; stay O(1)
@@ -192,6 +196,7 @@ class EncodeSession:
                     if writer.header is None:
                         writer.write_header(self._stream_header(session.header))
                     nbytes += writer.write_packet(packet)
+                    frame_bits.append(8 * len(packet.serialize()))
                 count += 1
                 if progress is not None:
                     progress(count, nbytes)
@@ -199,6 +204,7 @@ class EncodeSession:
                 if writer.header is None:
                     writer.write_header(self._stream_header(session.header))
                 writer.write_packet(packet)
+                frame_bits.append(8 * len(packet.serialize()))
             if writer.header is None:
                 raise ConfigError("no frames to encode")
             total = writer.finalize()
@@ -208,6 +214,7 @@ class EncodeSession:
         self.encode_seconds = time.perf_counter() - start
         self.frames_encoded = count
         self.stream_bytes = total
+        self._frame_bits = frame_bits
         self.stream_path = os.fspath(output) if owns_handle else None
         return self
 
@@ -257,6 +264,18 @@ class EncodeSession:
             if self.codec is None:
                 self.codec = create_codec(spec.codec, spec.codec_config)
             session = self.codec.open_decoder(reader.header, version=reader.version)
+            if self._frame_bits is None:
+                # Decode-only sessions (repro decode) still report rate
+                # accuracy: record packet sizes as the reader yields them.
+                bits: list[int] = []
+
+                def recording(packets=reader, record=bits):
+                    for packet in packets:
+                        record.append(8 * len(packet.serialize()))
+                        yield packet
+
+                reader = recording()
+                self._frame_bits = bits
             originals = iter_sequence(spec.scene)
             psnrs: list[float] = []
             msssims: list[float] = []
@@ -319,6 +338,7 @@ class EncodeSession:
             bpp = (
                 8.0 * stream_bytes / (max(num_frames, 1) * scene.height * scene.width)
             )
+            frame_bits = self._frame_bits or []
         else:
             psnrs = [float(psnr(a, b)) for a, b in zip(self.frames, self.decoded)]
             msssims = (
@@ -329,6 +349,13 @@ class EncodeSession:
             num_frames = len(self.frames)
             stream_bytes = len(self.payload)
             bpp = self.stream.bits_per_pixel(scene.height, scene.width)
+            frame_bits = [8 * len(p.serialize()) for p in self.stream.packets]
+        fps = float(self.codec.config.to_dict().get("fps", 30.0) or 30.0)
+        achieved_kbps = (
+            sum(frame_bits) * fps / (num_frames * 1000.0)
+            if frame_bits and num_frames
+            else None
+        )
         return EncodeReport(
             codec=spec.codec,
             codec_config=self.codec.config.to_dict(),
@@ -342,6 +369,8 @@ class EncodeSession:
             mean_psnr=float(np.mean(psnrs)),
             msssim_per_frame=msssims,
             mean_msssim=float(np.mean(msssims)) if msssims else None,
+            frame_bits=frame_bits,
+            achieved_kbps=achieved_kbps,
             encode_seconds=self.encode_seconds,
             decode_seconds=self.decode_seconds,
         )

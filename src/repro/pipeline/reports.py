@@ -39,6 +39,11 @@ class EncodeReport:
     mean_psnr: float
     msssim_per_frame: list[float] = field(default_factory=list)
     mean_msssim: float | None = None
+    #: coded size of each frame in bits (serialized packet size, so
+    #: meta/side-info included — what a rate controller is charged).
+    frame_bits: list[int] = field(default_factory=list)
+    #: achieved bitrate in kilobits/second at the config frame rate.
+    achieved_kbps: float | None = None
     encode_seconds: float | None = None
     decode_seconds: float | None = None
     #: attached NVCA analysis when the job requested one.
@@ -58,6 +63,8 @@ class EncodeReport:
             "mean_psnr": self.mean_psnr,
             "msssim_per_frame": list(self.msssim_per_frame),
             "mean_msssim": self.mean_msssim,
+            "frame_bits": list(self.frame_bits),
+            "achieved_kbps": self.achieved_kbps,
             "encode_seconds": self.encode_seconds,
             "decode_seconds": self.decode_seconds,
             "hardware": self.hardware.to_dict() if self.hardware else None,
@@ -80,6 +87,11 @@ class EncodeReport:
         )
         if self.mean_msssim is not None:
             line += f", {self.mean_msssim:.4f} MS-SSIM"
+        target = self.codec_config.get("target_kbps")
+        if self.achieved_kbps is not None and target is not None:
+            # only rate-controlled runs grow the line — plain encodes
+            # keep the legacy byte-exact format.
+            line += f", {self.achieved_kbps:.1f} kbps (target {target:g})"
         if self.hardware is not None:
             line += "\n" + self.hardware.render()
         return line

@@ -7,7 +7,7 @@ is — and a spec with **no** ``kind`` field is an ``"encode"`` job, so
 every pre-existing queue directory, resume state, and job id keeps
 working unchanged.
 
-Three kinds register at import:
+Four kinds register at import:
 
 * ``"encode"`` — a :class:`~repro.pipeline.Pipeline` run (codec,
   codec_config, scene, ...), hydrating to
@@ -17,6 +17,9 @@ Three kinds register at import:
   :class:`~repro.pipeline.PlatformReport`.
 * ``"dse-point"`` — one NVCA design-space point (``label``, ``config``,
   resolution), hydrating to :class:`~repro.hw.DesignPoint`.
+* ``"ladder-rendition"`` — one ABR ladder rung: an encode job plus the
+  ``rendition`` (resolution + ``target_kbps``) it serves, hydrating to
+  :class:`~repro.pipeline.RenditionReport`.
 
 Each kind supplies three functions: ``normalize`` (validate a raw spec
 up front — on the submitting side, before anything ships to a pool or
@@ -30,7 +33,7 @@ registrations, runtime registrations propagate to thread workers and
 
 >>> from repro.pipeline import available_tasks
 >>> available_tasks()
-['dse-point', 'encode', 'hardware']
+['dse-point', 'encode', 'hardware', 'ladder-rendition']
 """
 
 from __future__ import annotations
@@ -319,6 +322,72 @@ def _hydrate_dse_point(result: dict):
     return DesignPoint.from_dict(result)
 
 
+# -- "ladder-rendition" -----------------------------------------------------
+_LADDER_FIELDS = (
+    "kind",
+    "codec",
+    "codec_config",
+    "scene",
+    "compute_msssim",
+    "hardware",
+    "rendition",
+)
+
+
+def _ladder_parts(spec: dict):
+    """Split a ladder-rendition spec into (Rendition, encode sub-spec),
+    cross-checking that the encode job actually serves the rung."""
+    from .facade import Pipeline
+    from .ladder import Rendition
+
+    _check_fields(spec, _LADDER_FIELDS, "ladder-rendition")
+    if "rendition" not in spec:
+        raise ConfigError(
+            "ladder-rendition job spec needs a 'rendition' mapping "
+            "(height, width, target_kbps)"
+        )
+    rendition = Rendition.from_dict(spec["rendition"])
+    encode = {k: v for k, v in spec.items() if k not in ("kind", "rendition")}
+    pipeline = Pipeline.from_dict(encode)
+    scene = pipeline.scene
+    if (scene.height, scene.width) != (rendition.height, rendition.width):
+        raise ConfigError(
+            f"ladder-rendition job spec: scene is "
+            f"{scene.width}x{scene.height} but the rendition says "
+            f"{rendition.width}x{rendition.height}"
+        )
+    target = pipeline.codec_config.to_dict().get("target_kbps")
+    if target != rendition.target_kbps:
+        raise ConfigError(
+            f"ladder-rendition job spec: codec_config target_kbps is "
+            f"{target!r} but the rendition says {rendition.target_kbps}"
+        )
+    return rendition, pipeline
+
+
+def _normalize_ladder_rendition(spec: dict) -> dict:
+    rendition, pipeline = _ladder_parts(spec)
+    return {
+        "kind": "ladder-rendition",
+        "rendition": rendition.to_dict(),
+        **pipeline.to_dict(),
+    }
+
+
+def _execute_ladder_rendition(spec: dict) -> dict:
+    _, pipeline = _ladder_parts(spec)
+    return {
+        "rendition": dict(spec["rendition"]),
+        "encode": pipeline.run().to_dict(),
+    }
+
+
+def _hydrate_ladder_rendition(result: dict):
+    from .ladder import RenditionReport
+
+    return RenditionReport.from_result(result)
+
+
 # -- built-in registrations -------------------------------------------------
 register_task(
     "encode",
@@ -340,4 +409,11 @@ register_task(
     execute=_execute_dse_point,
     hydrate=_hydrate_dse_point,
     description="one NVCA design-space point -> DesignPoint",
+)
+register_task(
+    "ladder-rendition",
+    normalize=_normalize_ladder_rendition,
+    execute=_execute_ladder_rendition,
+    hydrate=_hydrate_ladder_rendition,
+    description="one ABR ladder rung encode -> RenditionReport",
 )

@@ -35,7 +35,9 @@ DSE_SPEC = {
 
 class TestKindDispatch:
     def test_builtin_kinds(self):
-        assert available_tasks() == ["dse-point", "encode", "hardware"]
+        assert available_tasks() == [
+            "dse-point", "encode", "hardware", "ladder-rendition",
+        ]
 
     def test_missing_kind_is_encode(self):
         spec = Pipeline("classical", {"qp": 8.0}, scene=SCENE).to_dict()

@@ -1,0 +1,477 @@
+"""Rate-control subsystem: budget ledger, the three built-in
+controllers, the registry, config/grid validation, byte-identity of
+``"cqp"``, overshoot behaviour, and per-frame QP side info."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codec import (
+    ABRController,
+    BudgetState,
+    CalibratedController,
+    CQPController,
+    QPBitsTable,
+    RateControlError,
+    available_rate_controllers,
+    calibrate_tables,
+    create_rate_controller,
+    rate_controller_spec,
+    register_rate_controller,
+    unregister_rate_controller,
+    validate_rate_fields,
+)
+from repro.pipeline import Pipeline, build_jobs, create_codec, run_many
+from repro.serialization import ConfigError
+from repro.video import SceneConfig, generate_sequence
+
+SCENE = {"height": 32, "width": 48, "frames": 4}
+
+
+def _frames(scene=None):
+    return generate_sequence(SceneConfig.from_dict({**SCENE, **(scene or {})}))
+
+
+def _stream(codec_name, config, frames):
+    """(header, packet bytes) of one streaming encode."""
+    codec = create_codec(codec_name, config)
+    session = codec.open_encoder()
+    payload = b"".join(p.serialize() for p in session.encode_iter(frames))
+    return dict(session.header), payload
+
+
+class TestBudgetState:
+    def test_ledger_accounting(self):
+        state = BudgetState(target_kbps=30.0, fps=10.0)
+        assert state.target_bits_per_frame == 3000.0
+        assert state.budget_bits == 0.0
+        state.record("I", 5000)
+        state.record("P", 2000)
+        assert state.frames_coded == 2
+        assert state.bits_spent == 7000
+        assert state.budget_bits == 6000.0
+        assert state.balance == -1000.0
+        assert state.bits_by_type == {"I": [5000], "P": [2000]}
+
+    def test_no_target_means_zero_allowance(self):
+        state = BudgetState()
+        assert state.target_bits_per_frame == 0.0
+        assert state.balance == 0.0
+
+
+class TestCQPController:
+    def test_constant_and_non_adaptive(self):
+        rc = CQPController(8.0)
+        assert rc.adaptive is False
+        state = rc.new_state()
+        for _ in range(3):
+            assert rc.frame_qp("I", state) == 8.0
+            state.record("I", 10_000)
+
+    def test_target_is_optional_reporting_goal(self):
+        rc = CQPController(8.0, target_kbps=100.0)
+        assert rc.frame_qp("P", rc.new_state()) == 8.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(RateControlError, match="base_qp"):
+            CQPController(0.0)
+        with pytest.raises(RateControlError, match="fps"):
+            CQPController(8.0, fps=0.0)
+        with pytest.raises(RateControlError, match="target_kbps"):
+            CQPController(8.0, target_kbps=-5.0)
+
+
+class TestABRController:
+    def test_needs_target(self):
+        with pytest.raises(RateControlError, match="target_kbps"):
+            ABRController(8.0)
+
+    def test_first_frame_holds_base_qp(self):
+        rc = ABRController(8.0, target_kbps=100.0)
+        assert rc.frame_qp("I", rc.new_state()) == 8.0
+
+    def test_overshoot_raises_qp_and_undershoot_lowers_it(self):
+        rc = ABRController(8.0, target_kbps=100.0, fps=10.0)
+        state = rc.new_state()
+        state.record("I", int(state.target_bits_per_frame * 3))
+        assert rc.frame_qp("P", state) > 8.0
+
+        rc = ABRController(8.0, target_kbps=100.0, fps=10.0)
+        state = rc.new_state()
+        state.record("I", int(state.target_bits_per_frame * 0.2))
+        assert rc.frame_qp("P", state) < 8.0
+
+    def test_step_clamp_bounds_one_frame_correction(self):
+        rc = ABRController(8.0, target_kbps=100.0, fps=10.0, max_step=1.5)
+        state = rc.new_state()
+        state.record("I", int(state.target_bits_per_frame * 1000))
+        assert rc.frame_qp("P", state) == pytest.approx(8.0 * 1.5)
+
+    def test_rejects_bad_gain_and_step(self):
+        with pytest.raises(RateControlError, match="gain"):
+            ABRController(8.0, target_kbps=10.0, gain=0.0)
+        with pytest.raises(RateControlError, match="max_step"):
+            ABRController(8.0, target_kbps=10.0, max_step=1.0)
+
+
+class TestQPBitsTable:
+    def test_power_law_round_trip(self):
+        # bits = 1e6 * qp**-1.5, sampled at several QPs: the log-log
+        # fit must recover the curve and invert it exactly.
+        table = QPBitsTable([(q, 1e6 * q**-1.5) for q in (4.0, 8.0, 16.0)])
+        assert table.bits_for_qp(10.0) == pytest.approx(1e6 * 10.0**-1.5)
+        assert table.qp_for_bits(1e6 * 12.0**-1.5) == pytest.approx(12.0)
+
+    def test_single_qp_uses_default_slope(self):
+        table = QPBitsTable([(8.0, 50_000.0)])
+        assert table.bits_for_qp(8.0) == pytest.approx(50_000.0)
+        # extrapolation through the assumed slope: higher QP, fewer bits
+        assert table.bits_for_qp(16.0) < 50_000.0
+
+    def test_unfitted_and_degenerate(self):
+        table = QPBitsTable()
+        assert table.qp_for_bits(1000.0) is None
+        table.observe(-1.0, 100.0)  # ignored
+        table.observe(8.0, 0.0)  # ignored
+        assert table.bits_for_qp(8.0) is None
+
+    def test_degenerate_fit_slope_is_bounded(self):
+        # probes where bits *grow* with QP would invert backwards;
+        # the slope clamp keeps the inversion direction sane.
+        table = QPBitsTable([(4.0, 100.0), (16.0, 200.0)])
+        assert table.bits_for_qp(4.0) > table.bits_for_qp(16.0)
+
+
+class TestCalibratedController:
+    def test_probe_seeded_inversion_hits_frame_target(self):
+        probes = {"I": [(q, 1e6 * q**-1.5) for q in (4.0, 8.0, 16.0)]}
+        rc = CalibratedController(
+            8.0, target_kbps=300.0, fps=10.0, probes=probes
+        )
+        qp = rc.frame_qp("I", rc.new_state())
+        # per-frame allowance is 30000 bits; the power law says QP
+        # (1e6/30000)**(1/1.5)
+        assert qp == pytest.approx((1e6 / 30_000.0) ** (1 / 1.5), rel=1e-6)
+
+    def test_cold_start_falls_back_to_base_qp(self):
+        rc = CalibratedController(8.0, target_kbps=100.0)
+        assert rc.frame_qp("I", rc.new_state()) == 8.0
+
+    def test_online_fit_from_observe(self):
+        rc = CalibratedController(8.0, target_kbps=300.0, fps=10.0)
+        rc.observe("I", 8.0, 60_000)
+        state = rc.new_state()
+        # one observation: default-slope extrapolation still steers
+        # toward the 30000-bit allowance (less than 60000 -> raise QP)
+        assert rc.frame_qp("I", state) > 8.0
+
+    def test_step_clamp_between_frames(self):
+        probes = {"I": [(q, 1e6 * q**-1.5) for q in (4.0, 8.0, 16.0)]}
+        rc = CalibratedController(
+            8.0, target_kbps=300.0, fps=10.0, probes=probes, max_step=2.0
+        )
+        state = rc.new_state()
+        first = rc.frame_qp("I", state)
+        state.record("I", 1)  # wildly under budget: huge balance credit
+        second = rc.frame_qp("I", state)
+        assert first / 2.0 <= second <= first * 2.0
+
+    def test_rejects_bad_horizon(self):
+        with pytest.raises(RateControlError, match="horizon"):
+            CalibratedController(8.0, target_kbps=10.0, horizon=0)
+
+
+class TestRegistry:
+    def test_builtins_available(self):
+        assert available_rate_controllers() == ["abr", "calibrated", "cqp"]
+
+    def test_spec_flags(self):
+        assert rate_controller_spec("cqp").adaptive is False
+        assert rate_controller_spec("cqp").requires_target is False
+        assert rate_controller_spec("abr").adaptive is True
+        assert rate_controller_spec("calibrated").requires_target is True
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(RateControlError, match="abr"):
+            rate_controller_spec("vbv")
+
+    def test_duplicate_needs_overwrite(self):
+        with pytest.raises(RateControlError, match="already registered"):
+            register_rate_controller("cqp", CQPController)
+
+    def test_register_create_unregister_custom(self):
+        class Doubler(CQPController):
+            name = "doubler"
+
+            def frame_qp(self, frame_type, state):
+                return self.base_qp * 2
+
+        try:
+            register_rate_controller("doubler", Doubler, description="x2")
+            assert "doubler" in available_rate_controllers()
+            # flags default from the factory's class attributes
+            assert rate_controller_spec("doubler").adaptive is False
+            rc = create_rate_controller("doubler", base_qp=4.0)
+            assert rc.frame_qp("I", rc.new_state()) == 8.0
+        finally:
+            unregister_rate_controller("doubler")
+        assert "doubler" not in available_rate_controllers()
+
+
+class TestValidation:
+    def test_target_without_controller(self):
+        with pytest.raises(RateControlError, match="rate_control"):
+            validate_rate_fields(None, 100.0, 30.0)
+
+    def test_budget_controller_without_target(self):
+        with pytest.raises(RateControlError, match="target_kbps"):
+            validate_rate_fields("abr", None, 30.0)
+        with pytest.raises(RateControlError, match="target_kbps"):
+            validate_rate_fields("calibrated", None, 30.0)
+
+    def test_cqp_with_and_without_target(self):
+        validate_rate_fields("cqp", None, 30.0)
+        validate_rate_fields("cqp", 100.0, 30.0)  # reporting goal
+
+    def test_bad_scalars(self):
+        with pytest.raises(RateControlError, match="fps"):
+            validate_rate_fields("abr", 100.0, 0.0)
+        with pytest.raises(RateControlError, match="target_kbps"):
+            validate_rate_fields("abr", -1.0, 30.0)
+
+    @pytest.mark.parametrize("codec", ["classical", "ctvc", "rd-model"])
+    def test_config_classes_validate_up_front(self, codec):
+        from repro.pipeline import codec_spec
+
+        config_cls = codec_spec(codec).config_cls
+        with pytest.raises(ValueError, match="rate_control"):
+            config_cls.from_dict({"target_kbps": 100.0})
+        with pytest.raises(ValueError, match="target_kbps"):
+            config_cls.from_dict({"rate_control": "abr"})
+        with pytest.raises(ValueError, match="unknown rate controller"):
+            config_cls.from_dict(
+                {"rate_control": "vbv", "target_kbps": 100.0}
+            )
+
+    def test_run_many_grid_rejects_before_any_job(self, tmp_path):
+        grid = dict(
+            codecs=["classical"],
+            codec_configs=[{"qp": 8.0, "target_kbps": 100.0}],
+            scenes=[SCENE],
+        )
+        with pytest.raises(ValueError, match="rate_control"):
+            build_jobs(**grid)
+        with pytest.raises(ValueError, match="rate_control"):
+            run_many(**grid)
+        # the queue backend must fail the same way, with nothing
+        # submitted to the queue directory
+        with pytest.raises(ValueError, match="rate_control"):
+            run_many(
+                **grid, backend="queue", queue_dir=tmp_path / "q", workers=1
+            )
+        assert not (tmp_path / "q" / "pending").exists()
+
+
+class TestCQPByteIdentity:
+    @settings(max_examples=6, deadline=None)
+    @given(
+        codec_name=st.sampled_from(["classical", "ctvc"]),
+        backend=st.sampled_from(["rans", "cacm"]),
+        seed=st.integers(0, 50),
+    )
+    def test_cqp_equals_no_controller(self, codec_name, backend, seed):
+        """The flagship invariant: ``rate_control="cqp"`` never touches
+        the coded bytes, across both codecs and both entropy backends."""
+        frames = _frames({"frames": 3, "seed": seed})
+        base = {"entropy_backend": backend}
+        if codec_name == "ctvc":
+            base["channels"] = 8
+        plain_header, plain = _stream(codec_name, dict(base), frames)
+        cqp_header, cqp = _stream(
+            codec_name, {**base, "rate_control": "cqp"}, frames
+        )
+        assert plain == cqp
+        # headers agree too: no controller is recorded as "cqp"
+        assert plain_header["rate_control"] == "cqp"
+        plain_header.pop("config", None), cqp_header.pop("config", None)
+        assert plain_header == cqp_header
+
+
+class TestHeaderRecording:
+    def test_controller_and_target_recorded(self):
+        codec = create_codec(
+            "classical",
+            {"rate_control": "abr", "target_kbps": 120.0, "fps": 24.0},
+        )
+        session = codec.open_encoder()
+        session.push(_frames({"frames": 1})[0])
+        assert session.header["rate_control"] == "abr"
+        assert session.header["target_kbps"] == 120.0
+        assert session.header["fps"] == 24.0
+
+    def test_plain_config_records_cqp_without_rate_fields(self):
+        session = create_codec("classical", {}).open_encoder()
+        session.push(_frames({"frames": 1})[0])
+        assert session.header["rate_control"] == "cqp"
+        assert "target_kbps" not in session.header
+
+
+class TestAdaptiveEncodes:
+    def _achieved(self, codec_name, config, scene):
+        report = Pipeline(codec_name, config, scene=scene).run()
+        assert report.achieved_kbps is not None
+        return report
+
+    @pytest.mark.parametrize("controller", ["abr", "calibrated"])
+    def test_controller_moves_rate_toward_target(self, controller):
+        scene = {**SCENE, "frames": 10}
+        natural = self._achieved("classical", {"qp": 8.0}, scene)
+        target = natural.achieved_kbps / 1.6
+        controlled = self._achieved(
+            "classical",
+            {
+                "qp": 8.0,
+                "rate_control": controller,
+                "target_kbps": target,
+            },
+            scene,
+        )
+        # self-calibrated bound: the controller must shed a meaningful
+        # part of the overshoot without collapsing below target range
+        assert controlled.achieved_kbps < natural.achieved_kbps * 0.95
+        assert controlled.achieved_kbps > target * 0.5
+
+    def test_abr_decodes_on_differently_configured_instance(self):
+        """Per-frame QP rides in packet meta ("rq"), so decode follows
+        the stream even when the local config disagrees."""
+        frames = _frames()
+        encoder = create_codec(
+            "classical",
+            {"qp": 8.0, "rate_control": "abr", "target_kbps": 60.0},
+        )
+        session = encoder.open_encoder()
+        packets = list(session.encode_iter(frames))
+        header = dict(session.header)
+
+        same = create_codec(
+            "classical",
+            {"qp": 8.0, "rate_control": "abr", "target_kbps": 60.0},
+        )
+        other = create_codec("classical", {"qp": 32.0})
+        ref = list(same.open_decoder(header).decode_iter(iter(packets)))
+        got = list(other.open_decoder(header).decode_iter(iter(packets)))
+        for a, b in zip(ref, got):
+            assert np.array_equal(a, b)
+
+    def test_ctvc_adaptive_round_trips(self):
+        scene = {**SCENE, "frames": 4}
+        report = Pipeline(
+            "ctvc",
+            {
+                "channels": 8,
+                "rate_control": "abr",
+                "target_kbps": 60.0,
+            },
+            scene=scene,
+        ).run()
+        assert report.achieved_kbps is not None
+        assert report.mean_psnr > 20.0
+
+
+class TestRDModelRateControl:
+    CFG = {"method": "h265", "dataset": "uvg"}
+
+    def test_calibrated_hits_target_exactly(self):
+        scene = {"height": 64, "width": 96, "frames": 4}
+        report = Pipeline(
+            "rd-model",
+            {**self.CFG, "rate_control": "calibrated", "target_kbps": 30.0},
+            scene=scene,
+        ).run()
+        # the pseudo-codec inverts its calibrated RD curve: byte
+        # rounding is the only error source
+        assert report.achieved_kbps == pytest.approx(30.0, rel=0.01)
+        assert sum(report.frame_bits) == 8 * report.stream_bytes
+
+    def test_target_clamps_to_curve_range(self):
+        scene = {"height": 32, "width": 48, "frames": 2}
+        report = Pipeline(
+            "rd-model",
+            {**self.CFG, "rate_control": "calibrated", "target_kbps": 500.0},
+            scene=scene,
+        ).run()
+        # 500 kbps is beyond the curve's top bpp at this resolution:
+        # the operating point clamps and the overshoot is visible
+        assert report.achieved_kbps < 500.0
+
+    def test_cqp_ignores_target(self):
+        scene = {"height": 64, "width": 96, "frames": 2}
+        plain = Pipeline("rd-model", dict(self.CFG), scene=scene).run()
+        goal = Pipeline(
+            "rd-model",
+            {**self.CFG, "rate_control": "cqp", "target_kbps": 10.0},
+            scene=scene,
+        ).run()
+        assert goal.stream_bytes == plain.stream_bytes
+        assert goal.bpp == plain.bpp
+
+
+class TestCalibrateTables:
+    def test_tables_are_monotone_and_typed(self):
+        tables = calibrate_tables(
+            "classical", qps=(4.0, 8.0, 16.0), scene={"frames": 4}
+        )
+        assert set(tables) == {"I", "P"}
+        for points in tables.values():
+            qps = [q for q, _ in points]
+            bits = [b for _, b in points]
+            assert qps == sorted(qps)
+            # more quantization, fewer bits
+            assert bits == sorted(bits, reverse=True)
+
+    def test_probe_tables_feed_the_controller(self):
+        tables = calibrate_tables("classical", qps=(4.0, 16.0))
+        rc = CalibratedController(
+            8.0, target_kbps=100.0, fps=30.0, probes=tables
+        )
+        assert rc.frame_qp("I", rc.new_state()) > 0
+
+    def test_bad_probe_qp_rejected(self):
+        with pytest.raises(RateControlError, match="probe qps"):
+            calibrate_tables("classical", qps=(4.0, -1.0))
+
+
+class TestEncodeReportRateFields:
+    def test_plain_encode_still_reports_rate(self):
+        report = Pipeline("classical", {"qp": 8.0}, scene=SCENE).run()
+        assert report.achieved_kbps is not None
+        assert len(report.frame_bits) == report.frames
+        # frame_bits counts serialized packets; stream_bytes adds the
+        # container header on top
+        assert 0 < sum(report.frame_bits) <= 8 * report.stream_bytes
+        fps = report.codec_config["fps"]
+        assert report.achieved_kbps == pytest.approx(
+            sum(report.frame_bits) * fps / (report.frames * 1000.0)
+        )
+        # ... but the legacy render line does not grow
+        assert "kbps" not in report.render()
+        assert report.to_dict()["achieved_kbps"] == report.achieved_kbps
+
+    def test_targeted_encode_renders_rate(self):
+        report = Pipeline(
+            "classical",
+            {"qp": 8.0, "rate_control": "abr", "target_kbps": 100.0},
+            scene=SCENE,
+        ).run()
+        assert "kbps (target 100)" in report.render()
+
+    def test_streamed_encode_reports_rate(self, tmp_path):
+        pipeline = Pipeline("classical", {"qp": 8.0}, scene=SCENE)
+        report = pipeline.session().run(output=str(tmp_path / "a.bin"))
+        assert report.achieved_kbps is not None
+        assert 0 < sum(report.frame_bits) <= 8 * report.stream_bytes
+        # batch and streamed accounting agree
+        batch = pipeline.run()
+        assert report.frame_bits == batch.frame_bits
+        assert report.achieved_kbps == pytest.approx(batch.achieved_kbps)
