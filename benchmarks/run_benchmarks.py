@@ -32,10 +32,14 @@ Measures, on the bench_codec scene (64x96, 3 frames, seed 7):
   per-frame ``frame_qp``+``observe`` microseconds for the adaptive
   controllers.
 * **sweep** — grid throughput (jobs/s) of ``run_many`` per execution
-  backend: inline, thread workers over the in-memory queue, and
-  process workers over the directory-backed queue, on a fixed
-  4-job classical RD grid.  Tracks the dispatch overhead of the
-  distributed executor against serial execution.
+  backend on a fixed 24-job classical RD grid: a cold standalone
+  invocation (``inline`` — what every fleetless sweep pays), the
+  warm in-process loop (``inline_warm``), thread workers over the
+  in-memory queue, per-job-claim process workers (``cold_spawn``),
+  and bundled/warm/shared-frame process and HTTP workers.  Tracks
+  whether the distributed transport beats the standalone baseline
+  (``x_vs_inline``) and how close it sits to the warm serial floor
+  (``x_vs_inline_warm``).
 * **hardware** — hardware-analysis throughput (design points/s) of a
   fixed NVCA geometry grid: the inline ``repro.hw.dse`` sweep vs the
   same points through the task-typed work queue (``DSERunner``,
@@ -435,37 +439,117 @@ def bench_rate_control(repeats: int) -> dict:
 
 
 def bench_sweep(repeats: int) -> dict:
-    """Sweep-executor throughput on a fixed 4-job classical grid."""
-    import tempfile
+    """Sweep-executor throughput on a fixed 24-job classical grid.
 
+    The ``inline`` row is the cost of serving the sweep without a
+    fleet: a fresh interpreter runs the same grid through
+    ``run_many`` and pays the imports, codec construction, and scene
+    synthesis that every standalone invocation pays.  That is the
+    baseline the warm-worker fleet amortizes away, and the one the
+    ``x_vs_inline`` ratios are taken against.  ``inline_warm`` keeps
+    the steady-state lower bound — the same loop in an already-warm
+    process — so the warm/cold split is recorded, not hidden.
+
+    Every distributed row runs the bundled/warm/shared-frames
+    transport (``bundle`` sized by :func:`auto_bundle`); the
+    ``cold_spawn`` row keeps the pre-bundling baseline — per-job
+    claims, no shared frames — so the transport win stays measured.
+    The ``context`` entries record the runner-process WorkerContext
+    hit/miss split where the workers share it.
+    """
+    import os
+    import subprocess
+    import tempfile
+    from pathlib import Path
+
+    import repro
     from repro.pipeline import SweepRunner, run_many
+    from repro.pipeline.dist import auto_bundle
+    from repro.pipeline.tasks import get_worker_context, reset_worker_context
 
     grid = dict(
         codecs=["classical"],
-        codec_configs=[{"qp": 8.0}, {"qp": 16.0}],
+        codec_configs=[
+            {"qp": qp} for qp in (4.0, 8.0, 12.0, 16.0, 24.0, 32.0)
+        ],
         scenes=[
-            dict(height=32, width=48, frames=2, seed=seed) for seed in (0, 1)
+            dict(height=32, width=48, frames=2, seed=seed)
+            for seed in range(4)
         ],
     )
-    num_jobs = 4
-    report: dict = {"num_jobs": num_jobs}
+    num_jobs = 24
+    bundle = auto_bundle(num_jobs, 2)
+    report: dict = {"num_jobs": num_jobs, "bundle": bundle}
 
-    serial_s, _ = _time(lambda: run_many(**grid), repeats)
-    report["inline"] = {"seconds": serial_s, "jobs_per_s": num_jobs / serial_s}
+    src_dir = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src_dir, env.get("PYTHONPATH")) if p
+    )
+    script = (
+        "from repro.pipeline import run_many\n"
+        f"reports = run_many(**{grid!r})\n"
+        f"assert len(reports) == {num_jobs}\n"
+    )
 
+    def run_inline_invocation():
+        subprocess.run(
+            [sys.executable, "-c", script], check=True, env=env
+        )
+
+    serial_s, _ = _time(run_inline_invocation, repeats)
+    report["inline"] = {
+        "seconds": serial_s,
+        "jobs_per_s": num_jobs / serial_s,
+        "cold_start": True,
+    }
+
+    reset_worker_context()
+    warm_s, _ = _time(lambda: run_many(**grid), repeats)
+    report["inline_warm"] = {
+        "seconds": warm_s,
+        "jobs_per_s": num_jobs / warm_s,
+        "context": get_worker_context().stats(),
+    }
+
+    reset_worker_context()
     threads_s, result = _time(
-        lambda: SweepRunner(**grid, workers=2).run(), repeats
+        lambda: SweepRunner(**grid, workers=2, bundle=bundle).run(), repeats
     )
     assert result.ok and len(result.reports) == num_jobs
     report["queue_threads_x2"] = {
         "seconds": threads_s,
         "jobs_per_s": num_jobs / threads_s,
         "x_vs_inline": serial_s / threads_s,
+        "x_vs_inline_warm": warm_s / threads_s,
+        "bundle": bundle,
+        "context": get_worker_context().stats(),
+    }
+
+    def run_cold_queue():
+        # the pre-bundling transport: one claim round-trip per job,
+        # frames re-synthesized in every worker
+        with tempfile.TemporaryDirectory() as root:
+            return SweepRunner(
+                **grid, queue_dir=root, workers=2,
+                bundle=1, share_frames=False,
+            ).run()
+
+    cold_s, result = _time(run_cold_queue, repeats)
+    assert result.ok and len(result.reports) == num_jobs
+    report["cold_spawn"] = {
+        "seconds": cold_s,
+        "jobs_per_s": num_jobs / cold_s,
+        "x_vs_inline": serial_s / cold_s,
+        "bundle": 1,
+        "share_frames": False,
     }
 
     def run_dir_queue():
         with tempfile.TemporaryDirectory() as root:
-            return SweepRunner(**grid, queue_dir=root, workers=2).run()
+            return SweepRunner(
+                **grid, queue_dir=root, workers=2, bundle=bundle
+            ).run()
 
     procs_s, result = _time(run_dir_queue, repeats)
     assert result.ok and len(result.reports) == num_jobs
@@ -473,6 +557,10 @@ def bench_sweep(repeats: int) -> dict:
         "seconds": procs_s,
         "jobs_per_s": num_jobs / procs_s,
         "x_vs_inline": serial_s / procs_s,
+        "x_vs_inline_warm": warm_s / procs_s,
+        "x_vs_cold_spawn": cold_s / procs_s,
+        "bundle": bundle,
+        "share_frames": True,
     }
 
     def run_http_queue():
@@ -480,7 +568,8 @@ def bench_sweep(repeats: int) -> dict:
 
         with QueueServer(MemoryJobQueue(), port=0) as server:
             return SweepRunner(
-                **grid, queue=HttpJobQueue(server.url), workers=2
+                **grid, queue=HttpJobQueue(server.url), workers=2,
+                bundle=bundle,
             ).run()
 
     http_s, result = _time(run_http_queue, repeats)
@@ -489,6 +578,9 @@ def bench_sweep(repeats: int) -> dict:
         "seconds": http_s,
         "jobs_per_s": num_jobs / http_s,
         "x_vs_inline": serial_s / http_s,
+        "x_vs_processes": procs_s / http_s,
+        "bundle": bundle,
+        "share_frames": True,
     }
     return report
 
@@ -626,11 +718,16 @@ def main(argv=None) -> int:
                 f"{rate_control[name]['us_per_frame']:8.2f} us/frame"
             )
 
-        print("== sweep executor (4-job classical grid) ==")
+        print(
+            "== sweep executor (24-job classical grid, "
+            "bundled + warm + shared frames) =="
+        )
         sweep = bench_sweep(repeats)
         for backend in (
             "inline",
+            "inline_warm",
             "queue_threads_x2",
+            "cold_spawn",
             "queue_processes_x2",
             "queue_http_x2",
         ):

@@ -426,6 +426,7 @@ def _cmd_sweep(args) -> int:
         workers=args.workers,
         lease_seconds=args.lease,
         max_attempts=args.max_attempts,
+        bundle=args.bundle,
         metric=args.metric,
         anchor=anchor,
     )
@@ -532,6 +533,7 @@ def _cmd_ladder(args) -> int:
         workers=args.workers,
         lease_seconds=args.lease,
         max_attempts=args.max_attempts,
+        bundle=args.bundle,
     )
     progress = None
     if args.progress:
@@ -588,6 +590,24 @@ def _cmd_hardware(args) -> int:
         # payload — same shape `repro hardware` has always emitted.
         return _emit(args, report.hardware.render(), report.hardware.to_dict())
     return _emit(args, report.render(), report.to_dict())
+
+
+def _bundle_arg(value: str):
+    """argparse type for --bundle: a positive batch size, or 'auto' to
+    size bundles from the grid and worker count."""
+    import argparse
+
+    if value == "auto":
+        return "auto"
+    try:
+        size = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--bundle takes a positive integer or 'auto', got {value!r}"
+        ) from None
+    if size < 1:
+        raise argparse.ArgumentTypeError("--bundle must be >= 1 or 'auto'")
+    return size
 
 
 def _check_queue_dir(args, command: str) -> int:
@@ -733,6 +753,7 @@ def _cmd_dse(args) -> int:
         workers=args.workers,
         lease_seconds=args.lease,
         max_attempts=args.max_attempts,
+        bundle=args.bundle,
     )
     progress = None
     if args.progress:
@@ -782,7 +803,9 @@ def _cmd_serve(args) -> int:
     if args.autoscale:
         scaler = Autoscaler(
             queue,
-            lambda: spawn_http_worker(server.url, lease_seconds=args.lease),
+            lambda: spawn_http_worker(
+                server.url, lease_seconds=args.lease, bundle=args.bundle
+            ),
             min_workers=args.min_workers,
             max_workers=args.max_workers,
             backlog_per_worker=args.backlog_per_worker,
@@ -840,6 +863,7 @@ def _cmd_worker(args) -> int:
                 max_jobs=args.max_jobs,
                 stop_when_drained=not args.forever,
                 job_timeout_seconds=args.job_timeout,
+                bundle=args.bundle,
             )
         else:
             queue = DirectoryJobQueue(
@@ -853,6 +877,7 @@ def _cmd_worker(args) -> int:
                 max_jobs=args.max_jobs,
                 stop_when_drained=not args.forever,
                 job_timeout_seconds=args.job_timeout,
+                bundle=args.bundle,
             )
     except KeyboardInterrupt:
         print(f"worker {worker_id}: interrupted", file=sys.stderr)
@@ -1144,6 +1169,14 @@ def main(argv=None) -> int:
         help="tries per job before it dead-letters into the failure report",
     )
     swp.add_argument(
+        "--bundle",
+        type=_bundle_arg,
+        default="auto",
+        help="jobs claimed per queue round-trip; 'auto' (default) sizes "
+        "bundles from the grid and worker count — transport only, results "
+        "are byte-identical to --bundle 1",
+    )
+    swp.add_argument(
         "--csv", default=None, help="also write per-job rows as CSV here"
     )
     swp.add_argument(
@@ -1221,6 +1254,11 @@ def main(argv=None) -> int:
     lad.add_argument(
         "--max-attempts", type=int, default=3,
         help="tries per rung before it dead-letters into the failure report",
+    )
+    lad.add_argument(
+        "--bundle", type=_bundle_arg, default="auto",
+        help="rungs claimed per queue round-trip ('auto' sizes from the "
+        "ladder and worker count; results are byte-identical to --bundle 1)",
     )
     lad.add_argument(
         "--csv", default=None, help="also write per-rung rows as CSV here"
@@ -1353,6 +1391,11 @@ def main(argv=None) -> int:
         help="tries per point before it dead-letters into the failure report",
     )
     dse.add_argument(
+        "--bundle", type=_bundle_arg, default="auto",
+        help="points claimed per queue round-trip ('auto' sizes from the "
+        "grid and worker count; results are byte-identical to --bundle 1)",
+    )
+    dse.add_argument(
         "--pareto", action="store_true",
         help="report only the Pareto-optimal points",
     )
@@ -1409,6 +1452,10 @@ def main(argv=None) -> int:
         "--lease", type=float, default=120.0,
         help="per-job lease seconds for autoscaled workers",
     )
+    srv.add_argument(
+        "--bundle", type=int, default=1,
+        help="jobs each autoscaled worker claims per queue round-trip",
+    )
     srv.set_defaults(func=_cmd_serve, json=False, output=None)
 
     wrk = sub.add_parser(
@@ -1442,6 +1489,11 @@ def main(argv=None) -> int:
         "--max-attempts", type=int, default=3,
         help="tries per job before dead-letter (--queue-dir only; the "
         "server's backing queue owns this over HTTP)",
+    )
+    wrk.add_argument(
+        "--bundle", type=int, default=1,
+        help="jobs claimed per queue round-trip (one lease covers the "
+        "bundle; unfinished jobs requeue if the worker dies mid-bundle)",
     )
     wrk.add_argument(
         "--job-timeout", type=float, default=None,

@@ -32,6 +32,12 @@ package is that seam made real.  Three layers, bottom up:
   per-(codec, scene) :class:`~repro.metrics.RDCurve` objects with
   BD-rate deltas; :class:`~repro.pipeline.dse.DSERunner` folds design
   points into Pareto fronts.
+* :mod:`~repro.pipeline.dist.shm` — shared-memory frame transport:
+  :func:`publish_frames` / :func:`attach_frames` /
+  :func:`unlink_segments` move rendered scene frames to local process
+  workers through ``multiprocessing.shared_memory`` instead of
+  re-synthesizing them per job; a worker that cannot attach falls back
+  to regenerating byte-identical frames from the scene config.
 * :mod:`~repro.pipeline.dist.chaos` — fault injection for all of the
   above: :class:`ChaosQueue` (queue-level faults: dropped/duplicated
   acks, stolen leases), :class:`ChaosTransport` (wire-level faults for
@@ -60,7 +66,19 @@ from .chaos import (
 )
 from .net import HttpJobQueue, HttpQueueError, QueueServer, http_worker_entry
 from .queues import DirectoryJobQueue, Job, JobQueue, MemoryJobQueue, QueueStats
-from .sweep import QueueRunner, SweepResult, SweepRunner, job_id_for_spec
+from .shm import (
+    active_segments,
+    attach_frames,
+    publish_frames,
+    unlink_segments,
+)
+from .sweep import (
+    QueueRunner,
+    SweepResult,
+    SweepRunner,
+    auto_bundle,
+    job_id_for_spec,
+)
 from .worker import (
     Heartbeat,
     JobTimeoutError,
@@ -93,16 +111,21 @@ __all__ = [
     "QueueStats",
     "SweepResult",
     "SweepRunner",
+    "active_segments",
+    "attach_frames",
     "attach_result_checksum",
+    "auto_bundle",
     "default_worker_id",
     "http_worker_entry",
     "job_id_for_spec",
     "poison_spec",
+    "publish_frames",
     "register_poison_task",
     "result_checksum",
     "run_worker",
     "spawn_directory_worker",
     "spawn_http_worker",
+    "unlink_segments",
     "verify_result_checksum",
     "worker_entry",
 ]

@@ -220,6 +220,36 @@ class ChaosQueue:
             _time.sleep(self.plan.delay_seconds)
         return self.inner.claim(worker_id, lease_seconds=lease_seconds)
 
+    def claim_batch(
+        self, worker_id: str, *, lease_seconds: float, limit: int = 1
+    ) -> list[Job]:
+        # Explicit wrapper (not __getattr__ delegation) so bundled
+        # claims stay inside the fault plan: the same theft/delay
+        # faults fire once per bundle claim, exactly as for ``claim``.
+        if self.plan.take("lease-theft", "claim"):
+            stolen = self.inner.claim(
+                "chaos-thief",
+                lease_seconds=self.plan.theft_lease_seconds,
+            )
+            if stolen is not None:
+                self.plan.events.append(
+                    {
+                        "fault": "lease-theft",
+                        "op": "claim",
+                        "job_id": stolen.job_id,
+                    }
+                )
+        if self.plan.take("claim-delay", "claim"):
+            import time as _time
+
+            _time.sleep(self.plan.delay_seconds)
+        if hasattr(self.inner, "claim_batch"):
+            return self.inner.claim_batch(
+                worker_id, lease_seconds=lease_seconds, limit=limit
+            )
+        job = self.inner.claim(worker_id, lease_seconds=lease_seconds)
+        return [] if job is None else [job]
+
     def ack(
         self, job_id: str, result: dict, *, worker_id: str | None = None
     ) -> bool:
@@ -376,6 +406,10 @@ class CrashPlan:
     * ``after-ack`` — died right after recording: nothing to recover,
       but a sloppy runner would double-count.  The stale-ack rejection
       and result-keyed aggregation must shrug.
+    * ``mid-bundle`` — died after acking job *k* of a claimed bundle:
+      the acked results stand, the unacked remainder sits claimed under
+      the bundle's shared lease until expiry reaps and re-runs it.  The
+      stage only fires for workers running with ``bundle > 1``.
     """
 
     def __init__(
@@ -385,12 +419,14 @@ class CrashPlan:
         mid_encode: tuple = (),
         before_ack: tuple = (),
         after_ack: tuple = (),
+        mid_bundle: tuple = (),
     ):
         self._scheduled = {
             "after-claim": set(after_claim),
             "mid-encode": set(mid_encode),
             "before-ack": set(before_ack),
             "after-ack": set(after_ack),
+            "mid-bundle": set(mid_bundle),
         }
         self._counters = {stage: 0 for stage in self._scheduled}
         self._lock = threading.Lock()

@@ -39,6 +39,7 @@ failure 500 — all with ``{"error": ...}``.
 |-------------------|----------------------------------------------|----------|
 | ``POST /submit``  | ``{"spec": {...}, "job_id": "..."}``         | ``{"job_id": "..."}`` |
 | ``POST /claim``   | ``{"worker_id": "...", "lease_seconds": s}`` | ``{"job": null | {"job_id", "spec", "attempts"}}`` |
+| ``POST /claim`` (batch) | ``{"worker_id", "lease_seconds", "batch": n}`` | ``{"jobs": [{"job_id", "spec", "attempts"}, ...], "job": first | null}`` |
 | ``POST /ack``     | ``{"job_id", "result", "worker_id"?}``       | ``{"accepted": bool}`` |
 | ``POST /fail``    | ``{"job_id", "error"}``                      | ``{"ok": true}`` |
 | ``POST /reap``    | ``{}``                                       | ``{"reaped": [ids]}`` |
@@ -117,10 +118,32 @@ def _ep_submit(server: "QueueServer", body: dict) -> dict:
 
 
 def _ep_claim(server: "QueueServer", body: dict) -> dict:
-    job = server.queue.claim(
-        str(body["worker_id"]),
-        lease_seconds=float(body.get("lease_seconds", 60.0)),
-    )
+    worker_id = str(body["worker_id"])
+    lease_seconds = float(body.get("lease_seconds", 60.0))
+    batch = int(body.get("batch", 1))
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    if batch > 1:
+        # Bundle claim: one request, up to ``batch`` jobs, one shared
+        # lease deadline.  ``"job"`` carries the first job so an old
+        # client pointed at a new server still works.
+        if hasattr(server.queue, "claim_batch"):
+            jobs = server.queue.claim_batch(
+                worker_id, lease_seconds=lease_seconds, limit=batch
+            )
+        else:  # custom backing queue without bundling: loop single claims
+            jobs = []
+            while len(jobs) < batch:
+                job = server.queue.claim(worker_id, lease_seconds=lease_seconds)
+                if job is None:
+                    break
+                jobs.append(job)
+        documents = [
+            {"job_id": j.job_id, "spec": j.spec, "attempts": j.attempts}
+            for j in jobs
+        ]
+        return {"jobs": documents, "job": documents[0] if documents else None}
+    job = server.queue.claim(worker_id, lease_seconds=lease_seconds)
     if job is None:
         return {"job": None}
     return {
@@ -149,6 +172,18 @@ def _ep_reap(server: "QueueServer", body: dict) -> dict:
 
 
 def _ep_attempts(server: "QueueServer", body: dict) -> dict:
+    if "job_ids" in body:
+        # Bulk form: one round-trip for a whole sweep's counters, so
+        # the runner's poison breaker costs O(1) requests per check
+        # instead of one per unfinished job.
+        ids = [j for j in str(body["job_ids"]).split(",") if j]
+        if not hasattr(server.queue, "attempts"):
+            return {"attempts_map": {job_id: 0 for job_id in ids}}
+        return {
+            "attempts_map": {
+                job_id: int(server.queue.attempts(job_id)) for job_id in ids
+            }
+        }
     if not hasattr(server.queue, "attempts"):
         return {"attempts": 0}  # custom queue without the counter
     return {"attempts": int(server.queue.attempts(str(body["job_id"])))}
@@ -261,6 +296,10 @@ class _QueueRequestHandler(BaseHTTPRequestHandler):
 
     protocol_version = "HTTP/1.1"  # keep-alive: clients reuse connections
     server_version = "repro-queue/1"
+    # Responses are two small writes (headers, then body); with Nagle on,
+    # the body write stalls behind the client's delayed ACK (~40ms per
+    # request), which dominates a chatty claim/ack/heartbeat workload.
+    disable_nagle_algorithm = True
 
     def log_message(self, fmt, *args):  # stderr chatter off; logging on
         _LOG.debug("%s %s", self.address_string(), fmt % args)
@@ -384,8 +423,12 @@ class QueueServer:
         """Serve on a daemon thread; returns self for chaining."""
         if self._thread is not None:
             raise RuntimeError("server already started")
+        # Tight shutdown-poll interval: ``shutdown()`` blocks until the
+        # serve loop's next poll tick, and the default 0.5s turns every
+        # short-lived in-process server (tests, benchmarks) into a
+        # quarter-second teardown stall.
         self._thread = threading.Thread(
-            target=self._httpd.serve_forever,
+            target=lambda: self._httpd.serve_forever(poll_interval=0.05),
             name=f"queue-server-{self.port}",
             daemon=True,
         )
@@ -624,6 +667,36 @@ class HttpJobQueue:
             return None
         return Job(job["job_id"], job["spec"], int(job.get("attempts", 0)))
 
+    def claim_batch(
+        self, worker_id: str, *, lease_seconds: float, limit: int = 1
+    ) -> list[Job]:
+        """Claim up to ``limit`` jobs in **one** HTTP round-trip.
+
+        This is the transport win bundling exists for: N tiny jobs cost
+        one request instead of N.  The same retry caveat as ``claim``
+        applies, once per bundle instead of once per job: a lost
+        *response* orphans the whole bundle's lease, which expires and
+        is reaped like any dead worker's."""
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        payload = self._request(
+            "POST",
+            "/claim",
+            {
+                "worker_id": worker_id,
+                "lease_seconds": lease_seconds,
+                "batch": limit,
+            },
+        )
+        if "jobs" in payload:
+            documents = payload["jobs"]
+        else:  # pre-batch server: it honored the claim as a single
+            documents = [payload["job"]] if payload.get("job") else []
+        return [
+            Job(doc["job_id"], doc["spec"], int(doc.get("attempts", 0)))
+            for doc in documents
+        ]
+
     def ack(
         self, job_id: str, result: dict, *, worker_id: str | None = None
     ) -> bool:
@@ -648,6 +721,16 @@ class HttpJobQueue:
                 "attempts"
             ]
         )
+
+    def attempts_map(self, job_ids) -> dict[str, int]:
+        """Attempt counters for many jobs in one round-trip."""
+        ids = list(job_ids)
+        if not ids:
+            return {}
+        payload = self._request(
+            "GET", "/attempts", query={"job_ids": ",".join(ids)}
+        )
+        return {k: int(v) for k, v in payload["attempts_map"].items()}
 
     def stats(self) -> QueueStats:
         payload = self._request("GET", "/stats")
@@ -728,6 +811,7 @@ def http_worker_entry(
     timeout: float = 10.0,
     retries: int = 5,
     job_timeout_seconds: float | None = None,
+    bundle: int = 1,
 ) -> int:
     """Process entry point: join a fleet over the network and work.
 
@@ -762,4 +846,5 @@ def http_worker_entry(
         stop_when_drained=stop_when_drained,
         on_heartbeat=on_heartbeat,
         job_timeout_seconds=job_timeout_seconds,
+        bundle=bundle,
     )

@@ -110,6 +110,12 @@ class JobQueue(Protocol):
     * ``claim`` transfers one pending job to the caller under a lease;
       ``None`` means nothing is pending right now (work may still be
       claimed by others — check :meth:`stats`).
+    * ``claim_batch`` transfers up to ``limit`` pending jobs in one
+      call — a *bundle* — under one lease deadline, amortizing queue
+      round-trips over many tiny jobs.  Acks stay per-job: a worker
+      that dies after acking job *k* of *N* strands only the unacked
+      remainder, which ``reap_expired`` returns to pending when the
+      shared deadline passes.  An empty list means nothing is pending.
     * ``ack`` finishes a claimed job with its result document and
       returns ``True``.  A **stale** ack — the job's lease was already
       reaped (and possibly reassigned to another worker, when
@@ -147,6 +153,10 @@ class JobQueue(Protocol):
     def submit(self, spec: dict, *, job_id: str) -> str: ...
 
     def claim(self, worker_id: str, *, lease_seconds: float) -> Job | None: ...
+
+    def claim_batch(
+        self, worker_id: str, *, lease_seconds: float, limit: int = 1
+    ) -> list[Job]: ...
 
     def ack(
         self, job_id: str, result: dict, *, worker_id: str | None = None
@@ -219,6 +229,27 @@ class MemoryJobQueue:
                 time.monotonic() + lease_seconds,
             )
             return Job(job_id, dict(self._specs[job_id]), self._attempts[job_id])
+
+    def claim_batch(
+        self, worker_id: str, *, lease_seconds: float, limit: int = 1
+    ) -> list[Job]:
+        """Claim up to ``limit`` pending jobs under one lease deadline.
+
+        One lock acquisition pops the whole bundle, so N tiny jobs cost
+        one queue round-trip instead of N.  Acks remain per-job."""
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        worker = _sanitize(worker_id)
+        with self._lock:
+            deadline = time.monotonic() + lease_seconds
+            jobs: list[Job] = []
+            while self._pending and len(jobs) < limit:
+                job_id = self._pending.pop(0)
+                self._claimed[job_id] = (worker, deadline)
+                jobs.append(
+                    Job(job_id, dict(self._specs[job_id]), self._attempts[job_id])
+                )
+            return jobs
 
     def ack(
         self, job_id: str, result: dict, *, worker_id: str | None = None
@@ -508,6 +539,43 @@ class DirectoryJobQueue:
                 spec = json.load(handle)
             return Job(job_id, spec, int(attempts))
         return None
+
+    def claim_batch(
+        self, worker_id: str, *, lease_seconds: float, limit: int = 1
+    ) -> list[Job]:
+        """Claim up to ``limit`` pending jobs under one shared deadline.
+
+        One directory listing feeds the whole bundle; each job is still
+        claimed by its own atomic rename (losing a race skips to the
+        next candidate), so concurrent bundling workers never
+        double-claim.  Acks remain per-job."""
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        worker_id = _sanitize(worker_id)
+        deadline_ms = int((time.time() + lease_seconds) * 1000)
+        jobs: list[Job] = []
+        for name in sorted(os.listdir(self._dir("pending"))):
+            if len(jobs) >= limit:
+                break
+            if not name.endswith(".json") or ".tmp." in name:
+                continue
+            parsed = self._parse_pending(name)
+            if parsed is None:
+                continue  # junk file; warned, skip, keep scanning
+            job_id, attempts = parsed
+            target = os.path.join(
+                self._dir("claimed"),
+                f"{job_id}{_SEP}{attempts}{_SEP}{deadline_ms}{_SEP}"
+                f"{worker_id}.json",
+            )
+            try:
+                os.rename(os.path.join(self._dir("pending"), name), target)
+            except FileNotFoundError:
+                continue  # lost the race; try the next pending job
+            with open(target, "r", encoding="utf-8") as handle:
+                spec = json.load(handle)
+            jobs.append(Job(job_id, spec, int(attempts)))
+        return jobs
 
     def ack(
         self, job_id: str, result: dict, *, worker_id: str | None = None

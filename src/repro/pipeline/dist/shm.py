@@ -1,0 +1,132 @@
+"""Shared-memory frame transport for local worker fleets.
+
+Synthetic scenes are deterministic, so a worker *can* always re-render
+its frames from the scene config — but on a sweep where every job
+shares a handful of scenes, that means re-synthesizing (or re-pickling)
+the same buffers once per job.  This module moves the frames through
+:mod:`multiprocessing.shared_memory` instead: the runner renders each
+distinct scene once, publishes it as one segment, and annotates job
+specs with a ``frames_shm`` descriptor::
+
+    {"name": "psm_...", "shape": [n, c, h, w], "dtype": "float64"}
+
+A local process worker attaches the segment, copies the frames out,
+and closes it (copy-out keeps the segment read-only in effect and lets
+the runner unlink it without coordinating with workers).  A worker that
+*cannot* attach — an HTTP worker on another host, or a resumed run
+whose segments are gone — silently falls back to re-synthesizing from
+the scene config, which produces byte-identical frames.  That is why
+the descriptor is a **transport annotation**, never part of job
+identity: :func:`repro.pipeline.tasks.strip_transport_fields` removes
+it before hashing, so job ids (and ``--resume``) are independent of
+how frames travel.
+
+Segment lifecycle is strictly runner-owned: :func:`publish_frames` at
+submit time, :func:`unlink_segments` in the runner's ``finally`` — so
+segments are reclaimed even when workers were killed mid-job.  Every
+create is tracked in a process-local registry
+(:func:`active_segments`), which is how the hygiene tests prove no
+sweep leaks a segment.
+"""
+
+from __future__ import annotations
+
+import threading
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = [
+    "active_segments",
+    "attach_frames",
+    "publish_frames",
+    "unlink_segments",
+]
+
+#: name -> SharedMemory handle for every segment this process created
+#: and has not yet unlinked.
+_CREATED: dict[str, shared_memory.SharedMemory] = {}
+_LOCK = threading.Lock()
+
+
+def publish_frames(frames: list[np.ndarray]) -> dict:
+    """Create one shared segment holding ``frames``; return its
+    ``frames_shm`` descriptor.
+
+    The frames are stacked into one contiguous array, so they must
+    share a shape and dtype (scene frames always do).  The segment is
+    registered in the process-local ledger until
+    :func:`unlink_segments` reclaims it.
+    """
+    if not frames:
+        raise ValueError("cannot publish an empty frame list")
+    stacked = np.stack(frames)
+    segment = shared_memory.SharedMemory(create=True, size=stacked.nbytes)
+    view = np.ndarray(stacked.shape, dtype=stacked.dtype, buffer=segment.buf)
+    view[:] = stacked
+    with _LOCK:
+        _CREATED[segment.name] = segment
+    return {
+        "name": segment.name,
+        "shape": [int(n) for n in stacked.shape],
+        "dtype": str(stacked.dtype),
+    }
+
+
+def attach_frames(descriptor: dict) -> list[np.ndarray] | None:
+    """Frames from a ``frames_shm`` descriptor, or ``None`` when the
+    segment cannot be reached (another host, or already unlinked) —
+    the caller falls back to re-synthesizing from the scene config.
+
+    Frames are copied out and the segment closed immediately, so the
+    runner may unlink at any time without worker coordination.  (All
+    local workers are ``multiprocessing`` children sharing the parent's
+    resource tracker, so attach/close needs no tracker workarounds.)
+    """
+    try:
+        name = str(descriptor["name"])
+        shape = tuple(int(n) for n in descriptor["shape"])
+        dtype = np.dtype(str(descriptor["dtype"]))
+    except (KeyError, TypeError, ValueError):
+        return None  # malformed annotation: regenerate instead
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except (FileNotFoundError, OSError):
+        return None  # unreachable segment: regenerate instead
+    try:
+        view = np.ndarray(shape, dtype=dtype, buffer=segment.buf)
+        return [view[index].copy() for index in range(shape[0])]
+    except (TypeError, ValueError):
+        return None  # descriptor does not fit the segment: regenerate
+    finally:
+        segment.close()
+
+
+def unlink_segments(names=None) -> int:
+    """Unlink segments this process created; returns how many.
+
+    With ``names=None`` every tracked segment goes (the runner's
+    ``finally``); with an iterable only those go.  Unlinking is
+    idempotent — a name already reclaimed (or never ours) is skipped.
+    """
+    with _LOCK:
+        targets = list(_CREATED) if names is None else [
+            str(name) for name in names if str(name) in _CREATED
+        ]
+        handles = [(name, _CREATED.pop(name)) for name in targets]
+    reclaimed = 0
+    for name, segment in handles:
+        try:
+            segment.close()
+            segment.unlink()
+            reclaimed += 1
+        except (FileNotFoundError, OSError):
+            pass  # already gone; the ledger entry is dropped either way
+    return reclaimed
+
+
+def active_segments() -> list[str]:
+    """Names of segments created here and not yet unlinked (sorted) —
+    the hygiene tests' leak detector."""
+    with _LOCK:
+        return sorted(_CREATED)

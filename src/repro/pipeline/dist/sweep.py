@@ -67,7 +67,13 @@ from .net import HttpJobQueue, HttpQueueError, http_worker_entry
 from .queues import DirectoryJobQueue, JobQueue, MemoryJobQueue, QueueStats
 from .worker import run_worker, verify_result_checksum, worker_entry
 
-__all__ = ["QueueRunner", "SweepResult", "SweepRunner", "job_id_for_spec"]
+__all__ = [
+    "QueueRunner",
+    "SweepResult",
+    "SweepRunner",
+    "auto_bundle",
+    "job_id_for_spec",
+]
 
 #: hard cap on crashed-worker replacements, so a fleet whose workers
 #: die on arrival (bad interpreter, OOM box) fails instead of flapping.
@@ -81,11 +87,29 @@ def job_id_for_spec(index: int, spec: dict) -> str:
     grid and the queue skips ids it already finished); the zero-padded
     index keeps duplicate specs distinct and makes lexicographic id
     order equal submission order, which is how results are re-ordered
-    after out-of-order completion.
+    after out-of-order completion.  Transport annotations
+    (``frames_shm``) never reach the digest, so how frames travel can
+    change between runs without invalidating ``--resume`` state.
     """
-    canonical = json.dumps(spec, sort_keys=True, separators=(",", ":"))
+    from repro.pipeline.tasks import strip_transport_fields
+
+    canonical = json.dumps(
+        strip_transport_fields(spec), sort_keys=True, separators=(",", ":")
+    )
     digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:10]
     return f"{index:05d}-{digest}"
+
+
+def auto_bundle(num_jobs: int, workers: int) -> int:
+    """Bundle-size heuristic: big enough to amortize queue round-trips,
+    small enough that the fleet stays load-balanced (roughly two claims
+    per worker over the run, capped at 16 jobs per claim).  Serial
+    drains take everything in one claim."""
+    if num_jobs < 1:
+        return 1
+    if workers <= 0:
+        return max(1, num_jobs)
+    return max(1, min(16, num_jobs // (workers * 2) or 1))
 
 
 @dataclass
@@ -209,6 +233,17 @@ class QueueRunner:
     (at-least-once semantics; results are idempotent because jobs are
     pure functions of their spec).
 
+    ``bundle`` sizes the workers' batched claims: ``N`` claims up to N
+    jobs per queue round-trip under one lease (size ``lease_seconds``
+    for a whole bundle), ``"auto"`` picks :func:`auto_bundle` from the
+    grid and fleet size, ``1`` (default) keeps classic per-job claims.
+    ``share_frames`` publishes each distinct scene once through
+    :mod:`repro.pipeline.dist.shm` and annotates submitted specs with
+    the segment handle; the default (``None``) enables it exactly when
+    workers live in other processes.  Both knobs change *transport
+    only* — results stay byte-identical (the distributed parity tests
+    pin this across bundle sizes, backends, and worker counts).
+
     ``poison_threshold`` arms the poison-job circuit breaker: a job
     that burns that many attempts without finishing — a job that
     *kills* workers instead of failing, so no traceback is ever
@@ -237,12 +272,21 @@ class QueueRunner:
         poison_threshold: int = 5,
         job_timeout_seconds: float | None = None,
         checkpoint=None,
+        bundle: int | str = 1,
+        share_frames: bool | None = None,
     ):
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
         if queue is not None and queue_dir is not None:
             raise ValueError("pass queue or queue_dir, not both")
         self.specs = list(specs)
+        if bundle == "auto":
+            bundle = auto_bundle(len(self.specs), workers)
+        if not isinstance(bundle, int) or isinstance(bundle, bool) or bundle < 1:
+            raise ValueError(
+                f"bundle must be a positive int or 'auto', got {bundle!r}"
+            )
+        self.bundle = bundle
         if queue is None:
             queue = (
                 DirectoryJobQueue(queue_dir, max_attempts=max_attempts)
@@ -255,6 +299,16 @@ class QueueRunner:
         self.poison_threshold = poison_threshold
         self.job_timeout_seconds = job_timeout_seconds
         self.checkpoint = checkpoint
+        if share_frames is None:
+            # Auto: worth a segment only when workers live in *other*
+            # processes (thread fleets and serial drains already share
+            # this process's warm cache).
+            share_frames = workers > 0 and isinstance(
+                self.queue, (DirectoryJobQueue, HttpJobQueue)
+            )
+        self.share_frames = bool(share_frames)
+        #: segment names this runner published (reclaimed in run()).
+        self._shm_names: list[str] = []
         self.job_ids: list[str] = []
         # incremental result drain state (results_page cursor + cache)
         self._drained: dict[str, dict] = {}
@@ -267,12 +321,75 @@ class QueueRunner:
 
     def submit(self) -> list[str]:
         """Submit every spec (idempotent: ids derive from content, so a
-        resumed sweep re-submits and the queue keeps finished work)."""
+        resumed sweep re-submits and the queue keeps finished work).
+
+        With ``share_frames`` on, each distinct scene is rendered once
+        here and published as a shared-memory segment; submitted specs
+        carry a ``frames_shm`` transport annotation pointing at it.
+        Ids ignore the annotation (see :func:`job_id_for_spec`), so
+        shared-frames and plain runs are resume-compatible."""
+        specs = self._annotated_specs() if self.share_frames else self.specs
         self.job_ids = [
             self.queue.submit(spec, job_id=job_id_for_spec(index, spec))
-            for index, spec in enumerate(self.specs)
+            for index, spec in enumerate(specs)
         ]
         return self.job_ids
+
+    def _annotated_specs(self) -> list[dict]:
+        """Job specs with ``frames_shm`` annotations, one published
+        segment per distinct scene.  Anything that goes wrong — no
+        shared-memory filesystem, an unrenderable scene — degrades to
+        the clean spec: the annotation is an optimization, never a
+        requirement."""
+        from repro.pipeline.tasks import spec_kind
+        from repro.pipeline.registry import codec_spec
+        from repro.video import SceneConfig, generate_sequence
+
+        try:
+            from .shm import publish_frames
+        except Exception:  # numpy-less or shm-less build: ship clean
+            return self.specs
+
+        descriptors: dict[str, dict | None] = {}
+        annotated: list[dict] = []
+        for spec in self.specs:
+            scene = spec.get("scene")
+            try:
+                framed = (
+                    isinstance(scene, dict)
+                    and spec_kind(spec) in ("encode", "ladder-rendition")
+                    # simulated codecs never touch frames; skip the render
+                    and not hasattr(
+                        codec_spec(str(spec.get("codec"))).factory, "simulate"
+                    )
+                )
+            except Exception:
+                framed = False
+            if not framed:
+                annotated.append(spec)
+                continue
+            key = json.dumps(scene, sort_keys=True, separators=(",", ":"))
+            if key not in descriptors:
+                try:
+                    frames = generate_sequence(SceneConfig.from_dict(scene))
+                    descriptor = publish_frames(frames)
+                    self._shm_names.append(descriptor["name"])
+                except Exception:
+                    descriptor = None  # cannot publish here: ship clean
+                descriptors[key] = descriptor
+            descriptor = descriptors[key]
+            annotated.append(
+                {**spec, "frames_shm": descriptor} if descriptor else spec
+            )
+        return annotated
+
+    def release_shared_frames(self) -> int:
+        """Unlink every segment this runner published (idempotent;
+        ``run()`` calls it in its ``finally``)."""
+        from .shm import unlink_segments
+
+        names, self._shm_names = self._shm_names, []
+        return unlink_segments(names)
 
     # -- worker fleet -------------------------------------------------
     def _spawn_process(self, index: int):
@@ -283,6 +400,7 @@ class QueueRunner:
                 "worker_id": f"sweep-w{index}-{os.getpid()}",
                 "lease_seconds": self.lease_seconds,
                 "job_timeout_seconds": self.job_timeout_seconds,
+                "bundle": self.bundle,
             }
         else:
             assert isinstance(self.queue, DirectoryJobQueue)
@@ -293,6 +411,7 @@ class QueueRunner:
                 "max_attempts": self.queue.max_attempts,
                 "lease_seconds": self.lease_seconds,
                 "job_timeout_seconds": self.job_timeout_seconds,
+                "bundle": self.bundle,
             }
         process = multiprocessing.Process(
             target=target, args=args, kwargs=kwargs, daemon=True
@@ -317,6 +436,7 @@ class QueueRunner:
                 lease_seconds=self.lease_seconds,
                 checkpoint=self.checkpoint,
                 job_timeout_seconds=self.job_timeout_seconds,
+                bundle=self.bundle,
             )
         except (InjectedCrash, HttpQueueError):
             pass  # worker died; lease recovery + respawn take over
@@ -448,10 +568,22 @@ class QueueRunner:
         if not hasattr(self.queue, "quarantine"):
             return
         wanted = set(self.job_ids)
-        for job_id in sorted(wanted - self.queue.finished_ids()):
+        unfinished = sorted(wanted - self.queue.finished_ids())
+        counts: dict[str, int] | None = None
+        if hasattr(self.queue, "attempts_map"):
+            # One bulk read instead of a per-job query — over HTTP the
+            # per-job form is a round-trip per unfinished job per check.
+            counts = self.queue.attempts_map(unfinished)
+        for job_id in unfinished:
             if job_id in self.quarantined:
                 continue
-            count = self._poison_attempts(job_id)
+            if counts is not None:
+                count = max(
+                    counts.get(job_id, 0),
+                    self._lease_expiries.get(job_id, 0),
+                )
+            else:
+                count = self._poison_attempts(job_id)
             if count < self.poison_threshold:
                 continue
             reason = (
@@ -519,19 +651,32 @@ class QueueRunner:
                 lease_seconds=self.lease_seconds,
                 checkpoint=self.checkpoint,
                 job_timeout_seconds=self.job_timeout_seconds,
+                bundle=self.bundle,
             )
         else:
             fleet = [spawn(i) for i in range(self.workers)]
             spawned = self.workers
         wanted = set(self.job_ids)
+        # Poison evidence only changes on lease-expiry/claim timescales,
+        # so the breaker runs on its own (slower) cadence — polling it
+        # every drain tick is pure queue chatter, and over HTTP that
+        # chatter competes with the workers for CPU.  A reap won by the
+        # runner is fresh evidence, so it re-arms the breaker at once.
+        breaker_seconds = max(poll_seconds, min(self.lease_seconds, 4.0) / 4)
+        next_breaker = time.monotonic()
         try:
             while True:
+                reaped_now = False
                 for job_id in self.queue.reap_expired():
+                    reaped_now = True
                     if job_id in wanted:
                         self._lease_expiries[job_id] = (
                             self._lease_expiries.get(job_id, 0) + 1
                         )
-                self._break_poison_jobs()
+                now = time.monotonic()
+                if reaped_now or now >= next_breaker:
+                    self._break_poison_jobs()
+                    next_breaker = now + breaker_seconds
                 self._drain_results()
                 if progress is not None:
                     progress(self.queue.stats())
@@ -570,6 +715,11 @@ class QueueRunner:
         finally:
             for worker in fleet:
                 worker.join(timeout=max(self.lease_seconds, 10.0))
+            # Reclaim shared frame segments whatever happened above —
+            # including killed workers and raised exceptions.  Workers
+            # copy frames out at attach time, so a straggler never
+            # holds a reference into a segment we unlink.
+            self.release_shared_frames()
         elapsed = time.monotonic() - start
         results, failures = self._load_finished()
         return self._aggregate(results, failures, elapsed)
@@ -627,6 +777,8 @@ class SweepRunner(QueueRunner):
         poison_threshold: int = 5,
         job_timeout_seconds: float | None = None,
         checkpoint=None,
+        bundle: int | str = 1,
+        share_frames: bool | None = None,
         metric: str = "psnr",
         anchor: str | None = None,
     ):
@@ -652,6 +804,8 @@ class SweepRunner(QueueRunner):
             poison_threshold=poison_threshold,
             job_timeout_seconds=job_timeout_seconds,
             checkpoint=checkpoint,
+            bundle=bundle,
+            share_frames=share_frames,
         )
         self.metric = metric
         self.anchor = anchor

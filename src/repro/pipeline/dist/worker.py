@@ -1,6 +1,7 @@
 """The sweep worker loop: pop job specs, run tasks, ack results.
 
-A worker is deliberately dumb: it claims one job at a time from a
+A worker is deliberately dumb: it claims a job — or, with
+``bundle=N``, up to N jobs under one lease — at a time from a
 :class:`~repro.pipeline.dist.queues.JobQueue`, dispatches the spec by
 its task kind through :func:`repro.pipeline.tasks.run_task` (a spec
 without a ``"kind"`` field is an encode job — every pre-task-typing
@@ -33,7 +34,9 @@ Hardening seams (all opt-in, all default-off):
   or at rest is caught before it poisons an aggregation.
 * **checkpoints** — ``checkpoint(stage, job)`` fires at
   ``"after-claim"``, ``"mid-encode"`` (inside the execution
-  envelope), ``"before-ack"``, and ``"after-ack"``.  This is the
+  envelope), ``"before-ack"``, ``"after-ack"``, and — when bundling —
+  ``"mid-bundle"`` (after job *k* of a bundle finished, before job
+  *k+1* starts; the job passed is the one just finished).  This is the
   fault-injection seam: a
   :class:`~repro.pipeline.dist.chaos.CrashPlan` raises
   :class:`~repro.pipeline.dist.chaos.InjectedCrash` (a
@@ -174,6 +177,22 @@ def _execute_with_watchdog(execute, job: Job, timeout_seconds: float):
     return outcome["result"]
 
 
+def _claim_bundle(
+    queue: JobQueue, worker_id: str, lease_seconds: float, want: int
+) -> list[Job]:
+    """Claim up to ``want`` jobs — one queue round-trip when the queue
+    supports bundling, a plain single claim otherwise (a custom queue
+    predating ``claim_batch`` keeps working, just unamortized)."""
+    if want > 1 and hasattr(queue, "claim_batch"):
+        return list(
+            queue.claim_batch(
+                worker_id, lease_seconds=lease_seconds, limit=want
+            )
+        )
+    job = queue.claim(worker_id, lease_seconds=lease_seconds)
+    return [] if job is None else [job]
+
+
 def run_worker(
     queue: JobQueue,
     worker_id: str | None = None,
@@ -186,6 +205,7 @@ def run_worker(
     on_heartbeat=None,
     checkpoint=None,
     job_timeout_seconds: float | None = None,
+    bundle: int = 1,
 ) -> int:
     """Drain jobs from ``queue``; returns how many this worker completed.
 
@@ -212,6 +232,14 @@ def run_worker(
     ``checkpoint(stage, job)`` is the fault-injection seam (see the
     module docstring for the stages); ``None`` costs nothing.
 
+    ``bundle=N`` claims up to N jobs per queue round-trip (one lease
+    deadline for the whole bundle — size ``lease_seconds`` for the
+    *bundle's* wall clock, not one job's).  Acks stay per-job, so a
+    worker dying after acking job *k* of N strands only the unacked
+    remainder, recovered by lease expiry like any dead worker's claim.
+    On a queue without ``claim_batch`` the worker degrades to single
+    claims.
+
     Acks carry this worker's id, so a straggler whose lease was reaped
     and whose job was re-run elsewhere gets a clean stale-ack rejection
     instead of silently double-recording the result.  Every acked
@@ -221,6 +249,8 @@ def run_worker(
     """
     if worker_id is None:
         worker_id = default_worker_id()
+    if bundle < 1:
+        raise ValueError(f"bundle must be >= 1, got {bundle}")
     completed = 0
     failed = 0
     last_job_id: str | None = None
@@ -238,8 +268,15 @@ def run_worker(
 
     beat()
     while max_jobs is None or completed < max_jobs:
-        job = queue.claim(worker_id, lease_seconds=lease_seconds)
-        if job is None:
+        # Never claim past the max_jobs cap: a bundle claimed but not
+        # run would strand its jobs until lease expiry for no reason.
+        want = (
+            bundle
+            if max_jobs is None
+            else max(1, min(bundle, max_jobs - completed))
+        )
+        jobs = _claim_bundle(queue, worker_id, lease_seconds, want)
+        if not jobs:
             # Recover orphaned leases ourselves — a serial run has no
             # runner loop reaping alongside, and in a fleet this lets
             # any surviving worker pick up a dead peer's job.
@@ -250,34 +287,39 @@ def run_worker(
                 break
             time.sleep(poll_seconds)
             continue
-        if checkpoint is not None:
-            checkpoint("after-claim", job)
-        try:
+        for position, job in enumerate(jobs):
             if checkpoint is not None:
-                checkpoint("mid-encode", job)
-            if job_timeout_seconds is None:
-                result = execute(job)
+                checkpoint("after-claim", job)
+            try:
+                if checkpoint is not None:
+                    checkpoint("mid-encode", job)
+                if job_timeout_seconds is None:
+                    result = execute(job)
+                else:
+                    result = _execute_with_watchdog(
+                        execute, job, job_timeout_seconds
+                    )
+            except Exception:
+                queue.fail(job.job_id, traceback.format_exc())
+                failed += 1
+                last_job_id = job.job_id
+                beat()
             else:
-                result = _execute_with_watchdog(
-                    execute, job, job_timeout_seconds
-                )
-        except Exception:
-            queue.fail(job.job_id, traceback.format_exc())
-            failed += 1
-            last_job_id = job.job_id
-            beat()
-            continue
-        result = attach_result_checksum(result)
-        if checkpoint is not None:
-            checkpoint("before-ack", job)
-        if queue.ack(job.job_id, result, worker_id=worker_id):
-            completed += 1
-        # else: stale ack — the lease expired and someone else owns the
-        # job now; drop the result and move on.
-        if checkpoint is not None:
-            checkpoint("after-ack", job)
-        last_job_id = job.job_id
-        beat()
+                result = attach_result_checksum(result)
+                if checkpoint is not None:
+                    checkpoint("before-ack", job)
+                if queue.ack(job.job_id, result, worker_id=worker_id):
+                    completed += 1
+                # else: stale ack — the lease expired and someone else
+                # owns the job now; drop the result and move on.
+                if checkpoint is not None:
+                    checkpoint("after-ack", job)
+                last_job_id = job.job_id
+                beat()
+            if checkpoint is not None and position + 1 < len(jobs):
+                # The crash-mid-bundle seam: this worker just finished
+                # job k of N and still holds N-k claimed jobs.
+                checkpoint("mid-bundle", job)
     return completed
 
 
@@ -291,6 +333,7 @@ def worker_entry(
     poll_seconds: float = 0.05,
     stop_when_drained: bool = True,
     job_timeout_seconds: float | None = None,
+    bundle: int = 1,
 ) -> int:
     """Process entry point: attach to a queue directory and work it.
 
@@ -313,4 +356,5 @@ def worker_entry(
         poll_seconds=poll_seconds,
         stop_when_drained=stop_when_drained,
         job_timeout_seconds=job_timeout_seconds,
+        bundle=bundle,
     )

@@ -219,6 +219,7 @@ class DSERunner(QueueRunner):
         workers: int = 2,
         lease_seconds: float = 120.0,
         max_attempts: int = 3,
+        bundle: int | str = 1,
     ):
         normalized = []
         for spec in specs:
@@ -246,6 +247,7 @@ class DSERunner(QueueRunner):
             workers=workers,
             lease_seconds=lease_seconds,
             max_attempts=max_attempts,
+            bundle=bundle,
         )
         self.objectives = tuple(objectives)
 

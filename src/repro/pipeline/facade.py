@@ -661,6 +661,8 @@ def run_many(
     workers: int | None = None,
     lease_seconds: float = 120.0,
     max_attempts: int = 3,
+    bundle: int | str = 1,
+    share_frames: bool | None = None,
 ) -> list:
     """Run a batch of jobs — inline, on a pool, or on a queue.
 
@@ -705,7 +707,10 @@ def run_many(
       ``repro sweep --resume`` can continue, or ``queue_url`` to run
       the grid through a ``repro serve`` daemon over HTTP).  Dead
       workers lose their lease and their jobs are retried up to
-      ``max_attempts`` times; see ``docs/distributed.md``.
+      ``max_attempts`` times; ``bundle`` (a size, or ``"auto"``) claims
+      jobs in batches and ``share_frames`` ships frame buffers over
+      shared memory — both transport knobs, results stay byte-identical
+      (see ``docs/distributed.md``, "Bundling & warm workers").
 
     Every backend returns the same thing: one typed report per job —
     :class:`EncodeReport`, :class:`~repro.pipeline.PlatformReport`, or
@@ -750,6 +755,8 @@ def run_many(
             workers=workers if workers is not None else (processes or 2),
             lease_seconds=lease_seconds,
             max_attempts=max_attempts,
+            bundle=bundle,
+            share_frames=share_frames,
         )
         result = runner.run()
         if result.failures:

@@ -417,6 +417,8 @@ class LadderRunner(QueueRunner):
         poison_threshold: int = 5,
         job_timeout_seconds: float | None = None,
         checkpoint=None,
+        bundle: int | str = 1,
+        share_frames: bool | None = None,
     ):
         if isinstance(spec, dict):
             spec = LadderSpec.from_dict(spec)
@@ -439,6 +441,8 @@ class LadderRunner(QueueRunner):
             poison_threshold=poison_threshold,
             job_timeout_seconds=job_timeout_seconds,
             checkpoint=checkpoint,
+            bundle=bundle,
+            share_frames=share_frames,
         )
 
     def _aggregate(

@@ -170,7 +170,83 @@ class TestChaosParity:
         assert transport.report()["total"] >= 2
 
 
+class TestMidBundleCrash:
+    """A worker that dies after acking job k of an N-job bundle strands
+    only the unacked remainder under the bundle's shared lease; the
+    fleet reaps and re-runs it with no duplicates, no losses, and
+    byte-identical curves — over both durable queue backends."""
+
+    def _bundled_crash_run(self, queue, serial_curves):
+        crash = CrashPlan(mid_bundle=(0,))
+        # the empty-plan ChaosQueue keeps workers in-process (threads),
+        # which is what lets the crash checkpoint reach them — same
+        # trick the chaos parity suite uses
+        runner = SweepRunner(
+            _specs(),
+            queue=ChaosQueue(queue, ChaosPlan()),
+            workers=2,
+            lease_seconds=1.0,
+            max_attempts=8,
+            bundle=3,
+            anchor="classical",
+            checkpoint=crash.checkpoint,
+        )
+        result = runner.run(poll_seconds=0.02)
+        assert not result.failures
+        assert len(result.reports) == len(runner.specs)  # nothing lost
+        assert _curve_bytes(result) == serial_curves
+        # the crash really happened, mid-bundle, exactly once
+        assert [c["stage"] for c in crash.crashes] == ["mid-bundle"]
+        # and nothing was duplicated: one terminal result per job id
+        assert set(queue.results()) == set(runner.job_ids)
+
+    def test_directory_queue_recovers_mid_bundle_crash(
+        self, tmp_path, serial_curves
+    ):
+        self._bundled_crash_run(
+            DirectoryJobQueue(tmp_path / "q", max_attempts=8), serial_curves
+        )
+
+    def test_http_queue_recovers_mid_bundle_crash(self, serial_curves):
+        with QueueServer(MemoryJobQueue(max_attempts=8)) as server:
+            self._bundled_crash_run(HttpJobQueue(server.url), serial_curves)
+
+
 class TestCrashPlan:
+    def test_mid_bundle_crash_fires_between_bundle_jobs(self):
+        crash = CrashPlan(mid_bundle=(0,))
+        queue = MemoryJobQueue()
+        for index in range(3):
+            queue.submit({"x": index}, job_id=f"job-{index}")
+        with pytest.raises(InjectedCrash):
+            run_worker(
+                queue, "w1", lease_seconds=30.0, bundle=3,
+                checkpoint=crash.checkpoint,
+                execute=lambda job: {"ok": True},
+            )
+        # the crash fired after job 0's ack, with jobs 1 and 2 still
+        # claimed under the bundle's shared lease
+        assert crash.crashes == [
+            {"stage": "mid-bundle", "occurrence": 0, "job_id": "job-0"}
+        ]
+        stats = queue.stats()
+        assert (stats.done, stats.claimed, stats.pending) == (1, 2, 0)
+
+    def test_mid_bundle_never_fires_for_per_job_claims(self):
+        # bundle=1 has no "between bundle jobs" moment; the stage must
+        # not fire no matter how many jobs the worker runs
+        crash = CrashPlan(mid_bundle=(0,))
+        queue = MemoryJobQueue()
+        for index in range(3):
+            queue.submit({"x": index}, job_id=f"job-{index}")
+        completed = run_worker(
+            queue, "w1", lease_seconds=30.0, bundle=1,
+            checkpoint=crash.checkpoint,
+            execute=lambda job: {"ok": True},
+        )
+        assert completed == 3
+        assert crash.crashes == []
+
     def test_scheduled_crash_fires_once_and_records(self):
         crash = CrashPlan(before_ack=(0,))
         queue = MemoryJobQueue()

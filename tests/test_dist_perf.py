@@ -1,0 +1,331 @@
+"""The distributed-performance mechanisms — job bundling
+(``claim_batch``), warm workers (:class:`WorkerContext`), and
+shared-memory frame transport (:mod:`repro.pipeline.dist.shm`) — are
+transport/runtime optimizations only.  These tests pin the invariant
+that makes them safe to turn on anywhere: every combination of bundle
+size, queue backend, and worker count reproduces the serial results
+byte for byte, and every shared segment is reclaimed."""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, example, given, settings
+from hypothesis import strategies as st
+
+from repro.pipeline import LadderRunner, LadderSpec, Pipeline, Rendition
+from repro.pipeline.dist import (
+    DirectoryJobQueue,
+    HttpJobQueue,
+    MemoryJobQueue,
+    QueueServer,
+    SweepRunner,
+    active_segments,
+    attach_frames,
+    auto_bundle,
+    job_id_for_spec,
+    publish_frames,
+    unlink_segments,
+)
+from repro.pipeline.dse import DSERunner, dse_grid
+from repro.pipeline.tasks import (
+    WorkerContext,
+    get_worker_context,
+    reset_worker_context,
+    run_task,
+    strip_transport_fields,
+)
+from repro.video import SceneConfig, generate_sequence
+
+SCENE = {"height": 32, "width": 48, "frames": 2}
+QPS = (8.0, 16.0, 24.0)  # queue depth 3: bundles of 7 and 12 exceed it
+
+
+def _specs(qps=QPS):
+    return [
+        Pipeline("classical", {"qp": qp}, scene=SCENE).to_dict() for qp in qps
+    ]
+
+
+def _curve_bytes(result) -> str:
+    doc = result.to_dict()
+    return json.dumps(
+        {"curves": doc["curves"], "bd_rate": doc["bd_rate"]}, sort_keys=True
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_curves():
+    result = SweepRunner(_specs(), workers=0, anchor="classical").run()
+    assert not result.failures
+    return _curve_bytes(result)
+
+
+class TestAutoBundle:
+    def test_serial_takes_the_whole_queue_in_one_claim(self):
+        assert auto_bundle(24, 0) == 24
+        assert auto_bundle(3, 0) == 3
+
+    def test_fleet_gets_roughly_two_claims_per_worker(self):
+        assert auto_bundle(24, 2) == 6
+        assert auto_bundle(24, 4) == 3
+
+    def test_bounds(self):
+        assert auto_bundle(5, 4) == 1  # never zero
+        assert auto_bundle(1000, 2) == 16  # capped per claim
+        assert auto_bundle(0, 2) == 1
+
+
+class TestBundleParitySweep:
+    """The satellite pin: bundle size x backend x worker count, every
+    combination byte-identical to the serial curves — including a
+    bundle that does not divide the grid (7 into 3) and one larger
+    than the whole queue (12)."""
+
+    BUNDLES = (1, 2, 7, 12)
+
+    def _run(self, tmp_path_factory, backend, bundle, workers):
+        if backend == "memory":
+            return SweepRunner(
+                _specs(), queue=MemoryJobQueue(), workers=workers,
+                bundle=bundle, anchor="classical",
+            ).run(poll_seconds=0.02)
+        if backend == "directory":
+            root = tmp_path_factory.mktemp("bundle-q")
+            return SweepRunner(
+                _specs(), queue_dir=root / "q", workers=workers,
+                bundle=bundle, anchor="classical",
+            ).run(poll_seconds=0.02)
+        assert backend == "http"
+        with QueueServer(MemoryJobQueue()) as server:
+            return SweepRunner(
+                _specs(), queue=HttpJobQueue(server.url), workers=workers,
+                bundle=bundle, lease_seconds=60.0, anchor="classical",
+            ).run(poll_seconds=0.02)
+
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        bundle=st.sampled_from(BUNDLES),
+        backend=st.sampled_from(["memory", "directory", "http"]),
+        workers=st.sampled_from([1, 2, 4]),
+    )
+    @example(bundle=2, backend="memory", workers=2)
+    @example(bundle=7, backend="directory", workers=2)  # non-dividing
+    @example(bundle=12, backend="http", workers=4)  # > queue depth
+    @example(bundle=1, backend="http", workers=1)
+    def test_curves_byte_identical_to_serial(
+        self, tmp_path_factory, serial_curves, bundle, backend, workers
+    ):
+        result = self._run(tmp_path_factory, backend, bundle, workers)
+        assert not result.failures
+        assert len(result.reports) == len(QPS)
+        assert _curve_bytes(result) == serial_curves
+        # shared-frames hygiene rides along: nothing may leak, whatever
+        # transport this example picked
+        assert active_segments() == []
+
+    def test_auto_bundle_string_is_accepted_end_to_end(self, serial_curves):
+        result = SweepRunner(
+            _specs(), workers=2, bundle="auto", anchor="classical"
+        ).run(poll_seconds=0.02)
+        assert not result.failures
+        assert _curve_bytes(result) == serial_curves
+
+
+class TestBundleParityOtherRunners:
+    """DSE fronts and ladder tables obey the same contract."""
+
+    def test_dse_front_byte_identical_under_bundling(self):
+        specs = dse_grid("sparsity", values=(0.0, 0.25, 0.5),
+                         height=64, width=96)
+
+        def canon(result):
+            payload = result.to_dict()
+            for volatile in ("elapsed_seconds", "workers"):
+                payload.pop(volatile)
+            return json.dumps(payload, sort_keys=True)
+
+        serial = canon(DSERunner(specs, workers=0).run())
+        for bundle in (2, 7):  # dividing and non-dividing
+            bundled = DSERunner(specs, workers=2, bundle=bundle).run(
+                poll_seconds=0.02
+            )
+            assert canon(bundled) == serial
+
+    def test_ladder_table_byte_identical_with_bundles_and_shm(self, tmp_path):
+        spec = LadderSpec(
+            [
+                Rendition(height=32, width=48, target_kbps=60.0),
+                Rendition(height=32, width=48, target_kbps=120.0),
+            ],
+            codec="classical",
+            codec_config={"qp": 8.0},
+            scene={"frames": 2},
+            rate_control="abr",
+        )
+        serial = LadderRunner(spec, workers=0).run()
+        sharded = LadderRunner(
+            spec, queue_dir=tmp_path / "q", workers=2,
+            bundle=2, share_frames=True,
+        ).run(poll_seconds=0.02)
+        assert sharded.ok
+        baseline = json.dumps(serial.table(), sort_keys=True)
+        assert json.dumps(sharded.table(), sort_keys=True) == baseline
+        assert active_segments() == []
+
+
+class TestWorkerContext:
+    def test_codec_cache_hits_on_identical_config(self):
+        context = WorkerContext()
+        first = context.codec("classical", {"qp": 8.0})
+        second = context.codec("classical", {"qp": 8.0})
+        assert first is second
+        assert context.stats()["hits"] == 1
+        # a different config is a different cache line
+        other = context.codec("classical", {"qp": 16.0})
+        assert other is not first
+        assert context.stats() == {
+            "hits": 1, "misses": 2, "codecs": 2, "scenes": 0,
+        }
+
+    def test_frames_are_cached_but_defensively_copied(self):
+        context = WorkerContext()
+        first = context.frames(SCENE)
+        second = context.frames(SCENE)
+        assert context.stats()["hits"] == 1
+        assert len(first) == SCENE["frames"]
+        for a, b in zip(first, second):
+            assert a is not b
+            assert (a == b).all()
+        # mutating a handed-out frame must not poison the cache
+        first[0][:] = 0.0
+        third = context.frames(SCENE)
+        assert (third[0] == second[0]).all()
+
+    def test_frames_loader_seam_wins_only_on_miss(self):
+        calls = []
+
+        def loader():
+            calls.append(1)
+            return generate_sequence(SceneConfig.from_dict(SCENE))
+
+        context = WorkerContext()
+        context.frames(SCENE, loader=loader)
+        context.frames(SCENE, loader=loader)  # hit: loader not consulted
+        assert calls == [1]
+
+    def test_failed_loader_falls_back_to_generation(self):
+        context = WorkerContext()
+        frames = context.frames(SCENE, loader=lambda: None)
+        expected = generate_sequence(SceneConfig.from_dict(SCENE))
+        for a, b in zip(frames, expected):
+            assert (a == b).all()
+
+    def test_scene_cache_is_lru_bounded(self):
+        context = WorkerContext(max_scenes=2)
+        scenes = [dict(SCENE, seed=seed) for seed in range(3)]
+        for scene in scenes:
+            context.frames(scene)
+        context.frames(scenes[0])  # evicted by the third insert: a miss
+        assert context.stats()["misses"] == 4
+        assert context.stats()["scenes"] == 2
+
+    def test_process_global_context_resets(self):
+        reset_worker_context()
+        context = get_worker_context()
+        assert context is get_worker_context()
+        context.codec("classical", {"qp": 8.0})
+        assert context.stats()["codecs"] == 1
+        reset_worker_context()
+        assert get_worker_context().stats() == {
+            "hits": 0, "misses": 0, "codecs": 0, "scenes": 0,
+        }
+
+    def test_warm_serial_reruns_stay_byte_identical(self, serial_curves):
+        """Two serial sweeps in one process share the warm context;
+        the second (all cache hits) must reproduce the first."""
+        reset_worker_context()
+        first = SweepRunner(_specs(), workers=0, anchor="classical").run()
+        warm = get_worker_context().stats()
+        assert warm["misses"] > 0
+        second = SweepRunner(_specs(), workers=0, anchor="classical").run()
+        reused = get_worker_context().stats()
+        assert reused["hits"] > warm["hits"]
+        assert _curve_bytes(first) == _curve_bytes(second) == serial_curves
+
+
+class TestSharedFrames:
+    def test_publish_attach_round_trip(self):
+        frames = generate_sequence(SceneConfig.from_dict(SCENE))
+        descriptor = publish_frames(frames)
+        try:
+            assert descriptor["name"] in active_segments()
+            assert descriptor["shape"][0] == len(frames)
+            attached = attach_frames(descriptor)
+            assert attached is not None
+            for a, b in zip(attached, frames):
+                assert (a == b).all()
+        finally:
+            assert unlink_segments([descriptor["name"]]) == 1
+        assert descriptor["name"] not in active_segments()
+
+    def test_attach_degrades_to_none_never_raises(self):
+        assert attach_frames({}) is None  # malformed
+        assert attach_frames({"name": 1, "shape": "x", "dtype": 2}) is None
+        gone = {"name": "psm_never_existed", "shape": [1, 3, 2, 2],
+                "dtype": "float64"}
+        assert attach_frames(gone) is None  # unreachable
+        frames = generate_sequence(SceneConfig.from_dict(SCENE))
+        descriptor = publish_frames(frames)
+        try:
+            oversized = dict(descriptor, shape=[999, 3, 64, 64])
+            assert attach_frames(oversized) is None  # does not fit
+        finally:
+            unlink_segments([descriptor["name"]])
+
+    def test_unlink_is_idempotent(self):
+        frames = generate_sequence(SceneConfig.from_dict(SCENE))
+        descriptor = publish_frames(frames)
+        assert unlink_segments([descriptor["name"]]) == 1
+        assert unlink_segments([descriptor["name"]]) == 0
+        assert unlink_segments(["not-ours"]) == 0
+
+    def test_empty_publish_is_refused(self):
+        with pytest.raises(ValueError, match="empty"):
+            publish_frames([])
+
+
+class TestTransportAnnotations:
+    def test_strip_transport_fields_removes_only_annotations(self):
+        spec = _specs((8.0,))[0]
+        annotated = {**spec, "frames_shm": {"name": "psm_x"}}
+        assert strip_transport_fields(annotated) == spec
+        assert strip_transport_fields(spec) == spec
+        assert "frames_shm" in annotated  # input untouched
+
+    def test_job_ids_ignore_how_frames_travel(self):
+        spec = _specs((8.0,))[0]
+        annotated = {**spec, "frames_shm": {"name": "psm_x"}}
+        assert job_id_for_spec(0, spec) == job_id_for_spec(0, annotated)
+
+    def test_stale_descriptor_regenerates_identically(self):
+        """A worker holding a dead segment handle (resumed run, remote
+        host) silently re-synthesizes byte-identical frames."""
+        spec = _specs((8.0,))[0]
+        frames = generate_sequence(SceneConfig.from_dict(SCENE))
+        descriptor = publish_frames(frames)
+
+        def timeless(doc):
+            return {
+                k: v for k, v in doc.items()
+                if k not in ("encode_seconds", "decode_seconds")
+            }
+
+        live = run_task({**spec, "frames_shm": descriptor})
+        unlink_segments([descriptor["name"]])
+        stale = run_task({**spec, "frames_shm": descriptor})
+        clean = run_task(spec)
+        assert timeless(live) == timeless(stale) == timeless(clean)

@@ -15,6 +15,7 @@ from repro.pipeline.dist import (
     DirectoryJobQueue,
     MemoryJobQueue,
     SweepRunner,
+    active_segments,
     job_id_for_spec,
     run_worker,
     verify_result_checksum,
@@ -108,6 +109,65 @@ class TestQueueProtocol:
         stats = queue.stats()
         assert (stats.pending, stats.claimed, stats.failed) == (0, 0, 1)
         assert "lease expired" in queue.failures()["lost"]
+
+    def test_claim_batch_pops_in_order_under_one_lease(
+        self, tmp_path, make_queue
+    ):
+        queue = make_queue(tmp_path)
+        for index in range(5):
+            queue.submit({"x": index}, job_id=f"job-{index}")
+        bundle = queue.claim_batch("w1", lease_seconds=30.0, limit=3)
+        assert [job.spec["x"] for job in bundle] == [0, 1, 2]
+        stats = queue.stats()
+        assert (stats.pending, stats.claimed) == (2, 3)
+        # a limit past the queue depth returns what's left, not an error
+        rest = queue.claim_batch("w2", lease_seconds=30.0, limit=10)
+        assert [job.spec["x"] for job in rest] == [3, 4]
+        # drained: an empty bundle, same contract as claim() -> None
+        assert queue.claim_batch("w3", lease_seconds=30.0, limit=2) == []
+        for job in bundle + rest:
+            queue.ack(job.job_id, {"ok": True})
+        assert queue.stats().done == 5
+
+    def test_claim_batch_limit_one_equals_claim(self, tmp_path, make_queue):
+        queue = make_queue(tmp_path)
+        queue.submit({"x": 1}, job_id="solo")
+        (job,) = queue.claim_batch("w1", lease_seconds=30.0, limit=1)
+        assert job.job_id == "solo" and job.attempts == 0
+        assert queue.claim("w2", lease_seconds=30.0) is None
+
+    def test_claim_batch_rejects_nonpositive_limit(
+        self, tmp_path, make_queue
+    ):
+        queue = make_queue(tmp_path)
+        with pytest.raises(ValueError, match="limit"):
+            queue.claim_batch("w", lease_seconds=30.0, limit=0)
+
+    def test_partially_acked_bundle_requeues_only_the_remainder(
+        self, tmp_path, make_queue
+    ):
+        """The mid-bundle lease contract: acks are per-job, so a worker
+        that dies after finishing job k of N strands only the unacked
+        N-k — reaped together when the bundle's shared lease expires,
+        with nothing lost and nothing duplicated."""
+        queue = make_queue(tmp_path)  # max_attempts=2
+        for index in range(3):
+            queue.submit({"x": index}, job_id=f"job-{index}")
+        bundle = queue.claim_batch("doomed", lease_seconds=0.05, limit=3)
+        assert len(bundle) == 3
+        queue.ack(bundle[0].job_id, {"ok": True}, worker_id="doomed")
+        # ...worker dies here; the shared lease expires for the rest
+        time.sleep(0.08)
+        assert sorted(queue.reap_expired()) == ["job-1", "job-2"]
+        stats = queue.stats()
+        assert (stats.pending, stats.claimed, stats.done) == (2, 0, 1)
+        retry = queue.claim_batch("survivor", lease_seconds=30.0, limit=3)
+        assert [job.job_id for job in retry] == ["job-1", "job-2"]
+        assert all(job.attempts == 1 for job in retry)
+        for job in retry:
+            queue.ack(job.job_id, {"ok": True}, worker_id="survivor")
+        assert queue.stats().done == 3
+        assert set(queue.results()) == {"job-0", "job-1", "job-2"}
 
 
 class TestDirectoryQueue:
@@ -312,6 +372,139 @@ class TestWorkerDeath:
         assert [r.codec_config["qp"] for r in result.reports] == [
             8.0, 16.0, 32.0,
         ]
+
+
+class TestBundledWorker:
+    def test_bundled_worker_completes_everything_in_order(self):
+        queue = MemoryJobQueue()
+        for index in range(5):
+            queue.submit({"x": index}, job_id=f"{index:05d}-j")
+        seen = []
+
+        def execute(job):
+            seen.append(job.spec["x"])
+            return {"ok": True}
+
+        completed = run_worker(
+            queue, "w", lease_seconds=30.0, bundle=2, execute=execute
+        )
+        assert completed == 5
+        assert seen == [0, 1, 2, 3, 4]
+        assert queue.stats().done == 5
+
+    def test_bundle_claim_is_capped_by_max_jobs(self):
+        queue = MemoryJobQueue()
+        for index in range(5):
+            queue.submit({"x": index}, job_id=f"{index:05d}-j")
+        completed = run_worker(
+            queue, "w", lease_seconds=30.0, bundle=4, max_jobs=2,
+            execute=lambda job: {"ok": True},
+        )
+        assert completed == 2
+        # the worker never over-claimed: the rest are still pending,
+        # not stranded under its lease
+        stats = queue.stats()
+        assert (stats.pending, stats.claimed, stats.done) == (3, 0, 2)
+
+    def test_failures_inside_a_bundle_do_not_sink_its_siblings(self):
+        queue = MemoryJobQueue(max_attempts=1)
+        queue.submit({"boom": False}, job_id="00000-fine")
+        queue.submit({"boom": True}, job_id="00001-bad")
+        queue.submit({"boom": False}, job_id="00002-fine")
+
+        def execute(job):
+            if job.spec["boom"]:
+                raise RuntimeError("injected")
+            return {"ok": True}
+
+        completed = run_worker(
+            queue, "w", lease_seconds=30.0, bundle=3, execute=execute
+        )
+        assert completed == 2
+        assert set(queue.results()) == {"00000-fine", "00002-fine"}
+        assert "injected" in queue.failures()["00001-bad"]
+
+
+class TestSharedFrameHygiene:
+    GRID = dict(
+        codecs=["classical"],
+        codec_configs=[{"qp": 8.0}, {"qp": 16.0}],
+        scenes=[SCENE],
+    )
+
+    def _timeless(self, report):
+        doc = report.to_dict()
+        for volatile in ("encode_seconds", "decode_seconds"):
+            doc.pop(volatile)
+        return doc
+
+    def test_sweep_unlinks_every_segment_after_drain(self, tmp_path):
+        assert active_segments() == []
+        runner = SweepRunner(
+            **self.GRID, queue_dir=tmp_path / "q", workers=2,
+            bundle=2, share_frames=True,
+        )
+        result = runner.run(poll_seconds=0.02)
+        assert result.ok, result.failures
+        assert active_segments() == []
+
+    def test_segments_reclaimed_even_when_a_worker_is_killed(self, tmp_path):
+        root = str(tmp_path / "q")
+        runner = SweepRunner(
+            **self.GRID, queue_dir=root, workers=2,
+            lease_seconds=0.3, share_frames=True,
+        )
+        runner.submit()
+        assert runner._shm_names  # frames actually went out via shm
+        context = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else None
+        )
+        victim = context.Process(target=_claim_and_die, args=(root, 0.3))
+        victim.start()
+        victim.join(timeout=30)
+        assert victim.exitcode == 1
+        result = runner.run(poll_seconds=0.02)
+        assert result.ok, result.failures
+        assert active_segments() == []
+
+    def test_stale_segments_fall_back_to_identical_results(self, tmp_path):
+        """Workers that cannot attach (the segments are gone — a
+        resumed run, or an HTTP worker on another host) re-synthesize
+        frames and produce byte-identical reports."""
+        serial = SweepRunner(**self.GRID, workers=0).run()
+        runner = SweepRunner(
+            **self.GRID, queue_dir=tmp_path / "q", workers=2,
+            share_frames=True,
+        )
+        runner.submit()
+        # yank every segment before any worker starts: all the queued
+        # descriptors are now stale
+        assert runner.release_shared_frames() > 0
+        result = runner.run(poll_seconds=0.02)
+        assert result.ok, result.failures
+        assert [self._timeless(r) for r in result.reports] == [
+            self._timeless(r) for r in serial.reports
+        ]
+        assert active_segments() == []
+
+    def test_http_workers_fall_back_to_identical_results(self):
+        from repro.pipeline.dist import HttpJobQueue, QueueServer
+
+        serial = SweepRunner(**self.GRID, workers=0).run()
+        with QueueServer(MemoryJobQueue()) as server:
+            runner = SweepRunner(
+                **self.GRID, queue=HttpJobQueue(server.url), workers=2,
+                lease_seconds=60.0, share_frames=True,
+            )
+            runner.submit()
+            assert runner.release_shared_frames() > 0  # all stale now
+            result = runner.run(poll_seconds=0.02)
+        assert result.ok, result.failures
+        assert [self._timeless(r) for r in result.reports] == [
+            self._timeless(r) for r in serial.reports
+        ]
+        assert active_segments() == []
 
 
 class TestAggregationParity:

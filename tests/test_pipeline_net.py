@@ -94,6 +94,62 @@ class TestHttpProtocol:
         assert (stats.pending, stats.failed) == (0, 1)
         assert "boom 2" in http_queue.failures()["flaky"]
 
+    def test_claim_batch_is_one_round_trip(self, http_queue):
+        for index in range(5):
+            http_queue.submit({"x": index}, job_id=f"job-{index}")
+        bundle = http_queue.claim_batch("w1", lease_seconds=30.0, limit=3)
+        assert [job.spec["x"] for job in bundle] == [0, 1, 2]
+        stats = http_queue.stats()
+        assert (stats.pending, stats.claimed) == (2, 3)
+        # past the queue depth: what's left, no error
+        rest = http_queue.claim_batch("w2", lease_seconds=30.0, limit=10)
+        assert [job.spec["x"] for job in rest] == [3, 4]
+        assert http_queue.claim_batch("w3", lease_seconds=30.0, limit=2) == []
+        for job in bundle + rest:
+            assert http_queue.ack(job.job_id, {"ok": True})
+        assert http_queue.stats().done == 5
+
+    def test_claim_batch_wire_response_keeps_single_job_field(
+        self, http_queue
+    ):
+        """The batched /claim response carries "jobs" plus the legacy
+        "job" (first-of-bundle) so pre-batching clients keep working."""
+        http_queue.submit({"x": 1}, job_id="compat")
+        payload = http_queue._request(
+            "POST",
+            "/claim",
+            {"worker_id": "w", "lease_seconds": 30.0, "batch": 2},
+        )
+        assert [doc["job_id"] for doc in payload["jobs"]] == ["compat"]
+        assert payload["job"]["job_id"] == "compat"
+
+    def test_claim_batch_rejects_nonpositive_batch(self, http_queue):
+        # client-side: before any request goes out
+        with pytest.raises(ValueError, match="limit"):
+            http_queue.claim_batch("w", lease_seconds=30.0, limit=0)
+        # server-side: a hand-rolled batch=0 is a clean wire error
+        with pytest.raises(HttpQueueError):
+            http_queue._request(
+                "POST",
+                "/claim",
+                {"worker_id": "w", "lease_seconds": 30.0, "batch": 0},
+            )
+
+    def test_attempts_map_is_one_round_trip(self, http_queue):
+        """The bulk /attempts form returns every requested counter at
+        once — the runner's poison breaker polls it instead of one
+        request per unfinished job."""
+        for name in ("burned", "fresh"):
+            http_queue.submit({"x": 1}, job_id=name)
+        assert http_queue.claim("w", lease_seconds=0.05).job_id == "burned"
+        time.sleep(0.08)
+        assert http_queue.reap_expired() == ["burned"]
+        counts = http_queue.attempts_map(["burned", "fresh", "unknown"])
+        assert counts == {"burned": 1, "fresh": 0, "unknown": 0}
+        assert http_queue.attempts_map([]) == {}
+        # the single-job wire form stays intact
+        assert http_queue.attempts("burned") == 1
+
     def test_lease_expiry_reaps_over_the_wire(self, http_queue):
         http_queue.submit({"x": 1}, job_id="leased")
         assert http_queue.claim("w1", lease_seconds=0.05) is not None
