@@ -43,6 +43,11 @@ directly, and ``register_codec`` adds new variants without touching
 any caller.
 """
 
+# Defined before the imports below so the build is identifiable even
+# from modules imported during package initialization (e.g. the
+# observability layer stamping trace files and heartbeats).
+__version__ = "1.2.0"
+
 from .codec import CTVCConfig, CTVCNet, ClassicalCodec, ClassicalCodecConfig
 from .core import NVCACodesign, SparseStrategy
 from .hw import NVCAConfig
@@ -58,8 +63,6 @@ from .pipeline import (
 )
 from .serialization import ConfigError, SerializableConfig
 from .video import SceneConfig
-
-__version__ = "1.1.0"
 
 __all__ = [
     "CTVCConfig",

@@ -55,6 +55,16 @@ Subcommands:
                    ``--queue-dir``, ``--queue-url``, ``--resume``) and
                    report the design-point table with its Pareto front
                    (``--pareto`` for the frontier alone).
+* ``trace``      — render a flight-recorder JSONL dump (a fleet
+                   command's ``--trace-out`` file, or the daemon's
+                   ``/trace`` endpoint saved to disk) as a nested span
+                   tree with per-span durations and the critical path.
+
+``sweep``/``ladder``/``dse`` also take ``--metrics-out`` (write the
+runner's metrics registry as Prometheus text after the run) and
+``--trace-out`` (switch span tracing on and dump the flight recorder
+as JSONL); ``repro --version`` prints the build stamped into
+heartbeats and trace files.
 
 Every subcommand accepts ``--json`` to emit the structured report
 (``to_dict()``) instead of the human rendering, and ``-o/--output`` to
@@ -361,6 +371,54 @@ def _csv_rows(result) -> list[list]:
     return rows
 
 
+def _obs_start(args) -> None:
+    """``--trace-out`` opts the run into span tracing (off by default;
+    metrics are always on, so ``--metrics-out`` needs no arming)."""
+    if getattr(args, "trace_out", None):
+        from repro.obs import enable
+
+        enable()
+
+
+def _obs_write(args) -> None:
+    """Write the ``--metrics-out`` / ``--trace-out`` artifacts after a
+    fleet run.  Metrics are this process's registry (runner-side
+    counters; worker-side series ride the daemon's ``/metrics``
+    endpoint), the trace is the flight recorder's ring as JSONL."""
+    if getattr(args, "metrics_out", None):
+        from repro.obs import get_registry
+
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(get_registry().render())
+    if getattr(args, "trace_out", None):
+        from repro.obs import get_recorder
+
+        get_recorder().dump(args.trace_out)
+
+
+def _cmd_trace(args) -> int:
+    """Render a flight-recorder JSONL dump (from ``--trace-out`` or the
+    daemon's ``/trace`` endpoint): the span tree, then the critical
+    path (slowest root, descending into its slowest child)."""
+    from repro.obs import critical_path, load_trace, render_trace_tree
+
+    meta, spans = load_trace(args.trace_file)
+    payload = {"meta": meta, "spans": spans}
+    if not spans:
+        return _emit(args, f"{args.trace_file}: no spans recorded", payload)
+    header = f"{len(spans)} span(s) from {args.trace_file}"
+    if meta and meta.get("version"):
+        header += f"  (repro {meta['version']})"
+    lines = [header, render_trace_tree(spans, max_roots=args.max_roots)]
+    chain = critical_path(spans)
+    payload["critical_path"] = chain
+    lines.append("critical path:")
+    for record in chain:
+        dur_ms = float(record.get("dur_s", 0.0)) * 1000.0
+        lines.append(f"  {record.get('name', '?')}  {dur_ms:.2f}ms")
+    return _emit(args, "\n".join(lines), payload)
+
+
 def _cmd_sweep(args) -> int:
     import csv
 
@@ -438,7 +496,9 @@ def _cmd_sweep(args) -> int:
                 f"done {stats.done}  failed {stats.failed}",
                 file=sys.stderr,
             )
+    _obs_start(args)
     result = runner.run(progress)
+    _obs_write(args)
     if args.csv:
         with open(args.csv, "w", newline="", encoding="utf-8") as handle:
             csv.writer(handle).writerows(_csv_rows(result))
@@ -543,7 +603,9 @@ def _cmd_ladder(args) -> int:
                 f"done {stats.done}  failed {stats.failed}",
                 file=sys.stderr,
             )
+    _obs_start(args)
     result = runner.run(progress)
+    _obs_write(args)
     if args.csv:
         rows = [list(_LADDER_CSV_COLUMNS)]
         for row in result.table():
@@ -763,7 +825,9 @@ def _cmd_dse(args) -> int:
                 f"done {stats.done}  failed {stats.failed}",
                 file=sys.stderr,
             )
+    _obs_start(args)
     result = runner.run(progress)
+    _obs_write(args)
     if args.csv:
         with open(args.csv, "w", newline="", encoding="utf-8") as handle:
             csv.writer(handle).writerows(_dse_csv_rows(result))
@@ -974,7 +1038,14 @@ def _cmd_retry(args) -> int:
 
 
 def main(argv=None) -> int:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}",
+        help="print the build version (also stamped into heartbeats and "
+        "trace files) and exit",
+    )
     # Bare ``python -m repro`` runs the default subcommand with its
     # defaults; dispatch goes through ``func`` so user argv is never
     # re-parsed or discarded.
@@ -1184,6 +1255,16 @@ def main(argv=None) -> int:
         action="store_true",
         help="print queue progress snapshots to stderr",
     )
+    swp.add_argument(
+        "--metrics-out", default=None,
+        help="write this process's metrics registry as Prometheus text "
+        "after the run (fleet-wide series live on the daemon's /metrics)",
+    )
+    swp.add_argument(
+        "--trace-out", default=None,
+        help="enable span tracing for the run and dump the flight "
+        "recorder as JSONL here (render with 'repro trace FILE')",
+    )
     swp.add_argument("-o", "--output", default=None, help="report file")
     swp.add_argument("--json", action="store_true", help="emit structured JSON")
     swp.set_defaults(func=_cmd_sweep)
@@ -1266,6 +1347,16 @@ def main(argv=None) -> int:
     lad.add_argument(
         "--progress", action="store_true",
         help="print queue progress snapshots to stderr",
+    )
+    lad.add_argument(
+        "--metrics-out", default=None,
+        help="write this process's metrics registry as Prometheus text "
+        "after the run (fleet-wide series live on the daemon's /metrics)",
+    )
+    lad.add_argument(
+        "--trace-out", default=None,
+        help="enable span tracing for the run and dump the flight "
+        "recorder as JSONL here (render with 'repro trace FILE')",
     )
     lad.add_argument("-o", "--output", default=None, help="report file")
     lad.add_argument("--json", action="store_true", help="emit structured JSON")
@@ -1405,6 +1496,16 @@ def main(argv=None) -> int:
     dse.add_argument(
         "--progress", action="store_true",
         help="print queue progress snapshots to stderr",
+    )
+    dse.add_argument(
+        "--metrics-out", default=None,
+        help="write this process's metrics registry as Prometheus text "
+        "after the run (fleet-wide series live on the daemon's /metrics)",
+    )
+    dse.add_argument(
+        "--trace-out", default=None,
+        help="enable span tracing for the run and dump the flight "
+        "recorder as JSONL here (render with 'repro trace FILE')",
     )
     dse.add_argument("-o", "--output", default=None, help="report file")
     dse.add_argument("--json", action="store_true", help="emit structured JSON")
@@ -1549,6 +1650,24 @@ def main(argv=None) -> int:
     rty.add_argument("--json", action="store_true",
                      help="emit structured JSON")
     rty.set_defaults(func=_cmd_retry)
+
+    trc = sub.add_parser(
+        "trace",
+        help="render a flight-recorder JSONL dump as a span tree with "
+        "its critical path",
+    )
+    trc.add_argument(
+        "trace_file",
+        help="JSONL trace (a sweep/ladder/dse --trace-out file, or the "
+        "daemon's /trace endpoint saved to disk)",
+    )
+    trc.add_argument(
+        "--max-roots", type=int, default=None,
+        help="show only the newest N root spans (default: all)",
+    )
+    trc.add_argument("-o", "--output", default=None, help="report file")
+    trc.add_argument("--json", action="store_true", help="emit structured JSON")
+    trc.set_defaults(func=_cmd_trace)
 
     from repro.pipeline import CodecRegistryError
     from repro.pipeline.dist import HttpQueueError

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.fft import dctn, idctn
 
+from repro.obs.tracing import encode_stage_timer
 from repro.serialization import SerializableConfig
 from repro.video.yuv import rgb_to_ycbcr, subsample_420, upsample_420, ycbcr_to_rgb
 
@@ -163,22 +164,31 @@ class _PlaneCoder:
 
     def encode(self, plane: np.ndarray) -> tuple[bytes, dict, np.ndarray]:
         """Returns (payload, side-info meta, reconstructed plane)."""
+        # None while tracing is off: each stage boundary then costs
+        # one truthiness check, and no clock is ever read.
+        timer = encode_stage_timer("classical")
         h, w = plane.shape
         padded = _pad_to_blocks(plane)
         blocks = _blockify(padded)
         coeffs = dctn(blocks, axes=(1, 2), norm="ortho")
         flat = coeffs.reshape(len(blocks), 64)[:, _ZIGZAG]
+        if timer:
+            timer.lap("transform")
         raw = np.round(flat / self.qstep)
         support = int(np.clip(np.max(np.abs(raw)), 16, 4 * self.max_support))
         quantized = np.clip(raw, -support, support).astype(np.int64)
 
         scales = _band_scales(quantized)
         models = _band_models(scales, support)
+        if timer:
+            timer.lap("quantize")
         segments = [
             (quantized[:, lo:hi].ravel() + support, model.model)
             for (lo, hi), model in zip(_BANDS, models)
         ]
         payload = self.entropy.encode_segments(segments)
+        if timer:
+            timer.lap("entropy")
 
         recon = self._reconstruct(quantized, padded.shape)
         meta = {"s": scales, "u": support}

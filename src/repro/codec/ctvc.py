@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.tracing import encode_stage_timer
 from repro.serialization import SerializableConfig
 from repro.video.yuv import rgb_to_ycbcr
 
@@ -218,6 +219,9 @@ class CTVCNet:
             else self._frame_qstep
         )
         qstep = f16_from_bits(f16_bits(qstep))
+        # The analysis transform already ran in the nets upstream;
+        # the stages this coder owns are quantize and entropy.
+        timer = encode_stage_timer("ctvc")
         q = np.round(latent / qstep).astype(np.int64)
         support = int(np.clip(np.max(np.abs(q)), 2, 2048))
         q = np.clip(q, -support, support)
@@ -225,6 +229,8 @@ class CTVCNet:
         scale_bits = [
             f16_bits(LaplacianModel.fit_scale(q[c])) for c in range(channels)
         ]
+        if timer:
+            timer.lap("quantize")
         segments = [
             (
                 q[c].ravel() + support,
@@ -233,6 +239,8 @@ class CTVCNet:
             for c in range(channels)
         ]
         payload = self.entropy.encode_segments(segments)
+        if timer:
+            timer.lap("entropy")
         meta = {
             "q": f16_bits(qstep),
             "u": support,

@@ -47,6 +47,9 @@ from typing import Callable, Iterable, Iterator
 
 import numpy as np
 
+from repro.obs import tracing as _obs
+from repro.obs.metrics import get_registry as _obs_registry
+
 from .bitstream import FramePacket
 
 __all__ = [
@@ -237,10 +240,19 @@ class GopEncoderSession(EncoderSession):
         if adaptive:
             qp = rc.frame_qp(frame_type, self._budget)
             self._apply_qp(qp)
-        if frame_type == "I":
-            packet, self._reference = self._intra(frame)
-        else:
-            packet, self._reference = self._inter(frame, self._reference)
+        # Observability rides the same bypass idiom as rate control:
+        # disabled, span() returns a shared no-op and nothing below
+        # reads a clock; timing never touches packet bytes either way.
+        with _obs.span("encode.frame", frame_type=frame_type,
+                       index=self._index):
+            if frame_type == "I":
+                packet, self._reference = self._intra(frame)
+            else:
+                packet, self._reference = self._inter(frame, self._reference)
+        if _obs.enabled():
+            _obs_registry().counter(
+                "repro_frames_encoded_total", "frames coded by GOP sessions"
+            ).inc(frame_type=frame_type)
         self._index += 1
         if adaptive:
             # charging the ledger costs one extra serialize per packet,

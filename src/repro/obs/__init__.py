@@ -1,0 +1,76 @@
+"""Observability: metrics, tracing spans, and the flight recorder.
+
+The sixth subsystem (see ``docs/observability.md``).  Two layers, one
+rule each:
+
+* :mod:`repro.obs.metrics` — process-local counters / gauges /
+  histograms, **always on**: the distributed layer (jobs, HTTP
+  requests, chaos events) records unconditionally because an update is
+  ~a microsecond.  Workers ship registry snapshots on their heartbeat;
+  the queue server merges the fleet and serves Prometheus text at
+  ``GET /metrics``.
+* :mod:`repro.obs.tracing` — nested spans plus per-stage codec timers,
+  **off by default**: per-frame/per-plane instrumentation hides behind
+  one switch (:func:`enable`, ``REPRO_OBS_TRACE=1``, or a CLI
+  ``--trace-out``) so the encode hot path costs ~nothing until someone
+  is actually looking.  Finished spans land in a ring-buffer
+  :class:`FlightRecorder` whose JSONL dumps ``repro trace`` renders.
+
+This package imports nothing above the standard library, so any layer
+— codec sessions, workers, the HTTP queue — can instrument itself
+without import cycles.
+"""
+
+from .metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    merge_snapshots,
+    render_prometheus,
+    reset_registry,
+)
+from .tracing import (
+    FlightRecorder,
+    Span,
+    critical_path,
+    current_job_id,
+    drain_spans,
+    enable,
+    enabled,
+    encode_stage_timer,
+    get_recorder,
+    load_trace,
+    render_trace_tree,
+    set_job_id,
+    span,
+    trace_meta,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "FlightRecorder",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "critical_path",
+    "current_job_id",
+    "drain_spans",
+    "enable",
+    "enabled",
+    "encode_stage_timer",
+    "get_recorder",
+    "get_registry",
+    "load_trace",
+    "merge_snapshots",
+    "render_prometheus",
+    "render_trace_tree",
+    "reset_registry",
+    "set_job_id",
+    "span",
+    "trace_meta",
+]

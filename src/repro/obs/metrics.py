@@ -1,0 +1,391 @@
+"""Process-local metrics: counters, gauges, histograms — cheap enough
+to leave on.
+
+A :class:`MetricsRegistry` is a named table of instruments.  Each
+instrument keeps one numeric series per distinct label set (``labels``
+are plain keyword arguments), with **bounded cardinality**: past
+``max_series`` distinct label sets, further observations collapse into
+a single ``overflow="true"`` series instead of growing without bound —
+a misbehaving label (a job id, a timestamp) can waste one series, never
+unbounded memory.
+
+Everything is stdlib-only and thread-safe.  The cost model is the
+point: an increment is a lock + dict update (~1 µs), a histogram
+observation adds a bisect over ~a dozen fixed bucket edges.  That is
+what lets the distributed layer (per job, per HTTP request) stay
+instrumented unconditionally, while per-frame/per-stage codec
+instrumentation hides behind the tracing switch
+(:func:`repro.obs.tracing.enabled`).
+
+Snapshots are JSON-ready dicts — the wire form a worker ships on its
+heartbeat — and :func:`merge_snapshots` folds any number of them into
+one (counters and histograms sum; gauges last-write-wins), which is
+how the queue server aggregates a fleet.  :func:`render_prometheus`
+turns a snapshot into Prometheus text exposition format for the
+``GET /metrics`` endpoint (see ``docs/observability.md``).
+
+>>> reg = MetricsRegistry()
+>>> reg.counter("repro_jobs_completed_total").inc(kind="encode")
+>>> reg.histogram("repro_job_seconds").observe(0.2, kind="encode")
+>>> "repro_jobs_completed_total" in reg.render()
+True
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from bisect import bisect_left
+from functools import lru_cache
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "merge_snapshots",
+    "render_prometheus",
+    "reset_registry",
+]
+
+#: Default histogram bucket edges in seconds: 100 µs to 10 s, roughly
+#: logarithmic.  Covers everything from a single HTTP round trip to a
+#: full CIF encode; the implicit final bucket is +Inf.
+DEFAULT_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Label-set key a series collapses into once an instrument hits its
+#: cardinality bound.
+_OVERFLOW_KEY = '{"overflow": "true"}'
+
+
+@lru_cache(maxsize=4096)
+def _label_key_cached(items: tuple) -> str:
+    return json.dumps({k: str(v) for k, v in items}, sort_keys=True)
+
+
+def _label_key(labels: dict) -> str:
+    """Canonical string key for one label set (sorted, JSON).
+
+    Hot-path note: instruments pay this on every update, and the same
+    few label sets recur millions of times (codec/stage, kind, path),
+    so the JSON encoding is memoized on the sorted item tuple.  The
+    rare unhashable label value falls back to a direct encode.
+    """
+    if not labels:
+        return "{}"
+    try:
+        return _label_key_cached(tuple(sorted(labels.items())))
+    except TypeError:
+        return json.dumps(
+            {k: str(v) for k, v in sorted(labels.items())}, sort_keys=True
+        )
+
+
+class _Instrument:
+    """Shared plumbing: one series per label set, bounded cardinality."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, *, max_series: int = 64):
+        self.name = name
+        self.help = help
+        self.max_series = int(max_series)
+        self._lock = threading.Lock()
+        self._series: dict[str, object] = {}
+
+    def _key_for(self, labels: dict) -> str:
+        """Series key for ``labels``; the overflow series past the
+        cardinality bound.  Caller holds the lock."""
+        key = _label_key(labels)
+        if key in self._series or len(self._series) < self.max_series:
+            return key
+        return _OVERFLOW_KEY
+
+    def labels_count(self) -> int:
+        with self._lock:
+            return len(self._series)
+
+
+class Counter(_Instrument):
+    """Monotonically increasing count (``inc`` only, never down)."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            key = self._key_for(labels)
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        with self._lock:
+            return float(self._series.get(_label_key(labels), 0.0))
+
+
+class Gauge(_Instrument):
+    """A value that goes up and down (queue depth, cache size)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        with self._lock:
+            self._series[self._key_for(labels)] = float(value)
+
+    def value(self, **labels) -> float:
+        with self._lock:
+            return float(self._series.get(_label_key(labels), 0.0))
+
+
+class Histogram(_Instrument):
+    """Distribution over **fixed** bucket edges.
+
+    Fixed edges are what make fleet aggregation trivial: snapshots
+    from every worker share the same edges, so bucket counts add.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        *,
+        buckets: tuple = DEFAULT_BUCKETS,
+        max_series: int = 64,
+    ):
+        super().__init__(name, help, max_series=max_series)
+        edges = tuple(float(b) for b in buckets)
+        if list(edges) != sorted(edges) or len(set(edges)) != len(edges):
+            raise ValueError("bucket edges must be strictly increasing")
+        self.buckets = edges
+
+    def observe(self, value: float, **labels) -> None:
+        value = float(value)
+        with self._lock:
+            key = self._key_for(labels)
+            state = self._series.get(key)
+            if state is None:
+                state = {
+                    "counts": [0] * (len(self.buckets) + 1),
+                    "sum": 0.0,
+                }
+                self._series[key] = state
+            state["counts"][bisect_left(self.buckets, value)] += 1
+            state["sum"] += value
+
+    def count(self, **labels) -> int:
+        with self._lock:
+            state = self._series.get(_label_key(labels))
+            return sum(state["counts"]) if state else 0
+
+
+class MetricsRegistry:
+    """A named table of instruments; get-or-create by name.
+
+    Asking twice for the same name returns the same instrument; asking
+    for an existing name as a different kind is an error (one name,
+    one type — the Prometheus contract).
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._instruments: dict[str, _Instrument] = {}
+
+    def _get(self, cls, name: str, help: str, **kwargs):
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}"
+                    )
+                return existing
+            instrument = cls(name, help, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str, help: str = "", **kwargs) -> Counter:
+        return self._get(Counter, name, help, **kwargs)
+
+    def gauge(self, name: str, help: str = "", **kwargs) -> Gauge:
+        return self._get(Gauge, name, help, **kwargs)
+
+    def histogram(self, name: str, help: str = "", **kwargs) -> Histogram:
+        return self._get(Histogram, name, help, **kwargs)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._instruments)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._instruments.clear()
+
+    def snapshot(self) -> dict:
+        """JSON-ready state of every instrument (the heartbeat wire
+        form; see :func:`merge_snapshots`)."""
+        out: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+        with self._lock:
+            instruments = list(self._instruments.values())
+        for inst in instruments:
+            with inst._lock:
+                series = {
+                    key: (
+                        {"counts": list(value["counts"]), "sum": value["sum"]}
+                        if isinstance(value, dict)
+                        else value
+                    )
+                    for key, value in inst._series.items()
+                }
+            entry: dict = {"help": inst.help, "series": series}
+            if isinstance(inst, Histogram):
+                entry["buckets"] = list(inst.buckets)
+                out["histograms"][inst.name] = entry
+            elif isinstance(inst, Gauge):
+                out["gauges"][inst.name] = entry
+            else:
+                out["counters"][inst.name] = entry
+        return out
+
+    def render(self) -> str:
+        """This registry's snapshot in Prometheus text format."""
+        return render_prometheus(self.snapshot())
+
+
+def merge_snapshots(snapshots: list[dict]) -> dict:
+    """Fold snapshots into one: counters and histogram bucket counts
+    sum series-wise; gauges last-write-wins.  Histograms with
+    mismatched bucket edges keep the first edges seen and skip the
+    incompatible series (fixed edges make this a non-event in
+    practice)."""
+    merged: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+    for snap in snapshots:
+        if not isinstance(snap, dict):
+            continue
+        for name, entry in (snap.get("counters") or {}).items():
+            dst = merged["counters"].setdefault(
+                name, {"help": entry.get("help", ""), "series": {}}
+            )
+            for key, value in (entry.get("series") or {}).items():
+                dst["series"][key] = dst["series"].get(key, 0.0) + float(value)
+        for name, entry in (snap.get("gauges") or {}).items():
+            dst = merged["gauges"].setdefault(
+                name, {"help": entry.get("help", ""), "series": {}}
+            )
+            for key, value in (entry.get("series") or {}).items():
+                dst["series"][key] = float(value)
+        for name, entry in (snap.get("histograms") or {}).items():
+            buckets = list(entry.get("buckets") or [])
+            dst = merged["histograms"].setdefault(
+                name,
+                {
+                    "help": entry.get("help", ""),
+                    "buckets": buckets,
+                    "series": {},
+                },
+            )
+            if dst["buckets"] != buckets:
+                continue
+            for key, state in (entry.get("series") or {}).items():
+                counts = list(state.get("counts") or [])
+                acc = dst["series"].get(key)
+                if acc is None:
+                    dst["series"][key] = {
+                        "counts": counts,
+                        "sum": float(state.get("sum", 0.0)),
+                    }
+                elif len(acc["counts"]) == len(counts):
+                    acc["counts"] = [
+                        a + b for a, b in zip(acc["counts"], counts)
+                    ]
+                    acc["sum"] += float(state.get("sum", 0.0))
+    return merged
+
+
+def _fmt_value(value: float) -> str:
+    value = float(value)
+    return str(int(value)) if value == int(value) else repr(value)
+
+
+def _fmt_labels(key: str, extra: dict | None = None) -> str:
+    labels = dict(json.loads(key))
+    if extra:
+        labels.update(extra)
+    if not labels:
+        return ""
+    body = ",".join(
+        '{}="{}"'.format(
+            k,
+            str(v).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n"),
+        )
+        for k, v in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Render one (possibly merged) snapshot as Prometheus text
+    exposition format, ``# HELP``/``# TYPE`` comments included."""
+    lines: list[str] = []
+
+    def head(name: str, entry: dict, kind: str) -> None:
+        if entry.get("help"):
+            lines.append(f"# HELP {name} {entry['help']}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    for name in sorted(snapshot.get("counters") or {}):
+        entry = snapshot["counters"][name]
+        head(name, entry, "counter")
+        for key in sorted(entry["series"]):
+            lines.append(
+                f"{name}{_fmt_labels(key)} {_fmt_value(entry['series'][key])}"
+            )
+    for name in sorted(snapshot.get("gauges") or {}):
+        entry = snapshot["gauges"][name]
+        head(name, entry, "gauge")
+        for key in sorted(entry["series"]):
+            lines.append(
+                f"{name}{_fmt_labels(key)} {_fmt_value(entry['series'][key])}"
+            )
+    for name in sorted(snapshot.get("histograms") or {}):
+        entry = snapshot["histograms"][name]
+        head(name, entry, "histogram")
+        edges = [_fmt_value(e) for e in entry.get("buckets") or []] + ["+Inf"]
+        for key in sorted(entry["series"]):
+            state = entry["series"][key]
+            cumulative = 0
+            for edge, count in zip(edges, state["counts"]):
+                cumulative += count
+                lines.append(
+                    f"{name}_bucket{_fmt_labels(key, {'le': edge})} "
+                    f"{cumulative}"
+                )
+            lines.append(
+                f"{name}_sum{_fmt_labels(key)} {_fmt_value(state['sum'])}"
+            )
+            lines.append(f"{name}_count{_fmt_labels(key)} {cumulative}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+_REGISTRY = MetricsRegistry()
+_REGISTRY_LOCK = threading.Lock()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global registry every instrumented seam writes to."""
+    return _REGISTRY
+
+
+def reset_registry() -> MetricsRegistry:
+    """Replace the process-global registry with a fresh one (tests)."""
+    global _REGISTRY
+    with _REGISTRY_LOCK:
+        _REGISTRY = MetricsRegistry()
+        return _REGISTRY

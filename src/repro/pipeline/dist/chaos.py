@@ -54,6 +54,8 @@ import random
 import threading
 from dataclasses import dataclass, field
 
+from repro.obs.metrics import get_registry
+
 from .queues import Job, JobQueue
 
 __all__ = [
@@ -145,7 +147,10 @@ class ChaosPlan:
             if job_id is not None:
                 self._per_job[job_id] = self._per_job.get(job_id, 0) + 1
             self.events.append({"fault": fault, "op": op, "job_id": job_id})
-            return True
+        get_registry().counter(
+            "repro_chaos_events_total", "injected faults fired, by kind"
+        ).inc(layer="queue", fault=fault)
+        return True
 
     def report(self) -> dict:
         """Fault counts by kind plus the remaining budgets."""
@@ -362,6 +367,10 @@ class ChaosTransport:
                 self.events.append(
                     {"action": action, "method": method, "path": path}
                 )
+                get_registry().counter(
+                    "repro_chaos_events_total",
+                    "injected faults fired, by kind",
+                ).inc(layer="transport", fault=action)
                 return action
         return None
 
@@ -451,6 +460,9 @@ class CrashPlan:
                     }
                 )
         if due:
+            get_registry().counter(
+                "repro_chaos_events_total", "injected faults fired, by kind"
+            ).inc(layer="worker", fault=f"crash-{stage}")
             raise InjectedCrash(
                 f"injected crash at {stage} "
                 f"(occurrence {occurrence}, job {job.job_id})"

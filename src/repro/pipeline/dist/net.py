@@ -46,6 +46,8 @@ failure 500 — all with ``{"error": ...}``.
 | ``GET /attempts`` | ``?job_id=<id>``                             | ``{"attempts": n}`` |
 | ``POST /heartbeat`` | worker heartbeat document                  | ``{"ok": true}`` |
 | ``GET /stats``    | —                                            | ``{"pending", "claimed", "done", "failed", "workers"}`` |
+| ``GET /metrics``  | —                                            | fleet-merged metrics, Prometheus text |
+| ``GET /trace``    | ``?limit=<n>``                               | fleet flight-recorder tail, JSONL |
 | ``GET /finished`` | —                                            | ``{"finished": [ids]}`` |
 | ``GET /results``  | ``?after=<id>&limit=<n>``                    | ``{"results": {id: doc}, "next": id | null}`` |
 | ``GET /failures`` | —                                            | ``{"failures": {id: error}}`` |
@@ -70,6 +72,22 @@ negative ``Content-Length``, or a body larger than 16 MiB is a clean
 400 ``{"error": ...}`` (never an unhandled traceback in the handler
 thread), and the connection is closed so a half-sent oversized body
 cannot poison the next keep-alive request.
+
+## Observability
+
+The two text endpoints break the JSON rule on purpose — they speak the
+formats their consumers already parse.  ``GET /metrics`` is Prometheus
+text exposition: the server merges the metric snapshots workers ship
+as the optional ``"metrics"`` field of their heartbeats (counters and
+histograms sum across the fleet; a pruned worker's last snapshot folds
+into a retired accumulator so fleet counters never regress), its own
+process registry, and live queue-depth gauges.  ``GET /trace`` is the
+fleet flight recorder: span records shipped as the optional
+``"spans"`` heartbeat field land in a bounded ring, and the endpoint
+returns the newest ``limit`` of them as JSONL (a ``kind="meta"``
+header row first) — the same format ``repro trace`` renders.  Both
+heartbeat fields are optional; a pre-observability worker's heartbeat
+is still valid.  See ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -80,8 +98,17 @@ import logging
 import threading
 import time
 import traceback
+from collections import deque
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlencode, urlsplit
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    get_registry,
+    merge_snapshots,
+    render_prometheus,
+)
+from repro.obs.tracing import trace_meta
 
 from .queues import Job, JobQueue, QueueStats
 from .worker import Heartbeat, default_worker_id, run_worker
@@ -205,6 +232,25 @@ def _ep_stats(server: "QueueServer", body: dict) -> dict:
     }
 
 
+def _ep_metrics(server: "QueueServer", body: dict) -> dict:
+    # Prometheus text, not JSON: the ``_text`` key routes the response
+    # through the handler's plain-text path.
+    return {
+        "_text": server.metrics_text(),
+        "_content_type": "text/plain; version=0.0.4",
+    }
+
+
+def _ep_trace(server: "QueueServer", body: dict) -> dict:
+    limit = int(body.get("limit", 256))
+    if limit < 1:
+        raise ValueError(f"limit must be >= 1, got {limit}")
+    return {
+        "_text": server.trace_text(limit),
+        "_content_type": "application/jsonlines",
+    }
+
+
 def _ep_finished(server: "QueueServer", body: dict) -> dict:
     return {"finished": sorted(server.queue.finished_ids())}
 
@@ -268,6 +314,8 @@ def _ep_quarantine(server: "QueueServer", body: dict) -> dict:
 _ROUTES = {
     ("GET", "/health"): _ep_health,
     ("GET", "/stats"): _ep_stats,
+    ("GET", "/metrics"): _ep_metrics,
+    ("GET", "/trace"): _ep_trace,
     ("GET", "/finished"): _ep_finished,
     ("GET", "/results"): _ep_results,
     ("GET", "/attempts"): _ep_attempts,
@@ -305,9 +353,16 @@ class _QueueRequestHandler(BaseHTTPRequestHandler):
         _LOG.debug("%s %s", self.address_string(), fmt % args)
 
     def _send(self, status: int, payload: dict) -> None:
-        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        # An endpoint returning {"_text": ...} asked for a non-JSON
+        # response (Prometheus text, JSONL) — everything else is JSON.
+        if "_text" in payload:
+            body = str(payload["_text"]).encode("utf-8")
+            content_type = str(payload.get("_content_type", "text/plain"))
+        else:
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
+            content_type = "application/json"
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -388,7 +443,16 @@ class QueueServer:
     jobs done/failed, last job id — see
     :class:`~repro.pipeline.dist.worker.Heartbeat`), and ``/stats``
     reports the fleet under ``"workers"`` so an autoscaler or a human
-    can see who is alive without another channel.
+    can see who is alive without another channel.  Entries expire:
+    a worker silent for ``heartbeat_ttl_seconds`` is pruned (dead and
+    retired workers no longer linger in ``/stats`` forever), and every
+    reported entry carries ``age_seconds`` since its last beat.
+
+    Fleet observability: heartbeats may carry a metrics snapshot and
+    fresh trace spans (see the module docstring); ``/metrics`` serves
+    the merged fleet in Prometheus text and ``/trace`` the span ring
+    as JSONL.  A pruned worker's last snapshot folds into a retired
+    accumulator first, so fleet counters never move backwards.
     """
 
     def __init__(
@@ -397,10 +461,26 @@ class QueueServer:
         *,
         host: str = "127.0.0.1",
         port: int = 0,
+        heartbeat_ttl_seconds: float = 300.0,
+        trace_capacity: int = 4096,
     ):
+        if heartbeat_ttl_seconds <= 0:
+            raise ValueError(
+                f"heartbeat_ttl_seconds must be > 0, "
+                f"got {heartbeat_ttl_seconds}"
+            )
         self.queue = queue
+        self.heartbeat_ttl_seconds = float(heartbeat_ttl_seconds)
         self._heartbeats: dict[str, dict] = {}
         self._heartbeat_lock = threading.Lock()
+        self._worker_metrics: dict[str, dict] = {}
+        self._retired_metrics: dict = {}
+        # The server's own series live in a dedicated registry, never
+        # the process-global one: an in-process worker ships the global
+        # registry on its heartbeat, so merging the global registry
+        # here would double-count every fleet series.
+        self._registry = MetricsRegistry()
+        self._trace: deque = deque(maxlen=int(trace_capacity))
         self._httpd = _QueueHTTPServer((host, port), _QueueRequestHandler)
         self._httpd.queue_server = self
         self._thread: threading.Thread | None = None
@@ -455,20 +535,106 @@ class QueueServer:
 
     # -- fleet liveness -----------------------------------------------
     def record_heartbeat(self, beat: dict) -> None:
-        """Record one worker heartbeat (the ``/heartbeat`` endpoint)."""
+        """Record one worker heartbeat (the ``/heartbeat`` endpoint).
+
+        The optional observability fields ride along: a ``"metrics"``
+        snapshot replaces this worker's previous one (worker counters
+        are monotone, so replacement keeps the fleet sum monotone),
+        and ``"spans"`` append to the fleet trace ring.
+        """
         worker_id = str(beat.get("worker_id", "anon"))
+        entry = {
+            "completed": int(beat.get("completed", 0)),
+            "failed": int(beat.get("failed", 0)),
+            "last_job_id": beat.get("last_job_id"),
+            "last_seen_unix": time.time(),
+        }
+        if beat.get("version") is not None:
+            entry["version"] = str(beat["version"])
+        metrics = beat.get("metrics")
+        spans = beat.get("spans")
         with self._heartbeat_lock:
-            self._heartbeats[worker_id] = {
-                "completed": int(beat.get("completed", 0)),
-                "failed": int(beat.get("failed", 0)),
-                "last_job_id": beat.get("last_job_id"),
-                "last_seen_unix": time.time(),
-            }
+            self._prune_expired_locked(time.time())
+            self._heartbeats[worker_id] = entry
+            if isinstance(metrics, dict):
+                self._worker_metrics[worker_id] = metrics
+            if isinstance(spans, list):
+                self._trace.extend(
+                    record for record in spans if isinstance(record, dict)
+                )
+        self._registry.counter(
+            "repro_heartbeats_total", "worker heartbeats recorded"
+        ).inc()
+
+    def _prune_expired_locked(self, now: float) -> None:
+        """Drop heartbeats older than the TTL (caller holds the lock).
+        A pruned worker's metrics fold into the retired accumulator so
+        the fleet's ``/metrics`` counters never regress."""
+        expired = [
+            worker_id
+            for worker_id, entry in self._heartbeats.items()
+            if now - entry["last_seen_unix"] > self.heartbeat_ttl_seconds
+        ]
+        for worker_id in expired:
+            del self._heartbeats[worker_id]
+            snapshot = self._worker_metrics.pop(worker_id, None)
+            if snapshot is not None:
+                self._retired_metrics = merge_snapshots(
+                    [self._retired_metrics, snapshot]
+                )
 
     def fleet(self) -> dict[str, dict]:
-        """Last-known heartbeat per worker id (``/stats`` payload)."""
+        """Live heartbeats per worker id (``/stats`` payload): the
+        recorded fields plus ``age_seconds`` since the last beat.
+        Workers silent past the TTL are pruned, not reported."""
+        now = time.time()
         with self._heartbeat_lock:
-            return {k: dict(v) for k, v in self._heartbeats.items()}
+            self._prune_expired_locked(now)
+            return {
+                worker_id: {
+                    **entry,
+                    "age_seconds": max(0.0, now - entry["last_seen_unix"]),
+                }
+                for worker_id, entry in self._heartbeats.items()
+            }
+
+    # -- fleet observability ------------------------------------------
+    def metrics_snapshot(self) -> dict:
+        """The merged fleet snapshot behind ``/metrics``: retired +
+        live worker snapshots + the server's own series + live
+        queue-depth gauges.  The process-global registry is *not*
+        merged — an in-process worker already ships it via heartbeat."""
+        with self._heartbeat_lock:
+            self._prune_expired_locked(time.time())
+            parts = [self._retired_metrics]
+            parts.extend(self._worker_metrics.values())
+            live_workers = len(self._heartbeats)
+        parts.append(self._registry.snapshot())
+        gauges = MetricsRegistry()
+        depth = gauges.gauge(
+            "repro_queue_jobs", "jobs in the backing queue by state"
+        )
+        stats = self.queue.stats()
+        for state in ("pending", "claimed", "done", "failed"):
+            depth.set(getattr(stats, state), state=state)
+        gauges.gauge(
+            "repro_fleet_workers", "workers with a live heartbeat"
+        ).set(live_workers)
+        parts.append(gauges.snapshot())
+        return merge_snapshots(parts)
+
+    def metrics_text(self) -> str:
+        """``/metrics``: the merged fleet in Prometheus text format."""
+        return render_prometheus(self.metrics_snapshot())
+
+    def trace_text(self, limit: int = 256) -> str:
+        """``/trace``: the newest ``limit`` fleet spans as JSONL, one
+        ``kind="meta"`` header row first."""
+        with self._heartbeat_lock:
+            records = list(self._trace)[-int(limit):]
+        lines = [json.dumps(trace_meta(), sort_keys=True)]
+        lines.extend(json.dumps(r, sort_keys=True) for r in records)
+        return "\n".join(lines) + "\n"
 
 
 # -- client -----------------------------------------------------------------
@@ -567,7 +733,9 @@ class HttpJobQueue:
         path: str,
         body: dict | None = None,
         query: dict | None = None,
-    ) -> dict:
+        *,
+        parse_json: bool = True,
+    ) -> dict | str:
         target = self._prefix + path
         if query:
             pairs = {k: v for k, v in query.items() if v is not None}
@@ -601,6 +769,7 @@ class HttpJobQueue:
             if action == "delay":
                 time.sleep(min(self.backoff_seconds, 0.05))
             try:
+                request_t0 = time.perf_counter()
                 connection = self._connection()
                 connection.request(method, target, body=payload, headers=headers)
                 if action == "lose-response":
@@ -624,7 +793,23 @@ class HttpJobQueue:
                 continue
             if action == "garble":
                 raw = b"\xff\x00chaos" + raw[: len(raw) // 2]
+            registry = get_registry()
+            registry.counter(
+                "repro_http_requests_total",
+                "queue-client requests that got an HTTP response",
+            ).inc(path=path, status=str(status))
+            registry.histogram(
+                "repro_http_request_seconds",
+                "queue-client request round-trip latency",
+            ).observe(time.perf_counter() - request_t0, path=path)
+            if attempt:
+                registry.counter(
+                    "repro_http_retries_total",
+                    "request attempts past the first that got a response",
+                ).inc(path=path)
             if status == 200:
+                if not parse_json:
+                    return raw.decode("utf-8", "replace")
                 try:
                     return json.loads(raw) if raw else {}
                 except json.JSONDecodeError as exc:
@@ -797,6 +982,16 @@ class HttpJobQueue:
     def health(self) -> dict:
         """Server liveness probe: ``{"ok": true, "backend": ...}``."""
         return self._request("GET", "/health")
+
+    def metrics_text(self) -> str:
+        """The server's merged fleet metrics, Prometheus text format."""
+        return self._request("GET", "/metrics", parse_json=False)
+
+    def trace_tail(self, limit: int = 256) -> str:
+        """The newest ``limit`` fleet spans as JSONL (meta row first)."""
+        return self._request(
+            "GET", "/trace", query={"limit": limit}, parse_json=False
+        )
 
 
 # -- worker entry point -----------------------------------------------------

@@ -61,6 +61,8 @@ import time
 from dataclasses import dataclass, field
 
 from repro.metrics import RDCurve, bd_rate_table, curves_from_reports
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import span
 
 from .chaos import InjectedCrash
 from .net import HttpJobQueue, HttpQueueError, http_worker_entry
@@ -328,11 +330,15 @@ class QueueRunner:
         carry a ``frames_shm`` transport annotation pointing at it.
         Ids ignore the annotation (see :func:`job_id_for_spec`), so
         shared-frames and plain runs are resume-compatible."""
-        specs = self._annotated_specs() if self.share_frames else self.specs
-        self.job_ids = [
-            self.queue.submit(spec, job_id=job_id_for_spec(index, spec))
-            for index, spec in enumerate(specs)
-        ]
+        with span("runner.submit", jobs=len(self.specs)):
+            specs = self._annotated_specs() if self.share_frames else self.specs
+            self.job_ids = [
+                self.queue.submit(spec, job_id=job_id_for_spec(index, spec))
+                for index, spec in enumerate(specs)
+            ]
+        get_registry().counter(
+            "repro_runner_submitted_total", "job specs submitted by runners"
+        ).inc(len(self.job_ids))
         return self.job_ids
 
     def _annotated_specs(self) -> list[dict]:
@@ -459,8 +465,17 @@ class QueueRunner:
         """
         payload, ok = verify_result_checksum(doc)
         if ok:
+            if job_id not in self._drained:
+                get_registry().counter(
+                    "repro_runner_results_drained_total",
+                    "verified results admitted to the runner cache",
+                ).inc()
             self._drained[job_id] = payload
         else:
+            get_registry().counter(
+                "repro_runner_checksum_failures_total",
+                "drained results rejected by checksum verification",
+            ).inc()
             self._checksum_failures[job_id] = (
                 "result checksum mismatch: the acked document was "
                 "corrupted in transit or at rest; discarded before "
@@ -669,6 +684,10 @@ class QueueRunner:
                 reaped_now = False
                 for job_id in self.queue.reap_expired():
                     reaped_now = True
+                    get_registry().counter(
+                        "repro_runner_lease_reaps_total",
+                        "expired leases reaped by the runner poll loop",
+                    ).inc()
                     if job_id in wanted:
                         self._lease_expiries[job_id] = (
                             self._lease_expiries.get(job_id, 0) + 1
@@ -700,6 +719,10 @@ class QueueRunner:
                             fleet[i] = spawn(spawned)
                             spawned += 1
                             alive += 1
+                            get_registry().counter(
+                                "repro_runner_respawns_total",
+                                "dead workers replaced by the babysitter",
+                            ).inc()
                     if (
                         alive == 0
                         and stats.pending + stats.claimed > 0

@@ -56,6 +56,9 @@ import time
 import traceback
 import zlib
 
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import drain_spans, set_job_id, span
+
 from .queues import DirectoryJobQueue, Job, JobQueue
 
 __all__ = [
@@ -119,16 +122,32 @@ class Heartbeat:
     liveness under ``/stats`` — can see progress without scraping
     queue state.  ``last_job_id`` is ``None`` until the first job
     finishes (either way).
+
+    Observability rides the same wire: ``metrics`` is a
+    :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` of the
+    worker's registry, ``spans`` the flight-recorder records since the
+    previous beat (only when tracing is on), ``version`` the build
+    that produced them.  All three are optional — an old worker's
+    heartbeat without them is still valid, and :meth:`to_dict` omits
+    the ones left ``None`` so the pre-observability wire form is
+    byte-for-byte unchanged when unused.
     """
 
     worker_id: str
     completed: int
     failed: int
     last_job_id: str | None = None
+    version: str | None = None
+    metrics: dict | None = None
+    spans: list | None = None
 
     def to_dict(self) -> dict:
         """JSON-ready document (the ``/heartbeat`` wire form)."""
-        return dataclasses.asdict(self)
+        doc = dataclasses.asdict(self)
+        for optional in ("version", "metrics", "spans"):
+            if doc[optional] is None:
+                del doc[optional]
+        return doc
 
 
 def execute_job(job: Job) -> dict:
@@ -254,15 +273,22 @@ def run_worker(
     completed = 0
     failed = 0
     last_job_id: str | None = None
+    registry = get_registry()
 
     def beat() -> None:
         if on_heartbeat is not None:
+            import repro
+
+            fresh_spans = drain_spans()
             on_heartbeat(
                 Heartbeat(
                     worker_id=worker_id,
                     completed=completed,
                     failed=failed,
                     last_job_id=last_job_id,
+                    version=getattr(repro, "__version__", None),
+                    metrics=registry.snapshot(),
+                    spans=fresh_spans or None,
                 )
             )
 
@@ -276,6 +302,9 @@ def run_worker(
             else max(1, min(bundle, max_jobs - completed))
         )
         jobs = _claim_bundle(queue, worker_id, lease_seconds, want)
+        registry.counter(
+            "repro_worker_claims_total", "claim round-trips by outcome"
+        ).inc(outcome="claimed" if jobs else "empty")
         if not jobs:
             # Recover orphaned leases ourselves — a serial run has no
             # runner loop reaping alongside, and in a fleet this lets
@@ -288,30 +317,50 @@ def run_worker(
             time.sleep(poll_seconds)
             continue
         for position, job in enumerate(jobs):
+            kind = str(job.spec.get("kind") or "encode")
             if checkpoint is not None:
                 checkpoint("after-claim", job)
+            set_job_id(job.job_id)
+            job_t0 = time.perf_counter()
             try:
                 if checkpoint is not None:
                     checkpoint("mid-encode", job)
-                if job_timeout_seconds is None:
-                    result = execute(job)
-                else:
-                    result = _execute_with_watchdog(
-                        execute, job, job_timeout_seconds
-                    )
+                with span("worker.execute", kind=kind):
+                    if job_timeout_seconds is None:
+                        result = execute(job)
+                    else:
+                        result = _execute_with_watchdog(
+                            execute, job, job_timeout_seconds
+                        )
             except Exception:
+                set_job_id(None)
                 queue.fail(job.job_id, traceback.format_exc())
+                registry.counter(
+                    "repro_jobs_failed_total", "jobs failed with a traceback"
+                ).inc(kind=kind)
                 failed += 1
                 last_job_id = job.job_id
                 beat()
             else:
+                set_job_id(None)
+                registry.histogram(
+                    "repro_job_seconds", "claim-to-ack execution time per job"
+                ).observe(time.perf_counter() - job_t0, kind=kind)
                 result = attach_result_checksum(result)
                 if checkpoint is not None:
                     checkpoint("before-ack", job)
                 if queue.ack(job.job_id, result, worker_id=worker_id):
                     completed += 1
-                # else: stale ack — the lease expired and someone else
-                # owns the job now; drop the result and move on.
+                    registry.counter(
+                        "repro_jobs_completed_total", "jobs acked and accepted"
+                    ).inc(kind=kind)
+                else:
+                    # Stale ack — the lease expired and someone else
+                    # owns the job now; drop the result and move on.
+                    registry.counter(
+                        "repro_acks_rejected_total",
+                        "acks rejected as stale (lease was reaped)",
+                    ).inc(kind=kind)
                 if checkpoint is not None:
                     checkpoint("after-ack", job)
                 last_job_id = job.job_id

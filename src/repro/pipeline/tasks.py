@@ -210,6 +210,15 @@ class WorkerContext:
     def _key(document: dict) -> str:
         return json.dumps(document, sort_keys=True, separators=(",", ":"))
 
+    @staticmethod
+    def _count(resource: str, outcome: str) -> None:
+        from repro.obs.metrics import get_registry
+
+        get_registry().counter(
+            "repro_warm_cache_total",
+            "warm-worker cache lookups by resource and outcome",
+        ).inc(resource=resource, outcome=outcome)
+
     def codec(self, name: str, config) -> Any:
         """The cached codec instance for ``(name, config)``, building
         one on first use."""
@@ -221,8 +230,10 @@ class WorkerContext:
             if key in self._codecs:
                 self._codecs.move_to_end(key)
                 self.hits += 1
+                self._count("codec", "hit")
                 return self._codecs[key]
             self.misses += 1
+            self._count("codec", "miss")
         built = create_codec(name, config)
         with self._lock:
             self._codecs[key] = built
@@ -242,8 +253,10 @@ class WorkerContext:
             if cached is not None:
                 self._scenes.move_to_end(key)
                 self.hits += 1
+                self._count("scene", "hit")
                 return [frame.copy() for frame in cached]
             self.misses += 1
+            self._count("scene", "miss")
         rendered = None
         if loader is not None:
             rendered = loader()

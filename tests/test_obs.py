@@ -1,0 +1,429 @@
+"""Observability subsystem: metrics registry semantics (cardinality
+bounds, snapshot isolation, fleet merging, Prometheus rendering),
+tracing spans and the flight recorder, encode byte-identity with
+tracing on vs off, the trace-file renderer, and the CLI surface
+(``--version``, ``repro trace``, ``--metrics-out``/``--trace-out``)."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    FlightRecorder,
+    MetricsRegistry,
+    critical_path,
+    current_job_id,
+    drain_spans,
+    enable,
+    enabled,
+    encode_stage_timer,
+    get_recorder,
+    get_registry,
+    load_trace,
+    merge_snapshots,
+    render_prometheus,
+    render_trace_tree,
+    reset_registry,
+    set_job_id,
+    span,
+    trace_meta,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Every test starts (and leaves) with tracing off, an empty
+    flight recorder, and a fresh process-global registry."""
+    reset_registry()
+    get_recorder().clear()
+    enable(False)
+    set_job_id(None)
+    yield
+    reset_registry()
+    get_recorder().clear()
+    enable(False)
+    set_job_id(None)
+
+
+class TestMetricsInstruments:
+    def test_counter_counts_per_label_set(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("jobs_total", "jobs")
+        counter.inc(kind="encode")
+        counter.inc(2.5, kind="encode")
+        counter.inc(kind="hardware")
+        assert counter.value(kind="encode") == 3.5
+        assert counter.value(kind="hardware") == 1.0
+        assert counter.value(kind="missing") == 0.0
+
+    def test_counter_rejects_decrements(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ValueError):
+            counter.inc(-1.0)
+
+    def test_gauge_last_write_wins(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(5.0, state="pending")
+        gauge.set(2.0, state="pending")
+        assert gauge.value(state="pending") == 2.0
+
+    def test_histogram_buckets_and_sum(self):
+        hist = MetricsRegistry().histogram("t", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            hist.observe(value)
+        assert hist.count() == 4
+        snap = hist._series["{}"]
+        # bucket layout: <=0.1, <=1.0, +Inf
+        assert snap["counts"] == [1, 2, 1]
+        assert snap["sum"] == pytest.approx(6.05)
+
+    def test_histogram_rejects_unsorted_edges(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("bad", buckets=(1.0, 0.5))
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("dup", buckets=(1.0, 1.0))
+
+    def test_registry_get_or_create_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.names() == ["x"]
+
+    def test_registry_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x")
+
+    def test_cardinality_bound_collapses_to_overflow(self):
+        counter = MetricsRegistry().counter("c", max_series=2)
+        counter.inc(job="a")
+        counter.inc(job="b")
+        for junk in range(50):  # a label that should never be a label
+            counter.inc(job=f"runaway-{junk}")
+        # existing series still addressable, memory stays bounded
+        assert counter.value(job="a") == 1.0
+        assert counter.labels_count() == 3  # a, b, and the overflow bin
+        key = '{"overflow": "true"}'
+        assert counter._series[key] == 50.0
+
+    def test_snapshot_is_isolated_from_later_updates(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        reg.counter("c").inc(10)
+        reg.histogram("h").observe(0.5)
+        assert snap["counters"]["c"]["series"]["{}"] == 1.0
+        assert snap["histograms"]["h"]["series"]["{}"]["counts"] == [1, 0]
+
+    def test_snapshot_round_trips_through_json(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(kind="encode")
+        reg.gauge("g").set(3.0)
+        reg.histogram("h").observe(0.01)
+        snap = reg.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+
+
+class TestMergeSnapshots:
+    def _snap(self, completed, depth, seconds):
+        reg = MetricsRegistry()
+        reg.counter("jobs_total", "jobs").inc(completed, kind="encode")
+        reg.gauge("depth").set(depth)
+        hist = reg.histogram("job_seconds", buckets=(0.1, 1.0))
+        for value in seconds:
+            hist.observe(value)
+        return reg.snapshot()
+
+    def test_counters_and_histograms_sum_gauges_last_write_wins(self):
+        merged = merge_snapshots([
+            self._snap(3, 5.0, [0.05, 0.5]),
+            self._snap(2, 1.0, [2.0]),
+        ])
+        key = '{"kind": "encode"}'
+        assert merged["counters"]["jobs_total"]["series"][key] == 5.0
+        assert merged["gauges"]["depth"]["series"]["{}"] == 1.0
+        state = merged["histograms"]["job_seconds"]["series"]["{}"]
+        assert state["counts"] == [1, 1, 1]
+        assert state["sum"] == pytest.approx(2.55)
+
+    def test_mismatched_bucket_edges_are_skipped(self):
+        a = MetricsRegistry()
+        a.histogram("h", buckets=(0.1, 1.0)).observe(0.5)
+        b = MetricsRegistry()
+        b.histogram("h", buckets=(0.2, 2.0)).observe(0.5)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        # first edges win; the incompatible series contributes nothing
+        assert merged["histograms"]["h"]["buckets"] == [0.1, 1.0]
+        assert merged["histograms"]["h"]["series"]["{}"]["counts"] == [0, 1, 0]
+
+    def test_garbage_snapshots_are_ignored(self):
+        merged = merge_snapshots([None, "nope", {}, self._snap(1, 0.0, [])])
+        key = '{"kind": "encode"}'
+        assert merged["counters"]["jobs_total"]["series"][key] == 1.0
+
+
+class TestPrometheusRendering:
+    def test_counter_and_gauge_lines(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs_total", "jobs done").inc(3, kind="encode")
+        reg.gauge("depth", "queue depth").set(2.0)
+        text = reg.render()
+        assert "# HELP jobs_total jobs done\n# TYPE jobs_total counter" in text
+        assert 'jobs_total{kind="encode"} 3\n' in text
+        assert "# TYPE depth gauge\ndepth 2\n" in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("t", "timings", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            hist.observe(value)
+        text = reg.render()
+        assert 't_bucket{le="0.1"} 1' in text
+        assert 't_bucket{le="1"} 2' in text
+        assert 't_bucket{le="+Inf"} 3' in text
+        assert "t_count 3" in text
+        assert "t_sum 5.55" in text
+
+    def test_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(path='/a"b\\c')
+        assert 'c{path="/a\\"b\\\\c"} 1' in reg.render()
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus(MetricsRegistry().snapshot()) == ""
+
+
+class TestTracing:
+    def test_disabled_span_is_noop(self):
+        assert not enabled()
+        with span("x", a=1) as s:
+            assert s is None
+        assert len(get_recorder()) == 0
+        assert drain_spans() == []
+
+    def test_nesting_parent_ids_and_attrs(self):
+        enable()
+        with span("outer", codec="classical"):
+            with span("inner"):
+                pass
+        inner, outer = get_recorder().tail(2)
+        assert (inner["name"], outer["name"]) == ("inner", "outer")
+        assert inner["parent_id"] == outer["span_id"]
+        assert outer["parent_id"] is None
+        assert outer["attrs"] == {"codec": "classical"}
+        assert inner["dur_s"] <= outer["dur_s"]
+
+    def test_job_id_rides_every_span(self):
+        enable()
+        set_job_id("job-42")
+        assert current_job_id() == "job-42"
+        with span("work"):
+            pass
+        set_job_id(None)
+        with span("after"):
+            pass
+        work, after = get_recorder().tail(2)
+        assert work["job_id"] == "job-42"
+        assert after["job_id"] is None
+
+    def test_exception_is_recorded_and_propagates(self):
+        enable()
+        with pytest.raises(RuntimeError):
+            with span("doomed"):
+                raise RuntimeError("boom")
+        (record,) = get_recorder().tail(1)
+        assert record["attrs"]["error"] == "RuntimeError"
+
+    def test_recorder_ring_is_bounded_and_drain_is_incremental(self):
+        recorder = FlightRecorder(capacity=3)
+        for i in range(5):
+            recorder.record({"kind": "span", "name": f"s{i}"})
+        assert len(recorder) == 3
+        assert [r["name"] for r in recorder.tail()] == ["s2", "s3", "s4"]
+        assert [r["name"] for r in recorder.drain()] == ["s2", "s3", "s4"]
+        assert recorder.drain() == []  # nothing new since
+        recorder.record({"kind": "span", "name": "s5"})
+        assert [r["name"] for r in recorder.drain()] == ["s5"]
+
+    def test_drain_spans_feeds_the_heartbeat_only_when_enabled(self):
+        enable()
+        with span("beat"):
+            pass
+        fresh = drain_spans()
+        assert [s["name"] for s in fresh] == ["beat"]
+        assert drain_spans() == []
+        enable(False)
+        get_recorder().record({"kind": "span", "name": "hidden"})
+        assert drain_spans() == []
+
+    def test_stage_timer_off_means_none(self):
+        assert encode_stage_timer("classical") is None
+
+    def test_stage_timer_records_spans_and_histogram(self):
+        enable()
+        with span("encode.frame"):
+            timer = encode_stage_timer("classical")
+            timer.lap("transform")
+            timer.lap("quantize")
+        transform, quantize, frame = get_recorder().tail(3)
+        assert transform["name"] == "classical.transform"
+        assert quantize["name"] == "classical.quantize"
+        assert transform["parent_id"] == frame["span_id"]
+        hist = get_registry().histogram("repro_encode_stage_seconds")
+        assert hist.count(codec="classical", stage="transform") == 1
+        assert hist.count(codec="classical", stage="quantize") == 1
+
+    def test_dump_and_load_round_trip(self, tmp_path):
+        enable()
+        with span("outer"):
+            with span("inner"):
+                pass
+        path = tmp_path / "flight.jsonl"
+        assert get_recorder().dump(path) == 2
+        meta, spans = load_trace(path)
+        import repro
+
+        assert meta["version"] == repro.__version__
+        assert [s["name"] for s in spans] == ["inner", "outer"]
+        assert trace_meta()["pid"] == meta["pid"]
+
+    def test_load_trace_names_the_bad_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "span", "name": "ok"}\nnot json\n')
+        with pytest.raises(ValueError, match=":2:"):
+            load_trace(path)
+
+
+def _span(name, span_id, parent_id=None, dur=1.0, start=0.0, **attrs):
+    record = {
+        "kind": "span", "name": name, "span_id": span_id,
+        "parent_id": parent_id, "job_id": None,
+        "start_unix": start, "dur_s": dur,
+    }
+    if attrs:
+        record["attrs"] = attrs
+    return record
+
+
+class TestTraceView:
+    def test_tree_nests_by_parent_and_shows_durations(self):
+        spans = [
+            _span("child-b", "c2", "r1", dur=0.002, start=2.0),
+            _span("child-a", "c1", "r1", dur=0.001, start=1.0),
+            _span("root", "r1", dur=0.01, start=0.0),
+        ]
+        text = render_trace_tree(spans)
+        lines = text.splitlines()
+        assert lines[0].startswith("root")
+        assert "10.0ms" in lines[0]
+        # children sorted by start time, last child gets the corner
+        assert lines[1].startswith("├─ child-a")
+        assert lines[2].startswith("└─ child-b")
+
+    def test_orphans_render_as_roots(self):
+        spans = [_span("lost", "x1", parent_id="gone-from-ring")]
+        assert render_trace_tree(spans).startswith("lost")
+
+    def test_max_roots_elides_older_roots(self):
+        spans = [_span(f"r{i}", f"r{i}", start=float(i)) for i in range(5)]
+        text = render_trace_tree(spans, max_roots=2)
+        assert text.splitlines()[0].startswith("r3")
+        assert "3 earlier roots elided" in text
+
+    def test_critical_path_descends_slowest_children(self):
+        spans = [
+            _span("root", "r1", dur=10.0),
+            _span("fast", "f", "r1", dur=1.0),
+            _span("slow", "s", "r1", dur=8.0),
+            _span("leaf", "l", "s", dur=7.0),
+            _span("other-root", "r2", dur=2.0),
+        ]
+        assert [s["name"] for s in critical_path(spans)] == [
+            "root", "slow", "leaf",
+        ]
+        assert critical_path([]) == []
+
+
+class TestEncodeByteIdentity:
+    def test_tracing_never_changes_classical_packets(self):
+        from repro.codec import ClassicalCodec, ClassicalCodecConfig
+        from repro.video import SceneConfig, generate_sequence
+
+        clip = generate_sequence(SceneConfig(height=32, width=48, frames=2))
+
+        def encode():
+            codec = ClassicalCodec(ClassicalCodecConfig(qp=12.0))
+            stream = codec.encode_sequence(clip)
+            return [p.serialize() for p in stream.packets]
+
+        plain = encode()
+        enable()
+        traced = encode()
+        assert traced == plain
+        # and the instrumentation actually fired
+        names = {s["name"] for s in get_recorder().tail()}
+        assert {"classical.transform", "classical.quantize",
+                "classical.entropy"} <= names
+
+
+class TestCli:
+    def test_version_flag(self, capsys):
+        import repro
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {repro.__version__}"
+
+    def test_sweep_writes_metrics_and_trace_artifacts(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        metrics_path = tmp_path / "metrics.prom"
+        trace_path = tmp_path / "trace.jsonl"
+        code = main([
+            "sweep", "--codecs", "classical", "--qps", "8",
+            "--height", "32", "--width", "48", "--frames", "2",
+            "--workers", "0",
+            "--metrics-out", str(metrics_path),
+            "--trace-out", str(trace_path),
+        ])
+        assert code == 0
+        capsys.readouterr()
+        text = metrics_path.read_text()
+        assert "# TYPE repro_jobs_completed_total counter" in text
+        assert 'repro_jobs_completed_total{kind="encode"} 1' in text
+        assert "repro_encode_stage_seconds_bucket" in text
+        meta, spans = load_trace(trace_path)
+        assert meta["version"]
+        assert {"runner.submit", "worker.execute"} <= {
+            s["name"] for s in spans
+        }
+
+        # the dump renders through the CLI viewer
+        assert main(["trace", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "worker.execute" in out
+        assert "critical path:" in out
+
+    def test_trace_json_mode_emits_payload(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        enable()
+        with span("only"):
+            pass
+        path = tmp_path / "t.jsonl"
+        get_recorder().dump(path)
+        assert main(["trace", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [s["name"] for s in payload["spans"]] == ["only"]
+        assert [s["name"] for s in payload["critical_path"]] == ["only"]
+
+    def test_trace_empty_file_reports_no_spans(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        path = tmp_path / "empty.jsonl"
+        path.write_text(json.dumps(trace_meta()) + "\n")
+        assert main(["trace", str(path)]) == 0
+        assert "no spans recorded" in capsys.readouterr().out

@@ -270,9 +270,30 @@ class TestHeartbeat:
         assert last.worker_id == "hb-worker"
         assert last.completed == 1 and last.failed == 2
         assert last.last_job_id == "00001-boom"
-        assert last.to_dict() == {
+        doc = last.to_dict()
+        assert {
             "worker_id": "hb-worker", "completed": 1, "failed": 2,
             "last_job_id": "00001-boom",
+        }.items() <= doc.items()
+        # observability rides the same beat: a build stamp and a
+        # metrics snapshot; the span tail only when tracing is on
+        import repro
+
+        assert doc["version"] == repro.__version__
+        counters = doc["metrics"]["counters"]
+        assert "repro_jobs_completed_total" in counters
+        assert "repro_jobs_failed_total" in counters
+        assert "spans" not in doc  # tracing off: optionals are omitted
+
+    def test_unused_optionals_stay_off_the_wire(self):
+        from repro.pipeline.dist.worker import Heartbeat
+
+        doc = Heartbeat(
+            worker_id="w", completed=0, failed=0, last_job_id=None
+        ).to_dict()
+        assert doc == {
+            "worker_id": "w", "completed": 0, "failed": 0,
+            "last_job_id": None,
         }
 
     def test_default_is_no_heartbeat_callback(self):
@@ -283,6 +304,61 @@ class TestHeartbeat:
             execute=lambda job: {"ok": True},
         )
         assert completed == 1
+
+
+class TestProgressCallback:
+    """``QueueRunner.run(progress)``: the callback fires with live
+    queue stats while the sweep runs, never after it returns."""
+
+    GRID_SMALL = dict(
+        codecs=["classical"],
+        codec_configs=[{"qp": 8.0}, {"qp": 16.0}],
+        scenes=[SCENE],
+    )
+
+    def test_serial_run_reports_final_stats(self):
+        calls = []
+        result = SweepRunner(workers=0, **self.GRID_SMALL).run(calls.append)
+        assert result.ok
+        assert calls, "progress never fired"
+        last = calls[-1]
+        assert (last.pending, last.claimed) == (0, 0)
+        assert last.done == 2 and last.failed == 0
+
+    def test_done_count_is_monotone_and_totals_conserve(self):
+        calls = []
+        runner = SweepRunner(workers=2, **self.GRID_SMALL)
+        result = runner.run(calls.append, poll_seconds=0.01)
+        assert result.ok
+        done = [stats.done for stats in calls]
+        assert done == sorted(done), "done count went backwards"
+        total = len(runner.job_ids)
+        for stats in calls:
+            assert stats.pending + stats.claimed + stats.done + stats.failed \
+                == total
+        assert done[-1] == total
+
+    def test_not_called_after_run_returns(self):
+        calls = []
+        SweepRunner(workers=2, **self.GRID_SMALL).run(
+            calls.append, poll_seconds=0.01
+        )
+        seen = len(calls)
+        time.sleep(0.2)  # any straggler worker/poll thread would land here
+        assert len(calls) == seen
+
+    def test_progress_failures_reflect_dead_letters(self):
+        queue = MemoryJobQueue(max_attempts=1)
+        queue.submit(_spec(8.0), job_id="00000-ok")
+        queue.submit({"kind": "encode", "broken": True}, job_id="00001-bad")
+        calls = []
+        run_worker(queue, "w", lease_seconds=30.0)
+        # drive the runner loop over the pre-loaded queue
+        runner = SweepRunner(workers=0, queue=queue, **self.GRID_SMALL)
+        runner.job_ids = ["00000-ok", "00001-bad"]
+        runner.specs = [_spec(8.0), {"kind": "encode", "broken": True}]
+        runner.run(calls.append)
+        assert calls[-1].failed == 1 and calls[-1].done >= 1
 
 
 class TestWorkerDeath:

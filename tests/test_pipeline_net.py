@@ -204,6 +204,127 @@ class TestHttpProtocol:
             HttpJobQueue("https://example.com:8642")
 
 
+class TestObservabilityEndpoints:
+    """``GET /metrics`` (fleet-merged Prometheus text), ``GET /trace``
+    (JSONL span tail), heartbeat TTL pruning with ``age_seconds``, and
+    the retired-worker fold that keeps fleet counters monotone."""
+
+    def _beat(self, worker_id, completed, *, version=None, metrics=None,
+              spans=None):
+        doc = {"worker_id": worker_id, "completed": completed, "failed": 0,
+               "last_job_id": None}
+        if version is not None:
+            doc["version"] = version
+        if metrics is not None:
+            doc["metrics"] = metrics
+        if spans is not None:
+            doc["spans"] = spans
+        return doc
+
+    def _worker_snapshot(self, completed):
+        from repro.obs.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.counter("repro_jobs_completed_total", "jobs acked").inc(
+            completed, kind="encode"
+        )
+        reg.histogram("repro_job_seconds", buckets=(0.1, 1.0)).observe(0.05)
+        return reg.snapshot()
+
+    def test_metrics_merges_worker_snapshots_and_queue_gauges(self, http_queue):
+        http_queue.submit({"x": 1}, job_id="j1")
+        job = http_queue.claim("w1", lease_seconds=30.0)
+        http_queue.ack(job.job_id, {"ok": True})
+        for worker_id, completed in (("w1", 3), ("w2", 2)):
+            http_queue.heartbeat(self._beat(
+                worker_id, completed,
+                metrics=self._worker_snapshot(completed),
+            ))
+        text = http_queue.metrics_text()
+        # worker counters sum across the fleet; histograms bucket-sum
+        assert 'repro_jobs_completed_total{kind="encode"} 5' in text
+        assert 'repro_job_seconds_bucket{le="0.1"} 2' in text
+        # the server's own series and live queue-depth gauges ride along
+        assert "repro_heartbeats_total 2" in text
+        assert 'repro_queue_jobs{state="done"} 1' in text
+        assert "repro_fleet_workers 2" in text
+
+    def test_fleet_reports_age_and_version(self, http_queue):
+        http_queue.heartbeat(self._beat("w1", 0, version="9.9.9"))
+        entry = http_queue.fleet()["w1"]
+        assert entry["version"] == "9.9.9"
+        assert 0.0 <= entry["age_seconds"] < 60.0
+
+    def test_ttl_prunes_silent_workers_but_folds_their_counters(self):
+        with QueueServer(
+            MemoryJobQueue(), heartbeat_ttl_seconds=0.05
+        ) as server:
+            queue = HttpJobQueue(server.url)
+            queue.heartbeat(self._beat(
+                "w1", 4, metrics=self._worker_snapshot(4)
+            ))
+            assert "w1" in queue.fleet()
+            time.sleep(0.1)
+            # silent past the TTL: gone from /stats ...
+            assert queue.fleet() == {}
+            text = queue.metrics_text()
+            assert "repro_fleet_workers 0" in text
+            # ... yet the fleet counter never regresses (retired fold)
+            assert 'repro_jobs_completed_total{kind="encode"} 4' in text
+
+    def test_heartbeat_replacement_keeps_fleet_sum_monotone(self, http_queue):
+        for completed in (1, 3):
+            http_queue.heartbeat(self._beat(
+                "w1", completed, metrics=self._worker_snapshot(completed)
+            ))
+        # the second snapshot replaces (not adds to) the first
+        assert 'repro_jobs_completed_total{kind="encode"} 3' \
+            in http_queue.metrics_text()
+
+    def test_trace_tail_is_jsonl_with_meta_header(self, http_queue):
+        spans = [
+            {"kind": "span", "name": f"s{i}", "span_id": f"x-{i}",
+             "parent_id": None, "job_id": None, "start_unix": float(i),
+             "dur_s": 0.001}
+            for i in range(5)
+        ]
+        http_queue.heartbeat(self._beat("w1", 0, spans=spans))
+        lines = http_queue.trace_tail(limit=2).strip().splitlines()
+        rows = [json.loads(line) for line in lines]
+        assert rows[0]["kind"] == "meta" and rows[0]["version"]
+        assert [r["name"] for r in rows[1:]] == ["s3", "s4"]  # newest
+
+    def test_trace_rejects_bad_limit(self, http_queue):
+        with pytest.raises(HttpQueueError, match="400"):
+            http_queue.trace_tail(limit=0)
+
+    def test_server_rejects_nonpositive_ttl(self):
+        with pytest.raises(ValueError, match="heartbeat_ttl_seconds"):
+            QueueServer(MemoryJobQueue(), heartbeat_ttl_seconds=0.0)
+
+    def test_worker_loop_ships_metrics_over_the_wire(self, http_queue):
+        from repro.obs.metrics import reset_registry
+
+        reset_registry()
+        for index in range(2):
+            http_queue.submit({"x": index}, job_id=f"0000{index}-x")
+        completed = run_worker(
+            http_queue, "obs-worker", lease_seconds=30.0,
+            execute=lambda job: {"ok": True},
+            on_heartbeat=http_queue.heartbeat,
+        )
+        assert completed == 2
+        text = http_queue.metrics_text()
+        assert 'repro_jobs_completed_total{kind="encode"} 2' in text
+        assert 'repro_worker_claims_total{outcome="claimed"} 2' in text
+        # the client instruments its own transport
+        assert 'repro_http_requests_total{path="/claim",status="200"}' in text
+        fleet = http_queue.fleet()
+        import repro
+
+        assert fleet["obs-worker"]["version"] == repro.__version__
+
+
 class TestStaleAck:
     def test_ack_after_reap_is_rejected(self, any_queue):
         """The lease-expiry race: a straggler whose job was reaped and
